@@ -1,0 +1,54 @@
+//! Criterion benches for the Table-2 FIFO measurement harness: event
+//! simulation throughput per circuit style and the pulse echo sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rt_netlist::fifo;
+use rt_sim::agent::{run_with_agents, FourPhaseConsumer, PulseSource, RingProducer};
+use rt_sim::Simulator;
+
+fn bench_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fifo_cycles");
+    type Build = fn() -> (rt_netlist::Netlist, fifo::FifoPorts);
+    for (name, build) in [
+        ("si", fifo::si_fifo as Build),
+        ("bm", fifo::bm_fifo as Build),
+        ("rt", fifo::rt_fifo as Build),
+    ] {
+        let (netlist, ports) = build();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(&netlist);
+                sim.settle_initial(16);
+                let mut producer = RingProducer::new(ports.li, ports.lo, ports.ri, 40);
+                producer.max_cycles = Some(20);
+                let mut consumer = FourPhaseConsumer::new(ports.ro, ports.ri, 40);
+                run_with_agents(&mut sim, &mut [&mut producer, &mut consumer], 10_000_000);
+                assert_eq!(producer.cycles(), 20);
+                sim.energy_fj()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pulse(c: &mut Criterion) {
+    let (netlist, ports) = fifo::pulse_fifo();
+    c.bench_function("fifo_pulse_echo", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&netlist);
+            sim.settle_initial(16);
+            let mut source = PulseSource {
+                net: ports.li,
+                period_ps: 600,
+                width_ps: 120,
+                count: 20,
+                offset_ps: 200,
+            };
+            run_with_agents(&mut sim, &mut [&mut source], 100_000_000);
+            sim.transition_count(ports.ro)
+        })
+    });
+}
+
+criterion_group!(benches, bench_cycles, bench_pulse);
+criterion_main!(benches);

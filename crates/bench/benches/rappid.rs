@@ -1,0 +1,45 @@
+//! Criterion benches for the Table-1 harness: the RAPPID model, the
+//! clocked baseline, and the workload generator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_rappid::{workload, ClockedConfig, ClockedDecoder, Rappid, RappidConfig};
+
+fn bench_models(c: &mut Criterion) {
+    let lines = workload::typical_mix(256, 42);
+    let mut group = c.benchmark_group("rappid_models");
+    group.bench_function("rappid_256_lines", |b| {
+        let model = Rappid::new(RappidConfig::default());
+        b.iter(|| model.run(&lines).instructions)
+    });
+    group.bench_function("clocked_256_lines", |b| {
+        let model = ClockedDecoder::new(ClockedConfig::default());
+        b.iter(|| model.run(&lines).instructions)
+    });
+    group.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    for lines in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("typical_mix", lines), &lines, |b, &n| {
+            b.iter(|| workload::typical_mix(n, 7).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_row_sweep(c: &mut Criterion) {
+    // The Figure-1 vertical-scalability ablation as a bench.
+    let lines = workload::short_heavy(128, 3);
+    let mut group = c.benchmark_group("rappid_row_sweep");
+    for rows in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
+            let model = Rappid::new(RappidConfig { rows, ..RappidConfig::default() });
+            b.iter(|| model.run(&lines).instructions)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models, bench_workloads, bench_row_sweep);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benches for the CAD algorithms themselves: reachability,
+//! SI synthesis, the relative-timing flow and the conformance checker —
+//! plus the state-space scaling ablation on pipeline rings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_core::{RtAssumption, RtSynthesisFlow};
+use rt_netlist::cells::majority_celement;
+use rt_stg::{explore, models, Edge};
+use rt_synth::synthesize;
+use rt_verify::verify;
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reachability");
+    group.bench_function("fifo", |b| {
+        let stg = models::fifo_stg();
+        b.iter(|| explore(&stg).expect("explores").state_count())
+    });
+    // Ablation: explicit BFS vs symbolic (BDD) image computation as the
+    // ring state space grows.
+    for n in [4usize, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("ring_explicit", n), &n, |b, &n| {
+            let stg = models::ring_stg(n, 2);
+            b.iter(|| explore(&stg).expect("explores").state_count())
+        });
+        group.bench_with_input(BenchmarkId::new("ring_symbolic", n), &n, |b, &n| {
+            let stg = models::ring_stg(n, 2);
+            b.iter(|| {
+                rt_stg::symbolic::reach_symbolic(&stg)
+                    .expect("symbolic explores")
+                    .markings
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.bench_function("si_fifo_csc", |b| {
+        let sg = explore(&models::fifo_stg_csc()).expect("explores");
+        b.iter(|| synthesize(&sg, "fifo").expect("synthesizes").literal_count)
+    });
+    group.bench_function("rt_flow_user", |b| {
+        let stg = models::fifo_stg();
+        let s = |n: &str| stg.signal_by_name(n).expect("signal");
+        let user = vec![
+            RtAssumption::user(s("ri"), Edge::Fall, s("li"), Edge::Rise),
+            RtAssumption::user(s("li"), Edge::Fall, s("ri"), Edge::Fall),
+        ];
+        let flow = RtSynthesisFlow::new();
+        b.iter(|| flow.run(&stg, &user).expect("flow runs").constraints.len())
+    });
+    group.bench_function("si_flow_with_encoding", |b| {
+        let stg = models::fifo_stg();
+        let flow = RtSynthesisFlow::speed_independent();
+        b.iter(|| flow.run(&stg, &[]).expect("flow runs").inserted_signals.len())
+    });
+    group.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verification");
+    group.bench_function("celement_unbounded", |b| {
+        let (netlist, _) = majority_celement();
+        let spec = models::celement_stg();
+        b.iter(|| verify(&netlist, &spec, &[]).expect("verifies").states_explored)
+    });
+    group.bench_function("si_fifo_conformance", |b| {
+        let (netlist, _) = rt_netlist::fifo::si_fifo();
+        let spec = models::fifo_stg_csc();
+        b.iter(|| verify(&netlist, &spec, &[]).expect("verifies").states_explored)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reachability, bench_synthesis, bench_verification);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Regenerates the **Figure 1 / §2.2** cycle-rate evidence: the three
+//! intertwined self-timed cycles, the 2.5–4.5 inst/ns band, the ~720
+//! Mlines/s consumption, the average-case line-rate argument and the
+//! scalability sweep.
+//!
+//! ```text
+//! cargo run --release -p rt-bench --bin figure1_rates
+//! ```
+
+use rt_rappid::{workload, Rappid, RappidConfig};
+
+fn main() {
+    println!("== Figure 1 / Section 2.2: RAPPID cycle rates ==\n");
+    let lines = workload::typical_mix(512, 42);
+    let result = Rappid::new(RappidConfig::default()).run(&lines);
+    println!(
+        "tag cycle      : {:>5} ps  (~{:.1} GHz; paper ~3.6 GHz)",
+        result.tag_period_ps,
+        1_000.0 / result.tag_period_ps.max(1) as f64
+    );
+    println!(
+        "steering cycle : {:>5} ps  (~{:.1} GHz/row; paper ~0.9 GHz)",
+        result.steer_period_ps,
+        1_000.0 / result.steer_period_ps.max(1) as f64
+    );
+    println!(
+        "decode cycle   : {:>5} ps  (~{:.1} GHz; paper ~0.7 GHz)",
+        result.decode_period_ps,
+        1_000.0 / result.decode_period_ps.max(1) as f64
+    );
+    println!(
+        "\nthroughput: {:.2} inst/ns (paper band 2.5-4.5), {:.0} Mlines/s (paper ~720M)\n",
+        result.instructions_per_ns(),
+        result.mlines_per_s()
+    );
+
+    println!("-- average-case argument: line rate vs instructions per line --");
+    println!("mix          inst/line   Mlines/s   inst/ns");
+    for (name, lines) in [
+        ("short-heavy", workload::short_heavy(512, 7)),
+        ("typical", workload::typical_mix(512, 7)),
+        ("long-heavy", workload::long_heavy(512, 7)),
+    ] {
+        let stats = workload::stream_stats(&lines);
+        let r = Rappid::new(RappidConfig::default()).run(&lines);
+        println!(
+            "{:<12}  {:>8.1}   {:>8.0}   {:>7.2}",
+            name,
+            stats.instructions as f64 / lines.len() as f64,
+            r.mlines_per_s(),
+            r.instructions_per_ns()
+        );
+    }
+    println!("(lines with fewer instructions are consumed faster, as in §2.2)\n");
+
+    println!("-- scalability sweep (vertical: steering rows) --");
+    println!("rows   inst/ns");
+    for rows in [1usize, 2, 4, 6, 8] {
+        let r = Rappid::new(RappidConfig { rows, ..RappidConfig::default() })
+            .run(&workload::short_heavy(256, 3));
+        println!("{rows:>4}   {:>7.2}", r.instructions_per_ns());
+    }
+
+    println!("\n-- gate-level tag-ring cross-check (pulse cells, Figure 7 style) --");
+    let ring = rt_rappid::TagRing::new(16);
+    if let Some((stats, hop)) = ring.measure(200_000) {
+        println!(
+            "naked hop {} ps over {} laps; behavioural loaded hop {} ps \
+             (qualification + crossbar enable included)",
+            hop,
+            stats.periods,
+            RappidConfig::default().tag_common_ps
+        );
+    }
+}

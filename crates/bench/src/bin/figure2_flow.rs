@@ -1,0 +1,55 @@
+//! Regenerates **Figure 2**: the relative-timing synthesis design flow,
+//! traced stage by stage on the FIFO specification.
+//!
+//! ```text
+//! cargo run --release -p rt-bench --bin figure2_flow
+//! ```
+
+use rt_core::{RtAssumption, RtSynthesisFlow};
+use rt_stg::{models, Edge};
+
+fn main() {
+    let stg = models::fifo_stg();
+    let s = |n: &str| stg.signal_by_name(n).expect("fifo signal");
+
+    println!("== Figure 2: the RT synthesis flow on the Figure-3 FIFO ==\n");
+    for (title, flow, user) in [
+        (
+            "speed-independent baseline (no assumptions)",
+            RtSynthesisFlow::speed_independent(),
+            vec![],
+        ),
+        (
+            "automatic assumptions only (Figure 5)",
+            RtSynthesisFlow::new(),
+            vec![],
+        ),
+        (
+            "user ring assumptions (Figure 6)",
+            RtSynthesisFlow::new(),
+            vec![
+                RtAssumption::user(s("ri"), Edge::Fall, s("li"), Edge::Rise),
+                RtAssumption::user(s("li"), Edge::Fall, s("ri"), Edge::Fall),
+            ],
+        ),
+    ] {
+        println!("---- {title} ----");
+        match flow.run(&stg, &user) {
+            Ok(report) => {
+                println!("{}", report.log_text());
+                println!("equations:");
+                print!("{}", report.synthesis.equations_text(&report.lazy_sg));
+                println!(
+                    "transistors: {}  | state signals inserted: {:?}",
+                    report.synthesis.netlist.transistor_count(),
+                    report.inserted_signals
+                );
+                for c in &report.constraints {
+                    println!("  required: {}", c.describe(&report.lazy_sg));
+                }
+            }
+            Err(err) => println!("flow failed: {err}"),
+        }
+        println!();
+    }
+}

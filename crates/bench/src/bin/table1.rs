@@ -1,0 +1,29 @@
+//! Regenerates **Table 1**: RAPPID vs the 400 MHz clocked baseline.
+//!
+//! ```text
+//! cargo run --release -p rt-bench --bin table1
+//! ```
+
+fn main() {
+    let (table, rappid, clocked) = rt_bench::table1(512, 42);
+    println!("== Table 1: improvement of RAPPID over the 400 MHz clocked circuit ==\n");
+    println!("{}\n", table.render());
+    println!("paper:  Throughput 3x  Latency 2x  Power 2x  Area +22%  Testability 95.9%\n");
+    println!("-- raw measurements (typical mix, 512 cache lines) --");
+    println!(
+        "RAPPID : {:.2} inst/ns | {:.0} Mlines/s | latency {} ps | power {:.0} fJ/ns | area {} trans-eq",
+        rappid.instructions_per_ns(),
+        rappid.mlines_per_s(),
+        rappid.first_issue_latency_ps,
+        rappid.power_fj_per_ns(),
+        rappid.area_transistors
+    );
+    println!(
+        "clocked: {:.2} inst/ns | {:.0} Mlines/s | latency {} ps | power {:.0} fJ/ns | area {} trans-eq",
+        clocked.instructions_per_ns(),
+        clocked.mlines_per_s(),
+        clocked.latency_ps,
+        clocked.power_fj_per_ns(),
+        clocked.area_transistors
+    );
+}

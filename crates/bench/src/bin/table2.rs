@@ -1,0 +1,22 @@
+//! Regenerates **Table 2**: the four FIFO implementations compared.
+//!
+//! ```text
+//! cargo run --release -p rt-bench --bin table2
+//! ```
+
+fn main() {
+    println!("== Table 2: comparison of FIFO implementations ==");
+    println!("   (energy accounts for a complete four-phase cycle)\n");
+    let rows = rt_bench::table2();
+    print!("{}", rt_bench::render_table2(&rows));
+    println!();
+    let si = &rows[0];
+    let rt = &rows[2];
+    println!(
+        "headline ratios: delay SI/RT = {:.1}x (paper 3.6x worst, 4.0x avg), \
+         energy SI/RT = {:.1}x (paper 2.1x), area SI/RT = {:.1}x (paper 2.0x)",
+        si.avg_delay_ps as f64 / rt.avg_delay_ps as f64,
+        si.energy_per_cycle_fj as f64 / rt.energy_per_cycle_fj as f64,
+        si.transistors as f64 / rt.transistors as f64,
+    );
+}

@@ -1,0 +1,400 @@
+//! A small reduced-ordered binary decision diagram (ROBDD) package.
+//!
+//! Used for scalable equivalence checking between covers (e.g. validating
+//! espresso results on functions too wide for truth tables) and as an
+//! alternative state-set representation in ablation benchmarks.
+//!
+//! Nodes are hash-consed in a [`Bdd`] manager with a fixed variable order
+//! (by index). Apply operations are memoized per call.
+
+use std::collections::HashMap;
+
+use crate::cover::Cover;
+
+/// Handle to a BDD node inside a [`Bdd`] manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The constant-0 node.
+    pub const ZERO: NodeId = NodeId(0);
+    /// The constant-1 node.
+    pub const ONE: NodeId = NodeId(1);
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    low: NodeId,
+    high: NodeId,
+}
+
+/// A BDD manager: node storage, hash-consing and apply operations.
+///
+/// # Examples
+///
+/// ```
+/// use rt_boolean::Bdd;
+///
+/// let mut bdd = Bdd::new(3);
+/// let a = bdd.var(0);
+/// let b = bdd.var(1);
+/// let ab = bdd.and(a, b);
+/// let ba = bdd.and(b, a);
+/// assert_eq!(ab, ba, "hash-consing makes equivalent functions identical");
+/// assert!(bdd.evaluate(ab, 0b011));
+/// assert!(!bdd.evaluate(ab, 0b001));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bdd {
+    vars: usize,
+    nodes: Vec<Node>,
+    unique: HashMap<Node, NodeId>,
+}
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+impl Bdd {
+    /// Creates a manager over `vars` variables (order = index order).
+    pub fn new(vars: usize) -> Self {
+        let zero = Node { var: TERMINAL_VAR, low: NodeId::ZERO, high: NodeId::ZERO };
+        let one = Node { var: TERMINAL_VAR, low: NodeId::ONE, high: NodeId::ONE };
+        Bdd {
+            vars,
+            nodes: vec![zero, one],
+            unique: HashMap::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn vars(&self) -> usize {
+        self.vars
+    }
+
+    /// Number of live nodes (including the two terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constant function `value`.
+    pub fn constant(&self, value: bool) -> NodeId {
+        if value {
+            NodeId::ONE
+        } else {
+            NodeId::ZERO
+        }
+    }
+
+    /// The projection function of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn var(&mut self, var: usize) -> NodeId {
+        assert!(var < self.vars, "variable out of range");
+        self.mk(var as u32, NodeId::ZERO, NodeId::ONE)
+    }
+
+    /// The negated projection of variable `var`.
+    pub fn nvar(&mut self, var: usize) -> NodeId {
+        assert!(var < self.vars, "variable out of range");
+        self.mk(var as u32, NodeId::ONE, NodeId::ZERO)
+    }
+
+    fn mk(&mut self, var: u32, low: NodeId, high: NodeId) -> NodeId {
+        if low == high {
+            return low;
+        }
+        let node = Node { var, low, high };
+        if let Some(&id) = self.unique.get(&node) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    fn node(&self, id: NodeId) -> Node {
+        self.nodes[id.0 as usize]
+    }
+
+    fn is_terminal(&self, id: NodeId) -> bool {
+        id == NodeId::ZERO || id == NodeId::ONE
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut memo = HashMap::new();
+        self.apply(a, b, &mut memo, &|x, y| x && y)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut memo = HashMap::new();
+        self.apply(a, b, &mut memo, &|x, y| x || y)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut memo = HashMap::new();
+        self.apply(a, b, &mut memo, &|x, y| x != y)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        let one = NodeId::ONE;
+        self.xor(a, one)
+    }
+
+    fn apply(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        memo: &mut HashMap<(NodeId, NodeId), NodeId>,
+        op: &impl Fn(bool, bool) -> bool,
+    ) -> NodeId {
+        if self.is_terminal(a) && self.is_terminal(b) {
+            return self.constant(op(a == NodeId::ONE, b == NodeId::ONE));
+        }
+        if let Some(&hit) = memo.get(&(a, b)) {
+            return hit;
+        }
+        let na = self.node(a);
+        let nb = self.node(b);
+        let var = na.var.min(nb.var);
+        let (a0, a1) = if na.var == var { (na.low, na.high) } else { (a, a) };
+        let (b0, b1) = if nb.var == var { (nb.low, nb.high) } else { (b, b) };
+        let low = self.apply(a0, b0, memo, op);
+        let high = self.apply(a1, b1, memo, op);
+        let result = self.mk(var, low, high);
+        memo.insert((a, b), result);
+        result
+    }
+
+    /// If-then-else: `c·t + c̄·e`.
+    pub fn ite(&mut self, c: NodeId, t: NodeId, e: NodeId) -> NodeId {
+        let ct = self.and(c, t);
+        let nc = self.not(c);
+        let nce = self.and(nc, e);
+        self.or(ct, nce)
+    }
+
+    /// Evaluates the function at a minterm (bit *i* of `assignment` =
+    /// variable *i*).
+    pub fn evaluate(&self, id: NodeId, assignment: u64) -> bool {
+        let mut current = id;
+        while !self.is_terminal(current) {
+            let node = self.node(current);
+            current = if assignment >> node.var & 1 == 1 {
+                node.high
+            } else {
+                node.low
+            };
+        }
+        current == NodeId::ONE
+    }
+
+    /// Builds the BDD of a cover.
+    pub fn from_cover(&mut self, cover: &Cover) -> NodeId {
+        assert!(cover.vars() <= self.vars, "cover wider than manager");
+        let mut acc = NodeId::ZERO;
+        for cube in cover.cubes() {
+            let mut term = NodeId::ONE;
+            for (var, positive) in cube.literals() {
+                let lit = if positive { self.var(var) } else { self.nvar(var) };
+                term = self.and(term, lit);
+            }
+            acc = self.or(acc, term);
+        }
+        acc
+    }
+
+    /// Number of satisfying assignments over all `vars` variables.
+    pub fn satisfy_count(&self, id: NodeId) -> u64 {
+        let mut memo: HashMap<NodeId, f64> = HashMap::new();
+        let fraction = self.sat_fraction(id, &mut memo);
+        (fraction * 2f64.powi(self.vars as i32)).round() as u64
+    }
+
+    fn sat_fraction(&self, id: NodeId, memo: &mut HashMap<NodeId, f64>) -> f64 {
+        if id == NodeId::ZERO {
+            return 0.0;
+        }
+        if id == NodeId::ONE {
+            return 1.0;
+        }
+        if let Some(&f) = memo.get(&id) {
+            return f;
+        }
+        let node = self.node(id);
+        let f = 0.5 * self.sat_fraction(node.low, memo)
+            + 0.5 * self.sat_fraction(node.high, memo);
+        memo.insert(id, f);
+        f
+    }
+
+    /// Existential quantification of `var`.
+    pub fn exists(&mut self, id: NodeId, var: usize) -> NodeId {
+        let low = self.restrict(id, var, false);
+        let high = self.restrict(id, var, true);
+        self.or(low, high)
+    }
+
+    /// Restriction (cofactor) of the function at `var = value`.
+    pub fn restrict(&mut self, id: NodeId, var: usize, value: bool) -> NodeId {
+        let mut memo = HashMap::new();
+        self.restrict_rec(id, var as u32, value, &mut memo)
+    }
+
+    fn restrict_rec(
+        &mut self,
+        id: NodeId,
+        var: u32,
+        value: bool,
+        memo: &mut HashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        if self.is_terminal(id) {
+            return id;
+        }
+        if let Some(&hit) = memo.get(&id) {
+            return hit;
+        }
+        let node = self.node(id);
+        let result = if node.var == var {
+            if value {
+                node.high
+            } else {
+                node.low
+            }
+        } else if node.var > var {
+            id
+        } else {
+            let low = self.restrict_rec(node.low, var, value, memo);
+            let high = self.restrict_rec(node.high, var, value, memo);
+            self.mk(node.var, low, high)
+        };
+        memo.insert(id, result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::Cube;
+    use crate::tt::TruthTable;
+
+    #[test]
+    fn constants_and_vars() {
+        let mut bdd = Bdd::new(2);
+        assert!(bdd.evaluate(NodeId::ONE, 0));
+        assert!(!bdd.evaluate(NodeId::ZERO, 3));
+        let a = bdd.var(0);
+        assert!(bdd.evaluate(a, 0b01));
+        assert!(!bdd.evaluate(a, 0b10));
+    }
+
+    #[test]
+    fn canonical_forms_are_shared() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let ab = bdd.and(a, b);
+        let or_then = bdd.or(ab, a); // absorbs to a
+        assert_eq!(or_then, a);
+        let na = bdd.not(a);
+        let nna = bdd.not(na);
+        assert_eq!(nna, a);
+    }
+
+    #[test]
+    fn xor_and_ite() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let x = bdd.xor(a, b);
+        for m in 0..4u64 {
+            let expected = (m & 1 == 1) != (m >> 1 & 1 == 1);
+            assert_eq!(bdd.evaluate(x, m), expected);
+        }
+        let nb = bdd.not(b);
+        let mux = bdd.ite(a, b, nb); // a ? b : b̄ = XNOR(a,b)... check
+        for m in 0..4u64 {
+            let a_v = m & 1 == 1;
+            let b_v = m >> 1 & 1 == 1;
+            assert_eq!(bdd.evaluate(mux, m), if a_v { b_v } else { !b_v });
+        }
+    }
+
+    #[test]
+    fn cover_conversion_matches_truth_table() {
+        let cover = Cover::from_cubes(4, vec![
+            Cube::from_literals(4, &[(0, true), (2, false)]),
+            Cube::from_literals(4, &[(1, true), (3, true)]),
+        ]);
+        let tt = TruthTable::from_cover(&cover);
+        let mut bdd = Bdd::new(4);
+        let f = bdd.from_cover(&cover);
+        for m in 0..16u64 {
+            assert_eq!(bdd.evaluate(f, m), tt.value(m));
+        }
+        assert_eq!(bdd.satisfy_count(f), tt.minterm_count() as u64);
+    }
+
+    #[test]
+    fn equivalence_check_via_identity() {
+        // (a + b)' == a'·b'  (De Morgan)
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let a_or_b = bdd.or(a, b);
+        let lhs = bdd.not(a_or_b);
+        let na = bdd.not(a);
+        let nb = bdd.not(b);
+        let rhs = bdd.and(na, nb);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn restrict_and_exists() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let ab = bdd.and(a, b);
+        let at_b1 = bdd.restrict(ab, 1, true);
+        assert_eq!(at_b1, a);
+        let at_b0 = bdd.restrict(ab, 1, false);
+        assert_eq!(at_b0, NodeId::ZERO);
+        let exists_b = bdd.exists(ab, 1);
+        assert_eq!(exists_b, a);
+    }
+
+    #[test]
+    fn satisfy_count_of_var_is_half() {
+        let mut bdd = Bdd::new(6);
+        let v = bdd.var(3);
+        assert_eq!(bdd.satisfy_count(v), 32);
+    }
+
+    #[test]
+    fn node_count_grows_then_shares() {
+        let mut bdd = Bdd::new(8);
+        let before = bdd.node_count();
+        let mut acc = bdd.constant(false);
+        for i in 0..8 {
+            let v = bdd.var(i);
+            acc = bdd.or(acc, v);
+        }
+        let after = bdd.node_count();
+        assert!(after > before);
+        // Rebuilding the same function allocates nothing new.
+        let mut acc2 = bdd.constant(false);
+        for i in 0..8 {
+            let v = bdd.var(i);
+            acc2 = bdd.or(acc2, v);
+        }
+        assert_eq!(acc, acc2);
+        assert_eq!(bdd.node_count(), after);
+    }
+}

@@ -1,0 +1,209 @@
+//! Dense truth tables: the reference semantics for small functions.
+//!
+//! Used throughout the workspace as the oracle in tests (cover ↔ truth
+//! table ↔ BDD agreement) and by `rt-netlist` for gate evaluation.
+
+use std::fmt;
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+
+/// A complete truth table over up to 16 variables (dense bit vector).
+///
+/// # Examples
+///
+/// ```
+/// use rt_boolean::TruthTable;
+///
+/// let xor = TruthTable::from_fn(2, |m| (m.count_ones() & 1) == 1);
+/// assert!(xor.value(0b01));
+/// assert!(!xor.value(0b11));
+/// assert_eq!(xor.minterm_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    vars: usize,
+    bits: Vec<u64>,
+}
+
+impl TruthTable {
+    /// The constant-0 table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars > 16`.
+    pub fn zero(vars: usize) -> Self {
+        assert!(vars <= 16, "truth table supports at most 16 variables");
+        let words = (1usize << vars).div_ceil(64);
+        TruthTable { vars, bits: vec![0; words.max(1)] }
+    }
+
+    /// The constant-1 table.
+    pub fn one(vars: usize) -> Self {
+        let mut tt = TruthTable::zero(vars);
+        for m in 0..(1u64 << vars) {
+            tt.set(m, true);
+        }
+        tt
+    }
+
+    /// Builds a table by evaluating `f` on every minterm.
+    pub fn from_fn(vars: usize, f: impl Fn(u64) -> bool) -> Self {
+        let mut tt = TruthTable::zero(vars);
+        for m in 0..(1u64 << vars) {
+            tt.set(m, f(m));
+        }
+        tt
+    }
+
+    /// Builds a table from a cover.
+    pub fn from_cover(cover: &Cover) -> Self {
+        assert!(cover.vars() <= 16, "cover too wide for a truth table");
+        TruthTable::from_fn(cover.vars(), |m| cover.evaluate(m))
+    }
+
+    /// Number of variables.
+    pub fn vars(&self) -> usize {
+        self.vars
+    }
+
+    /// Value at `minterm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `minterm` is out of range.
+    pub fn value(&self, minterm: u64) -> bool {
+        assert!(minterm < 1u64 << self.vars, "minterm out of range");
+        self.bits[(minterm / 64) as usize] >> (minterm % 64) & 1 == 1
+    }
+
+    /// Sets the value at `minterm`.
+    pub fn set(&mut self, minterm: u64, value: bool) {
+        assert!(minterm < 1u64 << self.vars, "minterm out of range");
+        let word = (minterm / 64) as usize;
+        let bit = 1u64 << (minterm % 64);
+        if value {
+            self.bits[word] |= bit;
+        } else {
+            self.bits[word] &= !bit;
+        }
+    }
+
+    /// Number of satisfying minterms.
+    pub fn minterm_count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// All satisfying minterms in ascending order.
+    pub fn minterms(&self) -> Vec<u64> {
+        (0..(1u64 << self.vars)).filter(|&m| self.value(m)).collect()
+    }
+
+    /// Converts to a (canonical minterm) cover.
+    pub fn to_cover(&self) -> Cover {
+        Cover::from_cubes(
+            self.vars,
+            self.minterms()
+                .into_iter()
+                .map(|m| Cube::minterm(self.vars, m))
+                .collect(),
+        )
+    }
+
+    /// Pointwise OR.
+    pub fn or(&self, other: &TruthTable) -> TruthTable {
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Pointwise AND.
+    pub fn and(&self, other: &TruthTable) -> TruthTable {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Pointwise XOR.
+    pub fn xor(&self, other: &TruthTable) -> TruthTable {
+        self.zip(other, |a, b| a ^ b)
+    }
+
+    /// Pointwise NOT.
+    pub fn not(&self) -> TruthTable {
+        TruthTable::from_fn(self.vars, |m| !self.value(m))
+    }
+
+    fn zip(&self, other: &TruthTable, f: impl Fn(bool, bool) -> bool) -> TruthTable {
+        assert_eq!(self.vars, other.vars, "arity mismatch");
+        TruthTable::from_fn(self.vars, |m| f(self.value(m), other.value(m)))
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for m in 0..(1u64 << self.vars) {
+            write!(f, "{}", u8::from(self.value(m)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        let zero = TruthTable::zero(3);
+        let one = TruthTable::one(3);
+        assert_eq!(zero.minterm_count(), 0);
+        assert_eq!(one.minterm_count(), 8);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut tt = TruthTable::zero(2);
+        tt.set(0b10, true);
+        assert!(tt.value(0b10));
+        assert!(!tt.value(0b01));
+        tt.set(0b10, false);
+        assert_eq!(tt.minterm_count(), 0);
+    }
+
+    #[test]
+    fn cover_roundtrip() {
+        let f = Cover::from_cubes(3, vec![
+            Cube::from_literals(3, &[(0, true), (2, false)]),
+            Cube::from_literals(3, &[(1, true)]),
+        ]);
+        let tt = TruthTable::from_cover(&f);
+        let back = tt.to_cover();
+        for m in 0..8u64 {
+            assert_eq!(back.evaluate(m), f.evaluate(m));
+        }
+    }
+
+    #[test]
+    fn pointwise_operations() {
+        let a = TruthTable::from_fn(2, |m| m & 1 == 1);
+        let b = TruthTable::from_fn(2, |m| m & 2 == 2);
+        for m in 0..4u64 {
+            assert_eq!(a.or(&b).value(m), a.value(m) || b.value(m));
+            assert_eq!(a.and(&b).value(m), a.value(m) && b.value(m));
+            assert_eq!(a.xor(&b).value(m), a.value(m) != b.value(m));
+            assert_eq!(a.not().value(m), !a.value(m));
+        }
+    }
+
+    #[test]
+    fn display_is_binary_string() {
+        let tt = TruthTable::from_fn(2, |m| m == 3);
+        assert_eq!(tt.to_string(), "0001");
+    }
+
+    #[test]
+    fn wide_tables_use_multiple_words() {
+        let tt = TruthTable::from_fn(8, |m| m % 3 == 0);
+        assert_eq!(tt.minterms().len(), tt.minterm_count());
+        assert!(tt.value(0));
+        assert!(tt.value(255));
+        assert!(!tt.value(1));
+    }
+}

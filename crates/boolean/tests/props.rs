@@ -1,0 +1,140 @@
+//! Property-based tests for the Boolean substrate: cube algebra, cover
+//! operations, the espresso-style minimizer and the BDD package are checked
+//! against dense truth-table semantics on random functions.
+
+use proptest::prelude::*;
+use rt_boolean::{minimize, Bdd, Cover, Cube, TruthTable};
+
+/// Strategy: a random cube over `vars` variables.
+fn arb_cube(vars: usize) -> impl Strategy<Value = Cube> {
+    prop::collection::vec(prop::option::of(prop::bool::ANY), vars).prop_map(move |lits| {
+        let literals: Vec<(usize, bool)> = lits
+            .into_iter()
+            .enumerate()
+            .filter_map(|(v, l)| l.map(|p| (v, p)))
+            .collect();
+        Cube::from_literals(vars, &literals)
+    })
+}
+
+/// Strategy: a random cover with up to `max_cubes` cubes.
+fn arb_cover(vars: usize, max_cubes: usize) -> impl Strategy<Value = Cover> {
+    prop::collection::vec(arb_cube(vars), 0..=max_cubes)
+        .prop_map(move |cubes| Cover::from_cubes(vars, cubes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cube_containment_matches_semantics(a in arb_cube(5), b in arb_cube(5)) {
+        let semantic = (0..32u64).all(|m| !b.evaluate(m) || a.evaluate(m));
+        prop_assert_eq!(a.contains(&b), semantic);
+    }
+
+    #[test]
+    fn cube_intersection_is_pointwise_and(a in arb_cube(5), b in arb_cube(5)) {
+        let i = a.intersect(&b);
+        for m in 0..32u64 {
+            prop_assert_eq!(i.evaluate(m), a.evaluate(m) && b.evaluate(m));
+        }
+    }
+
+    #[test]
+    fn supercube_contains_both(a in arb_cube(5), b in arb_cube(5)) {
+        let s = a.supercube(&b);
+        prop_assert!(s.contains(&a));
+        prop_assert!(s.contains(&b));
+    }
+
+    #[test]
+    fn consensus_is_sound(a in arb_cube(4), b in arb_cube(4)) {
+        // Any consensus cube is covered by a + b.
+        if let Some(c) = a.consensus(&b) {
+            for m in 0..16u64 {
+                if c.evaluate(m) {
+                    prop_assert!(a.evaluate(m) || b.evaluate(m),
+                        "consensus escaped the union at {:04b}", m);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cover_complement_is_pointwise_not(f in arb_cover(5, 6)) {
+        let nf = f.complement();
+        for m in 0..32u64 {
+            prop_assert_eq!(nf.evaluate(m), !f.evaluate(m));
+        }
+    }
+
+    #[test]
+    fn cover_tautology_matches_semantics(f in arb_cover(4, 6)) {
+        let semantic = (0..16u64).all(|m| f.evaluate(m));
+        prop_assert_eq!(f.is_tautology(), semantic);
+    }
+
+    #[test]
+    fn cover_containment_matches_semantics(f in arb_cover(4, 4), g in arb_cover(4, 4)) {
+        let semantic = (0..16u64).all(|m| !g.evaluate(m) || f.evaluate(m));
+        prop_assert_eq!(f.contains_cover(&g), semantic);
+    }
+
+    #[test]
+    fn minimizer_preserves_care_semantics(on in arb_cover(5, 6), dc in arb_cover(5, 3)) {
+        let result = minimize(&on, &dc);
+        for m in 0..32u64 {
+            if on.evaluate(m) {
+                prop_assert!(result.evaluate(m), "lost on-set minterm {:05b}", m);
+            } else if !dc.evaluate(m) {
+                prop_assert!(!result.evaluate(m), "gained off-set minterm {:05b}", m);
+            }
+        }
+    }
+
+    #[test]
+    fn minimizer_never_worsens_cube_count(on in arb_cover(4, 6)) {
+        let result = minimize(&on, &Cover::empty(4));
+        prop_assert!(result.cube_count() <= on.single_cube_containment().cube_count().max(1));
+    }
+
+    #[test]
+    fn bdd_matches_truth_table(f in arb_cover(6, 5)) {
+        let mut bdd = Bdd::new(6);
+        let node = bdd.from_cover(&f);
+        for m in 0..64u64 {
+            prop_assert_eq!(bdd.evaluate(node, m), f.evaluate(m));
+        }
+    }
+
+    #[test]
+    fn bdd_canonicity_detects_equivalence(f in arb_cover(5, 4)) {
+        // f + f == f, f·f == f, ¬¬f == f — all as node identity.
+        let mut bdd = Bdd::new(5);
+        let nf = bdd.from_cover(&f);
+        let or_self = bdd.or(nf, nf);
+        prop_assert_eq!(or_self, nf);
+        let and_self = bdd.and(nf, nf);
+        prop_assert_eq!(and_self, nf);
+        let not1 = bdd.not(nf);
+        let not2 = bdd.not(not1);
+        prop_assert_eq!(not2, nf);
+    }
+
+    #[test]
+    fn bdd_satisfy_count_matches_truth_table(f in arb_cover(5, 5)) {
+        let tt = TruthTable::from_cover(&f);
+        let mut bdd = Bdd::new(5);
+        let node = bdd.from_cover(&f);
+        prop_assert_eq!(bdd.satisfy_count(node), tt.minterm_count() as u64);
+    }
+
+    #[test]
+    fn truth_table_cover_roundtrip(f in arb_cover(5, 5)) {
+        let tt = TruthTable::from_cover(&f);
+        let back = tt.to_cover();
+        for m in 0..32u64 {
+            prop_assert_eq!(back.evaluate(m), f.evaluate(m));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Relative timing assumptions and back-annotated constraints.
+
+use std::fmt;
+
+use rt_stg::{Edge, SignalEvent, SignalId, StateGraph};
+
+/// Where an assumption came from — the paper distinguishes user-defined
+/// (architectural/environmental) assumptions from automatically extracted
+/// ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssumptionKind {
+    /// Supplied by the designer (e.g. the FIFO-ring argument of Figure 6).
+    /// Assumptions relating two *input* events can only come from here.
+    User,
+    /// Extracted automatically from the specification using delay-model
+    /// rules ("one gate can be made faster than two").
+    Automatic,
+    /// Implied by early enabling of a lazy signal (the OR-causality
+    /// don't-cares of Figure 5).
+    EarlyEnable,
+}
+
+impl fmt::Display for AssumptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            AssumptionKind::User => "user-defined",
+            AssumptionKind::Automatic => "automatic",
+            AssumptionKind::EarlyEnable => "early-enable",
+        };
+        f.write_str(text)
+    }
+}
+
+/// A relative timing assumption: wherever both events are enabled,
+/// `before` fires first.
+///
+/// # Examples
+///
+/// ```
+/// use rt_core::RtAssumption;
+/// use rt_stg::{Edge, SignalId};
+///
+/// let a = RtAssumption::user(SignalId(3), Edge::Fall, SignalId(0), Edge::Rise);
+/// assert_eq!(a.before.edge, Edge::Fall);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RtAssumption {
+    /// The event assumed to occur first.
+    pub before: SignalEvent,
+    /// The event assumed to occur later.
+    pub after: SignalEvent,
+    /// Provenance.
+    pub kind: AssumptionKind,
+}
+
+impl RtAssumption {
+    /// A user-defined assumption `before_sig±` before `after_sig±`.
+    pub fn user(
+        before_sig: SignalId,
+        before_edge: Edge,
+        after_sig: SignalId,
+        after_edge: Edge,
+    ) -> Self {
+        RtAssumption {
+            before: SignalEvent::new(before_sig, before_edge),
+            after: SignalEvent::new(after_sig, after_edge),
+            kind: AssumptionKind::User,
+        }
+    }
+
+    /// An automatically extracted assumption.
+    pub fn automatic(before: SignalEvent, after: SignalEvent) -> Self {
+        RtAssumption { before, after, kind: AssumptionKind::Automatic }
+    }
+
+    /// An early-enable (lazy-signal) assumption.
+    pub fn early(before: SignalEvent, after: SignalEvent) -> Self {
+        RtAssumption { before, after, kind: AssumptionKind::EarlyEnable }
+    }
+
+    /// Renders the assumption against a state graph's signal names, e.g.
+    /// `ri- before li+ [user-defined]`.
+    pub fn describe(&self, sg: &StateGraph) -> String {
+        format!(
+            "{}{} before {}{} [{}]",
+            sg.signal_name(self.before.signal),
+            self.before.edge.suffix(),
+            sg.signal_name(self.after.signal),
+            self.after.edge.suffix(),
+            self.kind,
+        )
+    }
+}
+
+impl fmt::Display for RtAssumption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} before {} [{}]", self.before, self.after, self.kind)
+    }
+}
+
+/// A back-annotated timing constraint: an assumption the synthesized
+/// netlist *requires* for correct operation. "The circuits are then
+/// designed to meet the relative orderings, or verified that the
+/// restrictions are already part of the delays in the system" (§3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtConstraint {
+    /// The ordering that must hold.
+    pub assumption: RtAssumption,
+    /// Why the flow believes the ordering is implementable (delay-model
+    /// rationale attached at generation time).
+    pub rationale: String,
+}
+
+impl RtConstraint {
+    /// Wraps an assumption with its rationale.
+    pub fn new(assumption: RtAssumption, rationale: impl Into<String>) -> Self {
+        RtConstraint { assumption, rationale: rationale.into() }
+    }
+
+    /// Renders against signal names.
+    pub fn describe(&self, sg: &StateGraph) -> String {
+        format!("{} — {}", self.assumption.describe(sg), self.rationale)
+    }
+}
+
+impl fmt::Display for RtConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} — {}", self.assumption, self.rationale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_stg::{explore, models};
+
+    #[test]
+    fn constructors_set_kinds() {
+        let e1 = SignalEvent::rise(SignalId(0));
+        let e2 = SignalEvent::fall(SignalId(1));
+        assert_eq!(RtAssumption::automatic(e1, e2).kind, AssumptionKind::Automatic);
+        assert_eq!(RtAssumption::early(e1, e2).kind, AssumptionKind::EarlyEnable);
+        assert_eq!(
+            RtAssumption::user(SignalId(0), Edge::Rise, SignalId(1), Edge::Fall).kind,
+            AssumptionKind::User
+        );
+    }
+
+    #[test]
+    fn describe_uses_signal_names() {
+        let stg = models::fifo_stg();
+        let sg = explore(&stg).unwrap();
+        let ri = stg.signal_by_name("ri").unwrap();
+        let li = stg.signal_by_name("li").unwrap();
+        let a = RtAssumption::user(ri, Edge::Fall, li, Edge::Rise);
+        assert_eq!(a.describe(&sg), "ri- before li+ [user-defined]");
+    }
+
+    #[test]
+    fn constraint_display_includes_rationale() {
+        let a = RtAssumption::automatic(
+            SignalEvent::rise(SignalId(0)),
+            SignalEvent::fall(SignalId(1)),
+        );
+        let c = RtConstraint::new(a, "one gate beats two");
+        assert!(c.to_string().contains("one gate beats two"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the relative-timing flow.
+
+use std::error::Error;
+use std::fmt;
+
+use rt_stg::StgError;
+use rt_synth::SynthError;
+
+/// Errors produced by the relative-timing synthesis flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtError {
+    /// Applying the assumption set broke the specification (deadlock,
+    /// starved event, or disconnected state graph).
+    InvalidAssumptions {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The underlying STG analysis failed.
+    Stg(StgError),
+    /// Logic synthesis failed on the lazy state graph.
+    Synth(SynthError),
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::InvalidAssumptions { reason } => {
+                write!(f, "invalid assumption set: {reason}")
+            }
+            RtError::Stg(err) => write!(f, "stg analysis failed: {err}"),
+            RtError::Synth(err) => write!(f, "synthesis failed: {err}"),
+        }
+    }
+}
+
+impl Error for RtError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RtError::Stg(err) => Some(err),
+            RtError::Synth(err) => Some(err),
+            RtError::InvalidAssumptions { .. } => None,
+        }
+    }
+}
+
+impl From<StgError> for RtError {
+    fn from(err: StgError) -> Self {
+        RtError::Stg(err)
+    }
+}
+
+impl From<SynthError> for RtError {
+    fn from(err: SynthError) -> Self {
+        RtError::Synth(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let err: RtError = StgError::StateLimitExceeded(1).into();
+        assert!(Error::source(&err).is_some());
+        let err: RtError = SynthError::NothingToImplement.into();
+        assert!(err.to_string().contains("synthesis failed"));
+        let err = RtError::InvalidAssumptions { reason: "deadlock".into() };
+        assert_eq!(err.to_string(), "invalid assumption set: deadlock");
+    }
+}

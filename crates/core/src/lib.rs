@@ -1,0 +1,57 @@
+//! # rt-core — Relative Timing synthesis
+//!
+//! The primary contribution of the paper: synthesis of asynchronous
+//! circuits under **relative timing assumptions** — facts of the form
+//! "event `a` occurs before event `b`" — which license logic that is
+//! smaller and faster than speed-independent implementations, at the price
+//! of back-annotated timing *constraints* that layout must honour.
+//!
+//! The crate implements the full Figure-2 design flow:
+//!
+//! 1. reachability analysis of the specification STG (`rt-stg`);
+//! 2. user-defined **and** automatically generated timing assumptions
+//!    ([`auto`], using the paper's "one gate can be made faster than two"
+//!    delay rule);
+//! 3. the **lazy state graph**: concurrency reduction under the
+//!    assumptions ([`lazy`]) plus early-enabling don't-cares for lazy
+//!    signals;
+//! 4. timing-aware state encoding (CSC resolution on the reduced graph,
+//!    reusing `rt-synth`);
+//! 5. logic synthesis on the lazy state graph;
+//! 6. **back-annotation** of the assumption subset the optimized netlist
+//!    actually requires ([`flow`]);
+//! 7. the pulse-mode protocol transformation of Figure 7 ([`pulse`]).
+//!
+//! ## Example: the FIFO of Figure 3, relative-timed
+//!
+//! ```
+//! use rt_core::{RtAssumption, RtSynthesisFlow};
+//! use rt_stg::models;
+//!
+//! # fn main() -> Result<(), rt_core::RtError> {
+//! let spec = models::fifo_stg();
+//! // The Figure-6 user assumption: ri- before li+ (FIFO ring argument).
+//! let user = vec![RtAssumption::user(
+//!     spec.signal_by_name("ri").unwrap(), rt_stg::Edge::Fall,
+//!     spec.signal_by_name("li").unwrap(), rt_stg::Edge::Rise,
+//! )];
+//! let report = RtSynthesisFlow::new().run(&spec, &user)?;
+//! assert!(report.lazy_states <= report.initial_states);
+//! assert!(!report.constraints.is_empty(), "RT circuits carry constraints");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod assume;
+pub mod auto;
+pub mod error;
+pub mod flow;
+pub mod lazy;
+pub mod pulse;
+
+pub use assume::{AssumptionKind, RtAssumption, RtConstraint};
+pub use auto::generate_assumptions;
+pub use error::RtError;
+pub use flow::{FlowReport, RtSynthesisFlow};
+pub use lazy::{reduce_concurrency, LazyReduction};
+pub use pulse::{pulse_constraints, PulseConstraints};

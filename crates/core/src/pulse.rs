@@ -1,0 +1,192 @@
+//! Pulse-mode transformation (Figure 7).
+//!
+//! The final optimization step of the paper folds the environment into
+//! the circuit and deletes the `lo` / `ri` handshake wires entirely: a
+//! pulse on `li` produces a pulse on `ro`, and the four-phase protocol is
+//! replaced by **pulse protocol constraints** (Figure 7b):
+//!
+//! * arc 1 — `li↑ → ro↑` stays a causal dependency in the logic;
+//! * arc 2 — the input pulse must be wide enough to be captured;
+//! * arc 3 — the input pulse must be gone before the self-reset re-arms
+//!   (otherwise the domino double-fires);
+//! * arc 4 — successive pulses must be separated by at least the
+//!   self-reset loop time.
+//!
+//! Constraint values are extracted by *separation analysis through
+//! simulation* (the method §5 suggests for path constraints): the pulse
+//! source is swept until the circuit stops echoing every pulse.
+
+use rt_netlist::fifo::{pulse_fifo, FifoPorts};
+use rt_netlist::Netlist;
+use rt_sim::agent::{run_with_agents, PulseSource};
+use rt_sim::measure::EdgeRecorder;
+use rt_sim::Simulator;
+
+/// The pulse protocol constraints of Figure 7b, in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PulseConstraints {
+    /// Arc 2: minimum input pulse width that is reliably captured.
+    pub min_width_ps: u64,
+    /// Arc 3: maximum input pulse width before re-arm double-firing.
+    pub max_width_ps: u64,
+    /// Arc 4: minimum separation between successive input pulses.
+    pub min_separation_ps: u64,
+}
+
+impl PulseConstraints {
+    /// Checks a concrete pulse train `(start, width)` against the
+    /// constraints; returns the index of the first violating pulse.
+    pub fn check(&self, pulses: &[(u64, u64)]) -> Result<(), usize> {
+        for (i, &(start, width)) in pulses.iter().enumerate() {
+            if width < self.min_width_ps || width > self.max_width_ps {
+                return Err(i);
+            }
+            if i > 0 {
+                let (prev_start, _) = pulses[i - 1];
+                if start - prev_start < self.min_separation_ps {
+                    return Err(i);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs `pulses` pulses of `width_ps` at `period_ps` through the Figure-7
+/// circuit and reports how many came out.
+pub fn echoed_pulses(
+    netlist: &Netlist,
+    ports: FifoPorts,
+    period_ps: u64,
+    width_ps: u64,
+    pulses: u64,
+) -> u64 {
+    let mut sim = Simulator::new(netlist);
+    sim.settle_initial(16);
+    let mut source = PulseSource {
+        net: ports.li,
+        period_ps,
+        width_ps,
+        count: pulses,
+        offset_ps: 200,
+    };
+    let mut recorder = EdgeRecorder::new(ports.ro);
+    run_with_agents(
+        &mut sim,
+        &mut [&mut source, &mut recorder],
+        period_ps * (pulses + 4),
+    );
+    recorder.rises().len() as u64
+}
+
+/// Extracts the [`PulseConstraints`] of the Figure-7 pulse FIFO by
+/// sweeping the pulse source (binary search on each parameter).
+///
+/// # Examples
+///
+/// ```
+/// let constraints = rt_core::pulse_constraints();
+/// assert!(constraints.min_separation_ps > 0);
+/// assert!(constraints.min_width_ps < constraints.max_width_ps);
+/// ```
+pub fn pulse_constraints() -> PulseConstraints {
+    let (netlist, ports) = pulse_fifo();
+    let trial = |period: u64, width: u64| -> bool {
+        echoed_pulses(&netlist, ports, period, width, 12) == 12
+    };
+
+    // Arc 4: minimum period at a comfortable width.
+    let safe_width = 150;
+    let mut lo = 50;
+    let mut hi = 2_000;
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if trial(mid, safe_width) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let min_separation_ps = hi;
+
+    // Arc 2: minimum width at a comfortable period.
+    let safe_period = min_separation_ps * 3;
+    let mut lo = 1;
+    let mut hi = 500;
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if trial(safe_period, mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let min_width_ps = hi;
+
+    // Arc 3: maximum width (input still up when the foot re-arms causes
+    // a double fire, detected as extra output pulses).
+    let exact = |width: u64| -> bool {
+        echoed_pulses(&netlist, ports, safe_period, width, 12) == 12
+    };
+    let mut lo = min_width_ps;
+    let mut hi = safe_period;
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if exact(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let max_width_ps = lo;
+
+    PulseConstraints { min_width_ps, max_width_ps, min_separation_ps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pulse_circuit_echoes_within_constraints() {
+        let c = pulse_constraints();
+        let (netlist, ports) = pulse_fifo();
+        let period = c.min_separation_ps + 50;
+        let width = (c.min_width_ps + c.max_width_ps) / 2;
+        assert_eq!(echoed_pulses(&netlist, ports, period, width, 10), 10);
+    }
+
+    #[test]
+    fn too_fast_pulses_are_dropped() {
+        let c = pulse_constraints();
+        let (netlist, ports) = pulse_fifo();
+        let period = c.min_separation_ps / 2;
+        assert!(echoed_pulses(&netlist, ports, period, 150, 10) < 10);
+    }
+
+    #[test]
+    fn constraints_are_ordered() {
+        let c = pulse_constraints();
+        assert!(c.min_width_ps < c.max_width_ps);
+        assert!(c.min_separation_ps > c.min_width_ps);
+        // The paper's pulse row: the cycle is in the few-hundred-ps class.
+        assert!(
+            (100..=1_000).contains(&c.min_separation_ps),
+            "got {} ps",
+            c.min_separation_ps
+        );
+    }
+
+    #[test]
+    fn checker_flags_violations() {
+        let c = PulseConstraints {
+            min_width_ps: 100,
+            max_width_ps: 300,
+            min_separation_ps: 500,
+        };
+        assert!(c.check(&[(0, 150), (600, 200)]).is_ok());
+        assert_eq!(c.check(&[(0, 50)]), Err(0), "too narrow");
+        assert_eq!(c.check(&[(0, 400)]), Err(0), "too wide");
+        assert_eq!(c.check(&[(0, 150), (300, 150)]), Err(1), "too close");
+    }
+}

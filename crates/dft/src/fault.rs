@@ -1,0 +1,227 @@
+//! The stuck-at fault universe and fault injection.
+//!
+//! Faults live on gate output nets and on individual gate input pins
+//! (pin faults matter: a logically redundant product term — like the
+//! hazard cover of a burst-mode machine — has undetectable pin faults,
+//! which is exactly why Table 2 shows only 74% coverage for RT-BM).
+//!
+//! Injection transforms the netlist: the faulty node is rewired to a
+//! fresh *input* net which the testbench pins to the stuck value. The
+//! original circuit is never mutated.
+
+use rt_netlist::{GateId, NetId, NetKind, Netlist};
+
+/// Where a fault sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// The output net of a gate.
+    GateOutput(GateId),
+    /// One input pin of a gate (`gate`, `pin index`).
+    GateInput(GateId, usize),
+}
+
+/// A single stuck-at fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fault {
+    /// Location.
+    pub site: FaultSite,
+    /// Stuck value: `true` = stuck-at-1.
+    pub stuck: bool,
+}
+
+impl Fault {
+    /// Human-readable description against the netlist.
+    pub fn describe(&self, netlist: &Netlist) -> String {
+        let sa = if self.stuck { "SA1" } else { "SA0" };
+        match self.site {
+            FaultSite::GateOutput(gate) => {
+                format!("{sa} on output of `{}`", netlist.gate(gate).name)
+            }
+            FaultSite::GateInput(gate, pin) => {
+                format!("{sa} on input {pin} of `{}`", netlist.gate(gate).name)
+            }
+        }
+    }
+}
+
+/// Enumerates the collapsed fault universe:
+///
+/// * both polarities on every gate output;
+/// * both polarities on every input pin of multi-input gates (single-
+///   input gates' pin faults are equivalent to their driver's output
+///   faults and are collapsed away).
+pub fn enumerate_faults(netlist: &Netlist) -> Vec<Fault> {
+    let mut faults = Vec::new();
+    for gate_id in netlist.gates() {
+        for stuck in [false, true] {
+            faults.push(Fault { site: FaultSite::GateOutput(gate_id), stuck });
+        }
+        let gate = netlist.gate(gate_id);
+        if gate.inputs.len() > 1 {
+            for pin in 0..gate.inputs.len() {
+                for stuck in [false, true] {
+                    faults.push(Fault {
+                        site: FaultSite::GateInput(gate_id, pin),
+                        stuck,
+                    });
+                }
+            }
+        }
+    }
+    faults
+}
+
+/// Builds the faulty variant of `netlist`. Returns the transformed
+/// netlist and the net the testbench must pin to the stuck value
+/// (`Fault::stuck`) via [`rt_sim::Simulator::initialize`].
+pub fn inject(netlist: &Netlist, fault: Fault) -> (Netlist, NetId) {
+    let mut out = Netlist::new(format!("{}_faulty", netlist.name()));
+    // Copy the nets.
+    let mut net_map = Vec::with_capacity(netlist.net_count());
+    for net in netlist.nets() {
+        net_map.push(out.add_net(netlist.net_name(net), netlist.net_kind(net)));
+    }
+    // The stuck node becomes a fresh input net.
+    let stuck_net = out.add_net("stuck", NetKind::Input);
+    for gate_id in netlist.gates() {
+        let gate = netlist.gate(gate_id);
+        let mut inputs: Vec<NetId> =
+            gate.inputs.iter().map(|&n| net_map[n.index()]).collect();
+        let mut output = net_map[gate.output.index()];
+        match fault.site {
+            FaultSite::GateOutput(faulty) if faulty == gate_id => {
+                // The gate drives a dangling shadow net; consumers of the
+                // original output net now see the stuck net.
+                let shadow = out.add_net(
+                    format!("{}_shadow", gate.name),
+                    NetKind::Internal,
+                );
+                output = shadow;
+            }
+            FaultSite::GateInput(faulty, pin) if faulty == gate_id => {
+                inputs[pin] = stuck_net;
+            }
+            _ => {}
+        }
+        out.add_gate(gate.name.clone(), gate.kind.clone(), inputs, output);
+    }
+    // Rewire consumers of the faulty output net to the stuck net.
+    if let FaultSite::GateOutput(faulty) = fault.site {
+        let original_out = netlist.gate(faulty).output;
+        let rewired = rewire_consumers(&out, net_map[original_out.index()], stuck_net, faulty);
+        return (rewired, stuck_net);
+    }
+    (out, stuck_net)
+}
+
+/// Rebuilds a netlist replacing every *use* of `from` with `to` (the
+/// driver of `from` keeps driving it; `skip_driver` marks the faulty
+/// gate whose own connection stays put).
+fn rewire_consumers(
+    netlist: &Netlist,
+    from: NetId,
+    to: NetId,
+    _skip_driver: GateId,
+) -> Netlist {
+    let mut out = Netlist::new(netlist.name());
+    for net in netlist.nets() {
+        // The original output net may now be undriven; demote it to an
+        // internal shadow if it was an output.
+        let kind = if net == from && netlist.net_kind(net) == NetKind::Output {
+            // The interface observes the stuck value.
+            NetKind::Internal
+        } else {
+            netlist.net_kind(net)
+        };
+        out.add_net(netlist.net_name(net), kind);
+    }
+    for gate_id in netlist.gates() {
+        let gate = netlist.gate(gate_id);
+        let inputs: Vec<NetId> = gate
+            .inputs
+            .iter()
+            .map(|&n| if n == from { to } else { n })
+            .collect();
+        out.add_gate(gate.name.clone(), gate.kind.clone(), inputs, gate.output);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_netlist::fifo::rt_fifo;
+    use rt_netlist::GateKind;
+
+    #[test]
+    fn fault_universe_counts() {
+        let (netlist, _) = rt_fifo();
+        let faults = enumerate_faults(&netlist);
+        // 4 gates; dom_lo (3 pins) and dom_r (3 pins) contribute pin
+        // faults; inv/buf collapse to output-only.
+        let outputs = netlist.gate_count() * 2;
+        let pins: usize = netlist
+            .gates()
+            .map(|g| {
+                let n = netlist.gate(g).inputs.len();
+                if n > 1 {
+                    2 * n
+                } else {
+                    0
+                }
+            })
+            .sum();
+        assert_eq!(faults.len(), outputs + pins);
+    }
+
+    #[test]
+    fn output_fault_injection_rewires_consumers() {
+        let (netlist, _) = rt_fifo();
+        let dom_lo = netlist
+            .gates()
+            .find(|&g| netlist.gate(g).name == "dom_lo")
+            .unwrap();
+        let fault = Fault { site: FaultSite::GateOutput(dom_lo), stuck: true };
+        let (faulty, stuck_net) = inject(&netlist, fault);
+        // Consumers of lo now read the stuck net.
+        let consumers = faulty.fanout(stuck_net);
+        assert!(!consumers.is_empty(), "stuck net must be observed");
+    }
+
+    #[test]
+    fn input_fault_injection_targets_one_pin() {
+        let (netlist, _) = rt_fifo();
+        let dom_r = netlist
+            .gates()
+            .find(|&g| netlist.gate(g).name == "dom_r")
+            .unwrap();
+        let fault = Fault { site: FaultSite::GateInput(dom_r, 1), stuck: false };
+        let (faulty, stuck_net) = inject(&netlist, fault);
+        let gate = faulty
+            .gates()
+            .map(|g| faulty.gate(g))
+            .find(|g| g.name == "dom_r")
+            .unwrap();
+        assert_eq!(gate.inputs[1], stuck_net);
+        // Other pins untouched (same index as original, nets copied 1:1).
+        assert_ne!(gate.inputs[0], stuck_net);
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let (netlist, _) = rt_fifo();
+        let f = enumerate_faults(&netlist)[0];
+        let text = f.describe(&netlist);
+        assert!(text.contains("SA0") || text.contains("SA1"));
+    }
+
+    #[test]
+    fn injection_preserves_gate_count() {
+        let mut n = Netlist::new("t");
+        let a = n.add_net("a", NetKind::Input);
+        let y = n.add_net("y", NetKind::Output);
+        let g = n.add_gate("inv", GateKind::Inv, vec![a], y);
+        let (faulty, _) = inject(&n, Fault { site: FaultSite::GateOutput(g), stuck: false });
+        assert_eq!(faulty.gate_count(), 1);
+    }
+}

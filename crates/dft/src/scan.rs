@@ -1,0 +1,149 @@
+//! Section-6 DFT helpers.
+//!
+//! "Tools for functional DFT and debug — e.g., a tool that will flag the
+//! loops that should be broken in order to freeze the circuit before the
+//! state changes. [...] Automatic support for selecting latches that
+//! should be scanned for achieving the required level of testability is
+//! desirable."
+
+use std::collections::HashSet;
+
+use rt_netlist::{GateId, Netlist};
+
+/// Finds the feedback loops of the circuit: strongly connected components
+/// of the gate graph with more than one gate (or a self-loop).
+pub fn feedback_loops(netlist: &Netlist) -> Vec<Vec<GateId>> {
+    // Tarjan's SCC over gates; edges follow output → consumer.
+    struct Tarjan<'a> {
+        netlist: &'a Netlist,
+        index: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<GateId>,
+        counter: usize,
+        sccs: Vec<Vec<GateId>>,
+    }
+    impl<'a> Tarjan<'a> {
+        fn strongconnect(&mut self, v: GateId) {
+            self.index[v.index()] = Some(self.counter);
+            self.low[v.index()] = self.counter;
+            self.counter += 1;
+            self.stack.push(v);
+            self.on_stack[v.index()] = true;
+            let out = self.netlist.gate(v).output;
+            let consumers: Vec<GateId> = self.netlist.fanout(out).to_vec();
+            for w in consumers {
+                if self.index[w.index()].is_none() {
+                    self.strongconnect(w);
+                    self.low[v.index()] = self.low[v.index()].min(self.low[w.index()]);
+                } else if self.on_stack[w.index()] {
+                    self.low[v.index()] =
+                        self.low[v.index()].min(self.index[w.index()].expect("visited"));
+                }
+            }
+            if self.low[v.index()] == self.index[v.index()].expect("visited") {
+                let mut scc = Vec::new();
+                while let Some(w) = self.stack.pop() {
+                    self.on_stack[w.index()] = false;
+                    scc.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                self.sccs.push(scc);
+            }
+        }
+    }
+    let mut t = Tarjan {
+        netlist,
+        index: vec![None; netlist.gate_count()],
+        low: vec![0; netlist.gate_count()],
+        on_stack: vec![false; netlist.gate_count()],
+        stack: Vec::new(),
+        counter: 0,
+        sccs: Vec::new(),
+    };
+    for gate in netlist.gates() {
+        if t.index[gate.index()].is_none() {
+            t.strongconnect(gate);
+        }
+    }
+    t.sccs
+        .into_iter()
+        .filter(|scc| {
+            scc.len() > 1 || {
+                let g = scc[0];
+                let out = netlist.gate(g).output;
+                netlist.fanout(out).contains(&g)
+                    || netlist.gate(g).inputs.contains(&netlist.gate(g).output)
+                    || netlist.gate(g).kind.is_state_holding()
+            }
+        })
+        .collect()
+}
+
+/// Selects the gates whose outputs should be made scannable: one
+/// state-holding gate per feedback loop (or an arbitrary loop member
+/// when the loop is purely combinational).
+pub fn scan_candidates(netlist: &Netlist) -> Vec<GateId> {
+    let mut chosen = Vec::new();
+    let mut seen: HashSet<GateId> = HashSet::new();
+    for loop_gates in feedback_loops(netlist) {
+        let pick = loop_gates
+            .iter()
+            .copied()
+            .find(|&g| netlist.gate(g).kind.is_state_holding())
+            .unwrap_or(loop_gates[0]);
+        if seen.insert(pick) {
+            chosen.push(pick);
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_netlist::fifo::{bm_fifo, rt_fifo, si_fifo};
+    use rt_netlist::{GateKind, NetKind, Netlist};
+
+    #[test]
+    fn acyclic_circuit_has_no_loops() {
+        let mut n = Netlist::new("comb");
+        let a = n.add_net("a", NetKind::Input);
+        let b = n.add_net("b", NetKind::Internal);
+        let y = n.add_net("y", NetKind::Output);
+        n.add_gate("i0", GateKind::Inv, vec![a], b);
+        n.add_gate("i1", GateKind::Inv, vec![b], y);
+        assert!(feedback_loops(&n).is_empty());
+        assert!(scan_candidates(&n).is_empty());
+    }
+
+    #[test]
+    fn bm_feedback_loops_found() {
+        let (n, _) = bm_fifo();
+        let loops = feedback_loops(&n);
+        assert!(!loops.is_empty(), "the Huffman feedback must be visible");
+    }
+
+    #[test]
+    fn state_holding_gates_are_preferred_scan_points() {
+        let (n, _) = si_fifo();
+        let candidates = scan_candidates(&n);
+        assert!(!candidates.is_empty());
+        assert!(candidates
+            .iter()
+            .any(|&g| n.gate(g).kind.is_state_holding()));
+    }
+
+    #[test]
+    fn rt_fifo_scan_points() {
+        let (n, _) = rt_fifo();
+        let candidates = scan_candidates(&n);
+        // The two domino state nodes anchor the loops.
+        assert!(!candidates.is_empty());
+        for &g in &candidates {
+            let _ = n.gate(g);
+        }
+    }
+}

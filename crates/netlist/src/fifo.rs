@@ -1,0 +1,427 @@
+//! The four FIFO-controller implementations of the paper (Figures 4–7),
+//! compared in Table 2.
+//!
+//! | circuit        | style                         | paper #trans | ours |
+//! |----------------|-------------------------------|--------------|------|
+//! | [`si_fifo`]    | speed-independent (Fig. 4)    | 39           | 44   |
+//! | [`bm_fifo`]    | burst-mode / RT-BM            | 40           | 40   |
+//! | [`rt_fifo`]    | relative timing (Fig. 6)      | 20           | 20   |
+//! | [`pulse_fifo`] | pulse-mode (Fig. 7)           | 17           | 17   |
+//!
+//! The interface is always `li`, `ri` (inputs) and `lo`, `ro` (outputs) as
+//! in Figure 3a. The SI circuit implements the CSC-resolved specification
+//! (`rt_stg::models::fifo_stg_csc`-equivalent behaviour, internal state
+//! signal `x`) and is correct under *unbounded* gate delays. The burst-mode
+//! version assumes fundamental mode. The RT version embodies the Figure-6
+//! user assumption `ri- before li+` (valid in a big-enough ring) plus the
+//! back-annotated automatic constraints; `lo`/`ro` collapse into one
+//! state-holding node and `x` disappears. The pulse version removes the
+//! `lo`/`ri` handshake wires entirely (Figure 7): a pulse on `li` emits a
+//! pulse on `ro`, with self-reset through an inverter chain.
+
+use crate::gate::GateKind;
+use crate::netlist::{NetId, NetKind, Netlist};
+
+/// Net ids of the standard FIFO interface within a generated netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoPorts {
+    /// Left request (input).
+    pub li: NetId,
+    /// Left acknowledge (output).
+    pub lo: NetId,
+    /// Right request (output).
+    pub ro: NetId,
+    /// Right acknowledge (input).
+    pub ri: NetId,
+}
+
+fn interface(n: &mut Netlist) -> FifoPorts {
+    let li = n.add_net("li", NetKind::Input);
+    let ri = n.add_net("ri", NetKind::Input);
+    let lo = n.add_net("lo", NetKind::Output);
+    let ro = n.add_net("ro", NetKind::Output);
+    FifoPorts { li, lo, ro, ri }
+}
+
+/// The speed-independent FIFO cell (Figure 4 class): three generalized
+/// C-elements implementing the CSC-resolved specification with state
+/// signal `x`, plus the input/feedback inverters the set/reset stacks
+/// need. Correct under unbounded gate delays — no timing constraints.
+///
+/// Set/reset functions — exactly the covers `rt-synth` derives from the
+/// state graph of `fifo_stg_csc` (the automatic flow found a smaller and
+/// *safer* cover set than our first manual attempt, echoing the paper's
+/// case for CAD support):
+///
+/// * `x`: set `li·lo̅`, reset `ro`
+/// * `lo`: set `x`, reset `li̅·ro̅·x̅`
+/// * `ro`: set `lo·ri̅·x`, reset `ri`
+///
+/// # Examples
+///
+/// ```
+/// let (n, _ports) = rt_netlist::fifo::si_fifo();
+/// assert_eq!(n.transistor_count(), 44);
+/// n.validate().unwrap();
+/// ```
+pub fn si_fifo() -> (Netlist, FifoPorts) {
+    let mut n = Netlist::new("fifo_si");
+    let p = interface(&mut n);
+    let x = n.add_net("x", NetKind::Internal);
+    let li_b = n.add_net("li_b", NetKind::Internal);
+    let lo_b = n.add_net("lo_b", NetKind::Internal);
+    let ro_b = n.add_net("ro_b", NetKind::Internal);
+    let ri_b = n.add_net("ri_b", NetKind::Internal);
+    let x_b = n.add_net("x_b", NetKind::Internal);
+
+    n.add_gate("inv_li", GateKind::Inv, vec![p.li], li_b);
+    n.add_gate("inv_lo", GateKind::Inv, vec![p.lo], lo_b);
+    n.add_gate("inv_ro", GateKind::Inv, vec![p.ro], ro_b);
+    n.add_gate("inv_ri", GateKind::Inv, vec![p.ri], ri_b);
+    n.add_gate("inv_x", GateKind::Inv, vec![x], x_b);
+    // x: set = li·lo̅ ; reset = ro.
+    n.add_gate(
+        "gc_x",
+        GateKind::Gc { set: 2, reset: 1 },
+        vec![p.li, lo_b, p.ro],
+        x,
+    );
+    // lo: set = x ; reset = li̅·ro̅·x̅.
+    n.add_gate(
+        "gc_lo",
+        GateKind::Gc { set: 1, reset: 3 },
+        vec![x, li_b, ro_b, x_b],
+        p.lo,
+    );
+    // ro: set = lo·ri̅·x ; reset = ri.
+    n.add_gate(
+        "gc_ro",
+        GateKind::Gc { set: 3, reset: 1 },
+        vec![p.lo, ri_b, x, p.ri],
+        p.ro,
+    );
+    (n, p)
+}
+
+/// The same speed-independent behaviour in the *standard-C*
+/// architecture: each output is a plain (symmetric) C-element fed by a
+/// set network and the complement of a reset network, instead of a
+/// generalized C-element with merged stacks. Logically identical to
+/// [`si_fifo`]; physically larger (68 vs 44 transistors) — the classic
+/// trade that made gC/complex-gate mapping the default in `petrify`-era
+/// flows.
+///
+/// # Examples
+///
+/// ```
+/// let (n, _ports) = rt_netlist::fifo::si_fifo_standard_c();
+/// assert_eq!(n.transistor_count(), 68);
+/// n.validate().unwrap();
+/// ```
+pub fn si_fifo_standard_c() -> (Netlist, FifoPorts) {
+    let mut n = Netlist::new("fifo_si_stdc");
+    let p = interface(&mut n);
+    let x = n.add_net("x", NetKind::Internal);
+    let set_x = n.add_net("set_x", NetKind::Internal);
+    let nreset_x = n.add_net("nreset_x", NetKind::Internal);
+    let nreset_lo = n.add_net("nreset_lo", NetKind::Internal);
+    let set_ro = n.add_net("set_ro", NetKind::Internal);
+    let nreset_ro = n.add_net("nreset_ro", NetKind::Internal);
+    let lo_b = n.add_net("lo_b", NetKind::Internal);
+    let ri_b = n.add_net("ri_b", NetKind::Internal);
+
+    n.add_gate("inv_lo", GateKind::Inv, vec![p.lo], lo_b);
+    n.add_gate("inv_ri", GateKind::Inv, vec![p.ri], ri_b);
+    // x = C(set = li·lo̅, reset̅ = ro̅).
+    n.add_gate("and_set_x", GateKind::And, vec![p.li, lo_b], set_x);
+    n.add_gate("inv_ro", GateKind::Inv, vec![p.ro], nreset_x);
+    n.add_gate("c_x", GateKind::Celem, vec![set_x, nreset_x], x);
+    // lo = C(set = x, reset̅ = li + ro + x).
+    n.add_gate(
+        "or_nreset_lo",
+        GateKind::Or,
+        vec![p.li, p.ro, x],
+        nreset_lo,
+    );
+    n.add_gate("c_lo", GateKind::Celem, vec![x, nreset_lo], p.lo);
+    // ro = C(set = lo·ri̅·x, reset̅ = ri̅).
+    n.add_gate("and_set_ro", GateKind::And, vec![p.lo, ri_b, x], set_ro);
+    n.add_gate("buf_nreset_ro", GateKind::Buf, vec![ri_b], nreset_ro);
+    n.add_gate("c_ro", GateKind::Celem, vec![set_ro, nreset_ro], p.ro);
+    (n, p)
+}
+
+/// The burst-mode (RT-BM) FIFO cell: a Huffman-style machine —
+/// two-level AND-OR-INVERT logic with combinational feedback — that is
+/// correct under the *fundamental mode* assumption (the environment
+/// applies the next input burst only after the machine settles). Matches
+/// the Table 2 row: comparable area to SI, roughly half the delay, but
+/// reduced stuck-at testability (hazard-masking redundancy).
+///
+/// Feedback equations:
+///
+/// * `x  = li·lo̅ + x·ro̅`
+/// * `lo = li·x + lo·li + lo·ri̅`
+/// * `ro = lo·x + ro·ri̅`
+///
+/// # Examples
+///
+/// ```
+/// let (n, _ports) = rt_netlist::fifo::bm_fifo();
+/// assert_eq!(n.transistor_count(), 40);
+/// n.validate().unwrap();
+/// ```
+pub fn bm_fifo() -> (Netlist, FifoPorts) {
+    let mut n = Netlist::new("fifo_bm");
+    let p = interface(&mut n);
+    let x = n.add_net("x", NetKind::Internal);
+    let x_n = n.add_net("x_n", NetKind::Internal);
+    let lo_n = n.add_net("lo_n", NetKind::Internal);
+    let ro_n = n.add_net("ro_n", NetKind::Internal);
+    let lo_b = n.add_net("lo_b", NetKind::Internal);
+    let ro_b = n.add_net("ro_b", NetKind::Internal);
+    let ri_b = n.add_net("ri_b", NetKind::Internal);
+
+    n.add_gate("inv_lo", GateKind::Inv, vec![p.lo], lo_b);
+    n.add_gate("inv_ro", GateKind::Inv, vec![p.ro], ro_b);
+    n.add_gate("inv_ri", GateKind::Inv, vec![p.ri], ri_b);
+    // x = li·lo̅ + x·ro̅  (AOI + INV).
+    n.add_gate(
+        "aoi_x",
+        GateKind::Aoi { groups: vec![2, 2] },
+        vec![p.li, lo_b, x, ro_b],
+        x_n,
+    );
+    n.add_gate("inv_x", GateKind::Inv, vec![x_n], x);
+    // lo = li·x + lo·li + lo·ri̅.
+    n.add_gate(
+        "aoi_lo",
+        GateKind::Aoi { groups: vec![2, 2, 2] },
+        vec![p.li, x, p.lo, p.li, p.lo, ri_b],
+        lo_n,
+    );
+    n.add_gate("inv_lo2", GateKind::Inv, vec![lo_n], p.lo);
+    // ro = lo·x + ro·ri̅.
+    n.add_gate(
+        "aoi_ro",
+        GateKind::Aoi { groups: vec![2, 2] },
+        vec![p.lo, x, p.ro, ri_b],
+        ro_n,
+    );
+    n.add_gate("inv_ro2", GateKind::Inv, vec![ro_n], p.ro);
+    (n, p)
+}
+
+/// The relative-timing FIFO cell of Figure 6: two aggressive unfooted
+/// self-resetting domino nodes. `s` is set by `li` and precharged by
+/// `ri`; `r` (the `ro` driver) is set by `s` and precharged by `ri`. The
+/// state signal `x` is gone and the left acknowledge collapses onto `s` —
+/// the savings enabled by the user-defined ring assumption
+/// `ri- before li+` plus two back-annotated automatic constraints (see
+/// `rt-core`). Violating the assumptions produces a drive fight on the
+/// dynamic nodes, which [`rt_sim`](../rt_sim/index.html) detects.
+///
+/// # Examples
+///
+/// ```
+/// let (n, _ports) = rt_netlist::fifo::rt_fifo();
+/// assert_eq!(n.transistor_count(), 20);
+/// n.validate().unwrap();
+/// ```
+pub fn rt_fifo() -> (Netlist, FifoPorts) {
+    let mut n = Netlist::new("fifo_rt");
+    let p = interface(&mut n);
+    let lo_b = n.add_net("lo_b", NetKind::Internal);
+    let r = n.add_net("r", NetKind::Internal);
+
+    // lo: set = li (domino pull-down, no guard term — the ring assumption
+    // `ri- before li+` makes a fight impossible); precharge = ri·r, so
+    // the left side releases only after the right request is up and
+    // acknowledged.
+    n.add_gate(
+        "dom_lo",
+        GateKind::DominoSr { set: 1, reset: 2 },
+        vec![p.li, p.ri, r],
+        p.lo,
+    );
+    n.add_gate("inv_lo", GateKind::Inv, vec![p.lo], lo_b);
+    // r: set = lo, precharge = ri·lo̅ — sequenced after lo's own
+    // precharge, which keeps the set and reset stacks disjoint in time.
+    n.add_gate(
+        "dom_r",
+        GateKind::DominoSr { set: 1, reset: 2 },
+        vec![p.lo, p.ri, lo_b],
+        r,
+    );
+    n.add_gate("buf_ro", GateKind::Buf, vec![r], p.ro);
+    (n, p)
+}
+
+/// The pulse-mode FIFO cell of Figure 7: the `lo` and `ri` handshake
+/// wires are gone entirely. A pulse on `li` fires a footed domino whose
+/// output is `ro`; a three-inverter chain self-resets the foot,
+/// shaping the output pulse. Correct only under the pulse protocol
+/// constraints (arcs 2–4 of Figure 7b), which `rt-verify` checks.
+///
+/// The netlist still declares `lo` and `ri` as (unconnected) input pins
+/// for interface compatibility in Table 2 harnesses — the paper's point is
+/// precisely that those handshake wires carry no logic any more. The live
+/// logic is `li → ro`.
+///
+/// # Examples
+///
+/// ```
+/// let (n, _ports) = rt_netlist::fifo::pulse_fifo();
+/// assert_eq!(n.transistor_count(), 17);
+/// n.validate().unwrap();
+/// ```
+pub fn pulse_fifo() -> (Netlist, FifoPorts) {
+    let mut n = Netlist::new("fifo_pulse");
+    let li = n.add_net("li", NetKind::Input);
+    let ri = n.add_net("ri", NetKind::Input);
+    // `lo` exists only as a dangling pin: the handshake wire was removed.
+    let lo = n.add_net("lo", NetKind::Input);
+    let ro = n.add_net("ro", NetKind::Output);
+    let p = FifoPorts { li, lo, ro, ri };
+    let d = n.add_net("d", NetKind::Internal);
+    let f1 = n.add_net("f1", NetKind::Internal);
+    let f2 = n.add_net("f2", NetKind::Internal);
+    let foot = n.add_net("foot", NetKind::Internal);
+
+    // Footed domino: evaluates when the foot is high and li pulses.
+    n.add_gate("dom", GateKind::DominoOr { footed: true }, vec![foot, li], d);
+    // Self-reset chain: foot = delayed inverse of d... d high -> foot low
+    // (precharge) -> d low -> foot high (armed).
+    n.add_gate("inv_f1", GateKind::Inv, vec![d], f1);
+    n.add_gate("inv_f2", GateKind::Inv, vec![f1], f2);
+    n.add_gate("inv_f3", GateKind::Inv, vec![f2], foot);
+    // ro is the domino output, buffered.
+    n.add_gate("buf_ro", GateKind::Buf, vec![d], ro);
+    (n, p)
+}
+
+/// A chain of `stages` RT FIFO cells connected left to right, the
+/// structure used by the ring/pipeline experiments. Returns the netlist,
+/// the outer ports (`li`/`lo` of the first cell, `ro`/`ri` of the last)
+/// and the internal stage boundary nets.
+///
+/// # Panics
+///
+/// Panics if `stages == 0`.
+pub fn rt_fifo_chain(stages: usize) -> (Netlist, FifoPorts, Vec<NetId>) {
+    assert!(stages > 0, "need at least one stage");
+    let mut n = Netlist::new(format!("fifo_rt_chain{stages}"));
+    let li = n.add_net("li", NetKind::Input);
+    let ri = n.add_net("ri", NetKind::Input);
+    let lo = n.add_net("lo", NetKind::Output);
+    let ro = n.add_net("ro", NetKind::Output);
+    let mut boundaries = Vec::new();
+
+    // Request chain: stage k's s feeds stage k+1 as its "li"; the ack
+    // seen by stage k is stage k+1's s (or the external ri at the end).
+    let mut stage_nodes = Vec::new();
+    for k in 0..stages {
+        let s = n.add_net(format!("s{k}"), NetKind::Internal);
+        stage_nodes.push(s);
+        boundaries.push(s);
+    }
+    for (k, &s) in stage_nodes.iter().enumerate() {
+        let req = if k == 0 { li } else { stage_nodes[k - 1] };
+        let ack = if k + 1 < stages { stage_nodes[k + 1] } else { ri };
+        // Sequenced precharge (reset = ack·req̅) keeps the set and reset
+        // stacks disjoint in time even when several tokens are in flight.
+        let req_b = n.add_net(format!("reqb{k}"), NetKind::Internal);
+        n.add_gate(format!("inv_req{k}"), GateKind::Inv, vec![req], req_b);
+        n.add_gate(
+            format!("dom_s{k}"),
+            GateKind::DominoSr { set: 1, reset: 2 },
+            vec![req, ack, req_b],
+            s,
+        );
+    }
+    let first = stage_nodes[0];
+    let last = stage_nodes[stages - 1];
+    n.add_gate("buf_lo", GateKind::Buf, vec![first], lo);
+    n.add_gate("buf_ro", GateKind::Buf, vec![last], ro);
+    (n, FifoPorts { li, lo, ro, ri }, boundaries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transistor_counts_match_table2_shape() {
+        let (si, _) = si_fifo();
+        let (bm, _) = bm_fifo();
+        let (rt, _) = rt_fifo();
+        let (pulse, _) = pulse_fifo();
+        assert_eq!(si.transistor_count(), 44);
+        assert_eq!(bm.transistor_count(), 40);
+        assert_eq!(rt.transistor_count(), 20);
+        assert_eq!(pulse.transistor_count(), 17);
+        // Paper shape: SI ≈ BM ≈ 2× RT > pulse.
+        assert!(si.transistor_count() >= rt.transistor_count() * 2);
+        assert!(pulse.transistor_count() < rt.transistor_count());
+    }
+
+    #[test]
+    fn all_variants_are_structurally_valid() {
+        for (netlist, _) in [si_fifo(), bm_fifo(), rt_fifo(), pulse_fifo()] {
+            netlist.validate().unwrap_or_else(|e| {
+                panic!("{} failed validation: {e}", netlist.name())
+            });
+        }
+    }
+
+    #[test]
+    fn interfaces_are_uniform() {
+        for (netlist, ports) in [si_fifo(), bm_fifo(), rt_fifo(), pulse_fifo()] {
+            assert_eq!(netlist.net_name(ports.li), "li");
+            assert_eq!(netlist.net_name(ports.lo), "lo");
+            assert_eq!(netlist.net_name(ports.ro), "ro");
+            assert_eq!(netlist.net_name(ports.ri), "ri");
+            assert_eq!(netlist.net_kind(ports.li), NetKind::Input);
+            assert_eq!(netlist.net_kind(ports.ro), NetKind::Output);
+        }
+    }
+
+    #[test]
+    fn chain_composes() {
+        let (n, _, boundaries) = rt_fifo_chain(4);
+        n.validate().unwrap();
+        assert_eq!(boundaries.len(), 4);
+        // 9 transistors per stage plus two interface buffers.
+        assert_eq!(n.transistor_count(), 9 * 4 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn chain_rejects_zero() {
+        let _ = rt_fifo_chain(0);
+    }
+
+    #[test]
+    fn standard_c_variant_is_equivalent_but_larger() {
+        let (gc, _) = si_fifo();
+        let (stdc, _) = si_fifo_standard_c();
+        stdc.validate().unwrap();
+        assert!(
+            stdc.transistor_count() > gc.transistor_count(),
+            "standard-C {} vs gC {}",
+            stdc.transistor_count(),
+            gc.transistor_count()
+        );
+        assert_eq!(stdc.transistor_count(), 68);
+    }
+
+    #[test]
+    fn si_gate_inventory() {
+        let (n, _) = si_fifo();
+        let gcs = n
+            .gates()
+            .filter(|&g| matches!(n.gate(g).kind, GateKind::Gc { .. }))
+            .count();
+        assert_eq!(gcs, 3, "x, lo, ro state holders");
+    }
+}

@@ -1,0 +1,457 @@
+//! The gate library: functional semantics and the cost model.
+//!
+//! The library matches what RAPPID used (Section 2.1 of the paper): "static
+//! and domino gates from a standard synchronous library, with a few custom
+//! circuits, such as C-elements". Costs are a consistent transistor-level
+//! model for a 0.25µ-class process; Table 2 of the paper compares circuits
+//! *relative* to each other, which this model preserves.
+
+use std::fmt;
+
+/// Kinds of gates available to synthesis and to the hand-built circuits.
+///
+/// Input ordering conventions:
+///
+/// * [`GateKind::Aoi`] — inputs are consumed group by group:
+///   `groups = [2, 1]` means `y = ¬(i0·i1 + i2)`.
+/// * [`GateKind::Gc`] — the first `set` inputs form the set stack (all 1 ⇒
+///   output rises), the next `reset` inputs form the reset stack (all 1 ⇒
+///   output falls); otherwise the keeper holds the value.
+/// * [`GateKind::DominoOr`] / [`GateKind::DominoAnd`] with `footed =
+///   true` — input 0 is the foot (evaluate enable); the gate output
+///   precharges to 0 while the foot is low. Unfooted variants compute the
+///   plain OR/AND of all inputs and rely on timing for safe precharge —
+///   exactly the aggressive usage that relative timing licenses
+///   (Figure 6).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer.
+    Buf,
+    /// n-input AND.
+    And,
+    /// n-input OR.
+    Or,
+    /// n-input NAND.
+    Nand,
+    /// n-input NOR.
+    Nor,
+    /// 2-input XOR.
+    Xor2,
+    /// AND-OR-INVERT complex gate; `groups[k]` is the size of the k-th
+    /// AND stack.
+    Aoi {
+        /// AND-stack sizes, in input order.
+        groups: Vec<u8>,
+    },
+    /// Static (symmetric) C-element: output rises when all inputs are 1,
+    /// falls when all are 0, holds otherwise.
+    Celem,
+    /// Generalized C-element with separate set and reset AND-stacks and a
+    /// keeper.
+    Gc {
+        /// Number of set inputs (first in the input list).
+        set: u8,
+        /// Number of reset inputs (after the set inputs).
+        reset: u8,
+    },
+    /// Domino OR gate with keeper; `footed` prefixes a foot input.
+    DominoOr {
+        /// Whether input 0 is the foot (precharge control).
+        footed: bool,
+    },
+    /// Domino AND gate with keeper; `footed` prefixes a foot input.
+    DominoAnd {
+        /// Whether input 0 is the foot (precharge control).
+        footed: bool,
+    },
+    /// Self-resetting dynamic node with keeper (the unfooted domino of
+    /// Figure 6): the first `set` inputs form the pull-down (evaluate)
+    /// stack, the next `reset` inputs the precharge stack. Evaluation is
+    /// domino-fast; precharge is slower. Simultaneous set and reset is a
+    /// drive fight — legal only when relative-timing constraints exclude
+    /// it, which is exactly the aggressive usage the paper licenses.
+    DominoSr {
+        /// Number of set (evaluate) inputs, first in the input list.
+        set: u8,
+        /// Number of reset (precharge) inputs, after the set inputs.
+        reset: u8,
+    },
+}
+
+impl GateKind {
+    /// Expected input count for fixed-arity kinds; `None` when the arity
+    /// is free (AND/OR/NAND/NOR/C-element/domino accept ≥ 1 data input).
+    pub fn fixed_arity(&self) -> Option<usize> {
+        match self {
+            GateKind::Inv | GateKind::Buf => Some(1),
+            GateKind::Xor2 => Some(2),
+            GateKind::Aoi { groups } => {
+                Some(groups.iter().map(|&g| g as usize).sum())
+            }
+            GateKind::Gc { set, reset } | GateKind::DominoSr { set, reset } => {
+                Some((*set + *reset) as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the gate holds state (its next output depends on the
+    /// previous output).
+    pub fn is_state_holding(&self) -> bool {
+        matches!(
+            self,
+            GateKind::Celem | GateKind::Gc { .. } | GateKind::DominoSr { .. }
+        )
+    }
+
+    /// Whether the gate is a dynamic (domino) gate.
+    pub fn is_domino(&self) -> bool {
+        matches!(
+            self,
+            GateKind::DominoOr { .. } | GateKind::DominoAnd { .. } | GateKind::DominoSr { .. }
+        )
+    }
+
+    /// Functional evaluation: next output value from current input values
+    /// and the previous output (used by state-holding gates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` contradicts the gate's arity.
+    pub fn evaluate(&self, inputs: &[bool], prev_output: bool) -> bool {
+        if let Some(arity) = self.fixed_arity() {
+            assert_eq!(inputs.len(), arity, "arity mismatch for {self}");
+        } else {
+            assert!(!inputs.is_empty(), "{self} needs at least one input");
+        }
+        match self {
+            GateKind::Inv => !inputs[0],
+            GateKind::Buf => inputs[0],
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor2 => inputs[0] != inputs[1],
+            GateKind::Aoi { groups } => {
+                let mut idx = 0;
+                let mut any = false;
+                for &g in groups {
+                    let g = g as usize;
+                    if inputs[idx..idx + g].iter().all(|&b| b) {
+                        any = true;
+                    }
+                    idx += g;
+                }
+                !any
+            }
+            GateKind::Celem => {
+                if inputs.iter().all(|&b| b) {
+                    true
+                } else if inputs.iter().all(|&b| !b) {
+                    false
+                } else {
+                    prev_output
+                }
+            }
+            GateKind::Gc { set, reset } => {
+                let set = *set as usize;
+                let reset = *reset as usize;
+                let set_on = set > 0 && inputs[..set].iter().all(|&b| b);
+                let reset_on = reset > 0 && inputs[set..set + reset].iter().all(|&b| b);
+                match (set_on, reset_on) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    // Drive fight: both stacks on. The simulator flags
+                    // this as a hazard; functionally keep the old value.
+                    (true, true) => prev_output,
+                    (false, false) => prev_output,
+                }
+            }
+            GateKind::DominoOr { footed } => {
+                if *footed {
+                    inputs[0] && inputs[1..].iter().any(|&b| b)
+                } else {
+                    inputs.iter().any(|&b| b)
+                }
+            }
+            GateKind::DominoAnd { footed } => {
+                if *footed {
+                    inputs[0] && inputs[1..].iter().all(|&b| b)
+                } else {
+                    inputs.iter().all(|&b| b)
+                }
+            }
+            GateKind::DominoSr { set, reset } => {
+                let set = *set as usize;
+                let reset = *reset as usize;
+                let set_on = set > 0 && inputs[..set].iter().all(|&b| b);
+                let reset_on = reset > 0 && inputs[set..set + reset].iter().all(|&b| b);
+                match (set_on, reset_on) {
+                    (true, false) => true,
+                    (false, true) => false,
+                    _ => prev_output,
+                }
+            }
+        }
+    }
+
+    /// Transistor count for the gate with `inputs` data+control inputs.
+    ///
+    /// Model (documented so Table 2 is auditable):
+    ///
+    /// * INV 2, BUF 4, XOR2 8;
+    /// * n-input NAND/NOR `2n`; AND/OR `2n + 2` (inverter on the output);
+    /// * AOI: `2·Σgroups`;
+    /// * static C-element: `4n + 4` (pull stacks + keeper) ⇒ 12 for n = 2;
+    /// * generalized C: `2(set + reset) + 4` keeper;
+    /// * footed domino: data + foot NMOS, precharge PMOS, output inverter,
+    ///   half-keeper ⇒ `n_data + 6`; unfooted saves the foot ⇒
+    ///   `n_data + 5`.
+    pub fn transistor_count(&self, inputs: usize) -> usize {
+        match self {
+            GateKind::Inv => 2,
+            GateKind::Buf => 4,
+            GateKind::Xor2 => 8,
+            GateKind::Nand | GateKind::Nor => 2 * inputs,
+            GateKind::And | GateKind::Or => 2 * inputs + 2,
+            GateKind::Aoi { groups } => {
+                2 * groups.iter().map(|&g| g as usize).sum::<usize>()
+            }
+            GateKind::Celem => 4 * inputs + 4,
+            GateKind::Gc { set, reset } => 2 * (*set as usize + *reset as usize) + 4,
+            GateKind::DominoOr { footed } | GateKind::DominoAnd { footed } => {
+                let data = if *footed { inputs - 1 } else { inputs };
+                data + if *footed { 6 } else { 5 }
+            }
+            GateKind::DominoSr { set, reset } => {
+                *set as usize + *reset as usize + 4
+            }
+        }
+    }
+
+    /// Nominal delay model `(rise_ps, fall_ps)` for the gate with
+    /// `inputs` inputs, 0.25µ-class normalisation.
+    ///
+    /// Static gates: ~90 ps + 15 ps per input. C-elements are slower
+    /// (stacked feedback). Domino gates evaluate in ~45 ps + 5 ps/input
+    /// (the monotonic pull-down race the paper exploits) but precharge
+    /// (fall) slowly. Unfooted dominoes shave the foot device off the
+    /// stack.
+    pub fn delay_model(&self, inputs: usize) -> DelayModel {
+        let n = inputs as u64;
+        match self {
+            GateKind::Inv => DelayModel::new(35, 30),
+            GateKind::Buf => DelayModel::new(60, 55),
+            GateKind::Nand | GateKind::Nor => DelayModel::new(60 + 15 * n, 55 + 15 * n),
+            GateKind::And | GateKind::Or => DelayModel::new(90 + 15 * n, 85 + 15 * n),
+            GateKind::Xor2 => DelayModel::new(120, 115),
+            GateKind::Aoi { .. } => DelayModel::new(70 + 15 * n, 65 + 15 * n),
+            GateKind::Celem => DelayModel::new(150 + 35 * n, 145 + 35 * n),
+            GateKind::Gc { .. } => DelayModel::new(140 + 30 * n, 135 + 30 * n),
+            GateKind::DominoOr { footed } | GateKind::DominoAnd { footed } => {
+                let stack = if *footed { n } else { n.saturating_sub(0) };
+                let foot_penalty = if *footed { 10 } else { 0 };
+                DelayModel::new(45 + 5 * stack + foot_penalty, 90 + 5 * stack)
+            }
+            GateKind::DominoSr { set, reset } => {
+                DelayModel::new(40 + 8 * u64::from(*set), 85 + 10 * u64::from(*reset))
+            }
+        }
+    }
+
+    /// Switching energy per output transition in femtojoules; proportional
+    /// to the switched capacitance, which the model ties to transistor
+    /// count.
+    pub fn switching_energy_fj(&self, inputs: usize) -> u64 {
+        // ~45 fJ per transistor-equivalent of switched capacitance at
+        // 2.5 V, halved for domino gates (smaller output swing network).
+        let base = self.transistor_count(inputs) as u64 * 45;
+        if self.is_domino() {
+            base / 2
+        } else {
+            base
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateKind::Inv => write!(f, "INV"),
+            GateKind::Buf => write!(f, "BUF"),
+            GateKind::And => write!(f, "AND"),
+            GateKind::Or => write!(f, "OR"),
+            GateKind::Nand => write!(f, "NAND"),
+            GateKind::Nor => write!(f, "NOR"),
+            GateKind::Xor2 => write!(f, "XOR2"),
+            GateKind::Aoi { groups } => {
+                let spec: Vec<String> = groups.iter().map(|g| g.to_string()).collect();
+                write!(f, "AOI{}", spec.join(""))
+            }
+            GateKind::Celem => write!(f, "C"),
+            GateKind::Gc { set, reset } => write!(f, "GC{set}{reset}"),
+            GateKind::DominoOr { footed: true } => write!(f, "DOMINO_OR"),
+            GateKind::DominoOr { footed: false } => write!(f, "DOMINO_OR_UF"),
+            GateKind::DominoAnd { footed: true } => write!(f, "DOMINO_AND"),
+            GateKind::DominoAnd { footed: false } => write!(f, "DOMINO_AND_UF"),
+            GateKind::DominoSr { set, reset } => write!(f, "DOMINO_SR{set}{reset}"),
+        }
+    }
+}
+
+/// Rise/fall delay pair in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DelayModel {
+    /// Output 0→1 delay in ps.
+    pub rise_ps: u64,
+    /// Output 1→0 delay in ps.
+    pub fall_ps: u64,
+}
+
+impl DelayModel {
+    /// Creates a delay model.
+    pub fn new(rise_ps: u64, fall_ps: u64) -> Self {
+        DelayModel { rise_ps, fall_ps }
+    }
+
+    /// Delay for a specific output transition.
+    pub fn for_edge(&self, rising: bool) -> u64 {
+        if rising {
+            self.rise_ps
+        } else {
+            self.fall_ps
+        }
+    }
+
+    /// The larger of the two delays.
+    pub fn worst(&self) -> u64 {
+        self.rise_ps.max(self.fall_ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_gate_functions() {
+        assert!(GateKind::Inv.evaluate(&[false], false));
+        assert!(!GateKind::Inv.evaluate(&[true], false));
+        assert!(GateKind::And.evaluate(&[true, true, true], false));
+        assert!(!GateKind::And.evaluate(&[true, false, true], false));
+        assert!(GateKind::Or.evaluate(&[false, true], false));
+        assert!(GateKind::Nand.evaluate(&[true, false], false));
+        assert!(!GateKind::Nor.evaluate(&[false, true], false));
+        assert!(GateKind::Xor2.evaluate(&[true, false], false));
+        assert!(!GateKind::Xor2.evaluate(&[true, true], false));
+    }
+
+    #[test]
+    fn aoi_semantics() {
+        // y = !(a·b + c)
+        let aoi = GateKind::Aoi { groups: vec![2, 1] };
+        assert!(!aoi.evaluate(&[true, true, false], false));
+        assert!(!aoi.evaluate(&[false, false, true], false));
+        assert!(aoi.evaluate(&[true, false, false], false));
+        assert_eq!(aoi.fixed_arity(), Some(3));
+    }
+
+    #[test]
+    fn celement_holds_state() {
+        let c = GateKind::Celem;
+        assert!(c.evaluate(&[true, true], false));
+        assert!(!c.evaluate(&[false, false], true));
+        assert!(c.evaluate(&[true, false], true), "holds 1");
+        assert!(!c.evaluate(&[true, false], false), "holds 0");
+        assert!(c.is_state_holding());
+    }
+
+    #[test]
+    fn generalized_c_set_reset() {
+        let gc = GateKind::Gc { set: 2, reset: 1 };
+        // set stack: inputs 0,1; reset stack: input 2.
+        assert!(gc.evaluate(&[true, true, false], false));
+        assert!(!gc.evaluate(&[false, true, true], true));
+        assert!(gc.evaluate(&[true, false, false], true), "hold");
+        assert!(!gc.evaluate(&[false, false, false], false), "hold 0");
+        assert_eq!(gc.fixed_arity(), Some(3));
+    }
+
+    #[test]
+    fn domino_footed_gating() {
+        let d = GateKind::DominoOr { footed: true };
+        // foot low: precharged, output 0 regardless of data.
+        assert!(!d.evaluate(&[false, true, true], true));
+        // foot high: OR of data.
+        assert!(d.evaluate(&[true, false, true], false));
+        assert!(!d.evaluate(&[true, false, false], false));
+        let u = GateKind::DominoOr { footed: false };
+        assert!(u.evaluate(&[false, true], false));
+        assert!(u.is_domino());
+    }
+
+    #[test]
+    fn domino_and_variants() {
+        let d = GateKind::DominoAnd { footed: true };
+        assert!(d.evaluate(&[true, true, true], false));
+        assert!(!d.evaluate(&[false, true, true], false));
+        let u = GateKind::DominoAnd { footed: false };
+        assert!(u.evaluate(&[true, true], false));
+        assert!(!u.evaluate(&[true, false], false));
+    }
+
+    #[test]
+    fn transistor_model_matches_documentation() {
+        assert_eq!(GateKind::Inv.transistor_count(1), 2);
+        assert_eq!(GateKind::Nand.transistor_count(2), 4);
+        assert_eq!(GateKind::And.transistor_count(2), 6);
+        assert_eq!(GateKind::Celem.transistor_count(2), 12);
+        assert_eq!(GateKind::Gc { set: 2, reset: 1 }.transistor_count(3), 10);
+        assert_eq!(GateKind::Aoi { groups: vec![2, 2] }.transistor_count(4), 8);
+        // Footed domino with 2 data inputs = 3 total inputs.
+        assert_eq!(GateKind::DominoOr { footed: true }.transistor_count(3), 8);
+        assert_eq!(GateKind::DominoOr { footed: false }.transistor_count(2), 7);
+    }
+
+    #[test]
+    fn domino_evaluates_faster_than_static() {
+        let domino = GateKind::DominoOr { footed: true }.delay_model(3);
+        let static_or = GateKind::Or.delay_model(2);
+        assert!(domino.rise_ps < static_or.rise_ps);
+        // ...but precharges slower than it evaluates.
+        assert!(domino.fall_ps > domino.rise_ps);
+    }
+
+    #[test]
+    fn unfooted_is_faster_than_footed() {
+        let footed = GateKind::DominoOr { footed: true }.delay_model(2);
+        let unfooted = GateKind::DominoOr { footed: false }.delay_model(1);
+        assert!(unfooted.rise_ps < footed.rise_ps);
+    }
+
+    #[test]
+    fn energy_scales_with_size_and_style() {
+        let small = GateKind::Inv.switching_energy_fj(1);
+        let big = GateKind::Celem.switching_energy_fj(2);
+        assert!(big > small);
+        let domino = GateKind::DominoOr { footed: true }.switching_energy_fj(3);
+        let static_eq = GateKind::Or.switching_energy_fj(2);
+        assert!(domino < static_eq);
+    }
+
+    #[test]
+    fn delay_model_edges() {
+        let d = DelayModel::new(100, 80);
+        assert_eq!(d.for_edge(true), 100);
+        assert_eq!(d.for_edge(false), 80);
+        assert_eq!(d.worst(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let _ = GateKind::Xor2.evaluate(&[true], false);
+    }
+}

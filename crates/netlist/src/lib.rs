@@ -1,0 +1,36 @@
+//! # rt-netlist — gate library and gate-level netlists
+//!
+//! Substrate crate of the `rt-cad` workspace. Asynchronous circuits in the
+//! paper are built from static CMOS gates, C-elements and (footed or
+//! unfooted) domino gates with keepers; this crate models exactly that
+//! library:
+//!
+//! * [`GateKind`] — the gate library with functional semantics
+//!   ([`GateKind::evaluate`]) and a transistor/delay/energy cost model
+//!   calibrated to a 0.25µ-class process (the paper's technology);
+//! * [`Netlist`] — nets, gates, ports, structural validation, DOT export;
+//! * [`fifo`] — the four FIFO-controller implementations of Figures 4–7
+//!   compared in Table 2 (speed-independent, burst-mode, relative-timing,
+//!   pulse-mode).
+//!
+//! ## Example
+//!
+//! ```
+//! use rt_netlist::{GateKind, Netlist, NetKind};
+//!
+//! let mut n = Netlist::new("demo");
+//! let a = n.add_net("a", NetKind::Input);
+//! let b = n.add_net("b", NetKind::Input);
+//! let y = n.add_net("y", NetKind::Output);
+//! n.add_gate("g0", GateKind::Celem, vec![a, b], y);
+//! assert_eq!(n.transistor_count(), 12);
+//! n.validate().expect("every output driven exactly once");
+//! ```
+
+pub mod cells;
+pub mod fifo;
+pub mod gate;
+pub mod netlist;
+
+pub use gate::{DelayModel, GateKind};
+pub use netlist::{Gate, GateId, NetId, NetKind, Netlist, NetlistError};

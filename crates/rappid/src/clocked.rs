@@ -1,0 +1,207 @@
+//! The 400 MHz clocked baseline: the same instruction-length decoding
+//! and steering function, globally clocked with worst-case margins.
+//!
+//! The paper compares RAPPID against "the instruction length decoding
+//! and steering logic of a 400MHz clocked design". The baseline models
+//! the classic synchronous organisation: each cycle, a serial
+//! length-decode chain resolves up to `decode_width` instructions from
+//! the fetch window (worst-case timing fixes the width — average-case
+//! behaviour buys nothing), and the clock burns energy every cycle
+//! whether or not useful work happened.
+
+use crate::isa::segment_stream;
+use crate::workload::CacheLine;
+
+/// Configuration of the clocked baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockedConfig {
+    /// Clock frequency in MHz.
+    pub frequency_mhz: u64,
+    /// Instructions resolved per cycle (worst-case serial decode bound).
+    pub decode_width: usize,
+    /// Pipeline depth in cycles (fetch-align / decode / steer).
+    pub pipeline_depth: usize,
+    /// Energy burned per clock cycle regardless of work, fJ (clock tree
+    /// + precharge + latches).
+    pub energy_per_cycle_fj: u64,
+    /// Fetch window per cycle in bytes.
+    pub fetch_bytes_per_cycle: usize,
+}
+
+impl Default for ClockedConfig {
+    fn default() -> Self {
+        ClockedConfig {
+            frequency_mhz: 400,
+            decode_width: 3,
+            pipeline_depth: 3,
+            energy_per_cycle_fj: 21_000,
+            fetch_bytes_per_cycle: 16,
+        }
+    }
+}
+
+/// Results of a clocked run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockedResult {
+    /// Instructions decoded and steered.
+    pub instructions: usize,
+    /// Cache lines consumed.
+    pub lines: usize,
+    /// Clock cycles used.
+    pub cycles: u64,
+    /// Total elapsed time in ps.
+    pub elapsed_ps: u64,
+    /// First-byte-to-issue latency in ps (pipeline depth × period).
+    pub latency_ps: u64,
+    /// Total energy in fJ.
+    pub energy_fj: u64,
+    /// Area proxy in transistor-equivalents.
+    pub area_transistors: u64,
+}
+
+impl ClockedResult {
+    /// Issue throughput in instructions per nanosecond.
+    pub fn instructions_per_ns(&self) -> f64 {
+        self.instructions as f64 * 1_000.0 / self.elapsed_ps.max(1) as f64
+    }
+
+    /// Line consumption rate in millions of lines per second.
+    pub fn mlines_per_s(&self) -> f64 {
+        self.lines as f64 * 1e12 / self.elapsed_ps.max(1) as f64 / 1e6
+    }
+
+    /// Average power proxy in fJ/ns.
+    pub fn power_fj_per_ns(&self) -> f64 {
+        self.energy_fj as f64 * 1_000.0 / self.elapsed_ps.max(1) as f64
+    }
+}
+
+/// The clocked decoder model.
+#[derive(Debug, Clone)]
+pub struct ClockedDecoder {
+    config: ClockedConfig,
+}
+
+impl ClockedDecoder {
+    /// Creates the baseline with the given configuration.
+    pub fn new(config: ClockedConfig) -> Self {
+        ClockedDecoder { config }
+    }
+
+    /// Clock period in ps.
+    pub fn period_ps(&self) -> u64 {
+        1_000_000 / self.config.frequency_mhz
+    }
+
+    /// Area proxy: `decode_width` full worst-case decoders, byte-align
+    /// muxing, steering and the clock distribution.
+    pub fn area_transistors(&self) -> u64 {
+        (self.config.decode_width as u64) * 9_000 + 12_000 + 6_000 + 12_000
+    }
+
+    /// Runs the baseline over `lines`.
+    pub fn run(&self, lines: &[CacheLine]) -> ClockedResult {
+        let c = &self.config;
+        let bytes: Vec<u8> = lines.iter().flatten().copied().collect();
+        let decoded = segment_stream(&bytes);
+
+        // Cycle-by-cycle: the decoder resolves up to `decode_width`
+        // instructions per cycle, limited by the fetch window (bytes
+        // available so far).
+        let mut cycles = 0u64;
+        let mut next_instr = 0usize;
+        let mut consumed_bytes = 0usize;
+        while next_instr < decoded.len() {
+            cycles += 1;
+            let fetched = (cycles as usize) * c.fetch_bytes_per_cycle;
+            let mut width = 0;
+            while width < c.decode_width && next_instr < decoded.len() {
+                let instr = decoded[next_instr];
+                let len = usize::from(instr.total);
+                if consumed_bytes + len > fetched {
+                    break; // bytes not yet fetched
+                }
+                // Complex (prefixed/two-byte) instructions occupy a
+                // full cycle alone — the classic restricted-decoder rule
+                // that pins the clocked design to worst-case margins.
+                if instr.complex {
+                    if width == 0 {
+                        consumed_bytes += len;
+                        next_instr += 1;
+                    }
+                    break;
+                }
+                consumed_bytes += len;
+                next_instr += 1;
+                width += 1;
+            }
+        }
+        // Drain the pipeline.
+        cycles += c.pipeline_depth as u64;
+
+        let period = self.period_ps();
+        let elapsed = cycles * period;
+        ClockedResult {
+            instructions: decoded.len(),
+            lines: lines.len(),
+            cycles,
+            elapsed_ps: elapsed,
+            latency_ps: c.pipeline_depth as u64 * period,
+            energy_fj: cycles * c.energy_per_cycle_fj,
+            area_transistors: self.area_transistors(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{short_heavy, typical_mix};
+
+    #[test]
+    fn throughput_is_width_times_frequency_bound() {
+        let lines = typical_mix(512, 11);
+        let result = ClockedDecoder::new(ClockedConfig::default()).run(&lines);
+        let rate = result.instructions_per_ns();
+        // 3 instructions per 2.5 ns cycle = 1.2/ns upper bound.
+        assert!(rate <= 1.25, "got {rate:.2}");
+        assert!(rate > 0.8, "got {rate:.2}");
+    }
+
+    #[test]
+    fn latency_is_pipeline_depth_cycles() {
+        let decoder = ClockedDecoder::new(ClockedConfig::default());
+        let result = decoder.run(&typical_mix(16, 1));
+        assert_eq!(result.latency_ps, 3 * 2_500);
+    }
+
+    #[test]
+    fn worst_case_clocking_ignores_instruction_mix() {
+        // The clocked design gains nothing from short instructions —
+        // the cycle is fixed; only instruction count matters.
+        let short = ClockedDecoder::new(ClockedConfig::default()).run(&short_heavy(256, 3));
+        let typical = ClockedDecoder::new(ClockedConfig::default()).run(&typical_mix(256, 3));
+        let per_inst_short = short.elapsed_ps as f64 / short.instructions as f64;
+        let per_inst_typical = typical.elapsed_ps as f64 / typical.instructions as f64;
+        assert!((per_inst_short / per_inst_typical - 1.0).abs() < 0.25);
+    }
+
+    #[test]
+    fn energy_burns_with_cycles_not_work() {
+        let config = ClockedConfig::default();
+        let result = ClockedDecoder::new(config).run(&typical_mix(128, 9));
+        assert_eq!(result.energy_fj, result.cycles * config.energy_per_cycle_fj);
+    }
+
+    #[test]
+    fn frequency_scales_throughput() {
+        let lines = typical_mix(256, 4);
+        let slow = ClockedDecoder::new(ClockedConfig {
+            frequency_mhz: 200,
+            ..ClockedConfig::default()
+        })
+        .run(&lines);
+        let fast = ClockedDecoder::new(ClockedConfig::default()).run(&lines);
+        assert!(fast.instructions_per_ns() > slow.instructions_per_ns() * 1.8);
+    }
+}

@@ -1,0 +1,416 @@
+//! A table-driven iA32 instruction-length decoder (32-bit mode).
+//!
+//! RAPPID's length decoders speculatively compute, at every byte
+//! position, how long an instruction starting there would be. This
+//! module is the functional reference: prefixes, one- and two-byte
+//! opcodes, ModRM/SIB, displacements and immediates. It covers the
+//! common integer subset (the instructions the paper's length-decoding
+//! cycle is optimized for) and classifies everything else conservatively
+//! so the decoder is total: any byte string yields a length in 1..=15.
+
+/// Decoded length information for one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedLength {
+    /// Total instruction length in bytes (1..=15).
+    pub total: u8,
+    /// Number of prefix bytes consumed.
+    pub prefixes: u8,
+    /// Whether a ModRM byte is present.
+    pub has_modrm: bool,
+    /// Whether the instruction is "common" (single-opcode, short) — the
+    /// class RAPPID's fast paths target.
+    pub common: bool,
+    /// Whether the instruction is "complex" (prefixed or two-byte
+    /// opcode) — the class that serializes a restricted clocked decoder.
+    pub complex: bool,
+}
+
+/// Is `byte` an iA32 prefix (lock/rep/segment/operand/address size)?
+pub fn is_prefix(byte: u8) -> bool {
+    matches!(
+        byte,
+        0xF0 | 0xF2 | 0xF3 | 0x2E | 0x36 | 0x3E | 0x26 | 0x64 | 0x65 | 0x66 | 0x67
+    )
+}
+
+/// Immediate size class of a one-byte opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Imm {
+    None,
+    Byte,
+    Word,   // 2 bytes regardless of prefixes (e.g. RET imm16)
+    Z,      // 4 bytes, or 2 under the 0x66 operand-size prefix
+    Prefix, // not an instruction: a prefix byte
+    TwoByte, // 0x0F escape
+}
+
+/// One-byte opcode table entry: `(has_modrm, immediate)`.
+fn opcode_info(op: u8) -> (bool, Imm) {
+    use Imm::*;
+    match op {
+        _ if is_prefix(op) => (false, Prefix),
+        0x0F => (false, TwoByte),
+        // ALU r/m, r and r, r/m groups: 00-3F except the 0x?4/0x?5
+        // accumulator-immediate forms and prefix slots handled above.
+        0x00..=0x3F => {
+            let low = op & 0x07;
+            match low {
+                0x04 => (false, Byte), // ALU AL, imm8
+                0x05 => (false, Z),    // ALU EAX, imm32
+                0x06 | 0x07 => (false, None), // push/pop seg
+                _ => (true, None),
+            }
+        }
+        0x40..=0x5F => (false, None), // inc/dec/push/pop reg
+        0x60 | 0x61 => (false, None), // pusha/popa
+        0x62 | 0x63 => (true, None),
+        0x68 => (false, Z),           // push imm32
+        0x69 => (true, Z),            // imul r, r/m, imm32
+        0x6A => (false, Byte),        // push imm8
+        0x6B => (true, Byte),         // imul r, r/m, imm8
+        0x6C..=0x6F => (false, None), // ins/outs
+        0x70..=0x7F => (false, Byte), // Jcc rel8
+        0x80 => (true, Byte),         // grp1 r/m8, imm8
+        0x81 => (true, Z),            // grp1 r/m32, imm32
+        0x82 | 0x83 => (true, Byte),  // grp1 r/m, imm8
+        0x84..=0x8F => (true, None),  // test/xchg/mov/lea/pop r/m
+        0x90..=0x97 => (false, None), // nop/xchg
+        0x98 | 0x99 => (false, None),
+        0x9A => (false, Z),           // far call (plus 2 more: approximate)
+        0x9B..=0x9F => (false, None),
+        0xA0..=0xA3 => (false, Z),    // mov AL/EAX, moffs
+        0xA4..=0xA7 => (false, None), // movs/cmps
+        0xA8 => (false, Byte),        // test AL, imm8
+        0xA9 => (false, Z),           // test EAX, imm32
+        0xAA..=0xAF => (false, None), // stos/lods/scas
+        0xB0..=0xB7 => (false, Byte), // mov r8, imm8
+        0xB8..=0xBF => (false, Z),    // mov r32, imm32
+        0xC0 | 0xC1 => (true, Byte),  // shift r/m, imm8
+        0xC2 => (false, Word),        // ret imm16
+        0xC3 => (false, None),        // ret
+        0xC4 | 0xC5 => (true, None),  // les/lds
+        0xC6 => (true, Byte),         // mov r/m8, imm8
+        0xC7 => (true, Z),            // mov r/m32, imm32
+        0xC8 => (false, Word),        // enter imm16, imm8 (approx: +1 below)
+        0xC9 => (false, None),        // leave
+        0xCA => (false, Word),        // retf imm16
+        0xCB | 0xCC | 0xCE => (false, None), // retf/int3/into
+        0xCD => (false, Byte),        // int imm8
+        0xCF => (false, None),        // iret
+        0xD0..=0xD3 => (true, None),  // shift r/m, 1/cl
+        0xD4 | 0xD5 => (false, Byte), // aam/aad
+        0xD6 | 0xD7 => (false, None),
+        0xD8..=0xDF => (true, None),  // x87
+        0xE0..=0xE3 => (false, Byte), // loop/jcxz
+        0xE4 | 0xE5 => (false, Byte), // in
+        0xE6 | 0xE7 => (false, Byte), // out
+        0xE8 | 0xE9 => (false, Z),    // call/jmp rel32
+        0xEA => (false, Z),           // jmp far (approx)
+        0xEB => (false, Byte),        // jmp rel8
+        0xEC..=0xEF => (false, None), // in/out dx
+        0xF0..=0xF5 => (false, None), // (prefixes handled) cmc...
+        0xF6 => (true, Byte),         // grp3 r/m8 (test imm8 form; approx)
+        0xF7 => (true, Z),            // grp3 r/m32 (approx)
+        0xF8..=0xFD => (false, None), // clc..std
+        0xFE | 0xFF => (true, None),  // grp4/5
+        // Remaining encodings (prefix slots already guarded above):
+        // conservative modrm-free single byte.
+        _ => (false, None),
+    }
+}
+
+/// ModRM + SIB + displacement size in 32-bit addressing mode (returns
+/// the number of bytes *after* the ModRM byte itself).
+fn modrm_extra(modrm: u8, sib: Option<u8>) -> u8 {
+    let md = modrm >> 6;
+    let rm = modrm & 0x07;
+    if md == 0b11 {
+        return 0;
+    }
+    let mut extra = 0;
+    let mut base_is_ebp_disp32 = false;
+    if rm == 0b100 {
+        extra += 1; // SIB byte
+        if let Some(sib) = sib {
+            if sib & 0x07 == 0b101 && md == 0b00 {
+                base_is_ebp_disp32 = true;
+            }
+        }
+    }
+    extra
+        + match md {
+            0b00 => {
+                if rm == 0b101 || base_is_ebp_disp32 {
+                    4
+                } else {
+                    0
+                }
+            }
+            0b01 => 1,
+            0b10 => 4,
+            _ => 0,
+        }
+}
+
+/// Length of the instruction starting at `bytes[0]` (32-bit mode).
+///
+/// The decoder is total: malformed or truncated encodings fall back to a
+/// conservative length (clamped to the available bytes, minimum 1), the
+/// same "decode something" behaviour a speculative hardware column
+/// exhibits on garbage alignments.
+pub fn instruction_length(bytes: &[u8]) -> DecodedLength {
+    let mut idx = 0usize;
+    let mut operand_size_16 = false;
+    while idx < bytes.len() && idx < 4 && is_prefix(bytes[idx]) {
+        if bytes[idx] == 0x66 {
+            operand_size_16 = true;
+        }
+        idx += 1;
+    }
+    let prefixes = idx as u8;
+    let Some(&op) = bytes.get(idx) else {
+        return DecodedLength {
+            total: 1,
+            prefixes: 0,
+            has_modrm: false,
+            common: false,
+            complex: false,
+        };
+    };
+    idx += 1;
+
+    let (mut has_modrm, mut imm) = opcode_info(op);
+    if imm == Imm::Prefix {
+        // >4 prefixes: treat the prefix as a 1-byte instruction slot.
+        return DecodedLength {
+            total: (prefixes + 1).min(15),
+            prefixes,
+            has_modrm: false,
+            common: false,
+            complex: true,
+        };
+    }
+    let mut two_byte = false;
+    if imm == Imm::TwoByte {
+        two_byte = true;
+        let Some(&op2) = bytes.get(idx) else {
+            return DecodedLength {
+                total: 2,
+                prefixes,
+                has_modrm: false,
+                common: false,
+                complex: true,
+            };
+        };
+        idx += 1;
+        let (m, i) = two_byte_info(op2);
+        has_modrm = m;
+        imm = i;
+    }
+    if has_modrm {
+        let Some(&modrm) = bytes.get(idx) else {
+            return clamp(bytes, idx + 1, prefixes, true, false);
+        };
+        idx += 1;
+        let sib = bytes.get(idx).copied();
+        idx += usize::from(modrm_extra(modrm, sib));
+    }
+    idx += match imm {
+        Imm::None | Imm::Prefix | Imm::TwoByte => 0,
+        Imm::Byte => 1,
+        Imm::Word => 2,
+        Imm::Z => {
+            if operand_size_16 {
+                2
+            } else {
+                4
+            }
+        }
+    };
+    // ENTER has an extra imm8; far jumps/calls carry a selector.
+    if op == 0xC8 {
+        idx += 1;
+    }
+    if op == 0x9A || op == 0xEA {
+        idx += 2;
+    }
+    let total = idx.clamp(1, 15) as u8;
+    let common = !two_byte && prefixes == 0 && total <= 4;
+    let complex = two_byte || prefixes > 0;
+    DecodedLength { total, prefixes, has_modrm, common, complex }
+}
+
+fn clamp(bytes: &[u8], want: usize, prefixes: u8, has_modrm: bool, common: bool) -> DecodedLength {
+    DecodedLength {
+        total: want.min(bytes.len().max(1)).clamp(1, 15) as u8,
+        prefixes,
+        has_modrm,
+        common,
+        complex: prefixes > 0,
+    }
+}
+
+/// Two-byte (0x0F-escaped) opcode info for the common subset.
+fn two_byte_info(op2: u8) -> (bool, Imm) {
+    use Imm::*;
+    match op2 {
+        0x80..=0x8F => (false, Z),   // Jcc rel32
+        0x90..=0x9F => (true, None), // SETcc
+        0xA0..=0xA2 => (false, None),
+        0xA3..=0xAB => (true, None),
+        0xAF => (true, None),        // imul
+        0xB0..=0xB7 => (true, None), // cmpxchg/movzx
+        0xBE | 0xBF => (true, None), // movsx
+        0xC0 | 0xC1 => (true, None),
+        0xC8..=0xCF => (false, None), // bswap
+        _ => (true, None),            // conservative: modrm, no imm
+    }
+}
+
+/// Splits a byte stream into instruction lengths starting at offset 0.
+/// The final instruction is clamped to the bytes actually present (a
+/// stream may end mid-instruction).
+pub fn segment_stream(bytes: &[u8]) -> Vec<DecodedLength> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        let mut decoded = instruction_length(&bytes[pos..]);
+        if usize::from(decoded.total) > remaining {
+            decoded.total = remaining as u8;
+        }
+        out.push(decoded);
+        pos += usize::from(decoded.total);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_byte_instructions() {
+        for op in [0x90u8, 0xC3, 0x40, 0x50, 0xC9, 0xF8] {
+            let d = instruction_length(&[op]);
+            assert_eq!(d.total, 1, "opcode {op:02X}");
+            assert!(d.common);
+        }
+    }
+
+    #[test]
+    fn mov_reg_imm32_is_five_bytes() {
+        let d = instruction_length(&[0xB8, 0x11, 0x22, 0x33, 0x44]);
+        assert_eq!(d.total, 5);
+        assert!(!d.common);
+    }
+
+    #[test]
+    fn operand_size_prefix_shrinks_immediate() {
+        // 66 B8 imm16 -> 4 bytes total.
+        let d = instruction_length(&[0x66, 0xB8, 0x11, 0x22]);
+        assert_eq!(d.total, 4);
+        assert_eq!(d.prefixes, 1);
+    }
+
+    #[test]
+    fn modrm_register_form() {
+        // 89 D8 = mov eax, ebx.
+        let d = instruction_length(&[0x89, 0xD8]);
+        assert_eq!(d.total, 2);
+        assert!(d.has_modrm);
+        assert!(d.common);
+    }
+
+    #[test]
+    fn modrm_disp8_and_disp32() {
+        // 8B 45 08 = mov eax, [ebp+8].
+        assert_eq!(instruction_length(&[0x8B, 0x45, 0x08]).total, 3);
+        // 8B 85 imm32 = mov eax, [ebp+disp32].
+        assert_eq!(
+            instruction_length(&[0x8B, 0x85, 0, 0, 0, 0]).total,
+            6
+        );
+        // 8B 05 disp32 = mov eax, [disp32] (mod=00, rm=101).
+        assert_eq!(
+            instruction_length(&[0x8B, 0x05, 0, 0, 0, 0]).total,
+            6
+        );
+    }
+
+    #[test]
+    fn sib_forms() {
+        // 8B 04 24 = mov eax, [esp] (SIB, no disp).
+        assert_eq!(instruction_length(&[0x8B, 0x04, 0x24]).total, 3);
+        // 8B 44 24 04 = mov eax, [esp+4] (SIB + disp8).
+        assert_eq!(instruction_length(&[0x8B, 0x44, 0x24, 0x04]).total, 4);
+        // mod=00, SIB base=101: disp32 follows.
+        assert_eq!(
+            instruction_length(&[0x8B, 0x04, 0x25, 0, 0, 0, 0]).total,
+            7
+        );
+    }
+
+    #[test]
+    fn jumps_and_calls() {
+        assert_eq!(instruction_length(&[0xEB, 0x05]).total, 2);
+        assert_eq!(instruction_length(&[0xE8, 0, 0, 0, 0]).total, 5);
+        assert_eq!(instruction_length(&[0x74, 0x10]).total, 2);
+        // Two-byte Jcc rel32.
+        assert_eq!(
+            instruction_length(&[0x0F, 0x84, 0, 0, 0, 0]).total,
+            6
+        );
+    }
+
+    #[test]
+    fn ret_imm16_and_enter() {
+        assert_eq!(instruction_length(&[0xC2, 0x08, 0x00]).total, 3);
+        assert_eq!(instruction_length(&[0xC8, 0x10, 0x00, 0x00]).total, 4);
+    }
+
+    #[test]
+    fn group1_immediates() {
+        // 81 /0 imm32: add r/m32, imm32 (register form).
+        assert_eq!(
+            instruction_length(&[0x81, 0xC0, 1, 2, 3, 4]).total,
+            6
+        );
+        // 83 /0 imm8.
+        assert_eq!(instruction_length(&[0x83, 0xC0, 0x01]).total, 3);
+    }
+
+    #[test]
+    fn decoder_is_total_and_bounded() {
+        // Any 16-byte pattern decodes to 1..=15.
+        let mut seed = 12345u64;
+        for _ in 0..2000 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let bytes: Vec<u8> = (0..16).map(|i| (seed >> (i * 4)) as u8).collect();
+            let d = instruction_length(&bytes);
+            assert!((1..=15).contains(&d.total));
+        }
+    }
+
+    #[test]
+    fn stream_segmentation_covers_all_bytes() {
+        let stream = [0x90u8, 0x89, 0xD8, 0xB8, 1, 2, 3, 4, 0xC3];
+        let lens = segment_stream(&stream);
+        let total: usize = lens.iter().map(|d| usize::from(d.total)).sum();
+        assert_eq!(total, stream.len());
+        assert_eq!(lens.len(), 4);
+        assert_eq!(lens[0].total, 1);
+        assert_eq!(lens[1].total, 2);
+        assert_eq!(lens[2].total, 5);
+        assert_eq!(lens[3].total, 1);
+    }
+
+    #[test]
+    fn prefix_stacking() {
+        // lock + operand size + alu
+        let d = instruction_length(&[0xF0, 0x66, 0x01, 0xD8]);
+        assert_eq!(d.prefixes, 2);
+        assert_eq!(d.total, 4);
+        assert!(!d.common);
+    }
+}

@@ -1,0 +1,47 @@
+//! # rt-rappid — the RAPPID instruction-length decoder and its clocked
+//! baseline
+//!
+//! An executable model of the paper's Figure-1 microarchitecture: the
+//! "Revolving Asynchronous Pentium® Processor Instruction Decoder".
+//! 16-byte instruction-cache lines enter an input FIFO; sixteen parallel
+//! **length decoders** speculatively compute an instruction length at
+//! every byte position; a torus-like **tag unit** walks from instruction
+//! start to instruction start; a 16×4 **crossbar** steers instruction
+//! bytes into four output buffers.
+//!
+//! Three intertwined self-timed cycles set the performance (§2.2):
+//!
+//! * the length-decoding cycle (~700 MHz average) — optimized for
+//!   *common instructions*;
+//! * the steering cycle (~900 MHz per row, four rows);
+//! * the tag cycle (~3.6 GHz) — optimized for *common lengths*; the tag
+//!   unit is the architectural critical path, so **average-case**
+//!   behaviour, not worst-case, sets the rate.
+//!
+//! The clocked baseline ([`clocked`]) implements the same function as a
+//! 400 MHz synchronous pipeline with worst-case cycle margins — the
+//! comparison that produces Table 1.
+//!
+//! ## Example
+//!
+//! ```
+//! use rt_rappid::{workload, Rappid, RappidConfig};
+//!
+//! let lines = workload::typical_mix(64, 42);
+//! let result = Rappid::new(RappidConfig::default()).run(&lines);
+//! assert!(result.instructions > 0);
+//! assert!(result.instructions_per_ns() > 1.0);
+//! ```
+
+pub mod clocked;
+pub mod isa;
+pub mod metrics;
+pub mod rappid;
+pub mod tagpath;
+pub mod workload;
+
+pub use clocked::{ClockedConfig, ClockedDecoder, ClockedResult};
+pub use isa::{instruction_length, DecodedLength};
+pub use metrics::{compare, Table1};
+pub use rappid::{Rappid, RappidConfig, RappidResult};
+pub use tagpath::TagRing;

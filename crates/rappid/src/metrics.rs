@@ -1,0 +1,119 @@
+//! Table-1 comparison: RAPPID vs the 400 MHz clocked baseline.
+
+use crate::clocked::ClockedResult;
+use crate::rappid::RappidResult;
+
+/// The five rows of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1 {
+    /// Throughput improvement (RAPPID / clocked); paper: 3×.
+    pub throughput_ratio: f64,
+    /// Latency improvement (clocked / RAPPID); paper: 2×.
+    pub latency_ratio: f64,
+    /// Power improvement (clocked / RAPPID); paper: 2×.
+    pub power_ratio: f64,
+    /// Area penalty of RAPPID in percent; paper: +22%.
+    pub area_penalty_pct: f64,
+    /// Stuck-at testability of the control circuits in percent; paper:
+    /// 95.9% (measured by `rt-dft` on the representative control cells).
+    pub testability_pct: f64,
+}
+
+impl Table1 {
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        format!(
+            "Throughput  {:.1}x    Latency  {:.1}x\n\
+             Power       {:.1}x    Area     {:+.0}%\n\
+             Testability {:.1}%",
+            self.throughput_ratio,
+            self.latency_ratio,
+            self.power_ratio,
+            self.area_penalty_pct,
+            self.testability_pct,
+        )
+    }
+}
+
+/// Builds Table 1 from a pair of runs over the same workload plus the
+/// control-logic testability measured by `rt-dft`.
+pub fn compare(
+    rappid: &RappidResult,
+    clocked: &ClockedResult,
+    testability_pct: f64,
+) -> Table1 {
+    Table1 {
+        throughput_ratio: rappid.instructions_per_ns() / clocked.instructions_per_ns(),
+        latency_ratio: clocked.latency_ps as f64
+            / rappid.first_issue_latency_ps.max(1) as f64,
+        power_ratio: clocked.power_fj_per_ns() / rappid.power_fj_per_ns().max(1e-9),
+        area_penalty_pct: (rappid.area_transistors as f64
+            / clocked.area_transistors as f64
+            - 1.0)
+            * 100.0,
+        testability_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clocked::{ClockedConfig, ClockedDecoder};
+    use crate::rappid::{Rappid, RappidConfig};
+    use crate::workload::typical_mix;
+
+    fn table1() -> Table1 {
+        let lines = typical_mix(512, 42);
+        let rappid = Rappid::new(RappidConfig::default()).run(&lines);
+        let clocked = ClockedDecoder::new(ClockedConfig::default()).run(&lines);
+        compare(&rappid, &clocked, 95.9)
+    }
+
+    #[test]
+    fn throughput_is_about_three_times() {
+        let t = table1();
+        assert!(
+            (2.0..=4.0).contains(&t.throughput_ratio),
+            "paper: 3x, got {:.2}",
+            t.throughput_ratio
+        );
+    }
+
+    #[test]
+    fn latency_is_about_half() {
+        let t = table1();
+        assert!(
+            (1.4..=3.0).contains(&t.latency_ratio),
+            "paper: 2x, got {:.2}",
+            t.latency_ratio
+        );
+    }
+
+    #[test]
+    fn power_is_about_half() {
+        let t = table1();
+        assert!(
+            (1.4..=3.0).contains(&t.power_ratio),
+            "paper: 2x, got {:.2}",
+            t.power_ratio
+        );
+    }
+
+    #[test]
+    fn area_penalty_is_modest() {
+        let t = table1();
+        assert!(
+            (5.0..=40.0).contains(&t.area_penalty_pct),
+            "paper: +22%, got {:+.0}%",
+            t.area_penalty_pct
+        );
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let text = table1().render();
+        for label in ["Throughput", "Latency", "Power", "Area", "Testability"] {
+            assert!(text.contains(label));
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! The asynchronous RAPPID microarchitecture model (Figure 1).
+//!
+//! The model tracks the three intertwined self-timed cycles per
+//! instruction rather than simulating every gate: length decoders work
+//! speculatively per column as lines arrive; the tag walks from
+//! instruction start to instruction start with *length-dependent* hop
+//! latency (fast paths for common lengths); four steering rows issue
+//! instructions round-robin. Every latency is a config knob, so the
+//! benchmarks can sweep them (the paper's "scalable in both dimensions").
+
+use crate::isa::segment_stream;
+use crate::workload::CacheLine;
+
+/// Timing/energy/topology configuration. Defaults reproduce the paper's
+/// reported average frequencies: ~700 MHz length-decode, ~3.6 GHz tag,
+/// ~900 MHz steering per row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RappidConfig {
+    /// Byte columns per line (the paper's 16).
+    pub columns: usize,
+    /// Output buffer rows (the paper's 4 — "a four-issue architecture").
+    pub rows: usize,
+    /// Column decode latency for common instructions, ps.
+    pub decode_common_ps: u64,
+    /// Column decode latency for prefixed/two-byte/long instructions, ps.
+    pub decode_long_ps: u64,
+    /// Tag hop for common lengths (≤ 4 bytes), ps.
+    pub tag_common_ps: u64,
+    /// Tag hop for uncommon lengths, ps.
+    pub tag_uncommon_ps: u64,
+    /// Additional tag latency when the hop crosses a line boundary, ps.
+    pub tag_line_cross_ps: u64,
+    /// Steering-row occupancy per instruction, ps.
+    pub steer_ps: u64,
+    /// Input-FIFO line supply period, ps.
+    pub line_supply_ps: u64,
+    /// Lines buffered ahead of the tag (speculative decode window).
+    pub line_buffer: usize,
+    /// Energy of one speculative column decode, fJ.
+    pub decode_energy_fj: u64,
+    /// Energy of one tag hop, fJ.
+    pub tag_energy_fj: u64,
+    /// Energy of one steering operation, fJ.
+    pub steer_energy_fj: u64,
+}
+
+impl Default for RappidConfig {
+    fn default() -> Self {
+        RappidConfig {
+            columns: 16,
+            rows: 4,
+            decode_common_ps: 1_400,
+            decode_long_ps: 2_100,
+            tag_common_ps: 240,
+            tag_uncommon_ps: 450,
+            tag_line_cross_ps: 160,
+            steer_ps: 1_100,
+            line_supply_ps: 1_300,
+            line_buffer: 4,
+            decode_energy_fj: 240,
+            tag_energy_fj: 150,
+            steer_energy_fj: 420,
+        }
+    }
+}
+
+/// Aggregate results of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RappidResult {
+    /// Instructions issued.
+    pub instructions: usize,
+    /// Cache lines consumed.
+    pub lines: usize,
+    /// Total elapsed time in ps.
+    pub elapsed_ps: u64,
+    /// Mean first-byte-to-issue latency in ps (includes tag queueing).
+    pub mean_latency_ps: u64,
+    /// Unloaded pipe latency in ps: line arrival → first instruction
+    /// issued (the Table-1 latency metric).
+    pub first_issue_latency_ps: u64,
+    /// Total energy in fJ.
+    pub energy_fj: u64,
+    /// Area proxy in transistor-equivalents.
+    pub area_transistors: u64,
+    /// Mean tag-cycle period in ps (the critical cycle of §2.2).
+    pub tag_period_ps: u64,
+    /// Mean effective decode-cycle period in ps.
+    pub decode_period_ps: u64,
+    /// Mean effective steering-row period in ps.
+    pub steer_period_ps: u64,
+}
+
+impl RappidResult {
+    /// Issue throughput in instructions per nanosecond.
+    pub fn instructions_per_ns(&self) -> f64 {
+        self.instructions as f64 * 1_000.0 / self.elapsed_ps.max(1) as f64
+    }
+
+    /// Line consumption rate in millions of lines per second.
+    pub fn mlines_per_s(&self) -> f64 {
+        self.lines as f64 * 1e12 / self.elapsed_ps.max(1) as f64 / 1e6
+    }
+
+    /// Average power proxy in fJ/ns (≡ µW·10⁻³ class units).
+    pub fn power_fj_per_ns(&self) -> f64 {
+        self.energy_fj as f64 * 1_000.0 / self.elapsed_ps.max(1) as f64
+    }
+}
+
+/// The RAPPID model.
+#[derive(Debug, Clone)]
+pub struct Rappid {
+    config: RappidConfig,
+}
+
+impl Rappid {
+    /// Creates a model with the given configuration.
+    pub fn new(config: RappidConfig) -> Self {
+        Rappid { config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RappidConfig {
+        &self.config
+    }
+
+    /// Area proxy: 16 speculative decoders dominate, plus the tag torus,
+    /// the 16×`rows` crossbar and the output buffers.
+    pub fn area_transistors(&self) -> u64 {
+        let c = &self.config;
+        (c.columns as u64) * 3_000
+            + 4_000
+            + (c.columns as u64 * c.rows as u64) * 150
+            + (c.rows as u64) * 2_000
+    }
+
+    /// Runs the model over `lines`, returning aggregate metrics.
+    pub fn run(&self, lines: &[CacheLine]) -> RappidResult {
+        let c = &self.config;
+        let bytes: Vec<u8> = lines.iter().flatten().copied().collect();
+        let decoded = segment_stream(&bytes);
+        let line_count = lines.len();
+
+        // Line arrival times (input FIFO, bounded by the buffer window).
+        let mut line_arrive = vec![0u64; line_count.max(1)];
+        let mut line_consumed = vec![0u64; line_count.max(1)];
+        for k in 0..line_count {
+            let supply = if k == 0 { 0 } else { line_arrive[k - 1] + c.line_supply_ps };
+            let window = if k >= c.line_buffer {
+                line_consumed[k - c.line_buffer]
+            } else {
+                0
+            };
+            line_arrive[k] = supply.max(window);
+            line_consumed[k] = line_arrive[k]; // updated as the tag passes
+        }
+
+        let mut row_free = vec![0u64; c.rows];
+        let mut tag_done_prev = 0u64;
+        let mut prev_start_line = 0usize;
+        let mut start_byte = 0usize;
+        let mut total_latency = 0u64;
+        let mut first_issue_latency = 0u64;
+        let mut energy = 0u64;
+        let mut last_issue = 0u64;
+        let mut tag_periods = 0u64;
+        let mut first_tag = 0u64;
+
+        for (i, instr) in decoded.iter().enumerate() {
+            let len = usize::from(instr.total);
+            let start_line = start_byte / 16;
+            let end_line = (start_byte + len - 1).min(bytes.len() - 1) / 16;
+            if start_line >= line_count {
+                break;
+            }
+            let end_line = end_line.min(line_count - 1);
+
+            // Speculative decode at the start column finishes after the
+            // last needed byte arrives.
+            let decode_latency = if instr.common {
+                c.decode_common_ps
+            } else {
+                c.decode_long_ps
+            };
+            let decode_ready = line_arrive[end_line] + decode_latency;
+
+            // The tag arrives from the previous instruction.
+            let cross = if start_line != prev_start_line {
+                c.tag_line_cross_ps
+            } else {
+                0
+            };
+            let tag_arrive = tag_done_prev + cross;
+            let ready = decode_ready.max(tag_arrive);
+            let hop = if len <= 4 { c.tag_common_ps } else { c.tag_uncommon_ps };
+            let tag_done = ready + hop;
+            if i == 0 {
+                first_tag = tag_done;
+            }
+            tag_periods = tag_done - first_tag;
+
+            // The tag leaving a line frees it for the FIFO window.
+            if start_line != prev_start_line {
+                for line in prev_start_line..start_line {
+                    line_consumed[line] = tag_done;
+                    // Re-propagate the supply window for later lines.
+                    if line + c.line_buffer < line_count {
+                        let k = line + c.line_buffer;
+                        let supply = line_arrive[k - 1] + c.line_supply_ps;
+                        line_arrive[k] = line_arrive[k].max(supply.max(tag_done));
+                    }
+                }
+            }
+
+            // Steering: round-robin rows.
+            let row = i % c.rows;
+            let issue = tag_done.max(row_free[row]);
+            row_free[row] = issue + c.steer_ps;
+            let done = issue + c.steer_ps;
+
+            total_latency += done - line_arrive[start_line];
+            if i == 0 {
+                first_issue_latency = done - line_arrive[start_line];
+            }
+            energy += c.tag_energy_fj + c.steer_energy_fj;
+            last_issue = last_issue.max(done);
+            tag_done_prev = tag_done;
+            prev_start_line = start_line;
+            start_byte += len;
+        }
+
+        // Speculative decoders burn energy at every column of every line.
+        energy += (line_count as u64) * (c.columns as u64) * c.decode_energy_fj;
+
+        let instructions = decoded.len();
+        let elapsed = last_issue.max(1);
+        RappidResult {
+            instructions,
+            lines: line_count,
+            elapsed_ps: elapsed,
+            mean_latency_ps: total_latency / instructions.max(1) as u64,
+            first_issue_latency_ps: first_issue_latency,
+            energy_fj: energy,
+            area_transistors: self.area_transistors(),
+            tag_period_ps: if instructions > 1 {
+                tag_periods / (instructions as u64 - 1)
+            } else {
+                0
+            },
+            decode_period_ps: c.decode_common_ps,
+            steer_period_ps: c.steer_ps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{long_heavy, short_heavy, stream_stats, typical_mix};
+
+    #[test]
+    fn typical_mix_reaches_multi_gips() {
+        let lines = typical_mix(512, 11);
+        let result = Rappid::new(RappidConfig::default()).run(&lines);
+        let rate = result.instructions_per_ns();
+        assert!(
+            (2.0..=4.5).contains(&rate),
+            "paper: 2.5-4.5 instructions/ns, got {rate:.2}"
+        );
+    }
+
+    #[test]
+    fn tag_cycle_is_the_fast_cycle() {
+        let lines = typical_mix(512, 11);
+        let result = Rappid::new(RappidConfig::default()).run(&lines);
+        // Tag ≈ 3.6 GHz class; decode ≈ 0.7 GHz; steering ≈ 0.9 GHz/row.
+        assert!(result.tag_period_ps < 450, "tag period {}", result.tag_period_ps);
+        assert!(result.decode_period_ps > 1_000);
+        assert!(result.steer_period_ps > 1_000);
+    }
+
+    #[test]
+    fn long_instruction_lines_are_consumed_faster() {
+        // "Lines with fewer than five instructions (average length
+        // greater than three bytes) are consumed faster" (§2.2).
+        let short = Rappid::new(RappidConfig::default()).run(&short_heavy(512, 3));
+        let long = Rappid::new(RappidConfig::default()).run(&long_heavy(512, 3));
+        assert!(
+            long.mlines_per_s() > short.mlines_per_s(),
+            "long {:.0} vs short {:.0} Mlines/s",
+            long.mlines_per_s(),
+            short.mlines_per_s()
+        );
+    }
+
+    #[test]
+    fn line_rate_is_in_the_700m_class_for_typical_mix() {
+        let lines = typical_mix(512, 11);
+        let result = Rappid::new(RappidConfig::default()).run(&lines);
+        let rate = result.mlines_per_s();
+        assert!(
+            (400.0..=1_000.0).contains(&rate),
+            "paper: ~720 Mlines/s, got {rate:.0}"
+        );
+    }
+
+    #[test]
+    fn more_rows_increase_throughput_until_tag_limits() {
+        let lines = short_heavy(256, 5);
+        let two = Rappid::new(RappidConfig { rows: 2, ..RappidConfig::default() }).run(&lines);
+        let four = Rappid::new(RappidConfig::default()).run(&lines);
+        assert!(
+            four.instructions_per_ns() > two.instructions_per_ns(),
+            "vertical scalability: {:.2} vs {:.2}",
+            four.instructions_per_ns(),
+            two.instructions_per_ns()
+        );
+        let eight =
+            Rappid::new(RappidConfig { rows: 8, ..RappidConfig::default() }).run(&lines);
+        // Beyond the tag rate, extra rows stop helping much.
+        assert!(eight.instructions_per_ns() < four.instructions_per_ns() * 1.6);
+    }
+
+    #[test]
+    fn latency_is_a_few_ns() {
+        let lines = typical_mix(64, 2);
+        let result = Rappid::new(RappidConfig::default()).run(&lines);
+        assert!(
+            (1_500..=8_000).contains(&result.mean_latency_ps),
+            "got {} ps",
+            result.mean_latency_ps
+        );
+    }
+
+    #[test]
+    fn energy_scales_with_work() {
+        let small = Rappid::new(RappidConfig::default()).run(&typical_mix(32, 4));
+        let big = Rappid::new(RappidConfig::default()).run(&typical_mix(256, 4));
+        assert!(big.energy_fj > small.energy_fj * 4);
+    }
+
+    #[test]
+    fn stats_align_with_decoder() {
+        let lines = typical_mix(128, 6);
+        let stats = stream_stats(&lines);
+        let result = Rappid::new(RappidConfig::default()).run(&lines);
+        assert_eq!(result.instructions, stats.instructions);
+    }
+}

@@ -1,0 +1,237 @@
+//! Instruction-stream workload generators.
+//!
+//! The paper's performance argument rests on the *distribution* of
+//! instruction lengths: RAPPID's tag and length-decode cycles are
+//! optimized for the common cases, so average-case behaviour wins. These
+//! generators build realistic byte streams packed into 16-byte cache
+//! lines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::isa::segment_stream;
+
+/// A 16-byte instruction-cache line.
+pub type CacheLine = [u8; 16];
+
+/// Instruction templates by length class; each entry is a function of
+/// the RNG producing the instruction bytes.
+fn template(len_class: u8, rng: &mut StdRng) -> Vec<u8> {
+    match len_class {
+        1 => {
+            // push/pop/inc/dec reg, nop, ret-like one-byte ops.
+            let choices = [0x50u8, 0x58, 0x40, 0x48, 0x90, 0x53, 0x5B, 0x41];
+            vec![choices[rng.gen_range(0..choices.len())] | (rng.gen_range(0..8u8) & 0x07)]
+        }
+        2 => {
+            // ALU r, r/m register forms and short jumps.
+            if rng.gen_bool(0.7) {
+                let ops = [0x89u8, 0x8B, 0x01, 0x03, 0x29, 0x31, 0x39, 0x85];
+                let op = ops[rng.gen_range(0..ops.len())];
+                let modrm = 0xC0 | rng.gen_range(0..64u8); // register form
+                vec![op, modrm]
+            } else {
+                vec![0xEB, rng.gen()]
+            }
+        }
+        3 => {
+            // mov r, [ebp+disp8] and shift-by-imm forms.
+            if rng.gen_bool(0.6) {
+                vec![0x8B, 0x45 | (rng.gen_range(0..8u8) << 3), rng.gen()]
+            } else {
+                vec![0x83, 0xC0 | rng.gen_range(0..8u8), rng.gen()]
+            }
+        }
+        5 => {
+            // mov r32, imm32 / call rel32.
+            if rng.gen_bool(0.5) {
+                let mut v = vec![0xB8 | rng.gen_range(0..8u8)];
+                v.extend_from_slice(&rng.gen::<u32>().to_le_bytes());
+                v
+            } else {
+                let mut v = vec![0xE8];
+                v.extend_from_slice(&rng.gen::<u32>().to_le_bytes());
+                v
+            }
+        }
+        6 => {
+            // ALU r/m32, imm32 (register form) or mov [disp32], eax.
+            let mut v = vec![0x81, 0xC0 | rng.gen_range(0..8u8)];
+            v.extend_from_slice(&rng.gen::<u32>().to_le_bytes());
+            v
+        }
+        7 => {
+            // mov r32, [disp32] via mod=00 rm=101.
+            let mut v = vec![0x8B, 0x04, 0x25];
+            v.extend_from_slice(&rng.gen::<u32>().to_le_bytes());
+            v
+        }
+        8 => {
+            // Operand-size-prefixed ALU (complex class: 16-bit form).
+            let modrm = 0xC0 | rng.gen_range(0..64u8);
+            vec![0x66, 0x01, modrm]
+        }
+        9 => {
+            // Two-byte opcode: movzx r32, r/m8 (register form).
+            vec![0x0F, 0xB6, 0xC0 | rng.gen_range(0..64u8)]
+        }
+        _ => {
+            // 4 bytes: SIB + disp8 memory form.
+            vec![0x8B, 0x44 | (rng.gen_range(0..8u8) << 3), 0x24, rng.gen()]
+        }
+    }
+}
+
+/// Draws a length class from a weighted distribution
+/// `(class, weight)`; weights need not sum to anything particular.
+fn draw(classes: &[(u8, u32)], rng: &mut StdRng) -> u8 {
+    let total: u32 = classes.iter().map(|&(_, w)| w).sum();
+    let mut pick = rng.gen_range(0..total);
+    for &(class, weight) in classes {
+        if pick < weight {
+            return class;
+        }
+        pick -= weight;
+    }
+    classes[0].0
+}
+
+/// Builds `lines` cache lines from the given length-class distribution.
+pub fn lines_from_distribution(
+    lines: usize,
+    classes: &[(u8, u32)],
+    seed: u64,
+) -> Vec<CacheLine> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bytes = Vec::with_capacity(lines * 16);
+    while bytes.len() < lines * 16 {
+        bytes.extend(template(draw(classes, &mut rng), &mut rng));
+    }
+    bytes.truncate(lines * 16);
+    bytes
+        .chunks_exact(16)
+        .map(|chunk| {
+            let mut line = [0u8; 16];
+            line.copy_from_slice(chunk);
+            line
+        })
+        .collect()
+}
+
+/// The *typical* late-90s integer mix: lengths concentrated at 1–3
+/// bytes, average ≈ 3 bytes — the workload RAPPID's fast paths target.
+pub fn typical_mix(lines: usize, seed: u64) -> Vec<CacheLine> {
+    lines_from_distribution(
+        lines,
+        &[
+            (1, 22),
+            (2, 28),
+            (3, 18),
+            (4, 9),
+            (5, 10),
+            (6, 5),
+            (7, 3),
+            (8, 3),
+            (9, 2),
+        ],
+        seed,
+    )
+}
+
+/// Short-instruction-heavy mix (stack/ALU dominated): many instructions
+/// per line — the lines the paper says are "consumed slower".
+pub fn short_heavy(lines: usize, seed: u64) -> Vec<CacheLine> {
+    lines_from_distribution(lines, &[(1, 55), (2, 40), (3, 5)], seed)
+}
+
+/// Long-instruction-heavy mix (immediates and memory forms): few
+/// instructions per line — "consumed faster".
+pub fn long_heavy(lines: usize, seed: u64) -> Vec<CacheLine> {
+    lines_from_distribution(lines, &[(4, 10), (5, 35), (6, 30), (7, 25)], seed)
+}
+
+/// Statistics of a generated stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamStats {
+    /// Number of instructions.
+    pub instructions: usize,
+    /// Average instruction length in bytes.
+    pub mean_length: f64,
+    /// Fraction of instructions the decoder classifies as common.
+    pub common_fraction: f64,
+}
+
+/// Computes statistics by running the reference decoder over the lines.
+pub fn stream_stats(lines: &[CacheLine]) -> StreamStats {
+    let bytes: Vec<u8> = lines.iter().flatten().copied().collect();
+    let decoded = segment_stream(&bytes);
+    let instructions = decoded.len();
+    let mean_length = bytes.len() as f64 / instructions.max(1) as f64;
+    let common = decoded.iter().filter(|d| d.common).count();
+    StreamStats {
+        instructions,
+        mean_length,
+        common_fraction: common as f64 / instructions.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_fill_the_requested_lines() {
+        for lines in [1usize, 8, 64] {
+            assert_eq!(typical_mix(lines, 1).len(), lines);
+            assert_eq!(short_heavy(lines, 1).len(), lines);
+            assert_eq!(long_heavy(lines, 1).len(), lines);
+        }
+    }
+
+    #[test]
+    fn typical_mix_has_three_byte_average() {
+        let stats = stream_stats(&typical_mix(256, 7));
+        assert!(
+            (2.2..=3.8).contains(&stats.mean_length),
+            "mean {:.2}",
+            stats.mean_length
+        );
+        assert!(stats.common_fraction > 0.5);
+    }
+
+    #[test]
+    fn short_and_long_mixes_diverge() {
+        let short = stream_stats(&short_heavy(256, 7));
+        let long = stream_stats(&long_heavy(256, 7));
+        assert!(short.mean_length < 2.2, "short mean {:.2}", short.mean_length);
+        assert!(long.mean_length > 4.0, "long mean {:.2}", long.mean_length);
+        assert!(short.instructions > long.instructions);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(typical_mix(16, 9), typical_mix(16, 9));
+        assert_ne!(typical_mix(16, 9), typical_mix(16, 10));
+    }
+
+    #[test]
+    fn generated_templates_decode_to_intended_lengths() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for class in [1u8, 2, 3, 4, 5, 6, 7, 8, 9] {
+            for _ in 0..50 {
+                let bytes = template(class, &mut rng);
+                let decoded = crate::isa::instruction_length(&bytes);
+                let expected = match class {
+                    4 => 4,
+                    8 | 9 => 3,
+                    c => c,
+                };
+                assert_eq!(
+                    decoded.total, expected,
+                    "class {class}: bytes {bytes:02X?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the RAPPID substrate: the length decoder is
+//! total and bounded, stream segmentation covers every byte, and both
+//! microarchitecture models behave monotonically.
+
+use proptest::prelude::*;
+use rt_rappid::isa::{instruction_length, segment_stream};
+use rt_rappid::{workload, ClockedConfig, ClockedDecoder, Rappid, RappidConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn decoder_is_total_and_bounded(bytes in prop::collection::vec(any::<u8>(), 1..32)) {
+        let d = instruction_length(&bytes);
+        prop_assert!((1..=15).contains(&d.total));
+        prop_assert!(d.prefixes <= 4);
+    }
+
+    #[test]
+    fn segmentation_covers_every_byte(bytes in prop::collection::vec(any::<u8>(), 1..64)) {
+        let lens = segment_stream(&bytes);
+        let total: usize = lens.iter().map(|d| usize::from(d.total)).sum();
+        prop_assert_eq!(total, bytes.len());
+    }
+
+    #[test]
+    fn decoder_only_reads_its_own_bytes(bytes in prop::collection::vec(any::<u8>(), 16..24)) {
+        // Appending unrelated bytes never changes the first decode.
+        let d1 = instruction_length(&bytes);
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(&[0xFF, 0x00, 0xAB]);
+        let d2 = instruction_length(&extended);
+        prop_assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn rappid_throughput_monotone_in_tag_speed(
+        seed in 0u64..50,
+        slow_extra in 50u64..400,
+    ) {
+        let lines = workload::typical_mix(64, seed);
+        let fast = Rappid::new(RappidConfig::default()).run(&lines);
+        let slow = Rappid::new(RappidConfig {
+            tag_common_ps: RappidConfig::default().tag_common_ps + slow_extra,
+            tag_uncommon_ps: RappidConfig::default().tag_uncommon_ps + slow_extra,
+            ..RappidConfig::default()
+        })
+        .run(&lines);
+        prop_assert!(fast.elapsed_ps <= slow.elapsed_ps);
+    }
+
+    #[test]
+    fn clocked_cycles_lower_bounded_by_width(seed in 0u64..50) {
+        let lines = workload::typical_mix(64, seed);
+        let config = ClockedConfig::default();
+        let result = ClockedDecoder::new(config).run(&lines);
+        let min_cycles =
+            result.instructions.div_ceil(config.decode_width) as u64;
+        prop_assert!(result.cycles >= min_cycles);
+    }
+
+    #[test]
+    fn models_agree_on_instruction_count(seed in 0u64..50) {
+        let lines = workload::typical_mix(48, seed);
+        let r = Rappid::new(RappidConfig::default()).run(&lines);
+        let c = ClockedDecoder::new(ClockedConfig::default()).run(&lines);
+        prop_assert_eq!(r.instructions, c.instructions);
+    }
+}

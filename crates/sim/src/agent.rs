@@ -1,0 +1,345 @@
+//! Reactive environment processes ("agents") that close the handshake
+//! loop around a circuit under test.
+//!
+//! An [`Agent`] watches net transitions and answers with new input stimuli
+//! — a tiny discrete-event co-routine. [`run_with_agents`] interleaves any
+//! number of agents with the [`Simulator`].
+
+use rt_netlist::NetId;
+
+use crate::engine::Simulator;
+
+/// A reactive stimulus process.
+pub trait Agent {
+    /// Called once before the run; returns `(delay_ps, net, value)`
+    /// stimuli.
+    fn start(&mut self) -> Vec<(u64, NetId, bool)> {
+        Vec::new()
+    }
+
+    /// Called on every committed transition; returns new stimuli, each
+    /// `delay_ps` after the observed event.
+    fn on_change(&mut self, net: NetId, value: bool, time_ps: u64) -> Vec<(u64, NetId, bool)>;
+}
+
+/// A four-phase *producer*: drives `req`, watches `ack`
+/// (`req+ → ack+ → req- → ack- → req+ …`). This is the "left
+/// environment" of the FIFO experiments.
+#[derive(Debug, Clone)]
+pub struct FourPhaseProducer {
+    /// The request net this agent drives.
+    pub req: NetId,
+    /// The acknowledge net this agent watches.
+    pub ack: NetId,
+    /// Environment response delay in ps (`ack+ → req-`).
+    pub delay_ps: u64,
+    /// Gap before the next request (`ack- → req+`); models the token
+    /// round-trip of a ring. Defaults to `delay_ps`.
+    pub gap_ps: u64,
+    /// Stop after this many complete cycles (`None` = run forever).
+    pub max_cycles: Option<u64>,
+    cycles: u64,
+}
+
+impl FourPhaseProducer {
+    /// Creates a producer with the given response delay (gap = delay).
+    pub fn new(req: NetId, ack: NetId, delay_ps: u64) -> Self {
+        FourPhaseProducer {
+            req,
+            ack,
+            delay_ps,
+            gap_ps: delay_ps,
+            max_cycles: None,
+            cycles: 0,
+        }
+    }
+
+    /// Number of completed four-phase cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+impl Agent for FourPhaseProducer {
+    fn start(&mut self) -> Vec<(u64, NetId, bool)> {
+        vec![(self.delay_ps, self.req, true)]
+    }
+
+    fn on_change(&mut self, net: NetId, value: bool, _time_ps: u64) -> Vec<(u64, NetId, bool)> {
+        if net != self.ack {
+            return Vec::new();
+        }
+        if value {
+            // ack+ -> withdraw request.
+            vec![(self.delay_ps, self.req, false)]
+        } else {
+            // ack- -> cycle complete; start the next one after the gap.
+            self.cycles += 1;
+            if let Some(max) = self.max_cycles {
+                if self.cycles >= max {
+                    return Vec::new();
+                }
+            }
+            vec![(self.gap_ps, self.req, true)]
+        }
+    }
+}
+
+/// A four-phase *consumer*: watches `req`, answers on `ack`
+/// (`req+ → ack+; req- → ack-`). The "right environment" of the FIFO
+/// experiments.
+#[derive(Debug, Clone)]
+pub struct FourPhaseConsumer {
+    /// The request net this agent watches.
+    pub req: NetId,
+    /// The acknowledge net this agent drives.
+    pub ack: NetId,
+    /// Environment response delay in ps.
+    pub delay_ps: u64,
+    handshakes: u64,
+}
+
+impl FourPhaseConsumer {
+    /// Creates a consumer with the given response delay.
+    pub fn new(req: NetId, ack: NetId, delay_ps: u64) -> Self {
+        FourPhaseConsumer { req, ack, delay_ps, handshakes: 0 }
+    }
+
+    /// Number of request edges answered.
+    pub fn handshakes(&self) -> u64 {
+        self.handshakes
+    }
+}
+
+impl Agent for FourPhaseConsumer {
+    fn on_change(&mut self, net: NetId, value: bool, _time_ps: u64) -> Vec<(u64, NetId, bool)> {
+        if net != self.req {
+            return Vec::new();
+        }
+        self.handshakes += 1;
+        vec![(self.delay_ps, self.ack, value)]
+    }
+}
+
+/// A four-phase producer that models a *ring* environment: the next
+/// request is issued only after both the acknowledge has fallen **and**
+/// a watched reset net (typically the right acknowledge `ri`) has
+/// fallen — the structural guarantee behind the paper's Figure-6 user
+/// assumption "`ri- before li+`" (a token always arrives at an idle
+/// cell when the ring is large enough).
+#[derive(Debug, Clone)]
+pub struct RingProducer {
+    /// The request net this agent drives.
+    pub req: NetId,
+    /// The acknowledge net this agent watches.
+    pub ack: NetId,
+    /// The net that must also be low before the next request (`ri`).
+    pub idle: NetId,
+    /// Environment response delay in ps.
+    pub delay_ps: u64,
+    /// Stop after this many complete cycles (`None` = run forever).
+    pub max_cycles: Option<u64>,
+    cycles: u64,
+    ack_low: bool,
+    idle_low: bool,
+    req_high: bool,
+}
+
+impl RingProducer {
+    /// Creates a ring producer. Both `ack` and `idle` start low.
+    pub fn new(req: NetId, ack: NetId, idle: NetId, delay_ps: u64) -> Self {
+        RingProducer {
+            req,
+            ack,
+            idle,
+            delay_ps,
+            max_cycles: None,
+            cycles: 0,
+            ack_low: true,
+            idle_low: true,
+            req_high: false,
+        }
+    }
+
+    /// Number of completed four-phase cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn maybe_fire(&mut self) -> Vec<(u64, NetId, bool)> {
+        if self.ack_low && self.idle_low && !self.req_high {
+            if let Some(max) = self.max_cycles {
+                if self.cycles >= max {
+                    return Vec::new();
+                }
+            }
+            self.req_high = true;
+            vec![(self.delay_ps, self.req, true)]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Agent for RingProducer {
+    fn start(&mut self) -> Vec<(u64, NetId, bool)> {
+        self.req_high = true;
+        vec![(self.delay_ps, self.req, true)]
+    }
+
+    fn on_change(&mut self, net: NetId, value: bool, _time_ps: u64) -> Vec<(u64, NetId, bool)> {
+        let mut out = Vec::new();
+        if net == self.ack {
+            self.ack_low = !value;
+            if value {
+                // ack+ -> withdraw the request.
+                out.push((self.delay_ps, self.req, false));
+                self.req_high = false;
+            } else {
+                self.cycles += 1;
+            }
+        }
+        if net == self.idle {
+            self.idle_low = !value;
+        }
+        out.extend(self.maybe_fire());
+        out
+    }
+}
+
+/// A free-running pulse source: emits `count` pulses of `width_ps` every
+/// `period_ps` on `net`, starting at `offset_ps`.
+#[derive(Debug, Clone)]
+pub struct PulseSource {
+    /// The driven net.
+    pub net: NetId,
+    /// Pulse period in ps.
+    pub period_ps: u64,
+    /// Pulse width in ps.
+    pub width_ps: u64,
+    /// Number of pulses.
+    pub count: u64,
+    /// Start offset in ps.
+    pub offset_ps: u64,
+}
+
+impl Agent for PulseSource {
+    fn start(&mut self) -> Vec<(u64, NetId, bool)> {
+        let mut events = Vec::new();
+        for k in 0..self.count {
+            let t = self.offset_ps + k * self.period_ps;
+            events.push((t, self.net, true));
+            events.push((t + self.width_ps, self.net, false));
+        }
+        events
+    }
+
+    fn on_change(&mut self, _net: NetId, _value: bool, _time_ps: u64) -> Vec<(u64, NetId, bool)> {
+        Vec::new()
+    }
+}
+
+/// Runs the simulator with a set of agents until `deadline_ps` or global
+/// quiescence. Returns the number of committed transitions.
+pub fn run_with_agents(
+    sim: &mut Simulator<'_>,
+    agents: &mut [&mut dyn Agent],
+    deadline_ps: u64,
+) -> usize {
+    for agent in agents.iter_mut() {
+        for (delay, net, value) in agent.start() {
+            sim.schedule(net, value, delay);
+        }
+    }
+    let mut committed = 0;
+    loop {
+        if sim.now_ps() > deadline_ps {
+            break;
+        }
+        match sim.step() {
+            None => break,
+            Some((time, net, value)) => {
+                if time > deadline_ps {
+                    break;
+                }
+                committed += 1;
+                for agent in agents.iter_mut() {
+                    for (delay, snet, svalue) in agent.on_change(net, value, time) {
+                        sim.schedule(snet, svalue, delay);
+                    }
+                }
+            }
+        }
+    }
+    sim.flush_contentions();
+    committed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use rt_netlist::{GateKind, NetKind, Netlist};
+
+    /// A trivially-correct handshake circuit: ack = buf(req).
+    fn echo() -> (Netlist, NetId, NetId) {
+        let mut n = Netlist::new("echo");
+        let req = n.add_net("req", NetKind::Input);
+        let ack = n.add_net("ack", NetKind::Output);
+        n.add_gate("b", GateKind::Buf, vec![req], ack);
+        (n, req, ack)
+    }
+
+    #[test]
+    fn producer_completes_cycles_against_echo() {
+        let (n, req, ack) = echo();
+        let mut sim = Simulator::new(&n);
+        sim.settle_initial(4);
+        let mut producer = FourPhaseProducer::new(req, ack, 100);
+        producer.max_cycles = Some(5);
+        run_with_agents(&mut sim, &mut [&mut producer], 1_000_000);
+        assert_eq!(producer.cycles(), 5);
+        assert_eq!(sim.transition_count(ack), 10, "5 cycles = 10 edges");
+    }
+
+    #[test]
+    fn consumer_echoes_requests() {
+        let mut n = Netlist::new("drive");
+        let req = n.add_net("req", NetKind::Input);
+        let ack = n.add_net("ack", NetKind::Input);
+        // No gates: producer drives req, consumer answers on ack.
+        let mut sim = Simulator::new(&n);
+        let mut producer = FourPhaseProducer::new(req, ack, 50);
+        producer.max_cycles = Some(3);
+        let mut consumer = FourPhaseConsumer::new(req, ack, 80);
+        run_with_agents(&mut sim, &mut [&mut producer, &mut consumer], 1_000_000);
+        assert_eq!(producer.cycles(), 3);
+        assert_eq!(consumer.handshakes(), 6);
+    }
+
+    #[test]
+    fn pulse_source_emits_requested_pulses() {
+        let (n, req, _) = echo();
+        let mut sim = Simulator::new(&n);
+        sim.settle_initial(4);
+        let mut source = PulseSource {
+            net: req,
+            period_ps: 1_000,
+            width_ps: 200,
+            count: 4,
+            offset_ps: 100,
+        };
+        run_with_agents(&mut sim, &mut [&mut source], 10_000);
+        assert_eq!(sim.transition_count(req), 8);
+    }
+
+    #[test]
+    fn deadline_stops_the_run() {
+        let (n, req, ack) = echo();
+        let mut sim = Simulator::new(&n);
+        sim.settle_initial(4);
+        let mut producer = FourPhaseProducer::new(req, ack, 1_000);
+        run_with_agents(&mut sim, &mut [&mut producer], 10_000);
+        assert!(producer.cycles() < 10, "unbounded producer was stopped");
+    }
+}

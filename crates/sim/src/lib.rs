@@ -1,0 +1,43 @@
+//! # rt-sim — event-driven gate-level timing simulation
+//!
+//! Substrate crate of the `rt-cad` workspace: the "silicon substitute"
+//! used to regenerate Table 2 of the paper. The authors measured
+//! fabricated 0.25µ parts; we measure the same netlists with a
+//! deterministic event-driven simulator and a per-gate delay/energy model
+//! ([`rt_netlist::GateKind::delay_model`]), which preserves the *relative*
+//! comparisons the paper's tables are built on.
+//!
+//! * [`Simulator`] — inertial-delay event simulation over a
+//!   [`rt_netlist::Netlist`]: glitch cancellation, hazard records, drive
+//!   fights, per-transition energy accounting, waveform traces.
+//! * [`agent`] — reactive environment processes (four-phase handshake
+//!   drivers, pulse sources, monitors) that close the loop around a
+//!   circuit under test.
+//! * [`measure`] — cycle-time / latency / energy statistics.
+//!
+//! ## Example: a ring oscillator oscillates
+//!
+//! ```
+//! use rt_netlist::{GateKind, NetKind, Netlist};
+//! use rt_sim::Simulator;
+//!
+//! let mut n = Netlist::new("osc");
+//! let a = n.add_net("a", NetKind::Internal);
+//! let b = n.add_net("b", NetKind::Internal);
+//! let c = n.add_net("c", NetKind::Internal);
+//! n.add_gate("i0", GateKind::Inv, vec![c], a);
+//! n.add_gate("i1", GateKind::Inv, vec![a], b);
+//! n.add_gate("i2", GateKind::Inv, vec![b], c);
+//! let mut sim = Simulator::new(&n);
+//! sim.run_until(10_000);
+//! assert!(sim.transition_count(c) > 3, "the ring keeps toggling");
+//! ```
+
+pub mod agent;
+pub mod engine;
+pub mod measure;
+pub mod vcd;
+
+pub use agent::{run_with_agents, Agent, FourPhaseConsumer, FourPhaseProducer, PulseSource, RingProducer};
+pub use engine::{DelayConfig, Hazard, HazardKind, Simulator};
+pub use measure::{CycleStats, EdgeRecorder};

@@ -1,0 +1,159 @@
+//! Value Change Dump (VCD) export of simulation traces.
+//!
+//! Lets any run be inspected in GTKWave & friends: enable tracing on the
+//! [`Simulator`], run, then render with [`to_vcd`].
+
+use rt_netlist::{NetId, Netlist};
+
+use crate::engine::Simulator;
+
+/// Renders the simulator's captured trace as a VCD document.
+///
+/// All nets are emitted as 1-bit wires under a module named after the
+/// netlist; the timescale is 1 ps. Returns `None` when tracing was not
+/// enabled.
+///
+/// # Examples
+///
+/// ```
+/// use rt_netlist::{GateKind, NetKind, Netlist};
+/// use rt_sim::{vcd::to_vcd, Simulator};
+///
+/// let mut n = Netlist::new("demo");
+/// let a = n.add_net("a", NetKind::Input);
+/// let y = n.add_net("y", NetKind::Output);
+/// n.add_gate("i", GateKind::Inv, vec![a], y);
+/// let mut sim = Simulator::new(&n);
+/// sim.settle_initial(4);
+/// sim.enable_trace();
+/// sim.schedule(a, true, 100);
+/// sim.run_until(1_000);
+/// let document = to_vcd(&sim, &n).expect("tracing enabled");
+/// assert!(document.contains("$timescale 1ps $end"));
+/// assert!(document.contains("$var wire 1"));
+/// ```
+pub fn to_vcd(sim: &Simulator<'_>, netlist: &Netlist) -> Option<String> {
+    let trace = sim.trace()?;
+    let mut out = String::new();
+    out.push_str("$date rt-cad simulation $end\n");
+    out.push_str("$version rt-sim $end\n");
+    out.push_str("$timescale 1ps $end\n");
+    out.push_str(&format!("$scope module {} $end\n", sanitize(netlist.name())));
+    for net in netlist.nets() {
+        out.push_str(&format!(
+            "$var wire 1 {} {} $end\n",
+            ident(net),
+            sanitize(netlist.net_name(net))
+        ));
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+    // Initial values: reconstruct each net's value before its first
+    // recorded edge (current value when it never switched).
+    out.push_str("$dumpvars\n");
+    for net in netlist.nets() {
+        let initial = trace
+            .iter()
+            .find(|&&(_, n, _)| n == net)
+            .map(|&(_, _, first_new)| !first_new)
+            .unwrap_or_else(|| sim.value(net));
+        out.push_str(&format!("{}{}\n", u8::from(initial), ident(net)));
+    }
+    out.push_str("$end\n");
+
+    let mut last_time = None;
+    for &(time, net, value) in trace {
+        if last_time != Some(time) {
+            out.push_str(&format!("#{time}\n"));
+            last_time = Some(time);
+        }
+        out.push_str(&format!("{}{}\n", u8::from(value), ident(net)));
+    }
+    Some(out)
+}
+
+/// VCD identifier for a net: printable-ASCII encoding of the index.
+fn ident(net: NetId) -> String {
+    let mut value = net.index();
+    let mut out = String::new();
+    loop {
+        out.push((b'!' + (value % 94) as u8) as char);
+        value /= 94;
+        if value == 0 {
+            break;
+        }
+    }
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_netlist::{GateKind, NetKind, Netlist};
+
+    fn traced_run() -> (Netlist, String) {
+        let mut n = Netlist::new("vcd test");
+        let a = n.add_net("a", NetKind::Input);
+        let b = n.add_net("b", NetKind::Internal);
+        let y = n.add_net("y out", NetKind::Output);
+        n.add_gate("i0", GateKind::Inv, vec![a], b);
+        n.add_gate("i1", GateKind::Inv, vec![b], y);
+        let mut sim = Simulator::new(&n);
+        sim.settle_initial(8);
+        sim.enable_trace();
+        sim.schedule(a, true, 50);
+        sim.schedule(a, false, 500);
+        sim.run_until(10_000);
+        let doc = to_vcd(&sim, &n).expect("tracing enabled");
+        (n, doc)
+    }
+
+    #[test]
+    fn header_and_vars_present() {
+        let (n, doc) = traced_run();
+        assert!(doc.contains("$timescale 1ps $end"));
+        for net in n.nets() {
+            assert!(doc.contains(&sanitize(n.net_name(net))), "{}", n.net_name(net));
+        }
+        assert!(doc.contains("$dumpvars"));
+        assert!(doc.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let (_, doc) = traced_run();
+        let stamps: Vec<u64> = doc
+            .lines()
+            .filter_map(|l| l.strip_prefix('#'))
+            .map(|s| s.parse().expect("numeric timestamp"))
+            .collect();
+        assert!(!stamps.is_empty());
+        assert!(stamps.windows(2).all(|w| w[0] < w[1]), "{stamps:?}");
+    }
+
+    #[test]
+    fn no_trace_no_document() {
+        let mut n = Netlist::new("quiet");
+        let a = n.add_net("a", NetKind::Input);
+        let y = n.add_net("y", NetKind::Output);
+        n.add_gate("i", GateKind::Inv, vec![a], y);
+        let sim = Simulator::new(&n);
+        assert!(to_vcd(&sim, &n).is_none());
+    }
+
+    #[test]
+    fn identifiers_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500u32 {
+            let id = ident(rt_netlist::NetId(i));
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(id), "collision at {i}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the event-driven simulator: determinism,
+//! delay additivity on chains, and energy accounting.
+
+use proptest::prelude::*;
+use rt_netlist::{GateKind, NetKind, Netlist};
+use rt_sim::agent::{run_with_agents, FourPhaseConsumer, RingProducer};
+use rt_sim::{DelayConfig, Simulator};
+
+fn inv_chain(n: usize) -> (Netlist, rt_netlist::NetId, rt_netlist::NetId) {
+    let mut net = Netlist::new("chain");
+    let input = net.add_net("in", NetKind::Input);
+    let mut prev = input;
+    let mut last = input;
+    for i in 0..n {
+        let out = net.add_net(format!("n{i}"), NetKind::Internal);
+        net.add_gate(format!("inv{i}"), GateKind::Inv, vec![prev], out);
+        prev = out;
+        last = out;
+    }
+    (net, input, last)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chain_delay_is_additive(n in 1usize..12) {
+        let (netlist, input, _) = inv_chain(n);
+        let mut sim = Simulator::new(&netlist);
+        sim.settle_initial(2 * n + 4);
+        sim.schedule(input, true, 0);
+        sim.run_until(10_000_000);
+        // Rising input propagates: alternating fall (30) / rise (35).
+        let falls = n.div_ceil(2) as u64;
+        let rises = (n / 2) as u64;
+        prop_assert_eq!(sim.now_ps(), falls * 30 + rises * 35);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..1_000, n in 2usize..8) {
+        let (netlist, input, output) = inv_chain(n);
+        let run = || {
+            let mut sim = Simulator::with_delays(
+                &netlist,
+                DelayConfig::Jitter { spread: 20, seed },
+            );
+            sim.settle_initial(2 * n + 4);
+            sim.schedule(input, true, 5);
+            sim.schedule(input, false, 500);
+            sim.run_until(10_000_000);
+            (sim.now_ps(), sim.value(output), sim.energy_fj())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn energy_is_monotone_in_transitions(pulses in 1u64..6) {
+        let (netlist, input, _) = inv_chain(3);
+        let mut sim = Simulator::new(&netlist);
+        sim.settle_initial(10);
+        for k in 0..pulses {
+            sim.schedule(input, true, k * 2_000 + 100);
+            sim.schedule(input, false, k * 2_000 + 800);
+        }
+        sim.run_until(100_000_000);
+        // 3 inverters x 2 edges x pulses transitions at 90 fJ each.
+        prop_assert_eq!(sim.energy_fj(), pulses * 3 * 2 * 90);
+    }
+
+    #[test]
+    fn fifo_cycles_scale_with_env_delay(delay in 30u64..300) {
+        let (netlist, ports) = rt_netlist::fifo::rt_fifo();
+        let mut sim = Simulator::new(&netlist);
+        sim.settle_initial(16);
+        let mut producer = RingProducer::new(ports.li, ports.lo, ports.ri, delay);
+        producer.max_cycles = Some(5);
+        let mut consumer = FourPhaseConsumer::new(ports.ro, ports.ri, delay);
+        run_with_agents(&mut sim, &mut [&mut producer, &mut consumer], 100_000_000);
+        prop_assert_eq!(producer.cycles(), 5);
+        prop_assert!(sim.hazards().is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! Classic asynchronous-controller benchmarks in the `.g` format.
+//!
+//! The specifications the async-synthesis literature (petrify, SIS,
+//! 3D/minimalist) exercises over and over. They are stored as `.g`
+//! *text* and parsed on demand, so the corpus doubles as parser
+//! hardening. Use [`all`] to sweep everything.
+
+use crate::error::StgError;
+use crate::parse::parse_g;
+use crate::stg::Stg;
+
+/// The VME bus controller, read cycle — the canonical CSC-conflict
+/// example of the petrify literature: the specification is consistent
+/// and live, but two reachable states share a code, so synthesis must
+/// insert a state signal.
+pub const VME_READ_G: &str = "\
+.model vme_read
+.inputs dsr ldtack
+.outputs lds d dtack
+.graph
+dsr+ lds+
+lds+ ldtack+
+ldtack+ d+
+d+ dtack+
+dtack+ dsr-
+dsr- d-
+d- dtack-
+d- lds-
+lds- ldtack-
+ldtack- lds+
+dtack- dsr+
+.marking { <ldtack-,lds+> <dtack-,dsr+> }
+.end
+";
+
+/// A strictly sequential three-signal cycle (`xyz` in the petrify
+/// distribution): consistent, CSC-free, trivially synthesizable.
+pub const XYZ_G: &str = "\
+.model xyz
+.inputs x
+.outputs y z
+.graph
+x+ y+
+y+ z+
+z+ x-
+x- y-
+y- z-
+z- x+
+.marking { <z-,x+> }
+.end
+";
+
+/// A two-user mutual-exclusion arbiter. The grant choice is resolved by
+/// a shared place — reachability and conformance analysis handle it, but
+/// gate-level synthesis must refuse (arbitration needs a mutual-exclusion
+/// primitive, not Boolean logic), which makes it a good negative test.
+pub const ARBITER2_G: &str = "\
+.model arbiter2
+.inputs r1 r2
+.outputs g1 g2
+.graph
+idle1 r1+
+r1+ p1
+p1 g1+
+me g1+
+g1+ q1
+q1 r1-
+r1- s1
+s1 g1-
+g1- idle1
+g1- me
+idle2 r2+
+r2+ p2
+p2 g2+
+me g2+
+g2+ q2
+q2 r2-
+r2- s2
+s2 g2-
+g2- idle2
+g2- me
+.marking { idle1 idle2 me }
+.end
+";
+
+/// An un-decoupled four-phase latch controller: input `rin`, outputs
+/// `aout`/`rout`, input `ain`; the left acknowledge is released only
+/// after the right handshake retracts. Live and safe, with the usual
+/// CSC conflicts that state encoding resolves.
+pub const PIPELINE_STAGE_G: &str = "\
+.model pipeline_stage
+.inputs rin ain
+.outputs aout rout
+.graph
+rin+ aout+
+aout+ rin-
+rin- aout-
+rout- aout-
+aout- rin+
+aout+ rout+
+rout+ ain+
+ain+ rout-
+rout- ain-
+ain- rout+
+.marking { <aout-,rin+> <ain-,rout+> }
+.end
+";
+
+/// Parses one corpus entry.
+///
+/// # Errors
+///
+/// Propagates parser errors (the corpus is tested to be clean).
+pub fn parse(text: &str) -> Result<Stg, StgError> {
+    parse_g(text)
+}
+
+/// All corpus entries as `(name, text)` pairs.
+pub fn all() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("vme_read", VME_READ_G),
+        ("xyz", XYZ_G),
+        ("arbiter2", ARBITER2_G),
+        ("pipeline_stage", PIPELINE_STAGE_G),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach::explore;
+
+    #[test]
+    fn every_entry_parses_and_explores() {
+        for (name, text) in all() {
+            let stg = parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let sg = explore(&stg).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(sg.state_count() > 2, "{name}");
+            assert!(sg.is_strongly_connected(), "{name}");
+            assert!(sg.deadlock_states().is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn vme_read_has_the_famous_csc_conflict() {
+        let stg = parse(VME_READ_G).expect("parses");
+        let sg = explore(&stg).expect("explores");
+        assert!(
+            !sg.csc_conflicts().is_empty(),
+            "vme read is the canonical CSC example"
+        );
+    }
+
+    #[test]
+    fn xyz_is_csc_free() {
+        let stg = parse(XYZ_G).expect("parses");
+        let sg = explore(&stg).expect("explores");
+        assert!(sg.csc_conflicts().is_empty());
+        assert_eq!(sg.state_count(), 6, "one state per edge of the cycle");
+    }
+
+    #[test]
+    fn arbiter_exhibits_output_choice() {
+        let stg = parse(ARBITER2_G).expect("parses");
+        let sg = explore(&stg).expect("explores");
+        // Some state has both grants enabled — the arbitration point.
+        let g1 = stg.signal_by_name("g1").expect("g1");
+        let g2 = stg.signal_by_name("g2").expect("g2");
+        let contention = sg.states().any(|s| {
+            sg.is_enabled(s, rt_stg_event(g1, true))
+                && sg.is_enabled(s, rt_stg_event(g2, true))
+        });
+        assert!(contention);
+    }
+
+    fn rt_stg_event(signal: crate::SignalId, rise: bool) -> crate::SignalEvent {
+        crate::SignalEvent::new(
+            signal,
+            if rise { crate::Edge::Rise } else { crate::Edge::Fall },
+        )
+    }
+
+    #[test]
+    fn pipeline_stage_needs_state_encoding() {
+        // Decoupled pipeline controllers famously need a state signal:
+        // the spec is live and safe but not CSC.
+        let stg = parse(PIPELINE_STAGE_G).expect("parses");
+        let sg = explore(&stg).expect("explores");
+        assert!(!sg.csc_conflicts().is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type shared by the STG substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing, parsing or analysing STGs.
+///
+/// # Examples
+///
+/// ```
+/// use rt_stg::StgError;
+///
+/// let err = StgError::UnknownSignal("req".to_string());
+/// assert_eq!(err.to_string(), "unknown signal `req`");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StgError {
+    /// A signal name was referenced that has not been declared.
+    UnknownSignal(String),
+    /// A signal was declared twice.
+    DuplicateSignal(String),
+    /// A place name was referenced that does not exist.
+    UnknownPlace(String),
+    /// A transition name was referenced that does not exist.
+    UnknownTransition(String),
+    /// The net is not 1-bounded (safe) and analysis assumed safeness.
+    Unbounded {
+        /// Place that exceeded the token bound.
+        place: String,
+        /// Bound that was exceeded.
+        bound: u32,
+    },
+    /// The STG is inconsistent: along some firing sequence a signal would
+    /// rise when already high or fall when already low.
+    Inconsistent {
+        /// Signal whose edges do not alternate.
+        signal: String,
+        /// Human-readable description of the offending state/event.
+        detail: String,
+    },
+    /// Reachability analysis exceeded the configured state limit.
+    StateLimitExceeded(usize),
+    /// The specification deadlocks (a reachable marking enables nothing).
+    Deadlock(String),
+    /// Syntax error while parsing a `.g` file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Analysis requires more signals than the implementation supports.
+    TooManySignals(usize),
+}
+
+impl fmt::Display for StgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StgError::UnknownSignal(name) => write!(f, "unknown signal `{name}`"),
+            StgError::DuplicateSignal(name) => write!(f, "duplicate signal `{name}`"),
+            StgError::UnknownPlace(name) => write!(f, "unknown place `{name}`"),
+            StgError::UnknownTransition(name) => write!(f, "unknown transition `{name}`"),
+            StgError::Unbounded { place, bound } => {
+                write!(f, "place `{place}` exceeds token bound {bound}")
+            }
+            StgError::Inconsistent { signal, detail } => {
+                write!(f, "inconsistent STG: signal `{signal}` ({detail})")
+            }
+            StgError::StateLimitExceeded(limit) => {
+                write!(f, "reachability exceeded state limit of {limit} states")
+            }
+            StgError::Deadlock(state) => write!(f, "specification deadlocks in state {state}"),
+            StgError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            StgError::TooManySignals(n) => {
+                write!(f, "{n} signals exceed the 64-signal state-coding limit")
+            }
+        }
+    }
+}
+
+impl Error for StgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(StgError, &str)> = vec![
+            (StgError::UnknownSignal("a".into()), "unknown signal `a`"),
+            (StgError::DuplicateSignal("b".into()), "duplicate signal `b`"),
+            (StgError::UnknownPlace("p".into()), "unknown place `p`"),
+            (
+                StgError::Unbounded { place: "p0".into(), bound: 1 },
+                "place `p0` exceeds token bound 1",
+            ),
+            (
+                StgError::StateLimitExceeded(10),
+                "reachability exceeded state limit of 10 states",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error>() {}
+        assert_error::<StgError>();
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StgError>();
+    }
+}

@@ -1,0 +1,52 @@
+//! # rt-stg — Signal Transition Graphs and Petri nets
+//!
+//! Substrate crate of the `rt-cad` workspace (a reproduction of Stevens et
+//! al., *"CAD Directions for High Performance Asynchronous Circuits"*, DAC
+//! 1999). Asynchronous controllers are specified as **Signal Transition
+//! Graphs** (STGs): Petri nets whose transitions are labelled with rising
+//! (`a+`) and falling (`a-`) edges of interface and internal signals.
+//!
+//! The crate provides:
+//!
+//! * [`PetriNet`] — places, transitions, weighted arcs, markings, the token
+//!   game, and structural classification (marked graphs, free choice).
+//! * [`Stg`] — a labelled Petri net with a signal table
+//!   (input/output/internal), consistency checking and convenience builders.
+//! * [`parse`] — reader/writer for the `.g` (astg) interchange format used
+//!   by `petrify` and SIS.
+//! * [`reach`] — explicit reachability analysis producing a [`StateGraph`]
+//!   with binary-coded states, the input to logic synthesis.
+//! * [`models`] — ready-made specifications from the paper: the FIFO
+//!   controller of Figure 3, the C-element, pipeline rings, and more.
+//!
+//! ## Example
+//!
+//! ```
+//! use rt_stg::{models, reach};
+//!
+//! # fn main() -> Result<(), rt_stg::StgError> {
+//! let stg = models::fifo_stg();
+//! let sg = reach::explore(&stg)?;
+//! // The Figure-3 FIFO controller has 18 reachable states.
+//! assert_eq!(sg.state_count(), 18);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod corpus;
+pub mod error;
+pub mod models;
+pub mod parse;
+pub mod petri;
+pub mod reach;
+pub mod signal;
+pub mod state_graph;
+pub mod stg;
+pub mod symbolic;
+
+pub use error::StgError;
+pub use petri::{Marking, PetriNet, PlaceId, TransitionId};
+pub use reach::explore;
+pub use signal::{Edge, SignalEvent, SignalId, SignalKind};
+pub use state_graph::{StateGraph, StateId};
+pub use stg::Stg;

@@ -1,0 +1,337 @@
+//! Ready-made STG specifications used throughout the paper reproduction.
+//!
+//! The central model is [`fifo_stg`], the FIFO-controller specification of
+//! **Figure 3** of the paper — "a simplified abstraction of a part of the
+//! RAPPID design". Its synthesis is traced through four implementations
+//! (Figures 4–7, Table 2).
+
+use crate::signal::{Edge, SignalKind};
+use crate::stg::Stg;
+
+/// A minimal four-phase handshake: input `a`, output `b`,
+/// `a+ → b+ → a- → b-` in a loop. Four reachable states.
+///
+/// # Examples
+///
+/// ```
+/// let sg = rt_stg::explore(&rt_stg::models::handshake_stg()).unwrap();
+/// assert_eq!(sg.state_count(), 4);
+/// ```
+pub fn handshake_stg() -> Stg {
+    let mut stg = Stg::new("handshake");
+    let a = stg.add_signal("a", SignalKind::Input).expect("fresh signal");
+    let b = stg.add_signal("b", SignalKind::Output).expect("fresh signal");
+    let ap = stg.transition_for(a, Edge::Rise);
+    let bp = stg.transition_for(b, Edge::Rise);
+    let am = stg.transition_for(a, Edge::Fall);
+    let bm = stg.transition_for(b, Edge::Fall);
+    stg.arc(ap, bp);
+    stg.arc(bp, am);
+    stg.arc(am, bm);
+    stg.marked_arc(bm, ap);
+    stg
+}
+
+/// The FIFO-controller specification of **Figure 3** of the paper.
+///
+/// Interface (Figure 3a):
+///
+/// * `li` — left request in (input), `lo` — left acknowledge (output);
+/// * `ro` — right request out (output), `ri` — right acknowledge (input).
+///
+/// Behaviour: a full four-phase handshake on the left accepts a datum
+/// (`li+ → lo+ → li- → lo-`); once the datum is latched (`lo+`) and the
+/// right neighbour is ready (`ri-` of the previous cycle) a four-phase
+/// handshake on the right forwards it (`ro+ → ri+ → ro- → ri-`); the left
+/// side is released (`lo-`) only after the right request has retracted
+/// (`ro-`). The silent ε transition models the
+/// environment's internal action between `lo-` and the next `li+`
+/// (Figure 3b).
+///
+/// The specification is consistent, safe and strongly connected, but — like
+/// the real FIFO — it has **CSC conflicts**: synthesis must insert a state
+/// signal (the `x` of Figures 4–5), or relative-timing assumptions must
+/// prune the conflicting states.
+pub fn fifo_stg() -> Stg {
+    let mut stg = Stg::new("fifo");
+    let li = stg.add_signal("li", SignalKind::Input).expect("fresh signal");
+    let lo = stg.add_signal("lo", SignalKind::Output).expect("fresh signal");
+    let ro = stg.add_signal("ro", SignalKind::Output).expect("fresh signal");
+    let ri = stg.add_signal("ri", SignalKind::Input).expect("fresh signal");
+
+    let li_p = stg.transition_for(li, Edge::Rise);
+    let lo_p = stg.transition_for(lo, Edge::Rise);
+    let li_m = stg.transition_for(li, Edge::Fall);
+    let lo_m = stg.transition_for(lo, Edge::Fall);
+    let ro_p = stg.transition_for(ro, Edge::Rise);
+    let ri_p = stg.transition_for(ri, Edge::Rise);
+    let ro_m = stg.transition_for(ro, Edge::Fall);
+    let ri_m = stg.transition_for(ri, Edge::Fall);
+    let eps = stg.silent("eps");
+
+    // Left handshake.
+    stg.arc(li_p, lo_p);
+    stg.arc(lo_p, li_m);
+    stg.arc(li_m, lo_m);
+    stg.arc(lo_m, eps);
+    stg.marked_arc(eps, li_p);
+    // Datum forwarding: latch (lo+) then request right.
+    stg.arc(lo_p, ro_p);
+    // Right handshake.
+    stg.arc(ro_p, ri_p);
+    stg.arc(ri_p, ro_m);
+    stg.arc(ro_m, ri_m);
+    stg.marked_arc(ri_m, ro_p);
+    // The left side is held until the right handshake has retracted.
+    stg.arc(ro_m, lo_m);
+    stg
+}
+
+/// The FIFO specification with a state signal `x` inserted to resolve the
+/// CSC conflicts of [`fifo_stg`], in the *serial* (speed-independent) way:
+/// `x+` fires between `li+` and `lo+`, `x-` between `ro+` and `ri+`.
+///
+/// `x` distinguishes the first half of the cycle (datum being accepted and
+/// forwarded, `x = 1`) from the second half (handshakes retracting,
+/// `x = 0`), which removes every code collision. This is the starting
+/// point of the Figure-4 speed-independent implementation; `x` sits on the
+/// critical cycle, which is precisely the overhead relative timing later
+/// removes (the paper's Figure 5 keeps `x` "never in the critical path"
+/// instead).
+pub fn fifo_stg_csc() -> Stg {
+    let mut stg = Stg::new("fifo_csc");
+    let li = stg.add_signal("li", SignalKind::Input).expect("fresh signal");
+    let lo = stg.add_signal("lo", SignalKind::Output).expect("fresh signal");
+    let ro = stg.add_signal("ro", SignalKind::Output).expect("fresh signal");
+    let ri = stg.add_signal("ri", SignalKind::Input).expect("fresh signal");
+    let x = stg.add_signal("x", SignalKind::Internal).expect("fresh signal");
+
+    let li_p = stg.transition_for(li, Edge::Rise);
+    let lo_p = stg.transition_for(lo, Edge::Rise);
+    let li_m = stg.transition_for(li, Edge::Fall);
+    let lo_m = stg.transition_for(lo, Edge::Fall);
+    let ro_p = stg.transition_for(ro, Edge::Rise);
+    let ri_p = stg.transition_for(ri, Edge::Rise);
+    let ro_m = stg.transition_for(ro, Edge::Fall);
+    let ri_m = stg.transition_for(ri, Edge::Fall);
+    let x_p = stg.transition_for(x, Edge::Rise);
+    let x_m = stg.transition_for(x, Edge::Fall);
+    let eps = stg.silent("eps");
+
+    // Left handshake with x+ serialized between li+ and lo+.
+    stg.arc(li_p, x_p);
+    stg.arc(x_p, lo_p);
+    stg.arc(lo_p, li_m);
+    stg.arc(li_m, lo_m);
+    stg.arc(lo_m, eps);
+    stg.marked_arc(eps, li_p);
+    // Datum forwarding.
+    stg.arc(lo_p, ro_p);
+    // Right handshake with x- serialized between ro+ and ri+.
+    stg.arc(ro_p, x_m);
+    stg.arc(x_m, ri_p);
+    stg.arc(ri_p, ro_m);
+    stg.arc(ro_m, ri_m);
+    stg.marked_arc(ri_m, ro_p);
+    // The left side is held until the right handshake has retracted.
+    stg.arc(ro_m, lo_m);
+    stg
+}
+
+/// The C-element specification used in Section 5 of the paper: output `c`
+/// rises after both inputs `a` and `b` rise, falls after both fall.
+///
+/// # Examples
+///
+/// ```
+/// let sg = rt_stg::explore(&rt_stg::models::celement_stg()).unwrap();
+/// // a and b toggle concurrently: 2*2 phases around the cycle.
+/// assert!(sg.state_count() > 4);
+/// assert!(sg.csc_conflicts().is_empty());
+/// ```
+pub fn celement_stg() -> Stg {
+    let mut stg = Stg::new("celement");
+    let a = stg.add_signal("a", SignalKind::Input).expect("fresh signal");
+    let b = stg.add_signal("b", SignalKind::Input).expect("fresh signal");
+    let c = stg.add_signal("c", SignalKind::Output).expect("fresh signal");
+
+    let ap = stg.transition_for(a, Edge::Rise);
+    let bp = stg.transition_for(b, Edge::Rise);
+    let cp = stg.transition_for(c, Edge::Rise);
+    let am = stg.transition_for(a, Edge::Fall);
+    let bm = stg.transition_for(b, Edge::Fall);
+    let cm = stg.transition_for(c, Edge::Fall);
+
+    stg.arc(ap, cp);
+    stg.arc(bp, cp);
+    stg.arc(cp, am);
+    stg.arc(cp, bm);
+    stg.arc(am, cm);
+    stg.arc(bm, cm);
+    stg.marked_arc(cm, ap);
+    stg.marked_arc(cm, bp);
+    stg
+}
+
+/// A closed ring of `n` abstract pipeline stages holding `tokens` data
+/// tokens, expressed as one STG over request signals `r0..r(n-1)`.
+///
+/// Stage *i* fires `r_i+` when its predecessor has presented a token and
+/// its successor slot is empty, then `r_i-` resets. The model is the
+/// state-space–scaling workload for reachability benchmarks and mirrors the
+/// FIFO-ring argument used to justify the Figure-6 user assumption
+/// (`ri- before li+` holds in a sufficiently large ring).
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `tokens == 0` or `tokens >= n`.
+pub fn ring_stg(n: usize, tokens: usize) -> Stg {
+    assert!(n >= 2, "ring needs at least two stages");
+    assert!(tokens >= 1 && tokens < n, "tokens must be in 1..n");
+    let mut stg = Stg::new(format!("ring{n}_{tokens}"));
+    let signals: Vec<_> = (0..n)
+        .map(|i| {
+            stg.add_signal(format!("r{i}"), SignalKind::Internal)
+                .expect("fresh signal")
+        })
+        .collect();
+    let rises: Vec<_> = signals
+        .iter()
+        .map(|&s| stg.transition_for(s, Edge::Rise))
+        .collect();
+    let falls: Vec<_> = signals
+        .iter()
+        .map(|&s| stg.transition_for(s, Edge::Fall))
+        .collect();
+    for i in 0..n {
+        let next = (i + 1) % n;
+        // r_i+ -> r_i-  (stage processes its token)
+        stg.arc(rises[i], falls[i]);
+        // r_i- -> r_{next}+ (token moves on); tokens start in the first
+        // `tokens` gaps.
+        if i < tokens {
+            stg.marked_arc(falls[i], rises[next]);
+        } else {
+            stg.arc(falls[i], rises[next]);
+        }
+        // r_{next}- -> r_i+ : the slot ahead must be free (bubble).
+        if i >= tokens {
+            stg.marked_arc(falls[next], rises[i]);
+        } else {
+            stg.arc(falls[next], rises[i]);
+        }
+    }
+    stg
+}
+
+/// A linear pipeline of `n` handshake controllers sharing boundary
+/// signals, used to scale synthesis benchmarks: input request `r`, output
+/// acknowledgements `a0..a(n-1)` chained in sequence.
+pub fn chain_stg(n: usize) -> Stg {
+    assert!(n >= 1, "chain needs at least one stage");
+    let mut stg = Stg::new(format!("chain{n}"));
+    let r = stg.add_signal("r", SignalKind::Input).expect("fresh signal");
+    let acks: Vec<_> = (0..n)
+        .map(|i| {
+            stg.add_signal(format!("a{i}"), SignalKind::Output)
+                .expect("fresh signal")
+        })
+        .collect();
+    let rp = stg.transition_for(r, Edge::Rise);
+    let rm = stg.transition_for(r, Edge::Fall);
+    let aps: Vec<_> = acks.iter().map(|&a| stg.transition_for(a, Edge::Rise)).collect();
+    let ams: Vec<_> = acks.iter().map(|&a| stg.transition_for(a, Edge::Fall)).collect();
+    stg.arc(rp, aps[0]);
+    for i in 1..n {
+        stg.arc(aps[i - 1], aps[i]);
+    }
+    stg.arc(aps[n - 1], rm);
+    stg.arc(rm, ams[0]);
+    for i in 1..n {
+        stg.arc(ams[i - 1], ams[i]);
+    }
+    stg.marked_arc(ams[n - 1], rp);
+    stg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach::explore;
+    use crate::signal::SignalKind;
+
+    #[test]
+    fn handshake_is_clean() {
+        let sg = explore(&handshake_stg()).unwrap();
+        assert_eq!(sg.state_count(), 4);
+        assert!(sg.csc_conflicts().is_empty());
+        assert!(sg.is_strongly_connected());
+    }
+
+    #[test]
+    fn fifo_matches_figure3_structure() {
+        let stg = fifo_stg();
+        assert_eq!(stg.signal_count(), 4);
+        assert_eq!(stg.signals_of_kind(SignalKind::Input).len(), 2);
+        assert_eq!(stg.signals_of_kind(SignalKind::Output).len(), 2);
+        // 8 signal transitions + 1 silent ε.
+        assert_eq!(stg.net().transition_count(), 9);
+    }
+
+    #[test]
+    fn fifo_is_consistent_safe_and_live() {
+        let sg = explore(&fifo_stg()).unwrap();
+        assert!(sg.state_count() > 8, "real concurrency expected");
+        assert!(sg.is_strongly_connected());
+        assert!(sg.deadlock_states().is_empty());
+    }
+
+    #[test]
+    fn fifo_has_csc_conflicts_requiring_a_state_signal() {
+        let sg = explore(&fifo_stg()).unwrap();
+        assert!(
+            !sg.csc_conflicts().is_empty(),
+            "the paper's FIFO needs state signal x"
+        );
+    }
+
+    #[test]
+    fn fifo_with_x_resolves_csc() {
+        let sg = explore(&fifo_stg_csc()).unwrap();
+        assert!(sg.is_strongly_connected());
+        assert!(
+            sg.csc_conflicts().is_empty(),
+            "serial x insertion must yield CSC: {:?}",
+            sg.csc_conflicts()
+        );
+    }
+
+    #[test]
+    fn celement_spec_is_clean() {
+        let sg = explore(&celement_stg()).unwrap();
+        assert!(sg.is_strongly_connected());
+        assert!(sg.csc_conflicts().is_empty());
+    }
+
+    #[test]
+    fn ring_scales_state_count() {
+        let small = explore(&ring_stg(3, 1)).unwrap();
+        let large = explore(&ring_stg(5, 2)).unwrap();
+        assert!(large.state_count() > small.state_count());
+        assert!(small.is_strongly_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "tokens must be in 1..n")]
+    fn ring_rejects_full_occupancy() {
+        let _ = ring_stg(3, 3);
+    }
+
+    #[test]
+    fn chain_is_consistent() {
+        let sg = explore(&chain_stg(3)).unwrap();
+        assert!(sg.is_strongly_connected());
+        assert!(sg.csc_conflicts().is_empty());
+        assert_eq!(sg.state_count(), 8, "chain is fully sequential");
+    }
+}

@@ -1,0 +1,392 @@
+//! Explicit reachability analysis: STG → [`StateGraph`].
+//!
+//! The analyser plays the token game from the initial marking, assigns each
+//! reached marking a binary signal code, verifies *consistency* (edges of
+//! each signal strictly alternate along every path) and *safeness* (the net
+//! stays within a configurable token bound), and produces the state graph
+//! consumed by logic synthesis.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::error::StgError;
+use crate::petri::Marking;
+use crate::signal::SignalId;
+use crate::state_graph::{StateArc, StateGraph, StateId};
+use crate::stg::{Stg, TransitionLabel};
+
+/// Tuning knobs for [`explore_with`].
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Maximum number of states before aborting with
+    /// [`StgError::StateLimitExceeded`].
+    pub state_limit: usize,
+    /// Per-place token bound (1 = safe net). `None` disables the check.
+    pub bound: Option<u16>,
+    /// When `true`, a reachable deadlock is an error.
+    pub forbid_deadlock: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            state_limit: 1 << 20,
+            bound: Some(1),
+            forbid_deadlock: false,
+        }
+    }
+}
+
+/// Explores `stg` with default options (2^20-state limit, safe-net check).
+///
+/// # Errors
+///
+/// Propagates every failure mode of [`explore_with`].
+///
+/// # Examples
+///
+/// ```
+/// use rt_stg::{models, explore};
+///
+/// # fn main() -> Result<(), rt_stg::StgError> {
+/// let sg = explore(&models::fifo_stg())?;
+/// assert!(sg.is_strongly_connected());
+/// # Ok(())
+/// # }
+/// ```
+pub fn explore(stg: &Stg) -> Result<StateGraph, StgError> {
+    explore_with(stg, &ExploreOptions::default())
+}
+
+/// Explores `stg` under explicit [`ExploreOptions`].
+///
+/// # Errors
+///
+/// * [`StgError::TooManySignals`] — more than 64 signals.
+/// * [`StgError::StateLimitExceeded`] — exploration exceeded the limit.
+/// * [`StgError::Unbounded`] — a place exceeded the token bound.
+/// * [`StgError::Inconsistent`] — some signal's edges do not alternate.
+/// * [`StgError::Deadlock`] — with `forbid_deadlock`, a marking enabling
+///   nothing was reached.
+pub fn explore_with(stg: &Stg, options: &ExploreOptions) -> Result<StateGraph, StgError> {
+    if stg.signal_count() > 64 {
+        return Err(StgError::TooManySignals(stg.signal_count()));
+    }
+    let initial_code = infer_initial_code(stg, options)?;
+    let net = stg.net();
+    let initial_marking = stg.initial_marking();
+
+    let mut index: HashMap<Marking, StateId> = HashMap::new();
+    let mut codes: Vec<u64> = Vec::new();
+    let mut markings: Vec<Marking> = Vec::new();
+    let mut arcs: Vec<Vec<StateArc>> = Vec::new();
+    let mut queue: VecDeque<StateId> = VecDeque::new();
+
+    index.insert(initial_marking.clone(), StateId(0));
+    codes.push(initial_code);
+    markings.push(initial_marking);
+    arcs.push(Vec::new());
+    queue.push_back(StateId(0));
+
+    while let Some(state) = queue.pop_front() {
+        let marking = markings[state.index()].clone();
+        let code = codes[state.index()];
+        let enabled = net.enabled(&marking);
+        if enabled.is_empty() && options.forbid_deadlock {
+            return Err(StgError::Deadlock(format!("{marking}")));
+        }
+        for transition in enabled {
+            let next_marking = net
+                .fire(transition, &marking)
+                .expect("enabled transition must fire");
+            if let Some(bound) = options.bound {
+                net.check_bound(&next_marking, bound)?;
+            }
+            let (event, next_code) = match stg.label(transition) {
+                TransitionLabel::Silent => (None, code),
+                TransitionLabel::Event(ev) => {
+                    let current = code >> ev.signal.index() & 1 == 1;
+                    if current != ev.edge.source_value() {
+                        return Err(StgError::Inconsistent {
+                            signal: stg.signal_name(ev.signal).to_string(),
+                            detail: format!(
+                                "{} fires in state {marking} where {} is already {}",
+                                stg.event_name(ev),
+                                stg.signal_name(ev.signal),
+                                u8::from(current)
+                            ),
+                        });
+                    }
+                    let next = if ev.edge.target_value() {
+                        code | 1 << ev.signal.index()
+                    } else {
+                        code & !(1 << ev.signal.index())
+                    };
+                    (Some(ev), next)
+                }
+            };
+            let next_state = match index.get(&next_marking) {
+                Some(&existing) => {
+                    if codes[existing.index()] != next_code {
+                        // The same marking was reached with two different
+                        // signal codes: the STG is not consistent.
+                        let bit = (codes[existing.index()] ^ next_code).trailing_zeros();
+                        return Err(StgError::Inconsistent {
+                            signal: stg.signal_name(SignalId(bit)).to_string(),
+                            detail: format!(
+                                "marking {next_marking} reached with codes {:b} and {:b}",
+                                codes[existing.index()],
+                                next_code
+                            ),
+                        });
+                    }
+                    existing
+                }
+                None => {
+                    let id = StateId(codes.len() as u32);
+                    if id.index() >= options.state_limit {
+                        return Err(StgError::StateLimitExceeded(options.state_limit));
+                    }
+                    index.insert(next_marking.clone(), id);
+                    codes.push(next_code);
+                    markings.push(next_marking);
+                    arcs.push(Vec::new());
+                    queue.push_back(id);
+                    id
+                }
+            };
+            arcs[state.index()].push(StateArc { event, to: next_state });
+        }
+    }
+
+    let signal_names = stg
+        .signals()
+        .map(|s| stg.signal_name(s).to_string())
+        .collect();
+    let signal_kinds = stg.signals().map(|s| stg.signal_kind(s)).collect();
+    Ok(StateGraph::from_parts(
+        signal_names,
+        signal_kinds,
+        codes,
+        arcs,
+        markings,
+        StateId(0),
+    ))
+}
+
+/// Determines the initial binary code.
+///
+/// Explicit values set with [`Stg::set_initial_value`] win; remaining
+/// signals are inferred from the *first edge* of the signal encountered in a
+/// breadth-first sweep of the token game (a first rise ⇒ initially 0, a
+/// first fall ⇒ initially 1). Signals that never transition default to 0.
+fn infer_initial_code(stg: &Stg, options: &ExploreOptions) -> Result<u64, StgError> {
+    let mut value: Vec<Option<bool>> = (0..stg.signal_count())
+        .map(|i| stg.initial_value(SignalId(i as u32)))
+        .collect();
+    let mut unresolved = value.iter().filter(|v| v.is_none()).count();
+    if unresolved == 0 {
+        return Ok(pack_code(&value));
+    }
+
+    let net = stg.net();
+    let mut seen: HashMap<Marking, ()> = HashMap::new();
+    let mut queue = VecDeque::new();
+    let initial = stg.initial_marking();
+    seen.insert(initial.clone(), ());
+    queue.push_back(initial);
+
+    while let Some(marking) = queue.pop_front() {
+        if unresolved == 0 || seen.len() > options.state_limit {
+            break;
+        }
+        for transition in net.enabled(&marking) {
+            if let TransitionLabel::Event(ev) = stg.label(transition) {
+                let slot = &mut value[ev.signal.index()];
+                if slot.is_none() {
+                    *slot = Some(ev.edge.source_value());
+                    unresolved -= 1;
+                }
+            }
+            let next = net
+                .fire(transition, &marking)
+                .expect("enabled transition must fire");
+            if let Some(bound) = options.bound {
+                net.check_bound(&next, bound)?;
+            }
+            if !seen.contains_key(&next) {
+                seen.insert(next.clone(), ());
+                queue.push_back(next);
+            }
+        }
+    }
+    Ok(pack_code(&value))
+}
+
+fn pack_code(values: &[Option<bool>]) -> u64 {
+    let mut code = 0u64;
+    for (i, v) in values.iter().enumerate() {
+        if v.unwrap_or(false) {
+            code |= 1 << i;
+        }
+    }
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::{Edge, SignalKind};
+
+    fn handshake() -> Stg {
+        let mut stg = Stg::new("hs");
+        let a = stg.add_signal("a", SignalKind::Input).unwrap();
+        let b = stg.add_signal("b", SignalKind::Output).unwrap();
+        let ap = stg.transition_for(a, Edge::Rise);
+        let bp = stg.transition_for(b, Edge::Rise);
+        let am = stg.transition_for(a, Edge::Fall);
+        let bm = stg.transition_for(b, Edge::Fall);
+        stg.arc(ap, bp);
+        stg.arc(bp, am);
+        stg.arc(am, bm);
+        stg.marked_arc(bm, ap);
+        stg
+    }
+
+    #[test]
+    fn handshake_has_four_states() {
+        let sg = explore(&handshake()).unwrap();
+        assert_eq!(sg.state_count(), 4);
+        assert_eq!(sg.arc_count(), 4);
+        assert!(sg.is_strongly_connected());
+        assert_eq!(sg.code(sg.initial()), 0);
+    }
+
+    #[test]
+    fn initial_values_inferred_from_first_edges() {
+        // b- fires first for b if we mark the b- arc instead: initial b = 1.
+        let mut stg = Stg::new("inv");
+        let a = stg.add_signal("a", SignalKind::Input).unwrap();
+        let b = stg.add_signal("b", SignalKind::Output).unwrap();
+        let ap = stg.transition_for(a, Edge::Rise);
+        let bm = stg.transition_for(b, Edge::Fall);
+        let am = stg.transition_for(a, Edge::Fall);
+        let bp = stg.transition_for(b, Edge::Rise);
+        stg.arc(ap, bm);
+        stg.arc(bm, am);
+        stg.arc(am, bp);
+        stg.marked_arc(bp, ap);
+        let sg = explore(&stg).unwrap();
+        // Initial: a = 0 (a+ first), b = 1 (b- first).
+        assert_eq!(sg.code(sg.initial()), 0b10);
+    }
+
+    #[test]
+    fn explicit_initial_values_override_inference() {
+        let mut stg = handshake();
+        let a = stg.signal_by_name("a").unwrap();
+        stg.set_initial_value(a, false);
+        let sg = explore(&stg).unwrap();
+        assert_eq!(sg.code(sg.initial()) & 1, 0);
+    }
+
+    #[test]
+    fn inconsistent_stg_rejected() {
+        // a+ followed by a+ again without a-.
+        let mut stg = Stg::new("bad");
+        let a = stg.add_signal("a", SignalKind::Input).unwrap();
+        let t1 = stg.transition_for(a, Edge::Rise);
+        let t2 = stg.transition_for(a, Edge::Rise);
+        stg.arc(t1, t2); // a+ twice in a row: inconsistent on purpose
+        let p = stg.add_place("start");
+        stg.set_tokens(p, 1);
+        stg.arc_from_place(p, t1);
+        let err = explore(&stg).unwrap_err();
+        assert!(matches!(err, StgError::Inconsistent { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn unbounded_net_rejected_with_safe_bound() {
+        // A transition that only produces tokens.
+        let mut stg = Stg::new("pump");
+        let a = stg.add_signal("a", SignalKind::Input).unwrap();
+        let t1 = stg.transition_for(a, Edge::Rise);
+        let t2 = stg.transition_for(a, Edge::Fall);
+        let p_loop = stg.add_place("loop");
+        stg.set_tokens(p_loop, 1);
+        stg.arc_from_place(p_loop, t1);
+        stg.arc_to_place(t1, p_loop); // self-loop keeps t1 live
+        let sink = stg.add_place("sink");
+        stg.arc_to_place(t1, sink); // accumulates tokens unboundedly
+        stg.arc_from_place(sink, t2);
+        stg.arc_to_place(t2, sink);
+        stg.arc_to_place(t2, sink);
+        let err = explore(&stg).unwrap_err();
+        assert!(
+            matches!(err, StgError::Unbounded { .. } | StgError::Inconsistent { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn state_limit_enforced() {
+        let stg = handshake();
+        let options = ExploreOptions { state_limit: 2, ..ExploreOptions::default() };
+        let err = explore_with(&stg, &options).unwrap_err();
+        assert_eq!(err, StgError::StateLimitExceeded(2));
+    }
+
+    #[test]
+    fn deadlock_detection() {
+        let mut stg = Stg::new("dead");
+        let a = stg.add_signal("a", SignalKind::Input).unwrap();
+        let t1 = stg.transition_for(a, Edge::Rise);
+        let p = stg.add_place("start");
+        stg.set_tokens(p, 1);
+        stg.arc_from_place(p, t1);
+        // t1 produces nothing: deadlock after firing.
+        let options = ExploreOptions { forbid_deadlock: true, ..ExploreOptions::default() };
+        let err = explore_with(&stg, &options).unwrap_err();
+        assert!(matches!(err, StgError::Deadlock(_)), "got {err:?}");
+        // Without the flag the deadlock state is simply present.
+        let sg = explore(&stg).unwrap();
+        assert_eq!(sg.deadlock_states().len(), 1);
+    }
+
+    #[test]
+    fn silent_transitions_preserve_codes() {
+        let mut stg = Stg::new("eps");
+        let a = stg.add_signal("a", SignalKind::Input).unwrap();
+        let ap = stg.transition_for(a, Edge::Rise);
+        let am = stg.transition_for(a, Edge::Fall);
+        let eps = stg.silent("eps");
+        stg.arc(ap, eps);
+        stg.arc(eps, am);
+        stg.marked_arc(am, ap);
+        let sg = explore(&stg).unwrap();
+        assert_eq!(sg.state_count(), 3);
+        // The ε arc connects two states with identical codes.
+        let silent_arcs: Vec<_> = sg
+            .states()
+            .flat_map(|s| {
+                sg.successors(s)
+                    .iter()
+                    .filter(|arc| arc.event.is_none())
+                    .map(move |arc| (s, arc.to))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert_eq!(silent_arcs.len(), 1);
+        let (from, to) = silent_arcs[0];
+        assert_eq!(sg.code(from), sg.code(to));
+    }
+
+    #[test]
+    fn too_many_signals_rejected() {
+        let mut stg = Stg::new("wide");
+        for i in 0..65 {
+            stg.add_signal(format!("s{i}"), SignalKind::Input).unwrap();
+        }
+        let err = explore(&stg).unwrap_err();
+        assert_eq!(err, StgError::TooManySignals(65));
+    }
+}

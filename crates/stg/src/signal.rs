@@ -1,0 +1,225 @@
+//! Signals, edges, and signal events.
+//!
+//! An STG transition is labelled with a [`SignalEvent`] — a rising or
+//! falling [`Edge`] of a named signal — or is *silent* (a dummy/ε
+//! transition, represented at the [`crate::stg::Stg`] level).
+
+use std::fmt;
+
+/// Index of a signal within an [`crate::Stg`]'s signal table.
+///
+/// Signal ids are dense and stable: the first declared signal receives id 0.
+///
+/// # Examples
+///
+/// ```
+/// use rt_stg::SignalId;
+///
+/// let id = SignalId(3);
+/// assert_eq!(id.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub u32);
+
+impl SignalId {
+    /// Returns the id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Interface role of a signal.
+///
+/// The distinction drives synthesis and verification: only non-input
+/// signals are implemented by logic; inputs are produced by the
+/// environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SignalKind {
+    /// Driven by the environment.
+    Input,
+    /// Driven by the circuit, observable by the environment.
+    Output,
+    /// Driven by the circuit, not observable (e.g. inserted state signals).
+    Internal,
+}
+
+impl SignalKind {
+    /// Returns `true` for signals the circuit must implement
+    /// ([`SignalKind::Output`] and [`SignalKind::Internal`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rt_stg::SignalKind;
+    ///
+    /// assert!(!SignalKind::Input.is_implemented());
+    /// assert!(SignalKind::Output.is_implemented());
+    /// assert!(SignalKind::Internal.is_implemented());
+    /// ```
+    pub fn is_implemented(self) -> bool {
+        !matches!(self, SignalKind::Input)
+    }
+}
+
+impl fmt::Display for SignalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            SignalKind::Input => "input",
+            SignalKind::Output => "output",
+            SignalKind::Internal => "internal",
+        };
+        f.write_str(text)
+    }
+}
+
+/// Direction of a signal transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Edge {
+    /// `a+`: the signal goes from 0 to 1.
+    Rise,
+    /// `a-`: the signal goes from 1 to 0.
+    Fall,
+}
+
+impl Edge {
+    /// Returns the opposite edge.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rt_stg::Edge;
+    ///
+    /// assert_eq!(Edge::Rise.opposite(), Edge::Fall);
+    /// assert_eq!(Edge::Fall.opposite(), Edge::Rise);
+    /// ```
+    pub fn opposite(self) -> Edge {
+        match self {
+            Edge::Rise => Edge::Fall,
+            Edge::Fall => Edge::Rise,
+        }
+    }
+
+    /// The signal value *after* this edge fires (1 for rise, 0 for fall).
+    pub fn target_value(self) -> bool {
+        matches!(self, Edge::Rise)
+    }
+
+    /// The signal value *required before* this edge may fire.
+    pub fn source_value(self) -> bool {
+        !self.target_value()
+    }
+
+    /// The conventional suffix: `+` for rise, `-` for fall.
+    pub fn suffix(self) -> char {
+        match self {
+            Edge::Rise => '+',
+            Edge::Fall => '-',
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.suffix())
+    }
+}
+
+/// A signal transition event: a specific edge of a specific signal.
+///
+/// `SignalEvent` is the alphabet of the relative-timing methodology — both
+/// STG labels and RT assumptions ("event `a` occurs before event `b`") are
+/// expressed over signal events.
+///
+/// # Examples
+///
+/// ```
+/// use rt_stg::{Edge, SignalEvent, SignalId};
+///
+/// let ev = SignalEvent::rise(SignalId(0));
+/// assert_eq!(ev.edge, Edge::Rise);
+/// assert_eq!(ev.opposite(), SignalEvent::fall(SignalId(0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalEvent {
+    /// The signal that transitions.
+    pub signal: SignalId,
+    /// The direction of the transition.
+    pub edge: Edge,
+}
+
+impl SignalEvent {
+    /// Creates a new event.
+    pub fn new(signal: SignalId, edge: Edge) -> Self {
+        SignalEvent { signal, edge }
+    }
+
+    /// Shorthand for a rising event.
+    pub fn rise(signal: SignalId) -> Self {
+        SignalEvent::new(signal, Edge::Rise)
+    }
+
+    /// Shorthand for a falling event.
+    pub fn fall(signal: SignalId) -> Self {
+        SignalEvent::new(signal, Edge::Fall)
+    }
+
+    /// The event of the same signal in the opposite direction.
+    pub fn opposite(self) -> Self {
+        SignalEvent::new(self.signal, self.edge.opposite())
+    }
+}
+
+impl fmt::Display for SignalEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.signal, self.edge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_opposite_is_involutive() {
+        for edge in [Edge::Rise, Edge::Fall] {
+            assert_eq!(edge.opposite().opposite(), edge);
+        }
+    }
+
+    #[test]
+    fn edge_values_are_consistent() {
+        assert!(Edge::Rise.target_value());
+        assert!(!Edge::Rise.source_value());
+        assert!(!Edge::Fall.target_value());
+        assert!(Edge::Fall.source_value());
+    }
+
+    #[test]
+    fn event_display_uses_plus_minus() {
+        let ev = SignalEvent::rise(SignalId(2));
+        assert_eq!(ev.to_string(), "s2+");
+        assert_eq!(ev.opposite().to_string(), "s2-");
+    }
+
+    #[test]
+    fn signal_kind_classification() {
+        assert!(!SignalKind::Input.is_implemented());
+        assert!(SignalKind::Output.is_implemented());
+        assert!(SignalKind::Internal.is_implemented());
+    }
+
+    #[test]
+    fn events_order_by_signal_then_edge() {
+        let a_plus = SignalEvent::rise(SignalId(0));
+        let a_minus = SignalEvent::fall(SignalId(0));
+        let b_plus = SignalEvent::rise(SignalId(1));
+        assert!(a_plus < a_minus || a_minus < a_plus);
+        assert!(a_plus < b_plus);
+    }
+}

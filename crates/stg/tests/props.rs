@@ -1,0 +1,120 @@
+//! Property-based tests for the STG substrate: reachability invariants
+//! on randomly generated live specifications, `.g` round-trips, and
+//! state-code bookkeeping.
+
+use proptest::prelude::*;
+use rt_stg::{explore, models, parse, Edge, SignalKind, Stg};
+
+/// Builds a random "token ring" STG: `n` signals, each signal's rise and
+/// fall chained around a cycle (always live, safe and consistent).
+fn random_ring(n: usize, marked_at: usize) -> Stg {
+    let mut stg = Stg::new(format!("ring{n}"));
+    let signals: Vec<_> = (0..n)
+        .map(|i| {
+            let kind = if i == 0 { SignalKind::Input } else { SignalKind::Output };
+            stg.add_signal(format!("s{i}"), kind).expect("fresh")
+        })
+        .collect();
+    let mut transitions = Vec::new();
+    for &s in &signals {
+        transitions.push(stg.transition_for(s, Edge::Rise));
+    }
+    for &s in &signals {
+        transitions.push(stg.transition_for(s, Edge::Fall));
+    }
+    for i in 0..transitions.len() {
+        let from = transitions[i];
+        let to = transitions[(i + 1) % transitions.len()];
+        if i == marked_at {
+            stg.marked_arc(from, to);
+        } else {
+            stg.arc(from, to);
+        }
+    }
+    stg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ring_reachability_is_linear_and_connected(
+        n in 2usize..7,
+        marked in 0usize..4,
+    ) {
+        let marked = marked % (2 * n);
+        let stg = random_ring(n, marked);
+        let sg = explore(&stg).expect("rings are live and consistent");
+        // A single token around a 2n-transition ring: exactly 2n states.
+        prop_assert_eq!(sg.state_count(), 2 * n);
+        prop_assert!(sg.is_strongly_connected());
+        prop_assert!(sg.deadlock_states().is_empty());
+    }
+
+    #[test]
+    fn successor_codes_differ_in_exactly_the_fired_bit(
+        n in 2usize..6,
+    ) {
+        let stg = random_ring(n, 0);
+        let sg = explore(&stg).expect("explores");
+        for state in sg.states() {
+            for arc in sg.successors(state) {
+                let diff = sg.code(state) ^ sg.code(arc.to);
+                match arc.event {
+                    Some(ev) => {
+                        prop_assert_eq!(diff, 1 << ev.signal.index());
+                        prop_assert_eq!(
+                            sg.signal_value(arc.to, ev.signal),
+                            ev.edge.target_value()
+                        );
+                    }
+                    None => prop_assert_eq!(diff, 0),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn g_roundtrip_preserves_state_space(n in 2usize..6, marked in 0usize..4) {
+        let marked = marked % (2 * n);
+        let stg = random_ring(n, marked);
+        let text = parse::write_g(&stg);
+        let parsed = parse_g_ok(&text);
+        let a = explore(&stg).expect("original explores");
+        let b = explore(&parsed).expect("round trip explores");
+        prop_assert_eq!(a.state_count(), b.state_count());
+        prop_assert_eq!(a.arc_count(), b.arc_count());
+    }
+
+    #[test]
+    fn excitation_partitions_every_state(n in 2usize..6) {
+        let stg = random_ring(n, 1);
+        let sg = explore(&stg).expect("explores");
+        for state in sg.states() {
+            for signal in sg.signals() {
+                // implied_value is total and consistent with excitation.
+                let implied = sg.implied_value(state, signal);
+                match sg.excitation(state, signal) {
+                    Some(Edge::Rise) => prop_assert!(implied),
+                    Some(Edge::Fall) => prop_assert!(!implied),
+                    None => prop_assert_eq!(implied, sg.signal_value(state, signal)),
+                }
+            }
+        }
+    }
+}
+
+fn parse_g_ok(text: &str) -> Stg {
+    parse::parse_g(text).expect("writer output parses")
+}
+
+#[test]
+fn paper_models_explore_deterministically() {
+    // Not random, but worth pinning: repeated exploration is stable.
+    for _ in 0..3 {
+        let a = explore(&models::fifo_stg()).expect("explores");
+        let b = explore(&models::fifo_stg()).expect("explores");
+        assert_eq!(a.state_count(), b.state_count());
+        assert_eq!(a.arc_count(), b.arc_count());
+    }
+}

@@ -1,0 +1,413 @@
+//! Complete-state-coding resolution by state-signal insertion.
+//!
+//! The paper's FIFO specification (Figure 3) has CSC conflicts; `petrify`
+//! resolves them by inserting the state signal `x` (Figures 4–5) using
+//! *timing-aware* encoding. This module reproduces the mechanism: it
+//! searches over pairs of simple places of the STG, inserting `x+` on one
+//! and `x-` on the other, re-exploring, and keeping the valid insertion
+//! with the cheapest logic. The cost function can be biased to keep the
+//! state signal off the critical path (the paper's "timing-aware state
+//! encoding"): insertions whose state-signal transitions trigger output
+//! events are penalized.
+
+use rt_boolean::minimize;
+use rt_stg::petri::PlaceId;
+use rt_stg::stg::TransitionLabel;
+use rt_stg::{explore, SignalKind, StateGraph, Stg};
+
+use crate::error::SynthError;
+use crate::regions::{derive_functions, LocalDontCares};
+
+/// Outcome of CSC resolution.
+#[derive(Debug, Clone)]
+pub struct CscResolution {
+    /// The (possibly rewritten) STG, CSC-free.
+    pub stg: Stg,
+    /// Its state graph.
+    pub sg: StateGraph,
+    /// Names of inserted state signals (empty when none were needed).
+    pub inserted: Vec<String>,
+    /// Cost of the chosen encoding (minimized literal count).
+    pub cost: usize,
+}
+
+/// Options for [`resolve_csc`].
+#[derive(Debug, Clone, Copy)]
+pub struct CscOptions {
+    /// Maximum number of state signals to insert.
+    pub max_signals: usize,
+    /// Penalty added per output event directly triggered by a state
+    /// signal transition (the timing-aware bias; 0 disables it).
+    pub critical_path_penalty: usize,
+}
+
+impl Default for CscOptions {
+    fn default() -> Self {
+        CscOptions { max_signals: 3, critical_path_penalty: 4 }
+    }
+}
+
+/// Resolves CSC conflicts of `stg` by inserting up to
+/// `options.max_signals` state signals.
+///
+/// # Errors
+///
+/// * [`SynthError::CscUnresolvable`] when no insertion sequence works;
+/// * [`SynthError::Stg`] when the input STG itself fails exploration.
+pub fn resolve_csc(stg: &Stg) -> Result<CscResolution, SynthError> {
+    resolve_csc_with(stg, &CscOptions::default())
+}
+
+/// [`resolve_csc`] with explicit options.
+pub fn resolve_csc_with(stg: &Stg, options: &CscOptions) -> Result<CscResolution, SynthError> {
+    let sg = explore(stg)?;
+    if sg.csc_conflicts().is_empty() {
+        let cost = encoding_cost(&sg, 0);
+        return Ok(CscResolution { stg: stg.clone(), sg, inserted: Vec::new(), cost });
+    }
+    let mut attempts = 0;
+    let mut current = stg.clone();
+    let mut inserted = Vec::new();
+    for round in 0..options.max_signals {
+        let name = format!("csc{round}");
+        match best_insertion(&current, &name, options, &mut attempts) {
+            Some((next_stg, next_sg, cost)) => {
+                inserted.push(name);
+                if next_sg.csc_conflicts().is_empty() {
+                    return Ok(CscResolution {
+                        stg: next_stg,
+                        sg: next_sg,
+                        inserted,
+                        cost,
+                    });
+                }
+                current = next_stg;
+            }
+            None => break,
+        }
+    }
+    Err(SynthError::CscUnresolvable { attempts })
+}
+
+/// Tries every (rise-place, fall-place) pair; returns the best valid
+/// insertion as `(stg, sg, cost)`.
+fn best_insertion(
+    stg: &Stg,
+    name: &str,
+    options: &CscOptions,
+    attempts: &mut usize,
+) -> Option<(Stg, StateGraph, usize)> {
+    let places = simple_places(stg);
+    let mut best: Option<(Stg, StateGraph, usize)> = None;
+    let before = explore(stg).map(|g| g.csc_conflicts().len()).unwrap_or(usize::MAX);
+    for &p_plus in &places {
+        for &p_minus in &places {
+            if p_plus == p_minus {
+                continue;
+            }
+            for token_after in [false, true] {
+                *attempts += 1;
+                let candidate =
+                    insert_state_signal_with(stg, name, p_plus, p_minus, token_after);
+                let Ok(sg) = explore(&candidate) else { continue };
+                if !sg.is_strongly_connected() || !sg.deadlock_states().is_empty() {
+                    continue;
+                }
+                let after = sg.csc_conflicts().len();
+                if after >= before {
+                    continue; // insertion must strictly help
+                }
+                let penalty =
+                    critical_penalty(&candidate, name) * options.critical_path_penalty;
+                let cost = if after == 0 {
+                    encoding_cost(&sg, penalty)
+                } else {
+                    // Not yet CSC-free: rank by remaining conflicts.
+                    1_000 + after * 100 + penalty
+                };
+                if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
+                    best = Some((candidate, sg, cost));
+                }
+            }
+        }
+    }
+    // Transition-based candidates.
+    let transitions: Vec<_> = stg.net().transitions().collect();
+    for &t_plus in &transitions {
+        for &t_minus in &transitions {
+            if t_plus == t_minus {
+                continue;
+            }
+            *attempts += 1;
+            let candidate = insert_after_transitions(stg, name, t_plus, t_minus);
+            let Ok(sg) = explore(&candidate) else { continue };
+            if !sg.is_strongly_connected() || !sg.deadlock_states().is_empty() {
+                continue;
+            }
+            let after = sg.csc_conflicts().len();
+            if after >= before {
+                continue;
+            }
+            let penalty = critical_penalty(&candidate, name) * options.critical_path_penalty;
+            let cost = if after == 0 {
+                encoding_cost(&sg, penalty)
+            } else {
+                1_000 + after * 100 + penalty
+            };
+            if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
+                best = Some((candidate, sg, cost));
+            }
+        }
+    }
+    best
+}
+
+/// Simple places: exactly one producer and one consumer — safe insertion
+/// points for state-signal splicing.
+pub fn simple_places(stg: &Stg) -> Vec<PlaceId> {
+    let net = stg.net();
+    net.places()
+        .filter(|&p| net.producers(p).len() == 1 && net.consumers(p).len() == 1)
+        .collect()
+}
+
+/// Rebuilds `stg` with a fresh internal signal whose rising transition is
+/// spliced into `place_plus` and falling transition into `place_minus`.
+/// A token on a spliced place rests *before* the new transition.
+pub fn insert_state_signal(
+    stg: &Stg,
+    name: &str,
+    place_plus: PlaceId,
+    place_minus: PlaceId,
+) -> Stg {
+    insert_state_signal_with(stg, name, place_plus, place_minus, false)
+}
+
+/// Like [`insert_state_signal`], but `token_after` chooses whether a
+/// token on a spliced marked place rests before (`false`) or after
+/// (`true`) the new transition — the two placements give different
+/// initial values and firing orders, and the search tries both.
+pub fn insert_state_signal_with(
+    stg: &Stg,
+    name: &str,
+    place_plus: PlaceId,
+    place_minus: PlaceId,
+    token_after: bool,
+) -> Stg {
+    let net = stg.net();
+    let mut out = Stg::new(format!("{}_{}", stg.name(), name));
+    // Copy the signal table and add the new internal signal.
+    for signal in stg.signals() {
+        out.add_signal(stg.signal_name(signal), stg.signal_kind(signal))
+            .expect("copied signals are unique");
+    }
+    let x = out
+        .add_signal(name, SignalKind::Internal)
+        .expect("fresh state-signal name");
+    // Copy transitions in order (ids are preserved).
+    for t in net.transitions() {
+        match stg.label(t) {
+            TransitionLabel::Event(ev) => {
+                out.transition(ev);
+            }
+            TransitionLabel::Silent => {
+                out.silent(net.transition_name(t));
+            }
+        }
+    }
+    let x_plus = out.transition_for(x, rt_stg::Edge::Rise);
+    let x_minus = out.transition_for(x, rt_stg::Edge::Fall);
+    // Copy places, splitting the two chosen ones.
+    let marking = stg.initial_marking();
+    for p in net.places() {
+        let tokens = marking.tokens(p);
+        if (p == place_plus || p == place_minus) && !net.producers(p).is_empty() {
+            let splice = if p == place_plus { x_plus } else { x_minus };
+            let producer = net.producers(p)[0];
+            let consumer = net.consumers(p)[0];
+            let p1 = out.add_place(format!("{}_in", net.place_name(p)));
+            let p2 = out.add_place(format!("{}_out", net.place_name(p)));
+            out.arc_to_place(producer, p1);
+            out.arc_from_place(p1, splice);
+            out.arc_to_place(splice, p2);
+            out.arc_from_place(p2, consumer);
+            if token_after {
+                out.set_tokens(p2, tokens);
+            } else {
+                out.set_tokens(p1, tokens);
+            }
+        } else {
+            let copy = out.add_place(net.place_name(p));
+            for &producer in net.producers(p) {
+                out.arc_to_place(producer, copy);
+            }
+            for &consumer in net.consumers(p) {
+                out.arc_from_place(copy, consumer);
+            }
+            out.set_tokens(copy, tokens);
+        }
+    }
+    out
+}
+
+/// Rebuilds `stg` with a fresh internal signal inserted *after whole
+/// transitions*: `x+` fires right after `after_plus` (taking over its
+/// entire postset) and `x-` right after `after_minus`. Often succeeds
+/// where single-place splicing cannot, because the new signal serializes
+/// against every successor at once.
+pub fn insert_after_transitions(
+    stg: &Stg,
+    name: &str,
+    after_plus: rt_stg::TransitionId,
+    after_minus: rt_stg::TransitionId,
+) -> Stg {
+    let net = stg.net();
+    let mut out = Stg::new(format!("{}_{}", stg.name(), name));
+    for signal in stg.signals() {
+        out.add_signal(stg.signal_name(signal), stg.signal_kind(signal))
+            .expect("copied signals are unique");
+    }
+    let x = out
+        .add_signal(name, SignalKind::Internal)
+        .expect("fresh state-signal name");
+    for tr in net.transitions() {
+        match stg.label(tr) {
+            TransitionLabel::Event(ev) => {
+                out.transition(ev);
+            }
+            TransitionLabel::Silent => {
+                out.silent(net.transition_name(tr));
+            }
+        }
+    }
+    let x_plus = out.transition_for(x, rt_stg::Edge::Rise);
+    let x_minus = out.transition_for(x, rt_stg::Edge::Fall);
+    // Chain each spliced transition to its new successor.
+    let chain = |out: &mut Stg, from: rt_stg::TransitionId, to: rt_stg::TransitionId| {
+        let p = out.add_place(format!("splice_{}", out.net().place_count()));
+        out.arc_to_place(from, p);
+        out.arc_from_place(p, to);
+    };
+    chain(&mut out, after_plus, x_plus);
+    chain(&mut out, after_minus, x_minus);
+    let marking = stg.initial_marking();
+    for p in net.places() {
+        let copy = out.add_place(net.place_name(p));
+        for &producer in net.producers(p) {
+            // Arcs formerly produced by the spliced transitions now come
+            // from the new signal's transitions.
+            let source = if producer == after_plus {
+                x_plus
+            } else if producer == after_minus {
+                x_minus
+            } else {
+                producer
+            };
+            out.arc_to_place(source, copy);
+        }
+        for &consumer in net.consumers(p) {
+            out.arc_from_place(copy, consumer);
+        }
+        out.set_tokens(copy, marking.tokens(p));
+    }
+    out
+}
+
+/// Minimized literal count of every implemented signal — the logic cost
+/// of an encoding.
+fn encoding_cost(sg: &StateGraph, penalty: usize) -> usize {
+    match derive_functions(sg, &LocalDontCares::none()) {
+        Ok(funcs) => {
+            let mut total = penalty;
+            for spec in &funcs.specs {
+                let set = minimize(&spec.set_on, &spec.set_dc);
+                let reset = minimize(&spec.reset_on, &spec.reset_dc);
+                total += set.literal_count() + reset.literal_count() + 2;
+            }
+            total
+        }
+        Err(_) => usize::MAX / 2,
+    }
+}
+
+/// Number of *output* transitions directly triggered by the state
+/// signal's transitions (the timing-aware "keep x off the critical path"
+/// metric).
+fn critical_penalty(stg: &Stg, name: &str) -> usize {
+    let Some(x) = stg.signal_by_name(name) else { return 0 };
+    let net = stg.net();
+    let mut count = 0;
+    for t in stg.transitions_of(x) {
+        for arc in net.postset(t) {
+            for &consumer in net.consumers(arc.place) {
+                if let TransitionLabel::Event(ev) = stg.label(consumer) {
+                    if stg.signal_kind(ev.signal) == SignalKind::Output {
+                        count += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_stg::models;
+
+    #[test]
+    fn csc_free_spec_passes_through() {
+        let stg = models::handshake_stg();
+        let res = resolve_csc(&stg).unwrap();
+        assert!(res.inserted.is_empty());
+        assert_eq!(res.sg.state_count(), 4);
+    }
+
+    #[test]
+    fn fifo_conflicts_are_resolved_by_insertion() {
+        let stg = models::fifo_stg();
+        let res = resolve_csc(&stg).unwrap();
+        assert!(!res.inserted.is_empty(), "fifo needs a state signal");
+        assert!(res.sg.csc_conflicts().is_empty());
+        assert!(res.sg.is_strongly_connected());
+        // The new signal is internal.
+        let x = res.stg.signal_by_name(&res.inserted[0]).unwrap();
+        assert_eq!(res.stg.signal_kind(x), SignalKind::Internal);
+    }
+
+    #[test]
+    fn insertion_preserves_interface_signals() {
+        let stg = models::fifo_stg();
+        let res = resolve_csc(&stg).unwrap();
+        for name in ["li", "lo", "ro", "ri"] {
+            let original = stg.signal_by_name(name).unwrap();
+            let rewritten = res.stg.signal_by_name(name).unwrap();
+            assert_eq!(
+                stg.signal_kind(original),
+                res.stg.signal_kind(rewritten),
+                "{name} kind preserved"
+            );
+        }
+    }
+
+    #[test]
+    fn manual_insertion_roundtrip() {
+        let stg = models::handshake_stg();
+        let net = stg.net();
+        // Splice x+ into the first place and x- into the second.
+        let places: Vec<_> = net.places().collect();
+        let rewritten = insert_state_signal(&stg, "x", places[0], places[1]);
+        assert_eq!(rewritten.signal_count(), stg.signal_count() + 1);
+        // The rewrite may or may not be consistent; exploration decides.
+        let _ = explore(&rewritten);
+    }
+
+    #[test]
+    fn timing_aware_penalty_counts_output_triggers() {
+        // In fifo_stg_csc, x+ directly triggers lo+ (an output).
+        let stg = models::fifo_stg_csc();
+        assert!(critical_penalty(&stg, "x") >= 1);
+        assert_eq!(critical_penalty(&stg, "nonexistent"), 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for the synthesis crate.
+
+use std::error::Error;
+use std::fmt;
+
+use rt_stg::{SignalId, StgError};
+
+/// Errors produced during logic synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// The state graph still has CSC conflicts; the next-state function of
+    /// the named signal is ill-defined.
+    CscConflict {
+        /// The ambiguous signal.
+        signal: String,
+    },
+    /// CSC resolution gave up after the configured number of insertions.
+    CscUnresolvable {
+        /// Insertions attempted.
+        attempts: usize,
+    },
+    /// A signal's derived set and reset covers overlap on a reachable
+    /// state — the generalized C-element would fight.
+    OverlappingCovers {
+        /// The offending signal.
+        signal: String,
+        /// Code of a state where both covers are on.
+        state_code: u64,
+    },
+    /// The specification has no implemented (output/internal) signals.
+    NothingToImplement,
+    /// An underlying STG analysis failed.
+    Stg(StgError),
+    /// The signal id is out of range for this state graph.
+    UnknownSignal(SignalId),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::CscConflict { signal } => {
+                write!(f, "csc conflict on signal `{signal}`")
+            }
+            SynthError::CscUnresolvable { attempts } => {
+                write!(f, "csc unresolvable after {attempts} insertion attempts")
+            }
+            SynthError::OverlappingCovers { signal, state_code } => write!(
+                f,
+                "set/reset covers of `{signal}` overlap in state {state_code:b}"
+            ),
+            SynthError::NothingToImplement => {
+                write!(f, "specification has no output or internal signals")
+            }
+            SynthError::Stg(err) => write!(f, "stg analysis failed: {err}"),
+            SynthError::UnknownSignal(id) => write!(f, "unknown signal {id}"),
+        }
+    }
+}
+
+impl Error for SynthError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthError::Stg(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<StgError> for SynthError {
+    fn from(err: StgError) -> Self {
+        SynthError::Stg(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let err = SynthError::CscConflict { signal: "x".into() };
+        assert_eq!(err.to_string(), "csc conflict on signal `x`");
+        let err = SynthError::OverlappingCovers { signal: "ro".into(), state_code: 5 };
+        assert!(err.to_string().contains("101"));
+    }
+
+    #[test]
+    fn stg_errors_convert() {
+        let err: SynthError = StgError::StateLimitExceeded(7).into();
+        assert!(matches!(err, SynthError::Stg(_)));
+        assert!(Error::source(&err).is_some());
+    }
+}

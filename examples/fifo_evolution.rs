@@ -1,0 +1,64 @@
+//! The Section-4 story: one FIFO controller, four implementations —
+//! speed-independent, burst-mode, relative-timing and pulse-mode —
+//! simulated side by side (Table 2's shape on your terminal).
+//!
+//! ```text
+//! cargo run --example fifo_evolution
+//! ```
+
+use rt_cad::netlist::fifo;
+use rt_cad::sim::agent::{run_with_agents, FourPhaseConsumer, PulseSource, RingProducer};
+use rt_cad::sim::measure::EdgeRecorder;
+use rt_cad::sim::Simulator;
+
+fn main() {
+    println!("circuit     cycle ps   energy/cycle fJ   transistors   hazards");
+    type Build = fn() -> (rt_cad::netlist::Netlist, fifo::FifoPorts);
+    for (name, build) in [
+        ("SI    ", fifo::si_fifo as Build),
+        ("RT-BM ", fifo::bm_fifo as Build),
+        ("RT    ", fifo::rt_fifo as Build),
+    ] {
+        let (netlist, ports) = build();
+        let mut sim = Simulator::new(&netlist);
+        sim.settle_initial(16);
+        let mut producer = RingProducer::new(ports.li, ports.lo, ports.ri, 40);
+        producer.max_cycles = Some(40);
+        let mut consumer = FourPhaseConsumer::new(ports.ro, ports.ri, 40);
+        let mut recorder = EdgeRecorder::new(ports.li);
+        run_with_agents(
+            &mut sim,
+            &mut [&mut producer, &mut consumer, &mut recorder],
+            100_000_000,
+        );
+        let cycle = recorder.cycle_stats().map(|s| s.mean_ps).unwrap_or(0);
+        println!(
+            "{name}    {:>8}   {:>15}   {:>11}   {:>7}",
+            cycle,
+            sim.energy_fj() / producer.cycles().max(1),
+            netlist.transistor_count(),
+            sim.hazards().len()
+        );
+    }
+    // The pulse circuit speaks a different protocol.
+    let (netlist, ports) = fifo::pulse_fifo();
+    let mut sim = Simulator::new(&netlist);
+    sim.settle_initial(16);
+    let mut source = PulseSource {
+        net: ports.li,
+        period_ps: 600,
+        width_ps: 120,
+        count: 40,
+        offset_ps: 200,
+    };
+    let mut recorder = EdgeRecorder::new(ports.ro);
+    run_with_agents(&mut sim, &mut [&mut source, &mut recorder], 100_000_000);
+    println!(
+        "Pulse     {:>8}   {:>15}   {:>11}   {:>7}   ({} pulses echoed)",
+        600,
+        sim.energy_fj() / 40,
+        netlist.transistor_count(),
+        sim.hazards().len(),
+        recorder.rises().len()
+    );
+}

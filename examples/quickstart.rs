@@ -1,0 +1,62 @@
+//! Quickstart: specify a controller, synthesize it speed-independently,
+//! then again with relative timing, and verify both.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rt_cad::rt::{RtAssumption, RtSynthesisFlow};
+use rt_cad::stg::{explore, models, Edge};
+use rt_cad::verify::verify_against_sg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The specification: the paper's Figure-3 FIFO controller.
+    let spec = models::fifo_stg();
+    let sg = explore(&spec)?;
+    println!(
+        "spec `{}`: {} signals, {} states, {} CSC conflicts",
+        spec.name(),
+        spec.signal_count(),
+        sg.state_count(),
+        sg.csc_conflicts().len()
+    );
+
+    // 2. Speed-independent synthesis: a state signal gets inserted, the
+    //    result is correct under any gate delays.
+    let si = RtSynthesisFlow::speed_independent().run(&spec, &[])?;
+    println!(
+        "\nspeed-independent: {} transistors, state signals {:?}, {} constraints",
+        si.synthesis.netlist.transistor_count(),
+        si.inserted_signals,
+        si.constraints.len()
+    );
+    print!("{}", si.synthesis.equations_text(&si.lazy_sg));
+
+    // 3. Relative-timing synthesis: tell the flow what the environment
+    //    guarantees (the FIFO-ring argument of Figure 6) and let it
+    //    prune, simplify and back-annotate.
+    let s = |n: &str| spec.signal_by_name(n).expect("interface signal");
+    let user = vec![
+        RtAssumption::user(s("ri"), Edge::Fall, s("li"), Edge::Rise),
+        RtAssumption::user(s("li"), Edge::Fall, s("ri"), Edge::Fall),
+    ];
+    let rt = RtSynthesisFlow::new().run(&spec, &user)?;
+    println!(
+        "\nrelative-timing: {} transistors, state signals {:?}",
+        rt.synthesis.netlist.transistor_count(),
+        rt.inserted_signals
+    );
+    print!("{}", rt.synthesis.equations_text(&rt.lazy_sg));
+    println!("required timing constraints:");
+    for c in &rt.constraints {
+        println!("  {}", c.describe(&rt.lazy_sg));
+    }
+
+    // 4. Verify the RT netlist against its lazy specification.
+    let report = verify_against_sg(&rt.synthesis.netlist, &rt.lazy_sg, &[]);
+    println!(
+        "\nconformance on the lazy state graph: {}",
+        if report.passed() { "PASS" } else { "FAIL" }
+    );
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! The Section-5 verification walkthrough as a runnable example: a
+//! decomposed C-element fails speed-independence, relative timing
+//! rescues it, and path constraints make the requirement physical.
+//!
+//! ```text
+//! cargo run --example verify_celement
+//! ```
+
+use rt_cad::netlist::cells::majority_celement;
+use rt_cad::stg::models::celement_stg;
+use rt_cad::verify::{extract_requirements, path_constraints, verify};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (netlist, _) = majority_celement();
+    let spec = celement_stg();
+
+    let report = verify(&netlist, &spec, &[])?;
+    println!(
+        "unbounded delays: {} failures — the AND/OR decomposition is not SI",
+        report.failures.len()
+    );
+
+    let sg = rt_cad::stg::explore(&spec)?;
+    let requirements = extract_requirements(&netlist, &sg, &[]);
+    println!("\nrelative-timing requirements that make it verify:");
+    for o in &requirements.orderings {
+        println!("  {}", o.describe(&netlist));
+    }
+    assert!(requirements.satisfied());
+
+    println!("\nas path constraints (delay-model margins):");
+    for c in path_constraints(&netlist, &spec, &requirements.orderings) {
+        println!("  {}", c.describe(&netlist));
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! # rt-cad — Relative-Timing CAD for High-Performance Asynchronous Circuits
+//!
+//! Umbrella crate of the `rt-cad` workspace, a from-scratch Rust
+//! reproduction of Stevens et al., *"CAD Directions for High Performance
+//! Asynchronous Circuits"* (DAC 1999): the Relative Timing synthesis
+//! methodology, the FIFO case study of Figures 3–7 / Table 2, the RAPPID
+//! instruction-length decoder of Figure 1 / Table 1, and the RT
+//! verification flow of Section 5.
+//!
+//! This crate re-exports every subsystem under one roof:
+//!
+//! * [`stg`] — Signal Transition Graphs, reachability, state graphs
+//! * [`boolean`] — cube/cover algebra, espresso-lite minimizer, BDDs
+//! * [`netlist`] — gate library and gate-level netlists
+//! * [`sim`] — event-driven timing/energy simulation
+//! * [`synth`] — speed-independent logic synthesis
+//! * [`rt`] — relative-timing synthesis (the paper's contribution)
+//! * [`verify`] — conformance and RT verification
+//! * [`dft`] — stuck-at fault simulation and testability
+//! * [`rappid`] — the RAPPID microarchitecture and its clocked baseline
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rt_cad::stg::{models, explore};
+//!
+//! # fn main() -> Result<(), rt_cad::stg::StgError> {
+//! let spec = models::fifo_stg();        // Figure 3
+//! let sg = explore(&spec)?;             // reachability analysis
+//! assert!(sg.is_strongly_connected());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use rt_boolean as boolean;
+pub use rt_core as rt;
+pub use rt_dft as dft;
+pub use rt_netlist as netlist;
+pub use rt_rappid as rappid;
+pub use rt_sim as sim;
+pub use rt_stg as stg;
+pub use rt_synth as synth;
+pub use rt_verify as verify;

@@ -1,0 +1,125 @@
+//! End-to-end integration: the Figure-2 flow on the Figure-3 FIFO, from
+//! specification to verified netlists, across all four implementation
+//! styles (Figures 4–7).
+
+use rt_cad::netlist::fifo;
+use rt_cad::rt::{pulse_constraints, RtAssumption, RtSynthesisFlow};
+use rt_cad::stg::{explore, models, Edge};
+use rt_cad::verify::{extract_requirements, verify, verify_against_sg};
+
+fn ring_assumptions(spec: &rt_cad::stg::Stg) -> Vec<RtAssumption> {
+    let s = |n: &str| spec.signal_by_name(n).expect("interface signal");
+    vec![
+        RtAssumption::user(s("ri"), Edge::Fall, s("li"), Edge::Rise),
+        RtAssumption::user(s("li"), Edge::Fall, s("ri"), Edge::Fall),
+    ]
+}
+
+#[test]
+fn specification_has_the_paper_structure() {
+    let spec = models::fifo_stg();
+    let sg = explore(&spec).expect("fifo explores");
+    assert_eq!(spec.signal_count(), 4, "li, lo, ro, ri");
+    assert!(sg.is_strongly_connected());
+    assert!(
+        !sg.csc_conflicts().is_empty(),
+        "the FIFO needs a state signal — the premise of Figures 4-5"
+    );
+}
+
+#[test]
+fn si_flow_produces_a_conforming_circuit_without_constraints() {
+    let spec = models::fifo_stg();
+    let report = RtSynthesisFlow::speed_independent()
+        .run(&spec, &[])
+        .expect("SI flow");
+    assert!(!report.inserted_signals.is_empty());
+    assert!(report.constraints.is_empty());
+    // The synthesized netlist conforms to the encoded specification
+    // (its own lazy graph, which equals the full graph here).
+    let verdict = verify_against_sg(&report.synthesis.netlist, &report.lazy_sg, &[]);
+    assert!(verdict.passed(), "{:?}", verdict.failures);
+}
+
+#[test]
+fn rt_flow_eliminates_the_state_signal_and_conforms() {
+    let spec = models::fifo_stg();
+    let report = RtSynthesisFlow::new()
+        .run(&spec, &ring_assumptions(&spec))
+        .expect("RT flow");
+    assert!(report.inserted_signals.is_empty(), "{}", report.log_text());
+    assert!(!report.constraints.is_empty());
+    assert!(report.lazy_states < report.initial_states);
+    let verdict = verify_against_sg(&report.synthesis.netlist, &report.lazy_sg, &[]);
+    assert!(verdict.passed(), "{:?}", verdict.failures);
+}
+
+#[test]
+fn rt_is_at_least_forty_percent_smaller_than_si() {
+    let spec = models::fifo_stg();
+    let si = RtSynthesisFlow::speed_independent().run(&spec, &[]).expect("SI flow");
+    let rt = RtSynthesisFlow::new()
+        .run(&spec, &ring_assumptions(&spec))
+        .expect("RT flow");
+    let si_area = si.synthesis.netlist.transistor_count();
+    let rt_area = rt.synthesis.netlist.transistor_count();
+    assert!(
+        rt_area * 10 <= si_area * 6,
+        "paper: 39 -> 20 transistors; ours: {si_area} -> {rt_area}"
+    );
+}
+
+#[test]
+fn hand_si_netlist_conforms_to_the_csc_spec() {
+    let (netlist, _) = fifo::si_fifo();
+    let report = verify(&netlist, &models::fifo_stg_csc(), &[]).expect("spec explores");
+    assert!(report.passed(), "{:?}", report.failures);
+    // And it needs no RT requirements.
+    let sg = explore(&models::fifo_stg_csc()).expect("spec explores");
+    let req = extract_requirements(&netlist, &sg, &[]);
+    assert!(req.orderings.is_empty());
+}
+
+#[test]
+fn standard_c_variant_also_conforms() {
+    // Same behaviour, different architecture: the symmetric-C mapping of
+    // the SI equations conforms with no constraints, just like the gC one.
+    let (netlist, _) = fifo::si_fifo_standard_c();
+    let report = verify(&netlist, &models::fifo_stg_csc(), &[]).expect("spec explores");
+    assert!(
+        report.passed(),
+        "{:?}",
+        report
+            .failures
+            .iter()
+            .map(|f| f.describe(&netlist))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn pulse_constraints_bound_the_protocol() {
+    let constraints = pulse_constraints();
+    assert!(constraints.min_width_ps < constraints.max_width_ps);
+    assert!(constraints.min_separation_ps > constraints.min_width_ps);
+    // A legal train passes the checker; an illegal one is rejected.
+    let period = constraints.min_separation_ps + 100;
+    let width = (constraints.min_width_ps + constraints.max_width_ps) / 2;
+    let legal: Vec<(u64, u64)> = (0..5).map(|k| (k * period, width)).collect();
+    assert!(constraints.check(&legal).is_ok());
+    let illegal = [(0, width), (constraints.min_separation_ps / 2, width)];
+    assert!(constraints.check(&illegal).is_err());
+}
+
+#[test]
+fn g_format_round_trip_preserves_behaviour() {
+    for stg in [models::fifo_stg(), models::fifo_stg_csc(), models::celement_stg()] {
+        let text = rt_cad::stg::parse::write_g(&stg);
+        let parsed = rt_cad::stg::parse::parse_g(&text).expect("round trip parses");
+        let a = explore(&stg).expect("original explores");
+        let b = explore(&parsed).expect("round trip explores");
+        assert_eq!(a.state_count(), b.state_count());
+        assert_eq!(a.arc_count(), b.arc_count());
+        assert_eq!(a.csc_conflicts().len(), b.csc_conflicts().len());
+    }
+}

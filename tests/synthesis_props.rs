@@ -1,0 +1,106 @@
+//! End-to-end property tests: for randomly generated live
+//! specifications, the synthesis flow must produce netlists that the
+//! conformance checker accepts — the strongest invariant the toolchain
+//! offers.
+
+use proptest::prelude::*;
+use rt_cad::rt::RtSynthesisFlow;
+use rt_cad::stg::{explore, Edge, SignalKind, Stg};
+use rt_cad::synth::synthesize;
+use rt_cad::verify::verify_against_sg;
+
+/// A random "token ring" STG over `n` signals with a configurable mix of
+/// input/output roles (signal 0 is always an input so the environment
+/// drives the cycle; at least one output exists so there is something to
+/// synthesize).
+fn ring_spec(n: usize, roles: &[bool], marked_at: usize) -> Stg {
+    let mut stg = Stg::new(format!("ring{n}"));
+    let signals: Vec<_> = (0..n)
+        .map(|i| {
+            let kind = if i == 0 {
+                SignalKind::Input
+            } else if roles.get(i).copied().unwrap_or(false) {
+                SignalKind::Input
+            } else {
+                SignalKind::Output
+            };
+            stg.add_signal(format!("s{i}"), kind).expect("fresh")
+        })
+        .collect();
+    let mut transitions = Vec::new();
+    for &s in &signals {
+        transitions.push(stg.transition_for(s, Edge::Rise));
+    }
+    for &s in &signals {
+        transitions.push(stg.transition_for(s, Edge::Fall));
+    }
+    for i in 0..transitions.len() {
+        let from = transitions[i];
+        let to = transitions[(i + 1) % transitions.len()];
+        if i == marked_at % transitions.len() {
+            stg.marked_arc(from, to);
+        } else {
+            stg.arc(from, to);
+        }
+    }
+    stg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn synthesized_rings_conform(
+        n in 2usize..6,
+        roles in prop::collection::vec(prop::bool::ANY, 6),
+        marked in 0usize..12,
+    ) {
+        let stg = ring_spec(n, &roles, marked);
+        let sg = explore(&stg).expect("rings are live");
+        prop_assume!(!sg.implemented_signals().is_empty());
+        // Sequential rings are CSC-free (distinct codes around the cycle).
+        prop_assert!(sg.csc_conflicts().is_empty());
+        let result = synthesize(&sg, "ring").expect("synthesizable");
+        result.netlist.validate().expect("structurally sound");
+        let report = verify_against_sg(&result.netlist, &sg, &[]);
+        prop_assert!(
+            report.passed(),
+            "conformance failed: {:?}",
+            report
+                .failures
+                .iter()
+                .map(|f| f.describe(&result.netlist))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn si_flow_conforms_on_rings(
+        n in 2usize..5,
+        marked in 0usize..10,
+    ) {
+        let stg = ring_spec(n, &[], marked);
+        let report = RtSynthesisFlow::speed_independent()
+            .run(&stg, &[])
+            .expect("flow runs");
+        let verdict = verify_against_sg(&report.synthesis.netlist, &report.lazy_sg, &[]);
+        prop_assert!(verdict.passed());
+        prop_assert!(report.constraints.is_empty(), "SI needs no constraints");
+    }
+
+    #[test]
+    fn rt_flow_never_exceeds_si_cost(
+        n in 2usize..5,
+        marked in 0usize..10,
+    ) {
+        let stg = ring_spec(n, &[], marked);
+        let si = RtSynthesisFlow::speed_independent().run(&stg, &[]).expect("SI");
+        let rt = RtSynthesisFlow::new().run(&stg, &[]).expect("RT");
+        prop_assert!(
+            rt.synthesis.literal_count <= si.synthesis.literal_count,
+            "RT {} vs SI {}",
+            rt.synthesis.literal_count,
+            si.synthesis.literal_count
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration checks that the two headline tables keep their published
+//! *shape* — who wins, by roughly what factor — end to end.
+
+use rt_cad::dft::{fault_coverage_four_phase, fault_coverage_pulse};
+use rt_cad::netlist::fifo;
+use rt_cad::rappid::{workload, ClockedConfig, ClockedDecoder, Rappid, RappidConfig};
+use rt_cad::sim::agent::{run_with_agents, FourPhaseConsumer, RingProducer};
+use rt_cad::sim::measure::EdgeRecorder;
+use rt_cad::sim::Simulator;
+
+fn mean_cycle_ps(netlist: &rt_cad::netlist::Netlist, ports: fifo::FifoPorts) -> u64 {
+    let mut sim = Simulator::new(netlist);
+    sim.settle_initial(16);
+    let mut producer = RingProducer::new(ports.li, ports.lo, ports.ri, 40);
+    producer.max_cycles = Some(30);
+    let mut consumer = FourPhaseConsumer::new(ports.ro, ports.ri, 40);
+    let mut recorder = EdgeRecorder::new(ports.li);
+    run_with_agents(
+        &mut sim,
+        &mut [&mut producer, &mut consumer, &mut recorder],
+        100_000_000,
+    );
+    assert!(sim.hazards().is_empty(), "no fights in legal operation");
+    recorder.cycle_stats().expect("cycles ran").mean_ps
+}
+
+#[test]
+fn table2_shape_holds_end_to_end() {
+    let (si, si_ports) = fifo::si_fifo();
+    let (bm, bm_ports) = fifo::bm_fifo();
+    let (rt, rt_ports) = fifo::rt_fifo();
+    let (pulse, pulse_ports) = fifo::pulse_fifo();
+
+    // Delay ordering (Table 2 column 1-2).
+    let si_cycle = mean_cycle_ps(&si, si_ports);
+    let bm_cycle = mean_cycle_ps(&bm, bm_ports);
+    let rt_cycle = mean_cycle_ps(&rt, rt_ports);
+    assert!(si_cycle > bm_cycle, "SI {si_cycle} vs BM {bm_cycle}");
+    assert!(bm_cycle > rt_cycle, "BM {bm_cycle} vs RT {rt_cycle}");
+    assert!(
+        si_cycle as f64 / rt_cycle as f64 > 2.0,
+        "the RT transformation buys >2x in cycle time"
+    );
+
+    // Area ordering (column 4).
+    assert!(si.transistor_count() >= 2 * rt.transistor_count());
+    assert!(bm.transistor_count() >= 2 * rt.transistor_count());
+    assert!(pulse.transistor_count() < rt.transistor_count());
+
+    // Testability (column 5): RT and pulse fully testable.
+    assert!(fault_coverage_four_phase(&rt, rt_ports, 6).coverage_pct() >= 99.9);
+    assert!(fault_coverage_pulse(&pulse, pulse_ports, 6).coverage_pct() >= 99.9);
+}
+
+#[test]
+fn table1_shape_holds_end_to_end() {
+    let lines = workload::typical_mix(384, 7);
+    let rappid = Rappid::new(RappidConfig::default()).run(&lines);
+    let clocked = ClockedDecoder::new(ClockedConfig::default()).run(&lines);
+
+    let throughput = rappid.instructions_per_ns() / clocked.instructions_per_ns();
+    assert!((2.0..=4.0).contains(&throughput), "paper 3x, got {throughput:.2}");
+
+    let latency = clocked.latency_ps as f64 / rappid.first_issue_latency_ps as f64;
+    assert!(latency > 1.4, "paper 2x, got {latency:.2}");
+
+    let power = clocked.power_fj_per_ns() / rappid.power_fj_per_ns();
+    assert!((1.4..=3.0).contains(&power), "paper 2x, got {power:.2}");
+
+    let area = rappid.area_transistors as f64 / clocked.area_transistors as f64;
+    assert!((1.05..=1.4).contains(&area), "paper +22%, got {area:.2}");
+
+    // The paper's performance band: 2.5-4.5 instructions/ns.
+    let gips = rappid.instructions_per_ns();
+    assert!((2.0..=4.5).contains(&gips), "got {gips:.2}");
+}
+
+#[test]
+fn average_case_beats_worst_case_only_for_the_async_design() {
+    // The §2.2 argument: RAPPID speeds up on easy (long-instruction)
+    // lines; the clocked design cannot.
+    let short = workload::short_heavy(256, 3);
+    let long = workload::long_heavy(256, 3);
+
+    let rappid = Rappid::new(RappidConfig::default());
+    let r_short = rappid.run(&short);
+    let r_long = rappid.run(&long);
+    assert!(
+        r_long.mlines_per_s() > r_short.mlines_per_s() * 1.2,
+        "async: long-instruction lines consumed faster ({:.0} vs {:.0})",
+        r_long.mlines_per_s(),
+        r_short.mlines_per_s()
+    );
+
+    let clocked = ClockedDecoder::new(ClockedConfig::default());
+    let c_short = clocked.run(&short);
+    let c_long = clocked.run(&long);
+    // Clocked per-instruction time is essentially mix-independent.
+    let per_short = c_short.elapsed_ps as f64 / c_short.instructions as f64;
+    let per_long = c_long.elapsed_ps as f64 / c_long.instructions as f64;
+    assert!(
+        (per_long / per_short) > 0.75 && (per_long / per_short) < 1.35,
+        "clocked: {per_short:.0} vs {per_long:.0} ps/inst"
+    );
+}
