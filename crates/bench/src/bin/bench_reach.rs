@@ -1,0 +1,151 @@
+//! Perf-trajectory harness for the state-space core.
+//!
+//! Runs explicit reachability, SI synthesis and symbolic (BDD)
+//! reachability over the model corpus and writes `BENCH_reach.json`
+//! with per-model wall times, exploration throughput (states/sec) and
+//! live BDD node counts. Future PRs compare against the committed
+//! baseline to catch regressions:
+//!
+//! ```text
+//! cargo run --release -p rt-bench --bin bench_reach [-- OUTPUT.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rt_stg::reach::{explore_with, ExploreOptions};
+use rt_stg::symbolic::reach_symbolic;
+use rt_stg::{corpus, models, Stg};
+use rt_synth::synthesize;
+
+/// Minimum measurement time per timed section, so fast models still get
+/// a stable figure.
+const MIN_MEASURE_MS: u128 = 60;
+
+/// One measured model.
+struct Row {
+    name: String,
+    states: usize,
+    arcs: usize,
+    explore_ns: f64,
+    states_per_sec: f64,
+    synth_ns: Option<f64>,
+    symbolic_ns: f64,
+    symbolic_markings: u64,
+    bdd_nodes: usize,
+}
+
+/// Times `f` adaptively: repeats until `MIN_MEASURE_MS` of total wall
+/// time, returns mean ns per call.
+fn time_ns<T>(mut f: impl FnMut() -> T) -> f64 {
+    let mut reps: u64 = 0;
+    let start = Instant::now();
+    loop {
+        std::hint::black_box(f());
+        reps += 1;
+        if start.elapsed().as_millis() >= MIN_MEASURE_MS {
+            break;
+        }
+    }
+    start.elapsed().as_nanos() as f64 / reps as f64
+}
+
+fn corpus_models() -> Vec<(String, Stg)> {
+    let mut out: Vec<(String, Stg)> = vec![
+        ("handshake".into(), models::handshake_stg()),
+        ("fifo".into(), models::fifo_stg()),
+        ("fifo_csc".into(), models::fifo_stg_csc()),
+        ("celement".into(), models::celement_stg()),
+        ("chain4".into(), models::chain_stg(4)),
+        ("chain6".into(), models::chain_stg(6)),
+        ("ring6_2".into(), models::ring_stg(6, 2)),
+        ("ring8_2".into(), models::ring_stg(8, 2)),
+        ("ring10_3".into(), models::ring_stg(10, 3)),
+        ("ring12_3".into(), models::ring_stg(12, 3)),
+    ];
+    for (name, text) in corpus::all() {
+        let stg = corpus::parse(text).expect("corpus entry parses");
+        out.push((format!("corpus:{name}"), stg));
+    }
+    out
+}
+
+fn measure(name: &str, stg: &Stg) -> Row {
+    let options = ExploreOptions::default();
+    let sg = explore_with(stg, &options).expect("model explores");
+    let states = sg.state_count();
+    let arcs = sg.arc_count();
+
+    let explore_ns = time_ns(|| explore_with(stg, &options).expect("model explores"));
+    let states_per_sec = states as f64 / (explore_ns / 1e9);
+
+    // Synthesis only makes sense for CSC-clean specs with implemented
+    // signals; skip the rest (rings/chains of pure inputs etc.).
+    let synth_ns = (!sg.implemented_signals().is_empty() && sg.csc_conflicts().is_empty())
+        .then(|| time_ns(|| synthesize(&sg, name).expect("synthesizes")));
+
+    let symbolic = reach_symbolic(stg).expect("symbolic explores");
+    let symbolic_ns = time_ns(|| reach_symbolic(stg).expect("symbolic explores"));
+
+    Row {
+        name: name.to_string(),
+        states,
+        arcs,
+        explore_ns,
+        states_per_sec,
+        synth_ns,
+        symbolic_ns,
+        symbolic_markings: symbolic.markings,
+        bdd_nodes: symbolic.bdd_nodes,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_reach.json".to_string());
+    let mut rows = Vec::new();
+    for (name, stg) in corpus_models() {
+        let row = measure(&name, &stg);
+        println!(
+            "{:<24} {:>7} states  explore {:>10.0} ns ({:>12.0} states/s)  symbolic {:>10.0} ns  {:>6} bdd nodes",
+            row.name, row.states, row.explore_ns, row.states_per_sec, row.symbolic_ns, row.bdd_nodes
+        );
+        rows.push(row);
+    }
+
+    let total_states: usize = rows.iter().map(|r| r.states).sum();
+    let total_explore_ns: f64 = rows.iter().map(|r| r.explore_ns).sum();
+    let aggregate_states_per_sec = total_states as f64 / (total_explore_ns / 1e9);
+
+    let mut json = String::from("{\n  \"models\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let synth = r
+            .synth_ns
+            .map_or("null".to_string(), |ns| format!("{ns:.0}"));
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"states\": {}, \"arcs\": {}, \"explore_ns\": {:.0}, \
+             \"states_per_sec\": {:.0}, \"synth_ns\": {}, \"symbolic_ns\": {:.0}, \
+             \"symbolic_markings\": {}, \"bdd_nodes\": {}}}{}",
+            r.name,
+            r.states,
+            r.arcs,
+            r.explore_ns,
+            r.states_per_sec,
+            synth,
+            r.symbolic_ns,
+            r.symbolic_markings,
+            r.bdd_nodes,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"summary\": {{\"total_states\": {total_states}, \
+         \"total_explore_ns\": {total_explore_ns:.0}, \
+         \"aggregate_states_per_sec\": {aggregate_states_per_sec:.0}}}\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("writes json");
+    println!(
+        "\naggregate: {aggregate_states_per_sec:.0} states/s over {total_states} states -> {out_path}"
+    );
+}

@@ -1,13 +1,29 @@
 //! A small reduced-ordered binary decision diagram (ROBDD) package.
 //!
 //! Used for scalable equivalence checking between covers (e.g. validating
-//! espresso results on functions too wide for truth tables) and as an
-//! alternative state-set representation in ablation benchmarks.
+//! espresso results on functions too wide for truth tables) and as the
+//! state-set representation in symbolic reachability
+//! (`rt_stg::symbolic`).
 //!
 //! Nodes are hash-consed in a [`Bdd`] manager with a fixed variable order
-//! (by index). Apply operations are memoized per call.
+//! (by index). The manager keeps two persistent FxHash tables:
+//!
+//! * the **unique table** (pre-sized at construction) mapping
+//!   `(var, low, high)` triples to node ids, which makes equivalent
+//!   functions pointer-identical;
+//! * the **operation cache**, keyed `(op, lhs, rhs)` with commutative
+//!   operands normalized, which memoizes `apply` results *across* calls.
+//!   Symbolic breadth-first reachability re-conjoins the same transition
+//!   relations against overlapping frontiers every iteration; with a
+//!   per-call memo each iteration re-derived identical subresults, while
+//!   the persistent cache turns them into single lookups. Restriction
+//!   (cofactor) results are cached the same way, keyed `(node, var,
+//!   value)`.
+//!
+//! Node ids are never garbage-collected, so cached entries stay valid for
+//! the life of the manager.
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 use crate::cover::Cover;
 
@@ -49,20 +65,89 @@ struct Node {
 pub struct Bdd {
     vars: usize,
     nodes: Vec<Node>,
-    unique: HashMap<Node, NodeId>,
+    unique: FxHashMap<Node, NodeId>,
+    /// Persistent apply memo: `(op, lhs, rhs)` → result, commutative
+    /// operands normalized so `and(a, b)` and `and(b, a)` share an entry.
+    op_cache: FxHashMap<(Op, NodeId, NodeId), NodeId>,
+    /// Persistent cofactor memo: `(node, var, value)` → result.
+    restrict_cache: FxHashMap<(NodeId, u32, bool), NodeId>,
 }
 
 const TERMINAL_VAR: u32 = u32::MAX;
 
+/// Default pre-sizing of the unique table (nodes) and operation cache:
+/// large enough that small managers never rehash, small enough that a
+/// throwaway manager (one per `reach_symbolic` call) does not fault in
+/// pages it never touches.
+const UNIQUE_CAPACITY: usize = 1 << 9;
+const CACHE_CAPACITY: usize = 1 << 10;
+
+/// Binary apply operations memoized in the persistent cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    Xor,
+}
+
+impl Op {
+    fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            Op::And => a && b,
+            Op::Or => a || b,
+            Op::Xor => a != b,
+        }
+    }
+
+    /// Terminal and absorption shortcuts that avoid both recursion and a
+    /// cache probe.
+    fn trivial(self, a: NodeId, b: NodeId) -> Option<NodeId> {
+        match self {
+            Op::And => match (a, b) {
+                _ if a == b => Some(a),
+                (NodeId::ZERO, _) | (_, NodeId::ZERO) => Some(NodeId::ZERO),
+                (NodeId::ONE, other) | (other, NodeId::ONE) => Some(other),
+                _ => None,
+            },
+            Op::Or => match (a, b) {
+                _ if a == b => Some(a),
+                (NodeId::ONE, _) | (_, NodeId::ONE) => Some(NodeId::ONE),
+                (NodeId::ZERO, other) | (other, NodeId::ZERO) => Some(other),
+                _ => None,
+            },
+            Op::Xor => match (a, b) {
+                _ if a == b => Some(NodeId::ZERO),
+                (NodeId::ZERO, other) | (other, NodeId::ZERO) => Some(other),
+                _ => None,
+            },
+        }
+    }
+}
+
 impl Bdd {
-    /// Creates a manager over `vars` variables (order = index order).
+    /// Creates a manager over `vars` variables (order = index order),
+    /// with the unique table and operation cache pre-sized for typical
+    /// reachability workloads.
     pub fn new(vars: usize) -> Self {
+        Bdd::with_capacity(vars, UNIQUE_CAPACITY)
+    }
+
+    /// Creates a manager pre-sized for roughly `capacity` live nodes.
+    pub fn with_capacity(vars: usize, capacity: usize) -> Self {
         let zero = Node { var: TERMINAL_VAR, low: NodeId::ZERO, high: NodeId::ZERO };
         let one = Node { var: TERMINAL_VAR, low: NodeId::ONE, high: NodeId::ONE };
+        let mut nodes = Vec::with_capacity(capacity.max(2));
+        nodes.push(zero);
+        nodes.push(one);
         Bdd {
             vars,
-            nodes: vec![zero, one],
-            unique: HashMap::new(),
+            nodes,
+            unique: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            op_cache: FxHashMap::with_capacity_and_hasher(
+                CACHE_CAPACITY,
+                Default::default(),
+            ),
+            restrict_cache: FxHashMap::default(),
         }
     }
 
@@ -125,39 +210,40 @@ impl Bdd {
 
     /// Conjunction.
     pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let mut memo = HashMap::new();
-        self.apply(a, b, &mut memo, &|x, y| x && y)
+        self.apply(Op::And, a, b)
     }
 
     /// Disjunction.
     pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let mut memo = HashMap::new();
-        self.apply(a, b, &mut memo, &|x, y| x || y)
+        self.apply(Op::Or, a, b)
     }
 
     /// Exclusive or.
     pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let mut memo = HashMap::new();
-        self.apply(a, b, &mut memo, &|x, y| x != y)
+        self.apply(Op::Xor, a, b)
     }
 
     /// Negation.
     pub fn not(&mut self, a: NodeId) -> NodeId {
-        let one = NodeId::ONE;
-        self.xor(a, one)
+        self.xor(a, NodeId::ONE)
     }
 
-    fn apply(
-        &mut self,
-        a: NodeId,
-        b: NodeId,
-        memo: &mut HashMap<(NodeId, NodeId), NodeId>,
-        op: &impl Fn(bool, bool) -> bool,
-    ) -> NodeId {
-        if self.is_terminal(a) && self.is_terminal(b) {
-            return self.constant(op(a == NodeId::ONE, b == NodeId::ONE));
+    /// Number of entries currently in the persistent operation cache
+    /// (plus the cofactor cache); a capacity-planning diagnostic.
+    pub fn cache_len(&self) -> usize {
+        self.op_cache.len() + self.restrict_cache.len()
+    }
+
+    fn apply(&mut self, op: Op, a: NodeId, b: NodeId) -> NodeId {
+        if let Some(result) = op.trivial(a, b) {
+            return result;
         }
-        if let Some(&hit) = memo.get(&(a, b)) {
+        if self.is_terminal(a) && self.is_terminal(b) {
+            return self.constant(op.eval(a == NodeId::ONE, b == NodeId::ONE));
+        }
+        // All three ops are commutative; normalize the key.
+        let key = if a <= b { (op, a, b) } else { (op, b, a) };
+        if let Some(&hit) = self.op_cache.get(&key) {
             return hit;
         }
         let na = self.node(a);
@@ -165,10 +251,10 @@ impl Bdd {
         let var = na.var.min(nb.var);
         let (a0, a1) = if na.var == var { (na.low, na.high) } else { (a, a) };
         let (b0, b1) = if nb.var == var { (nb.low, nb.high) } else { (b, b) };
-        let low = self.apply(a0, b0, memo, op);
-        let high = self.apply(a1, b1, memo, op);
+        let low = self.apply(op, a0, b0);
+        let high = self.apply(op, a1, b1);
         let result = self.mk(var, low, high);
-        memo.insert((a, b), result);
+        self.op_cache.insert(key, result);
         result
     }
 
@@ -212,12 +298,12 @@ impl Bdd {
 
     /// Number of satisfying assignments over all `vars` variables.
     pub fn satisfy_count(&self, id: NodeId) -> u64 {
-        let mut memo: HashMap<NodeId, f64> = HashMap::new();
+        let mut memo: FxHashMap<NodeId, f64> = FxHashMap::default();
         let fraction = self.sat_fraction(id, &mut memo);
         (fraction * 2f64.powi(self.vars as i32)).round() as u64
     }
 
-    fn sat_fraction(&self, id: NodeId, memo: &mut HashMap<NodeId, f64>) -> f64 {
+    fn sat_fraction(&self, id: NodeId, memo: &mut FxHashMap<NodeId, f64>) -> f64 {
         if id == NodeId::ZERO {
             return 0.0;
         }
@@ -243,38 +329,29 @@ impl Bdd {
 
     /// Restriction (cofactor) of the function at `var = value`.
     pub fn restrict(&mut self, id: NodeId, var: usize, value: bool) -> NodeId {
-        let mut memo = HashMap::new();
-        self.restrict_rec(id, var as u32, value, &mut memo)
+        self.restrict_rec(id, var as u32, value)
     }
 
-    fn restrict_rec(
-        &mut self,
-        id: NodeId,
-        var: u32,
-        value: bool,
-        memo: &mut HashMap<NodeId, NodeId>,
-    ) -> NodeId {
+    fn restrict_rec(&mut self, id: NodeId, var: u32, value: bool) -> NodeId {
         if self.is_terminal(id) {
             return id;
         }
-        if let Some(&hit) = memo.get(&id) {
+        let node = self.node(id);
+        // Nodes are ordered by variable index, so a node entirely below
+        // `var` cannot mention it.
+        if node.var > var {
+            return id;
+        }
+        if node.var == var {
+            return if value { node.high } else { node.low };
+        }
+        if let Some(&hit) = self.restrict_cache.get(&(id, var, value)) {
             return hit;
         }
-        let node = self.node(id);
-        let result = if node.var == var {
-            if value {
-                node.high
-            } else {
-                node.low
-            }
-        } else if node.var > var {
-            id
-        } else {
-            let low = self.restrict_rec(node.low, var, value, memo);
-            let high = self.restrict_rec(node.high, var, value, memo);
-            self.mk(node.var, low, high)
-        };
-        memo.insert(id, result);
+        let low = self.restrict_rec(node.low, var, value);
+        let high = self.restrict_rec(node.high, var, value);
+        let result = self.mk(node.var, low, high);
+        self.restrict_cache.insert((id, var, value), result);
         result
     }
 }

@@ -206,13 +206,13 @@ impl Cover {
             if !keep[i] {
                 continue;
             }
-            for j in 0..self.cubes.len() {
+            for (j, keep_j) in keep.iter_mut().enumerate() {
                 if i != j
-                    && keep[j]
+                    && *keep_j
                     && self.cubes[i].contains(&self.cubes[j])
                     && (!self.cubes[j].contains(&self.cubes[i]) || i < j)
                 {
-                    keep[j] = false;
+                    *keep_j = false;
                 }
             }
         }

@@ -10,7 +10,12 @@
 //! * [`minimize()`] — an espresso-style EXPAND / IRREDUNDANT / REDUCE
 //!   two-level minimizer with don't-care support;
 //! * [`TruthTable`] — dense reference semantics for small functions;
-//! * [`bdd`] — a small reduced-ordered BDD used for equivalence checking.
+//! * [`bdd`] — a reduced-ordered BDD manager with hash-consed nodes, a
+//!   pre-sized unique table and a persistent op-tagged apply cache that
+//!   survives across calls (see the module docs for the memoization
+//!   design);
+//! * [`fxhash`] — the FxHash-style fast hasher backing the BDD tables and
+//!   the state-space hot paths in `rt-stg`.
 //!
 //! ## Example: minimize `a·b + a·b̄` to `a`
 //!
@@ -30,10 +35,12 @@
 pub mod bdd;
 pub mod cover;
 pub mod cube;
+pub mod fxhash;
 pub mod minimize;
 pub mod tt;
 
 pub use bdd::Bdd;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use cover::Cover;
 pub use cube::Cube;
 pub use minimize::{minimize, minimize_with_stats, MinimizeStats};

@@ -72,7 +72,7 @@ pub fn reduce_unchecked(sg: &StateGraph, assumptions: &[RtAssumption]) -> StateG
     let initial = sg.initial();
     map.insert(initial, StateId(0));
     codes.push(sg.code(initial));
-    markings.push(sg.marking(initial).clone());
+    markings.push(sg.packed_marking(initial).clone());
     arcs.push(Vec::new());
     queue.push_back(initial);
 
@@ -99,7 +99,7 @@ pub fn reduce_unchecked(sg: &StateGraph, assumptions: &[RtAssumption]) -> StateG
                     let id = StateId(codes.len() as u32);
                     map.insert(arc.to, id);
                     codes.push(sg.code(arc.to));
-                    markings.push(sg.marking(arc.to).clone());
+                    markings.push(sg.packed_marking(arc.to).clone());
                     arcs.push(Vec::new());
                     queue.push_back(arc.to);
                     id
@@ -114,7 +114,15 @@ pub fn reduce_unchecked(sg: &StateGraph, assumptions: &[RtAssumption]) -> StateG
         .map(|s| sg.signal_name(s).to_string())
         .collect();
     let signal_kinds = sg.signals().map(|s| sg.signal_kind(s)).collect();
-    StateGraph::from_parts(signal_names, signal_kinds, codes, arcs, markings, StateId(0))
+    StateGraph::from_packed_parts(
+        signal_names,
+        signal_kinds,
+        codes,
+        arcs,
+        markings,
+        *sg.marking_layout(),
+        StateId(0),
+    )
 }
 
 /// Checks that a reduction kept the specification alive.

@@ -139,13 +139,10 @@ fn modrm_extra(modrm: u8, sib: Option<u8>) -> u8 {
     }
     extra
         + match md {
-            0b00 => {
-                if rm == 0b101 || base_is_ebp_disp32 {
+            0b00
+                if (rm == 0b101 || base_is_ebp_disp32) => {
                     4
-                } else {
-                    0
                 }
-            }
             0b01 => 1,
             0b10 => 4,
             _ => 0,

@@ -201,9 +201,9 @@ impl Rappid {
 
             // The tag leaving a line frees it for the FIFO window.
             if start_line != prev_start_line {
+                line_consumed[prev_start_line..start_line].fill(tag_done);
+                // Re-propagate the supply window for later lines.
                 for line in prev_start_line..start_line {
-                    line_consumed[line] = tag_done;
-                    // Re-propagate the supply window for later lines.
                     if line + c.line_buffer < line_count {
                         let k = line + c.line_buffer;
                         let supply = line_arrive[k - 1] + c.line_supply_ps;

@@ -1,0 +1,185 @@
+//! Offline stand-in for the slice of the `criterion` API this workspace
+//! uses: [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! The build environment has no registry access, so this in-repo crate
+//! stands in for crates.io `criterion`. It performs real wall-clock
+//! measurement — warm-up estimate, then an adaptive iteration count
+//! targeting ~200 ms per benchmark — and prints one
+//! `name  time: <median> ns/iter (<iters> iters)` line per benchmark.
+//! When invoked with `--test` (as `cargo test --benches` does) every
+//! routine runs exactly once so test runs stay fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+/// Number of timed samples per benchmark (median is reported).
+const SAMPLES: usize = 11;
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--test") || std::env::var_os("CRITERION_QUICK").is_some()
+}
+
+/// Times one routine; handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Per-iteration sample durations in nanoseconds, one per sample.
+    samples_ns: Vec<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, storing per-iteration timings.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if quick_mode() {
+            std::hint::black_box(routine());
+            self.samples_ns = vec![0.0];
+            self.iters = 1;
+            return;
+        }
+        // Warm-up and per-call estimate.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let mut est = start.elapsed();
+        if est.is_zero() {
+            est = Duration::from_nanos(1);
+        }
+        let per_sample = TARGET / SAMPLES as u32;
+        let iters = (per_sample.as_nanos() / est.as_nanos()).clamp(1, 1_000_000) as u64;
+        self.samples_ns.clear();
+        for _ in 0..SAMPLES {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            self.samples_ns.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+        self.iters = iters;
+    }
+
+    fn report(&self, name: &str) {
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
+        println!("{name:<48} time: {median:>14.1} ns/iter ({} iters)", self.iters);
+    }
+}
+
+/// Identifies a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `f` as a benchmark named `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Runs `f` with `input` as a benchmark named by `id`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Ends the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry object.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+
+    /// Runs `f` as a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Declares a group function running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran >= 1);
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 4).label, "f/4");
+        assert_eq!(BenchmarkId::from_parameter(8).label, "8");
+    }
+}

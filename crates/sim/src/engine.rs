@@ -13,8 +13,10 @@ use rt_netlist::{GateId, GateKind, NetId, Netlist};
 
 /// Delay configuration for a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
 pub enum DelayConfig {
     /// Use each gate's nominal [`rt_netlist::DelayModel`].
+    #[default]
     Nominal,
     /// Scale every delay by `percent` (100 = nominal, 150 = 1.5×).
     Scaled {
@@ -32,11 +34,6 @@ pub enum DelayConfig {
     },
 }
 
-impl Default for DelayConfig {
-    fn default() -> Self {
-        DelayConfig::Nominal
-    }
-}
 
 /// Kinds of dynamic hazards the engine records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -84,11 +84,7 @@ impl CycleStats {
 
     /// Mean frequency in MHz implied by the mean period.
     pub fn mean_mhz(&self) -> u64 {
-        if self.mean_ps == 0 {
-            0
-        } else {
-            1_000_000 / self.mean_ps
-        }
+        1_000_000u64.checked_div(self.mean_ps).unwrap_or(0)
     }
 }
 

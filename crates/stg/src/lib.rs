@@ -14,8 +14,22 @@
 //!   (input/output/internal), consistency checking and convenience builders.
 //! * [`parse`] — reader/writer for the `.g` (astg) interchange format used
 //!   by `petrify` and SIS.
+//! * [`marking`] — the state-space hot-path representation: token counts
+//!   bit-packed into inline `u64` words ([`PackedMarking`], one register
+//!   for a safe net with ≤ 64 places) under a per-net [`MarkingLayout`],
+//!   interned in a [`MarkingArena`] keyed by an FxHash table so visited
+//!   markings resolve to dense 4-byte [`MarkingId`]s.
 //! * [`reach`] — explicit reachability analysis producing a [`StateGraph`]
-//!   with binary-coded states, the input to logic synthesis.
+//!   with binary-coded states, the input to logic synthesis. The BFS
+//!   fires transitions directly on packed markings (zero per-state heap
+//!   allocations on safe nets ≤ 64 places) and accumulates arcs straight
+//!   into the state graph's compressed-sparse-row store.
+//! * [`state_graph`] — the reachable behaviour with per-state binary
+//!   codes; successor/predecessor rows live in contiguous CSR arrays, so
+//!   synthesis, CSC detection and the lazy passes walk linear memory.
+//! * [`symbolic`] — BDD-based reachability with frontier-based image
+//!   steps, backed by the persistent operation cache in
+//!   [`rt_boolean::Bdd`].
 //! * [`models`] — ready-made specifications from the paper: the FIFO
 //!   controller of Figure 3, the C-element, pipeline rings, and more.
 //!
@@ -35,6 +49,7 @@
 
 pub mod corpus;
 pub mod error;
+pub mod marking;
 pub mod models;
 pub mod parse;
 pub mod petri;
@@ -45,6 +60,7 @@ pub mod stg;
 pub mod symbolic;
 
 pub use error::StgError;
+pub use marking::{MarkingArena, MarkingId, MarkingLayout, PackedMarking};
 pub use petri::{Marking, PetriNet, PlaceId, TransitionId};
 pub use reach::explore;
 pub use signal::{Edge, SignalEvent, SignalId, SignalKind};

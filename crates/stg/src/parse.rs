@@ -462,7 +462,7 @@ c- p0
 ";
         let stg = parse_g(text).unwrap();
         assert!(!stg.net().is_marked_graph());
-        assert_eq!(stg.net().place_count() > 0, true);
+        assert!(stg.net().place_count() > 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::error::StgError;
+use crate::marking::{MarkingLayout, PackedMarking};
 
 /// Index of a place.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -317,6 +318,61 @@ impl PetriNet {
             next.set(arc.place, current.saturating_add(arc.weight));
         }
         Some(next)
+    }
+
+    /// Whether `transition` is enabled in packed marking `m`.
+    ///
+    /// The packed counterpart of [`PetriNet::is_enabled`]; performs no
+    /// heap allocation.
+    #[inline]
+    pub fn is_enabled_packed(
+        &self,
+        transition: TransitionId,
+        m: &PackedMarking,
+        layout: &MarkingLayout,
+    ) -> bool {
+        self.preset(transition)
+            .iter()
+            .all(|arc| m.tokens(layout, arc.place) >= arc.weight)
+    }
+
+    /// Fires `transition` from packed marking `m`, writing the successor
+    /// into `out` (caller-provided to keep the hot path allocation-free
+    /// for inline layouts).
+    ///
+    /// The transition must be enabled (checked in debug builds only).
+    /// With `bound = Some(b)`, producing more than `b` tokens on a place
+    /// returns `Err(place)`; with `bound = None` token counts saturate at
+    /// the layout capacity, mirroring [`PetriNet::fire`]'s saturating
+    /// `u16` arithmetic under the default 16-bit layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first place pushed past `bound`.
+    #[inline]
+    pub fn fire_packed_into(
+        &self,
+        transition: TransitionId,
+        m: &PackedMarking,
+        layout: &MarkingLayout,
+        bound: Option<u16>,
+        out: &mut PackedMarking,
+    ) -> Result<(), PlaceId> {
+        debug_assert!(self.is_enabled_packed(transition, m, layout));
+        out.clone_from(m);
+        for arc in self.preset(transition) {
+            let current = out.tokens(layout, arc.place);
+            out.set_tokens(layout, arc.place, current - arc.weight);
+        }
+        for arc in self.postset(transition) {
+            let current = out.tokens(layout, arc.place);
+            let next = current.saturating_add(arc.weight);
+            match bound {
+                Some(b) if next > b => return Err(arc.place),
+                _ => out.set_tokens(layout, arc.place, next.min(layout.capacity())),
+            }
+        }
+        Ok(())
     }
 
     /// Checks that `m` keeps every place within `bound` tokens.

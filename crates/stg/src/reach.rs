@@ -5,11 +5,22 @@
 //! each signal strictly alternate along every path) and *safeness* (the net
 //! stays within a configurable token bound), and produces the state graph
 //! consumed by logic synthesis.
-
-use std::collections::{HashMap, VecDeque};
+//!
+//! ## Hot-path layout
+//!
+//! Exploration never touches heap-allocated token vectors: markings are
+//! bit-packed into inline words ([`crate::marking::PackedMarking`]) under
+//! a per-net [`MarkingLayout`] and interned in a [`MarkingArena`], whose
+//! FxHash-keyed table maps packed words to dense 4-byte ids. The BFS
+//! queue is implicit (ids are assigned in discovery order, so the work
+//! list is just the next unprocessed id) and arcs accumulate directly
+//! into the compressed-sparse-row buffers the [`StateGraph`] keeps, so
+//! for a safe net with ≤ 64 places a visited state costs a `u64` copy,
+//! one hash and no allocation.
 
 use crate::error::StgError;
-use crate::petri::Marking;
+use crate::marking::{MarkingArena, MarkingId, MarkingLayout, PackedMarking};
+use crate::petri::PlaceId;
 use crate::signal::SignalId;
 use crate::state_graph::{StateArc, StateGraph, StateId};
 use crate::stg::{Stg, TransitionLabel};
@@ -71,36 +82,43 @@ pub fn explore_with(stg: &Stg, options: &ExploreOptions) -> Result<StateGraph, S
     if stg.signal_count() > 64 {
         return Err(StgError::TooManySignals(stg.signal_count()));
     }
-    let initial_code = infer_initial_code(stg, options)?;
     let net = stg.net();
     let initial_marking = stg.initial_marking();
+    let layout = marking_layout(stg, options)?;
+    let initial_code = infer_initial_code(stg, options, &layout)?;
 
-    let mut index: HashMap<Marking, StateId> = HashMap::new();
-    let mut codes: Vec<u64> = Vec::new();
-    let mut markings: Vec<Marking> = Vec::new();
-    let mut arcs: Vec<Vec<StateArc>> = Vec::new();
-    let mut queue: VecDeque<StateId> = VecDeque::new();
+    // Start small: tables grow geometrically, so large explorations pay
+    // a handful of rehashes while small ones (the common case in the
+    // synthesis flow) avoid faulting in kilobytes they never touch.
+    let mut arena = MarkingArena::with_capacity(layout, 64);
+    let mut codes: Vec<u64> = Vec::with_capacity(64);
+    let mut offsets: Vec<u32> = Vec::with_capacity(64);
+    let mut arcs: Vec<StateArc> = Vec::with_capacity(256);
+    // Reused firing scratch: keeps the hot loop allocation-free even for
+    // spilled (boxed) layouts.
+    let mut scratch = PackedMarking::zero(&layout);
 
-    index.insert(initial_marking.clone(), StateId(0));
+    arena.intern(PackedMarking::pack(&layout, &initial_marking));
     codes.push(initial_code);
-    markings.push(initial_marking);
-    arcs.push(Vec::new());
-    queue.push_back(StateId(0));
 
-    while let Some(state) = queue.pop_front() {
-        let marking = markings[state.index()].clone();
-        let code = codes[state.index()];
-        let enabled = net.enabled(&marking);
-        if enabled.is_empty() && options.forbid_deadlock {
-            return Err(StgError::Deadlock(format!("{marking}")));
-        }
-        for transition in enabled {
-            let next_marking = net
-                .fire(transition, &marking)
-                .expect("enabled transition must fire");
-            if let Some(bound) = options.bound {
-                net.check_bound(&next_marking, bound)?;
+    // Ids are handed out in discovery order and the BFS queue is FIFO, so
+    // the work list is simply "the next id not yet processed" — no queue.
+    let mut state = 0usize;
+    while state < arena.len() {
+        offsets.push(arcs.len() as u32);
+        let marking = arena.resolve(MarkingId(state as u32)).clone();
+        let code = codes[state];
+        let mut any_enabled = false;
+        for transition in net.transitions() {
+            if !net.is_enabled_packed(transition, &marking, &layout) {
+                continue;
             }
+            any_enabled = true;
+            net.fire_packed_into(transition, &marking, &layout, options.bound, &mut scratch)
+                .map_err(|place| StgError::Unbounded {
+                    place: net.place_name(place).to_string(),
+                    bound: u32::from(options.bound.unwrap_or(u16::MAX)),
+                })?;
             let (event, next_code) = match stg.label(transition) {
                 TransitionLabel::Silent => (None, code),
                 TransitionLabel::Event(ev) => {
@@ -109,8 +127,9 @@ pub fn explore_with(stg: &Stg, options: &ExploreOptions) -> Result<StateGraph, S
                         return Err(StgError::Inconsistent {
                             signal: stg.signal_name(ev.signal).to_string(),
                             detail: format!(
-                                "{} fires in state {marking} where {} is already {}",
+                                "{} fires in state {} where {} is already {}",
                                 stg.event_name(ev),
+                                marking.unpack(&layout),
                                 stg.signal_name(ev.signal),
                                 u8::from(current)
                             ),
@@ -124,53 +143,70 @@ pub fn explore_with(stg: &Stg, options: &ExploreOptions) -> Result<StateGraph, S
                     (Some(ev), next)
                 }
             };
-            let next_state = match index.get(&next_marking) {
-                Some(&existing) => {
-                    if codes[existing.index()] != next_code {
-                        // The same marking was reached with two different
-                        // signal codes: the STG is not consistent.
-                        let bit = (codes[existing.index()] ^ next_code).trailing_zeros();
-                        return Err(StgError::Inconsistent {
-                            signal: stg.signal_name(SignalId(bit)).to_string(),
-                            detail: format!(
-                                "marking {next_marking} reached with codes {:b} and {:b}",
-                                codes[existing.index()],
-                                next_code
-                            ),
-                        });
-                    }
-                    existing
+            let (next_id, fresh) = arena.intern_ref(&scratch);
+            if fresh {
+                if arena.len() > options.state_limit {
+                    return Err(StgError::StateLimitExceeded(options.state_limit));
                 }
-                None => {
-                    let id = StateId(codes.len() as u32);
-                    if id.index() >= options.state_limit {
-                        return Err(StgError::StateLimitExceeded(options.state_limit));
-                    }
-                    index.insert(next_marking.clone(), id);
-                    codes.push(next_code);
-                    markings.push(next_marking);
-                    arcs.push(Vec::new());
-                    queue.push_back(id);
-                    id
-                }
-            };
-            arcs[state.index()].push(StateArc { event, to: next_state });
+                codes.push(next_code);
+            } else if codes[next_id.index()] != next_code {
+                // The same marking was reached with two different signal
+                // codes: the STG is not consistent.
+                let bit = (codes[next_id.index()] ^ next_code).trailing_zeros();
+                return Err(StgError::Inconsistent {
+                    signal: stg.signal_name(SignalId(bit)).to_string(),
+                    detail: format!(
+                        "marking {} reached with codes {:b} and {:b}",
+                        arena.resolve(next_id).unpack(&layout),
+                        codes[next_id.index()],
+                        next_code
+                    ),
+                });
+            }
+            arcs.push(StateArc { event, to: StateId(next_id.0) });
         }
+        if !any_enabled && options.forbid_deadlock {
+            return Err(StgError::Deadlock(format!("{}", marking.unpack(&layout))));
+        }
+        state += 1;
     }
+    offsets.push(arcs.len() as u32);
 
     let signal_names = stg
         .signals()
         .map(|s| stg.signal_name(s).to_string())
         .collect();
     let signal_kinds = stg.signals().map(|s| stg.signal_kind(s)).collect();
-    Ok(StateGraph::from_parts(
+    Ok(StateGraph::from_csr_parts(
         signal_names,
         signal_kinds,
         codes,
+        offsets,
         arcs,
-        markings,
+        arena.into_markings(),
+        layout,
         StateId(0),
     ))
+}
+
+/// Builds the packing layout for exploring `stg` under `options`, and
+/// up-front rejects an initial marking that already violates the bound
+/// (the packed fields are sized for `bound`, so such a marking could not
+/// even be represented).
+fn marking_layout(stg: &Stg, options: &ExploreOptions) -> Result<MarkingLayout, StgError> {
+    let net = stg.net();
+    let initial = stg.initial_marking();
+    if let Some(bound) = options.bound {
+        for place in net.places() {
+            if initial.tokens(place) > bound {
+                return Err(StgError::Unbounded {
+                    place: net.place_name(place).to_string(),
+                    bound: u32::from(bound),
+                });
+            }
+        }
+    }
+    Ok(MarkingLayout::new(net.place_count(), options.bound))
 }
 
 /// Determines the initial binary code.
@@ -179,7 +215,15 @@ pub fn explore_with(stg: &Stg, options: &ExploreOptions) -> Result<StateGraph, S
 /// signals are inferred from the *first edge* of the signal encountered in a
 /// breadth-first sweep of the token game (a first rise ⇒ initially 0, a
 /// first fall ⇒ initially 1). Signals that never transition default to 0.
-fn infer_initial_code(stg: &Stg, options: &ExploreOptions) -> Result<u64, StgError> {
+///
+/// The visited set is the interning arena itself (a marking is "seen"
+/// exactly when it is already interned), replacing the historical
+/// `HashMap<Marking, ()>`-as-a-set over heap token vectors.
+fn infer_initial_code(
+    stg: &Stg,
+    options: &ExploreOptions,
+    layout: &MarkingLayout,
+) -> Result<u64, StgError> {
     let mut value: Vec<Option<bool>> = (0..stg.signal_count())
         .map(|i| stg.initial_value(SignalId(i as u32)))
         .collect();
@@ -189,17 +233,20 @@ fn infer_initial_code(stg: &Stg, options: &ExploreOptions) -> Result<u64, StgErr
     }
 
     let net = stg.net();
-    let mut seen: HashMap<Marking, ()> = HashMap::new();
-    let mut queue = VecDeque::new();
-    let initial = stg.initial_marking();
-    seen.insert(initial.clone(), ());
-    queue.push_back(initial);
+    let mut arena = MarkingArena::with_capacity(*layout, 64);
+    let mut scratch = PackedMarking::zero(layout);
+    arena.intern(PackedMarking::pack(layout, &stg.initial_marking()));
 
-    while let Some(marking) = queue.pop_front() {
-        if unresolved == 0 || seen.len() > options.state_limit {
+    let mut state = 0usize;
+    while state < arena.len() {
+        if unresolved == 0 || arena.len() > options.state_limit {
             break;
         }
-        for transition in net.enabled(&marking) {
+        let marking = arena.resolve(MarkingId(state as u32)).clone();
+        for transition in net.transitions() {
+            if !net.is_enabled_packed(transition, &marking, layout) {
+                continue;
+            }
             if let TransitionLabel::Event(ev) = stg.label(transition) {
                 let slot = &mut value[ev.signal.index()];
                 if slot.is_none() {
@@ -207,17 +254,14 @@ fn infer_initial_code(stg: &Stg, options: &ExploreOptions) -> Result<u64, StgErr
                     unresolved -= 1;
                 }
             }
-            let next = net
-                .fire(transition, &marking)
-                .expect("enabled transition must fire");
-            if let Some(bound) = options.bound {
-                net.check_bound(&next, bound)?;
-            }
-            if !seen.contains_key(&next) {
-                seen.insert(next.clone(), ());
-                queue.push_back(next);
-            }
+            net.fire_packed_into(transition, &marking, layout, options.bound, &mut scratch)
+                .map_err(|place: PlaceId| StgError::Unbounded {
+                    place: net.place_name(place).to_string(),
+                    bound: u32::from(options.bound.unwrap_or(u16::MAX)),
+                })?;
+            arena.intern_ref(&scratch);
         }
+        state += 1;
     }
     Ok(pack_code(&value))
 }

@@ -9,6 +9,7 @@
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
+use crate::marking::{MarkingLayout, PackedMarking};
 use crate::petri::Marking;
 use crate::signal::{Edge, SignalEvent, SignalId, SignalKind};
 
@@ -50,11 +51,67 @@ pub struct CscConflict {
     pub signal: SignalId,
 }
 
+/// Arc rows in compressed-sparse-row form: all rows live in one
+/// contiguous `Vec<StateArc>`, with `offsets[i]..offsets[i+1]` delimiting
+/// state `i`'s row. Synthesis, CSC analysis and the lazy passes iterate
+/// arcs heavily; CSR keeps those walks on contiguous memory instead of
+/// chasing one heap allocation per state.
+#[derive(Debug, Clone, Default)]
+struct CsrArcs {
+    offsets: Vec<u32>,
+    arcs: Vec<StateArc>,
+}
+
+impl CsrArcs {
+    fn from_nested(nested: &[Vec<StateArc>]) -> Self {
+        let mut offsets = Vec::with_capacity(nested.len() + 1);
+        let mut arcs = Vec::with_capacity(nested.iter().map(Vec::len).sum());
+        for row in nested {
+            offsets.push(arcs.len() as u32);
+            arcs.extend_from_slice(row);
+        }
+        offsets.push(arcs.len() as u32);
+        CsrArcs { offsets, arcs }
+    }
+
+    /// Builds the reversed (predecessor) CSR of `succ` by counting sort:
+    /// one pass to count indegrees, a prefix sum, one pass to fill.
+    /// Row-internal order matches iterating successor rows in state
+    /// order, preserving the historical nested-`Vec` predecessor order.
+    fn reversed(succ: &CsrArcs, states: usize) -> Self {
+        let mut counts = vec![0u32; states + 1];
+        for arc in &succ.arcs {
+            counts[arc.to.index() + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut arcs = vec![StateArc { event: None, to: StateId(0) }; succ.arcs.len()];
+        for from in 0..states {
+            for arc in succ.row(from) {
+                let slot = &mut cursor[arc.to.index()];
+                arcs[*slot as usize] = StateArc { event: arc.event, to: StateId(from as u32) };
+                *slot += 1;
+            }
+        }
+        CsrArcs { offsets, arcs }
+    }
+
+    #[inline]
+    fn row(&self, state: usize) -> &[StateArc] {
+        &self.arcs[self.offsets[state] as usize..self.offsets[state + 1] as usize]
+    }
+}
+
 /// The reachable state space of an STG.
 ///
 /// Each state carries a binary *code* (one bit per signal, up to 64
-/// signals). Arcs are labelled with signal events or ε. The graph keeps the
-/// originating [`Marking`]s for diagnostics.
+/// signals). Arcs are labelled with signal events or ε and stored in
+/// compressed-sparse-row form (contiguous per-state rows, built once
+/// after exploration). The graph keeps the originating markings in
+/// packed form for diagnostics.
 ///
 /// # Examples
 ///
@@ -75,15 +132,18 @@ pub struct StateGraph {
     signal_names: Vec<String>,
     signal_kinds: Vec<SignalKind>,
     codes: Vec<u64>,
-    arcs: Vec<Vec<StateArc>>,
-    preds: Vec<Vec<StateArc>>,
-    markings: Vec<Marking>,
+    succ: CsrArcs,
+    preds: CsrArcs,
+    layout: MarkingLayout,
+    markings: Vec<PackedMarking>,
     initial: StateId,
 }
 
 impl StateGraph {
-    /// Builds a state graph from raw parts. Intended for the reachability
-    /// analyser and for the lazy-state-graph construction in `rt-core`.
+    /// Builds a state graph from raw parts with nested per-state arc
+    /// rows. Intended for the lazy-state-graph construction in `rt-core`
+    /// and for tests; the reachability analyser builds CSR directly via
+    /// `from_csr_parts`.
     pub fn from_parts(
         signal_names: Vec<String>,
         signal_kinds: Vec<SignalKind>,
@@ -92,21 +152,72 @@ impl StateGraph {
         markings: Vec<Marking>,
         initial: StateId,
     ) -> Self {
-        let mut preds: Vec<Vec<StateArc>> = vec![Vec::new(); codes.len()];
-        for (from, outgoing) in arcs.iter().enumerate() {
-            for arc in outgoing {
-                preds[arc.to.index()].push(StateArc {
-                    event: arc.event,
-                    to: StateId(from as u32),
-                });
-            }
-        }
+        let places = markings.first().map_or(0, Marking::len);
+        let max_tokens = markings
+            .iter()
+            .flat_map(|m| m.marked_places().map(|(_, t)| t))
+            .max()
+            .unwrap_or(0);
+        let layout = MarkingLayout::new(places, Some(max_tokens.max(1)));
+        let packed = markings.iter().map(|m| PackedMarking::pack(&layout, m)).collect();
+        let succ = CsrArcs::from_nested(&arcs);
+        Self::from_csr_rows(signal_names, signal_kinds, codes, succ, packed, layout, initial)
+    }
+
+    /// Like [`StateGraph::from_parts`], but reuses already-packed
+    /// markings and their layout instead of round-tripping through dense
+    /// token vectors. Preferred when deriving one graph from another
+    /// (e.g. concurrency reduction in `rt-core`), where the source
+    /// graph's packed markings can be copied verbatim.
+    pub fn from_packed_parts(
+        signal_names: Vec<String>,
+        signal_kinds: Vec<SignalKind>,
+        codes: Vec<u64>,
+        arcs: Vec<Vec<StateArc>>,
+        markings: Vec<PackedMarking>,
+        layout: MarkingLayout,
+        initial: StateId,
+    ) -> Self {
+        let succ = CsrArcs::from_nested(&arcs);
+        Self::from_csr_rows(signal_names, signal_kinds, codes, succ, markings, layout, initial)
+    }
+
+    /// Builds a state graph from pre-assembled CSR buffers (`offsets`
+    /// delimits each state's row in `arcs`). Used by the reachability
+    /// analyser, which accumulates arcs in discovery order.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_csr_parts(
+        signal_names: Vec<String>,
+        signal_kinds: Vec<SignalKind>,
+        codes: Vec<u64>,
+        offsets: Vec<u32>,
+        arcs: Vec<StateArc>,
+        markings: Vec<PackedMarking>,
+        layout: MarkingLayout,
+        initial: StateId,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), codes.len() + 1);
+        let succ = CsrArcs { offsets, arcs };
+        Self::from_csr_rows(signal_names, signal_kinds, codes, succ, markings, layout, initial)
+    }
+
+    fn from_csr_rows(
+        signal_names: Vec<String>,
+        signal_kinds: Vec<SignalKind>,
+        codes: Vec<u64>,
+        succ: CsrArcs,
+        markings: Vec<PackedMarking>,
+        layout: MarkingLayout,
+        initial: StateId,
+    ) -> Self {
+        let preds = CsrArcs::reversed(&succ, codes.len());
         StateGraph {
             signal_names,
             signal_kinds,
             codes,
-            arcs,
+            succ,
             preds,
+            layout,
             markings,
             initial,
         }
@@ -119,7 +230,7 @@ impl StateGraph {
 
     /// Number of arcs.
     pub fn arc_count(&self) -> usize {
-        self.arcs.iter().map(Vec::len).sum()
+        self.succ.arcs.len()
     }
 
     /// The initial state.
@@ -169,19 +280,31 @@ impl StateGraph {
         self.codes[state.index()] >> signal.index() & 1 == 1
     }
 
-    /// The marking from which `state` was created.
-    pub fn marking(&self, state: StateId) -> &Marking {
+    /// The marking from which `state` was created, unpacked to a dense
+    /// token vector (allocates; intended for diagnostics, not hot loops —
+    /// use [`StateGraph::packed_marking`] there).
+    pub fn marking(&self, state: StateId) -> Marking {
+        self.markings[state.index()].unpack(&self.layout)
+    }
+
+    /// The packed marking behind `state`.
+    pub fn packed_marking(&self, state: StateId) -> &PackedMarking {
         &self.markings[state.index()]
+    }
+
+    /// The packing layout shared by all of this graph's markings.
+    pub fn marking_layout(&self) -> &MarkingLayout {
+        &self.layout
     }
 
     /// Outgoing arcs of `state`.
     pub fn successors(&self, state: StateId) -> &[StateArc] {
-        &self.arcs[state.index()]
+        self.succ.row(state.index())
     }
 
     /// Incoming arcs of `state` (`arc.to` is the *predecessor* state).
     pub fn predecessors(&self, state: StateId) -> &[StateArc] {
-        &self.preds[state.index()]
+        self.preds.row(state.index())
     }
 
     /// Events enabled in `state` (silent arcs excluded).

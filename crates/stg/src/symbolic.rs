@@ -7,6 +7,16 @@
 //! so the two can be compared head to head (the state-space-scaling
 //! ablation in `rt-bench`'s `synthesis` bench).
 //!
+//! The BFS is *frontier-based*: each iteration images only the set of
+//! markings discovered in the previous iteration (`frontier`), not the
+//! whole accumulated reachable set, so work per iteration tracks the
+//! wavefront instead of re-exploring everything already known. This
+//! pairs with the persistent operation cache in [`rt_boolean::Bdd`]: the
+//! per-transition `enabled` constraints and partially-overlapping
+//! frontiers hit the same `(op, lhs, rhs)` keys across iterations, so
+//! repeated sub-conjunctions and cofactors resolve as single cache
+//! lookups instead of fresh traversals.
+//!
 //! Only *safe* (1-bounded) nets are supported: a marking is then exactly
 //! a set of places.
 

@@ -1,0 +1,44 @@
+//! Acceptance regression: explicit (packed/interned BFS) and symbolic
+//! (BDD image computation) reachability must agree on the number of
+//! reachable markings for every specification shipped in
+//! [`rt_stg::models`] and the `.g` corpus.
+
+use rt_stg::symbolic::reach_symbolic;
+use rt_stg::{corpus, explore, models, Stg};
+
+fn assert_agreement(name: &str, stg: &Stg) {
+    let explicit = explore(stg).unwrap_or_else(|e| panic!("{name}: explicit: {e}"));
+    let symbolic = reach_symbolic(stg).unwrap_or_else(|e| panic!("{name}: symbolic: {e}"));
+    assert_eq!(
+        symbolic.markings,
+        explicit.state_count() as u64,
+        "{name}: symbolic and explicit reachable-marking counts diverge"
+    );
+}
+
+#[test]
+fn explicit_and_symbolic_agree_on_every_model() {
+    let mut specs: Vec<(String, Stg)> = vec![
+        ("handshake".into(), models::handshake_stg()),
+        ("fifo".into(), models::fifo_stg()),
+        ("fifo_csc".into(), models::fifo_stg_csc()),
+        ("celement".into(), models::celement_stg()),
+    ];
+    for n in 2..7 {
+        specs.push((format!("chain{n}"), models::chain_stg(n)));
+    }
+    for (n, tokens) in [(3, 1), (4, 1), (5, 2), (6, 2), (8, 2), (9, 3), (10, 3)] {
+        specs.push((format!("ring{n}_{tokens}"), models::ring_stg(n, tokens)));
+    }
+    for (name, stg) in &specs {
+        assert_agreement(name, stg);
+    }
+}
+
+#[test]
+fn explicit_and_symbolic_agree_on_corpus() {
+    for (name, text) in corpus::all() {
+        let stg = corpus::parse(text).expect("corpus entry parses");
+        assert_agreement(name, &stg);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the packed-marking representation: `PackedMarking`
+//! must be a faithful, hash-compatible stand-in for the dense `Marking`
+//! token vectors it replaced in the reachability hot path.
+
+use proptest::prelude::*;
+use rt_boolean::fxhash::FxBuildHasher;
+use rt_stg::marking::{MarkingArena, MarkingLayout, PackedMarking};
+use rt_stg::{Marking, PlaceId};
+use std::hash::BuildHasher;
+
+fn fx_hash(p: &PackedMarking) -> u64 {
+    FxBuildHasher::default().hash_one(p)
+}
+
+/// Clamps raw u16s into `0..=bound` token counts.
+fn tokens_from(raw: &[u16], bound: u16) -> Vec<u16> {
+    raw.iter().map(|&r| r % (bound + 1)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pack → unpack is the identity, and per-place reads agree, across
+    /// random token vectors, place counts (1..=96 spans all inline
+    /// variants) and bounds (1..=4 spans 1-, 2- and 3-bit fields).
+    fn pack_unpack_roundtrip(
+        raw in prop::collection::vec(any::<u16>(), 1..96),
+        bound in 1u16..5,
+    ) {
+        let tokens = tokens_from(&raw, bound);
+        let layout = MarkingLayout::new(tokens.len(), Some(bound));
+        let marking = Marking::from_tokens(tokens.clone());
+        let packed = PackedMarking::pack(&layout, &marking);
+        prop_assert_eq!(packed.unpack(&layout), marking.clone());
+        for (i, &t) in tokens.iter().enumerate() {
+            prop_assert_eq!(packed.tokens(&layout, PlaceId(i as u32)), t);
+        }
+        prop_assert_eq!(packed.total_tokens(&layout), marking.total_tokens());
+    }
+
+    /// Packed equality coincides with token-vector equality, and equal
+    /// packed markings hash identically (the arena's table correctness
+    /// depends on both).
+    fn hash_and_equality_agree_with_marking(
+        raw_a in prop::collection::vec(any::<u16>(), 1..64),
+        raw_b in prop::collection::vec(any::<u16>(), 1..64),
+        bound in 1u16..5,
+    ) {
+        // Same layout requires same place count; reuse a's length.
+        let places = raw_a.len();
+        let a = tokens_from(&raw_a, bound);
+        let mut b = tokens_from(&raw_b, bound);
+        b.resize(places, 0);
+        let layout = MarkingLayout::new(places, Some(bound));
+        let ma = Marking::from_tokens(a);
+        let mb = Marking::from_tokens(b);
+        let pa = PackedMarking::pack(&layout, &ma);
+        let pb = PackedMarking::pack(&layout, &mb);
+        prop_assert_eq!(ma == mb, pa == pb);
+        if pa == pb {
+            prop_assert_eq!(fx_hash(&pa), fx_hash(&pb));
+        }
+    }
+
+    /// Mutating one place via `set_tokens` equals repacking the mutated
+    /// dense vector.
+    fn set_tokens_matches_repack(
+        raw in prop::collection::vec(any::<u16>(), 1..64),
+        place_raw in any::<u16>(),
+        new_count_raw in any::<u16>(),
+        bound in 1u16..5,
+    ) {
+        let tokens = tokens_from(&raw, bound);
+        let place = usize::from(place_raw) % tokens.len();
+        let new_count = new_count_raw % (bound + 1);
+        let layout = MarkingLayout::new(tokens.len(), Some(bound));
+        let mut packed = PackedMarking::pack(&layout, &Marking::from_tokens(tokens.clone()));
+        packed.set_tokens(&layout, PlaceId(place as u32), new_count);
+        let mut mutated = tokens;
+        mutated[place] = new_count;
+        let expected = PackedMarking::pack(&layout, &Marking::from_tokens(mutated));
+        prop_assert_eq!(packed, expected);
+    }
+
+    /// The arena is a bijection between distinct markings and dense ids.
+    fn arena_ids_biject_with_distinct_markings(
+        raws in prop::collection::vec(prop::collection::vec(any::<u16>(), 8), 1..40),
+    ) {
+        let layout = MarkingLayout::new(8, Some(3));
+        let mut arena = MarkingArena::with_capacity(layout, 16);
+        let mut reference: Vec<Vec<u16>> = Vec::new();
+        for raw in &raws {
+            let tokens = tokens_from(raw, 3);
+            let packed =
+                PackedMarking::pack(&layout, &Marking::from_tokens(tokens.clone()));
+            let (id, fresh) = arena.intern(packed.clone());
+            match reference.iter().position(|t| *t == tokens) {
+                Some(pos) => {
+                    prop_assert!(!fresh);
+                    prop_assert_eq!(id.index(), pos);
+                }
+                None => {
+                    prop_assert!(fresh);
+                    prop_assert_eq!(id.index(), reference.len());
+                    reference.push(tokens);
+                }
+            }
+            prop_assert_eq!(arena.resolve(id), &packed);
+        }
+        prop_assert_eq!(arena.len(), reference.len());
+    }
+}

@@ -17,9 +17,7 @@ fn ring_spec(n: usize, roles: &[bool], marked_at: usize) -> Stg {
     let mut stg = Stg::new(format!("ring{n}"));
     let signals: Vec<_> = (0..n)
         .map(|i| {
-            let kind = if i == 0 {
-                SignalKind::Input
-            } else if roles.get(i).copied().unwrap_or(false) {
+            let kind = if i == 0 || roles.get(i).copied().unwrap_or(false) {
                 SignalKind::Input
             } else {
                 SignalKind::Output
