@@ -1,26 +1,32 @@
 //! Perf-trajectory harness for the state-space core.
 //!
 //! Runs explicit reachability, SI synthesis and symbolic (BDD)
-//! reachability over the model corpus and writes `BENCH_reach.json`
-//! with per-model wall times, exploration throughput (states/sec) and
-//! live BDD node counts. Future PRs compare against the committed
-//! baseline to catch regressions:
+//! reachability over the model corpus (including the > 64-place wide
+//! models), plus a `csc` stage that times complete-state-coding
+//! resolution through [`rt_stg::engine::ReachEngine`] on both backends
+//! and measures the persistent symbolic manager's warm-vs-fresh
+//! advantage. Writes `BENCH_reach.json` with per-model wall times,
+//! exploration throughput (states/sec) and live BDD node counts.
+//! Future PRs compare against the committed baseline to catch
+//! regressions:
 //!
 //! ```text
-//! cargo run --release -p rt-bench --bin bench_reach [-- OUTPUT.json]
+//! cargo run --release -p rt-bench --bin bench_reach [-- [--fast] OUTPUT.json]
 //! ```
+//!
+//! `--fast` shrinks the per-section measurement window (CI smoke). The
+//! emitted JSON is structurally validated before the process exits 0,
+//! so a malformed snapshot fails loudly instead of rotting.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use rt_stg::engine::ReachEngine;
 use rt_stg::reach::{explore_with, ExploreOptions};
 use rt_stg::symbolic::reach_symbolic;
 use rt_stg::{corpus, models, Stg};
+use rt_synth::csc::{resolve_csc_engine, CscOptions};
 use rt_synth::synthesize;
-
-/// Minimum measurement time per timed section, so fast models still get
-/// a stable figure.
-const MIN_MEASURE_MS: u128 = 60;
 
 /// One measured model.
 struct Row {
@@ -35,15 +41,26 @@ struct Row {
     bdd_nodes: usize,
 }
 
-/// Times `f` adaptively: repeats until `MIN_MEASURE_MS` of total wall
-/// time, returns mean ns per call.
-fn time_ns<T>(mut f: impl FnMut() -> T) -> f64 {
+/// One measured CSC resolution (the engine stage).
+struct CscRow {
+    name: String,
+    inserted: usize,
+    explicit_ns: f64,
+    symbolic_ns: f64,
+    cold_summary_ns: f64,
+    warm_summary_ns: f64,
+    warm_speedup: f64,
+}
+
+/// Times `f` adaptively: repeats until `min_ms` of total wall time,
+/// returns mean ns per call.
+fn time_ns<T>(min_ms: u128, mut f: impl FnMut() -> T) -> f64 {
     let mut reps: u64 = 0;
     let start = Instant::now();
     loop {
         std::hint::black_box(f());
         reps += 1;
-        if start.elapsed().as_millis() >= MIN_MEASURE_MS {
+        if start.elapsed().as_millis() >= min_ms {
             break;
         }
     }
@@ -67,25 +84,31 @@ fn corpus_models() -> Vec<(String, Stg)> {
         let stg = corpus::parse(text).expect("corpus entry parses");
         out.push((format!("corpus:{name}"), stg));
     }
+    for (name, stg) in corpus::wide() {
+        out.push((format!("wide:{name}"), stg));
+    }
     out
 }
 
-fn measure(name: &str, stg: &Stg) -> Row {
+fn measure(name: &str, stg: &Stg, min_ms: u128) -> Row {
     let options = ExploreOptions::default();
     let sg = explore_with(stg, &options).expect("model explores");
     let states = sg.state_count();
     let arcs = sg.arc_count();
 
-    let explore_ns = time_ns(|| explore_with(stg, &options).expect("model explores"));
+    let explore_ns = time_ns(min_ms, || explore_with(stg, &options).expect("model explores"));
     let states_per_sec = states as f64 / (explore_ns / 1e9);
 
     // Synthesis only makes sense for CSC-clean specs with implemented
-    // signals; skip the rest (rings/chains of pure inputs etc.).
-    let synth_ns = (!sg.implemented_signals().is_empty() && sg.csc_conflicts().is_empty())
-        .then(|| time_ns(|| synthesize(&sg, name).expect("synthesizes")));
+    // signals; skip the rest (rings/chains of pure inputs etc.) and the
+    // wide nets whose signal count is past the truth-table regime.
+    let synth_ns = (!sg.implemented_signals().is_empty()
+        && sg.csc_conflicts().is_empty()
+        && sg.signal_count() <= 16)
+        .then(|| time_ns(min_ms, || synthesize(&sg, name).expect("synthesizes")));
 
     let symbolic = reach_symbolic(stg).expect("symbolic explores");
-    let symbolic_ns = time_ns(|| reach_symbolic(stg).expect("symbolic explores"));
+    let symbolic_ns = time_ns(min_ms, || reach_symbolic(stg).expect("symbolic explores"));
 
     Row {
         name: name.to_string(),
@@ -100,17 +123,130 @@ fn measure(name: &str, stg: &Stg) -> Row {
     }
 }
 
+/// The `csc` stage: CSC resolution through the engine on both backends
+/// (results must agree), plus the warm-vs-fresh symbolic summary
+/// comparison on one long-lived engine.
+fn measure_csc(name: &str, stg: &Stg, min_ms: u128) -> CscRow {
+    let options = CscOptions::default();
+    let explicit_res = resolve_csc_engine(stg, &options, &mut ReachEngine::explicit())
+        .expect("csc resolves on the explicit backend");
+    let symbolic_res = resolve_csc_engine(stg, &options, &mut ReachEngine::symbolic())
+        .expect("csc resolves on the symbolic backend");
+    assert_eq!(
+        explicit_res.inserted, symbolic_res.inserted,
+        "{name}: backends must produce identical resolutions"
+    );
+    assert_eq!(explicit_res.cost, symbolic_res.cost, "{name}");
+
+    let explicit_ns = time_ns(min_ms, || {
+        resolve_csc_engine(stg, &options, &mut ReachEngine::explicit()).expect("resolves")
+    });
+    let symbolic_ns = time_ns(min_ms, || {
+        resolve_csc_engine(stg, &options, &mut ReachEngine::symbolic()).expect("resolves")
+    });
+
+    // Manager reuse: fresh-manager summaries (cold) vs second-and-later
+    // summaries on one engine (warm). The resolved STG is the repeated
+    // workload — exactly what the search re-explores.
+    let resolved = &explicit_res.stg;
+    let cold_summary_ns = time_ns(min_ms, || {
+        ReachEngine::symbolic().summary(resolved).expect("summarizes")
+    });
+    let mut warm_engine = ReachEngine::symbolic();
+    warm_engine.summary(resolved).expect("warmup");
+    let warm_summary_ns =
+        time_ns(min_ms, || warm_engine.summary(resolved).expect("summarizes"));
+    assert!(warm_engine.stats().manager_reuses > 0, "warm path must reuse");
+
+    CscRow {
+        name: name.to_string(),
+        inserted: explicit_res.inserted.len(),
+        explicit_ns,
+        symbolic_ns,
+        cold_summary_ns,
+        warm_summary_ns,
+        warm_speedup: cold_summary_ns / warm_summary_ns,
+    }
+}
+
+/// Structural sanity of the emitted snapshot: the keys downstream
+/// tooling greps for must be present and the headline numbers must be
+/// finite and positive. Returns a description of the first problem.
+fn validate(json: &str) -> Result<(), String> {
+    for key in [
+        "\"models\"",
+        "\"csc\"",
+        "\"summary\"",
+        "\"states_per_sec\"",
+        "\"warm_speedup\"",
+        "\"aggregate_states_per_sec\"",
+    ] {
+        if !json.contains(key) {
+            return Err(format!("missing key {key}"));
+        }
+    }
+    let aggregate = json
+        .split("\"aggregate_states_per_sec\":")
+        .nth(1)
+        .and_then(|rest| rest.split(['}', ',']).next())
+        .and_then(|num| num.trim().parse::<f64>().ok())
+        .ok_or_else(|| "unparseable aggregate_states_per_sec".to_string())?;
+    if !aggregate.is_finite() || aggregate <= 0.0 {
+        return Err(format!("nonsense aggregate throughput {aggregate}"));
+    }
+    if json.matches("\"name\"").count() < 10 {
+        return Err("suspiciously few model rows".to_string());
+    }
+    Ok(())
+}
+
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_reach.json".to_string());
+    let mut out_path = "BENCH_reach.json".to_string();
+    let mut min_ms: u128 = 60;
+    for arg in std::env::args().skip(1) {
+        if arg == "--fast" {
+            min_ms = 5;
+        } else if arg.starts_with("--") {
+            eprintln!("bench_reach: unknown flag {arg} (usage: [--fast] [OUTPUT.json])");
+            std::process::exit(2);
+        } else {
+            out_path = arg;
+        }
+    }
+
     let mut rows = Vec::new();
     for (name, stg) in corpus_models() {
-        let row = measure(&name, &stg);
+        let row = measure(&name, &stg, min_ms);
         println!(
-            "{:<24} {:>7} states  explore {:>10.0} ns ({:>12.0} states/s)  symbolic {:>10.0} ns  {:>6} bdd nodes",
+            "{:<24} {:>7} states  explore {:>10.0} ns ({:>12.0} states/s)  symbolic {:>10.0} ns  {:>8} bdd nodes",
             row.name, row.states, row.explore_ns, row.states_per_sec, row.symbolic_ns, row.bdd_nodes
         );
         rows.push(row);
     }
+
+    // CSC-conflicted specs: the engine's repeated-reachability stage.
+    let csc_rows: Vec<CscRow> = [
+        ("fifo".to_string(), models::fifo_stg()),
+        (
+            "corpus:vme_read".to_string(),
+            corpus::parse(corpus::VME_READ_G).expect("parses"),
+        ),
+        (
+            "corpus:pipeline_stage".to_string(),
+            corpus::parse(corpus::PIPELINE_STAGE_G).expect("parses"),
+        ),
+    ]
+    .iter()
+    .map(|(name, stg)| {
+        let row = measure_csc(name, stg, min_ms);
+        println!(
+            "csc {:<20} +{} signals  explicit {:>11.0} ns  symbolic {:>11.0} ns  summary cold {:>9.0} ns / warm {:>7.0} ns  ({:.1}x)",
+            row.name, row.inserted, row.explicit_ns, row.symbolic_ns,
+            row.cold_summary_ns, row.warm_summary_ns, row.warm_speedup
+        );
+        row
+    })
+    .collect();
 
     let total_states: usize = rows.iter().map(|r| r.states).sum();
     let total_explore_ns: f64 = rows.iter().map(|r| r.explore_ns).sum();
@@ -138,13 +274,40 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         );
     }
+    json.push_str("  ],\n  \"csc\": [\n");
+    for (i, r) in csc_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"inserted\": {}, \"explicit_ns\": {:.0}, \
+             \"symbolic_ns\": {:.0}, \"cold_summary_ns\": {:.0}, \"warm_summary_ns\": {:.0}, \
+             \"warm_speedup\": {:.1}}}{}",
+            r.name,
+            r.inserted,
+            r.explicit_ns,
+            r.symbolic_ns,
+            r.cold_summary_ns,
+            r.warm_summary_ns,
+            r.warm_speedup,
+            if i + 1 < csc_rows.len() { "," } else { "" }
+        );
+    }
     let _ = write!(
         json,
         "  ],\n  \"summary\": {{\"total_states\": {total_states}, \
          \"total_explore_ns\": {total_explore_ns:.0}, \
          \"aggregate_states_per_sec\": {aggregate_states_per_sec:.0}}}\n}}\n"
     );
-    std::fs::write(&out_path, json).expect("writes json");
+
+    if let Err(problem) = validate(&json) {
+        eprintln!("bench_reach: malformed snapshot: {problem}");
+        std::process::exit(1);
+    }
+    std::fs::write(&out_path, &json).expect("writes json");
+    let reread = std::fs::read_to_string(&out_path).expect("reads back json");
+    if let Err(problem) = validate(&reread) {
+        eprintln!("bench_reach: written snapshot fails validation: {problem}");
+        std::process::exit(1);
+    }
     println!(
         "\naggregate: {aggregate_states_per_sec:.0} states/s over {total_states} states -> {out_path}"
     );

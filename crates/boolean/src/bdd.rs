@@ -77,8 +77,9 @@ const TERMINAL_VAR: u32 = u32::MAX;
 
 /// Default pre-sizing of the unique table (nodes) and operation cache:
 /// large enough that small managers never rehash, small enough that a
-/// throwaway manager (one per `reach_symbolic` call) does not fault in
-/// pages it never touches.
+/// throwaway manager (a one-shot `reach_symbolic` call; long-lived
+/// engines reuse one manager instead) does not fault in pages it never
+/// touches.
 const UNIQUE_CAPACITY: usize = 1 << 9;
 const CACHE_CAPACITY: usize = 1 << 10;
 
@@ -154,6 +155,17 @@ impl Bdd {
     /// Number of variables.
     pub fn vars(&self) -> usize {
         self.vars
+    }
+
+    /// Grows the variable universe to at least `vars` variables.
+    ///
+    /// The order is by index, so widening never invalidates existing
+    /// nodes or cached results — this is what lets one long-lived
+    /// manager serve symbolic reachability over many nets of different
+    /// widths (the `rt_stg::engine::ReachEngine` reuse path). Shrinking
+    /// is not supported; a smaller request is a no-op.
+    pub fn ensure_vars(&mut self, vars: usize) {
+        self.vars = self.vars.max(vars);
     }
 
     /// Number of live nodes (including the two terminals).
@@ -267,16 +279,28 @@ impl Bdd {
     }
 
     /// Evaluates the function at a minterm (bit *i* of `assignment` =
-    /// variable *i*).
+    /// variable *i*). Variables past bit 63 — possible once a manager
+    /// has been widened past 64 variables — read as 0; pass the full
+    /// word stream to [`Bdd::evaluate_words`] to assign them.
     pub fn evaluate(&self, id: NodeId, assignment: u64) -> bool {
+        self.evaluate_words(id, std::slice::from_ref(&assignment))
+    }
+
+    /// Evaluates the function at a minterm wider than 64 variables:
+    /// variable *i* is bit `i % 64` of `words[i / 64]`; variables past
+    /// the end of `words` read as 0.
+    ///
+    /// This is the membership oracle symbolic reachability offers over
+    /// packed markings of wide (> 64-place) nets.
+    pub fn evaluate_words(&self, id: NodeId, words: &[u64]) -> bool {
         let mut current = id;
         while !self.is_terminal(current) {
             let node = self.node(current);
-            current = if assignment >> node.var & 1 == 1 {
-                node.high
-            } else {
-                node.low
-            };
+            let var = node.var as usize;
+            let bit = words
+                .get(var / 64)
+                .is_some_and(|w| w >> (var % 64) & 1 == 1);
+            current = if bit { node.high } else { node.low };
         }
         current == NodeId::ONE
     }
@@ -298,9 +322,25 @@ impl Bdd {
 
     /// Number of satisfying assignments over all `vars` variables.
     pub fn satisfy_count(&self, id: NodeId) -> u64 {
+        self.satisfy_count_over(id, self.vars)
+    }
+
+    /// Number of satisfying assignments counted over a universe of
+    /// `vars` variables, independent of the manager's own width.
+    ///
+    /// A reused manager may hold more variables than the function at
+    /// hand mentions (see [`Bdd::ensure_vars`]); counting over the
+    /// caller's universe keeps the result tied to the problem, not to
+    /// the manager's history. The function must not depend on any
+    /// variable `>= vars`, otherwise the count is meaningless.
+    ///
+    /// Counts are exact as long as they fit `f64`'s 53-bit mantissa:
+    /// every assignment contributes a dyadic fraction `2^-vars`, and
+    /// scaling by `2^vars` is a power-of-two shift.
+    pub fn satisfy_count_over(&self, id: NodeId, vars: usize) -> u64 {
         let mut memo: FxHashMap<NodeId, f64> = FxHashMap::default();
         let fraction = self.sat_fraction(id, &mut memo);
-        (fraction * 2f64.powi(self.vars as i32)).round() as u64
+        (fraction * 2f64.powi(vars as i32)).round() as u64
     }
 
     fn sat_fraction(&self, id: NodeId, memo: &mut FxHashMap<NodeId, f64>) -> f64 {

@@ -13,7 +13,8 @@
 //!               RT circuit  +  required RT constraints (back-annotated)
 //! ```
 
-use rt_stg::{explore, SignalKind, StateGraph, Stg};
+use rt_stg::engine::ReachEngine;
+use rt_stg::{SignalKind, StateGraph, Stg};
 use rt_synth::csc::{insert_state_signal, simple_places};
 use rt_synth::regions::LocalDontCares;
 use rt_synth::{synthesize_with_dc, SynthesisResult};
@@ -98,8 +99,26 @@ impl RtSynthesisFlow {
     /// * [`RtError::Stg`] / [`RtError::Synth`] — analysis or synthesis
     ///   failures (e.g. unresolvable CSC).
     pub fn run(&self, stg: &Stg, user: &[RtAssumption]) -> Result<FlowReport, RtError> {
+        self.run_with_engine(stg, user, &mut ReachEngine::explicit())
+    }
+
+    /// [`RtSynthesisFlow::run`] through a caller-owned
+    /// [`ReachEngine`]: the initial exploration and every timing-aware
+    /// encoding candidate re-explore through the same engine, so its
+    /// options and statistics (and warm symbolic manager, if any) span
+    /// the whole flow.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RtSynthesisFlow::run`].
+    pub fn run_with_engine(
+        &self,
+        stg: &Stg,
+        user: &[RtAssumption],
+        engine: &mut ReachEngine,
+    ) -> Result<FlowReport, RtError> {
         let mut log = Vec::new();
-        let sg0 = explore(stg)?;
+        let sg0 = engine.state_graph(stg)?;
         log.push(format!(
             "reachability: {} states, {} arcs, {} CSC conflicts",
             sg0.state_count(),
@@ -146,7 +165,7 @@ impl RtSynthesisFlow {
         let mut round = 0;
         while !reduced.csc_conflicts().is_empty() && round < self.max_state_signals {
             let name = format!("x{round}");
-            match best_insertion_on_reduced(&working_stg, &all_assumptions, &name) {
+            match best_insertion_on_reduced(&working_stg, &all_assumptions, &name, engine) {
                 Some((next_stg, next_reduced)) => {
                     log.push(format!(
                         "timing-aware encoding: inserted `{name}`, {} states, {} conflicts",
@@ -230,11 +249,12 @@ fn best_insertion_on_reduced(
     stg: &Stg,
     assumptions: &[RtAssumption],
     name: &str,
+    engine: &mut ReachEngine,
 ) -> Option<(Stg, StateGraph)> {
     let places = simple_places(stg);
     let mut best: Option<(Stg, StateGraph, usize)> = None;
     let baseline_conflicts = {
-        let sg = explore(stg).ok()?;
+        let sg = engine.state_graph(stg).ok()?;
         reduce_unchecked(&sg, assumptions).csc_conflicts().len()
     };
     for &p_plus in &places {
@@ -243,7 +263,7 @@ fn best_insertion_on_reduced(
                 continue;
             }
             let candidate = insert_state_signal(stg, name, p_plus, p_minus);
-            let Ok(sg) = explore(&candidate) else { continue };
+            let Ok(sg) = engine.state_graph(&candidate) else { continue };
             let reduced = reduce_unchecked(&sg, assumptions);
             if !reduction_valid(&sg, &reduced) && sg.state_count() != reduced.state_count()
             {

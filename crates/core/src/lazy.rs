@@ -12,7 +12,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use rt_stg::state_graph::StateArc;
+use rt_stg::state_graph::{CsrBuilder, StateArc};
 use rt_stg::{SignalEvent, SignalId, StateGraph, StateId};
 use rt_synth::regions::LocalDontCares;
 
@@ -53,6 +53,11 @@ pub fn reduce_concurrency(
 
 /// The reduction itself, without validity checks (used by the candidate
 /// search in [`crate::auto`], which filters failures itself).
+///
+/// New state ids are handed out in BFS discovery order and the queue is
+/// FIFO, so each surviving state's arc row is completed in id order —
+/// the [`CsrBuilder`] contract — and the reduced graph's CSR buffers
+/// are emitted directly, with no nested per-state `Vec` intermediate.
 pub fn reduce_unchecked(sg: &StateGraph, assumptions: &[RtAssumption]) -> StateGraph {
     // An arc firing `f` from state s is suppressed when some assumption
     // `e before f` has `e` enabled in s.
@@ -66,33 +71,27 @@ pub fn reduce_unchecked(sg: &StateGraph, assumptions: &[RtAssumption]) -> StateG
     let mut map: HashMap<StateId, StateId> = HashMap::new();
     let mut codes = Vec::new();
     let mut markings = Vec::new();
-    let mut arcs: Vec<Vec<StateArc>> = Vec::new();
+    let mut builder = CsrBuilder::with_capacity(sg.state_count(), sg.arc_count());
     let mut queue = VecDeque::new();
 
     let initial = sg.initial();
     map.insert(initial, StateId(0));
     codes.push(sg.code(initial));
     markings.push(sg.packed_marking(initial).clone());
-    arcs.push(Vec::new());
     queue.push_back(initial);
 
     while let Some(old) = queue.pop_front() {
-        let new_from = map[&old];
-        let mut kept: Vec<StateArc> = Vec::new();
+        builder.start_row();
+        // If suppression would empty a state that had successors, fall
+        // back to keeping all arcs (the assumption is unusable here — it
+        // would deadlock); validation reports it via connectivity checks
+        // if this changes behaviour.
+        let keep_all = !sg.successors(old).is_empty()
+            && sg.successors(old).iter().all(|arc| suppressed(old, arc.event));
         for arc in sg.successors(old) {
-            if suppressed(old, arc.event) {
+            if !keep_all && suppressed(old, arc.event) {
                 continue;
             }
-            kept.push(*arc);
-        }
-        // If suppression empties a state that had successors, fall back to
-        // keeping all arcs (the assumption is unusable here — it would
-        // deadlock); validation reports it via connectivity checks if this
-        // changes behaviour.
-        if kept.is_empty() && !sg.successors(old).is_empty() {
-            kept = sg.successors(old).to_vec();
-        }
-        for arc in kept {
             let new_to = match map.get(&arc.to) {
                 Some(&id) => id,
                 None => {
@@ -100,12 +99,11 @@ pub fn reduce_unchecked(sg: &StateGraph, assumptions: &[RtAssumption]) -> StateG
                     map.insert(arc.to, id);
                     codes.push(sg.code(arc.to));
                     markings.push(sg.packed_marking(arc.to).clone());
-                    arcs.push(Vec::new());
                     queue.push_back(arc.to);
                     id
                 }
             };
-            arcs[new_from.index()].push(StateArc { event: arc.event, to: new_to });
+            builder.push_arc(StateArc { event: arc.event, to: new_to });
         }
     }
 
@@ -114,10 +112,12 @@ pub fn reduce_unchecked(sg: &StateGraph, assumptions: &[RtAssumption]) -> StateG
         .map(|s| sg.signal_name(s).to_string())
         .collect();
     let signal_kinds = sg.signals().map(|s| sg.signal_kind(s)).collect();
-    StateGraph::from_packed_parts(
+    let (offsets, arcs) = builder.finish();
+    StateGraph::from_csr_parts(
         signal_names,
         signal_kinds,
         codes,
+        offsets,
         arcs,
         markings,
         *sg.marking_layout(),

@@ -1,12 +1,23 @@
-//! Classic asynchronous-controller benchmarks in the `.g` format.
+//! Classic asynchronous-controller benchmarks in the `.g` format, plus
+//! generated **wide** nets for > 64-place coverage.
 //!
 //! The specifications the async-synthesis literature (petrify, SIS,
 //! 3D/minimalist) exercises over and over. They are stored as `.g`
 //! *text* and parsed on demand, so the corpus doubles as parser
 //! hardening. Use [`all`] to sweep everything.
+//!
+//! The second half of the corpus is *generated*: scaling workloads
+//! whose nets blow past 64 places, so the `W2`/`W4`/`Big` packed
+//! marking variants of [`crate::marking`] actually run in anger —
+//! [`adder16_rt_stg`] (a relative-timed ripple-carry handshake chain in
+//! the spirit of Balasubramanian & Yamashita's RT adders) and
+//! [`fabric4x4_stg`] (a torus of handshake routing cells modelled on
+//! the multi-style async FPGA fabrics of Huot et al.). Use [`wide`] to
+//! sweep the named wide models.
 
 use crate::error::StgError;
 use crate::parse::parse_g;
+use crate::signal::{Edge, SignalKind};
 use crate::stg::Stg;
 
 /// The VME bus controller, read cycle — the canonical CSC-conflict
@@ -125,6 +136,193 @@ pub fn all() -> Vec<(&'static str, &'static str)> {
     ]
 }
 
+/// A relative-timed ripple-carry handshake chain of `stages` full-adder
+/// stages, closed into a ring by one circulating carry token.
+///
+/// Stage *i* owns a request/acknowledge pair `r{i}`/`a{i}` running a
+/// four-phase handshake; the carry ripples forward once the stage's
+/// handshake has fully retracted (`a{i}- → r{i+1}+`), exactly the
+/// sequential dependence a ripple-carry chain has. Every place lies on
+/// a directed cycle carrying exactly one token (each stage's own
+/// four-phase loop, and the carry ring with its single wrap token), so
+/// the net is live and **safe** by the marked-graph token-count
+/// criterion, and every signal's edges alternate by construction.
+///
+/// With `stages = 16` ([`adder16_rt_stg`]) the net has 80 places — past
+/// the 64-place single-word budget, so packed markings spill to the
+/// two-word `W2` variant.
+///
+/// # Panics
+///
+/// Panics if `stages < 2` or `stages > 32` (the state-graph code caps
+/// at 64 signals and each stage owns two).
+pub fn adder_rt_stg(stages: usize) -> Stg {
+    adder_rt_with_links(stages, 0)
+}
+
+/// [`adder_rt_stg`] with `link_depth` silent buffer transitions spliced
+/// into every carry link (pipelined carry wires). Buffers multiply the
+/// place count without adding signals **or** states beyond the longer
+/// cycle — the chain stays strictly sequential — which makes this the
+/// cheap way to drive markings into the boxed `Big` variant
+/// (> 256 places) under test.
+///
+/// # Panics
+///
+/// Panics if `stages < 2` or `stages > 32`.
+pub fn adder_rt_with_links(stages: usize, link_depth: usize) -> Stg {
+    assert!((2..=32).contains(&stages), "stages must be in 2..=32");
+    let mut stg = Stg::new(format!("adder{stages}_rt"));
+    let reqs: Vec<_> = (0..stages)
+        .map(|i| {
+            let kind = if i == 0 { SignalKind::Input } else { SignalKind::Internal };
+            stg.add_signal(format!("r{i}"), kind).expect("fresh signal")
+        })
+        .collect();
+    let acks: Vec<_> = (0..stages)
+        .map(|i| {
+            stg.add_signal(format!("a{i}"), SignalKind::Output)
+                .expect("fresh signal")
+        })
+        .collect();
+    let rp: Vec<_> = reqs.iter().map(|&s| stg.transition_for(s, Edge::Rise)).collect();
+    let rm: Vec<_> = reqs.iter().map(|&s| stg.transition_for(s, Edge::Fall)).collect();
+    let ap: Vec<_> = acks.iter().map(|&s| stg.transition_for(s, Edge::Rise)).collect();
+    let am: Vec<_> = acks.iter().map(|&s| stg.transition_for(s, Edge::Fall)).collect();
+    for i in 0..stages {
+        let next = (i + 1) % stages;
+        // Four-phase handshake of stage i; the stage idles with a token
+        // ready for its next request.
+        stg.arc(rp[i], ap[i]);
+        stg.arc(ap[i], rm[i]);
+        stg.arc(rm[i], am[i]);
+        stg.marked_arc(am[i], rp[i]);
+        // Carry ripple after retraction, through `link_depth` silent
+        // buffers. The single circulating carry token starts on the
+        // wrap-around link (kept direct so it can be marked).
+        if next == 0 {
+            stg.marked_arc(am[i], rp[next]);
+        } else {
+            let mut from = am[i];
+            for b in 0..link_depth {
+                let buf = stg.silent(format!("carry{i}_{b}"));
+                stg.arc(from, buf);
+                from = buf;
+            }
+            stg.arc(from, rp[next]);
+        }
+    }
+    stg
+}
+
+/// The named 16-stage instance of [`adder_rt_stg`]: 32 signals,
+/// 80 places (`W2` packed markings).
+pub fn adder16_rt_stg() -> Stg {
+    adder_rt_stg(16)
+}
+
+/// An async-FPGA-fabric-style torus of `rows × cols` handshake routing
+/// cells with `link_depth` silent buffer stages on every (non-wrap)
+/// inter-cell link.
+///
+/// Each cell runs a four-phase handshake `r{r}_{c}`/`a{r}_{c}`; a cell
+/// fires when tokens have arrived on **both** its input links (from the
+/// left and upper neighbours) and, once its handshake has retracted,
+/// launches tokens rightwards and downwards through its output links —
+/// a systolic anti-diagonal wavefront, with cells on the same diagonal
+/// handshaking concurrently. The wrap-around links carry the
+/// circulating tokens (one per row and one per column), so every
+/// directed cycle of the torus holds a token and every place lies on a
+/// one-token cycle: the net is live and safe by the marked-graph
+/// criterion. Silent buffer transitions model programmable-interconnect
+/// pipelining and multiply the place count without adding signals.
+///
+/// # Panics
+///
+/// Panics if the grid is smaller than 2×2 or owns more than 32 cells
+/// (64 signals, the state-graph code cap).
+pub fn fabric_stg(rows: usize, cols: usize, link_depth: usize) -> Stg {
+    assert!(rows >= 2 && cols >= 2, "fabric needs at least a 2x2 grid");
+    assert!(rows * cols <= 32, "at most 32 cells (64 signals)");
+    let mut stg = Stg::new(format!("fabric{rows}x{cols}"));
+    let cell = |r: usize, c: usize| r * cols + c;
+    let reqs: Vec<_> = (0..rows * cols)
+        .map(|i| {
+            stg.add_signal(format!("r{}_{}", i / cols, i % cols), SignalKind::Internal)
+                .expect("fresh signal")
+        })
+        .collect();
+    let acks: Vec<_> = (0..rows * cols)
+        .map(|i| {
+            stg.add_signal(format!("a{}_{}", i / cols, i % cols), SignalKind::Output)
+                .expect("fresh signal")
+        })
+        .collect();
+    let rp: Vec<_> = reqs.iter().map(|&s| stg.transition_for(s, Edge::Rise)).collect();
+    let rm: Vec<_> = reqs.iter().map(|&s| stg.transition_for(s, Edge::Fall)).collect();
+    let ap: Vec<_> = acks.iter().map(|&s| stg.transition_for(s, Edge::Rise)).collect();
+    let am: Vec<_> = acks.iter().map(|&s| stg.transition_for(s, Edge::Fall)).collect();
+
+    // A link from `from` (an acknowledge rise) to `to` (the downstream
+    // request rise): wrap links are direct and carry the circulating
+    // token; interior links run through `link_depth` silent buffers.
+    let mut link_no = 0usize;
+    let mut link = |stg: &mut Stg, from, to, wrap: bool| {
+        if wrap {
+            stg.marked_arc(from, to);
+        } else {
+            let mut prev = from;
+            for _ in 0..link_depth {
+                let buf = stg.silent(format!("buf{link_no}"));
+                link_no += 1;
+                stg.arc(prev, buf);
+                prev = buf;
+            }
+            stg.arc(prev, to);
+        }
+    };
+
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = cell(r, c);
+            let right = cell(r, (c + 1) % cols);
+            let down = cell((r + 1) % rows, c);
+            // Four-phase handshake of the cell; it idles with a token
+            // ready for its next request.
+            stg.arc(rp[i], ap[i]);
+            stg.arc(ap[i], rm[i]);
+            stg.arc(rm[i], am[i]);
+            stg.marked_arc(am[i], rp[i]);
+            // Output links launch after retraction: rightwards and
+            // downwards.
+            link(&mut stg, am[i], rp[right], c + 1 == cols);
+            link(&mut stg, am[i], rp[down], r + 1 == rows);
+        }
+    }
+    stg
+}
+
+/// The named 4×4 instance of [`fabric_stg`] with direct links: 32
+/// signals, 96 places (`W2` packed markings), ~5000 reachable states of
+/// genuine wavefront concurrency. (Deeper links multiply both places
+/// and interleavings fast — `fabric_stg(4, 4, 2)` already tops 650 000
+/// states — so the named instance keeps links direct and leaves
+/// deep-link scaling to the buffered adder variants.)
+pub fn fabric4x4_stg() -> Stg {
+    fabric_stg(4, 4, 0)
+}
+
+/// The generated wide (> 64-place) models as `(name, stg)` pairs —
+/// the sweep that drives the `W2`/`W4` packed variants under test and
+/// bench. (`Big` coverage comes from deeper [`fabric_stg`] links; see
+/// the tests.)
+pub fn wide() -> Vec<(String, Stg)> {
+    vec![
+        ("adder16_rt".to_string(), adder16_rt_stg()),
+        ("fabric4x4".to_string(), fabric4x4_stg()),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +376,73 @@ mod tests {
             signal,
             if rise { crate::Edge::Rise } else { crate::Edge::Fall },
         )
+    }
+
+    #[test]
+    fn wide_models_exceed_64_places_and_explore_cleanly() {
+        for (name, stg) in wide() {
+            let places = stg.net().place_count();
+            assert!(places > 64, "{name}: {places} places must exceed one word");
+            let sg = explore(&stg).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(sg.is_strongly_connected(), "{name}");
+            assert!(sg.deadlock_states().is_empty(), "{name}");
+            assert!(sg.state_count() >= 2 * stg.signal_count(), "{name}");
+        }
+    }
+
+    #[test]
+    fn adder16_rt_uses_w2_packed_markings() {
+        let stg = adder16_rt_stg();
+        assert_eq!(stg.net().place_count(), 80);
+        let sg = explore(&stg).expect("explores");
+        assert_eq!(sg.marking_layout().words(), 2, "80 places -> two words");
+        assert!(matches!(
+            sg.packed_marking(sg.initial()),
+            crate::marking::PackedMarking::W2(_)
+        ));
+    }
+
+    #[test]
+    fn fabric4x4_uses_w2_packed_markings() {
+        let stg = fabric4x4_stg();
+        assert_eq!(stg.net().place_count(), 96);
+        let sg = explore(&stg).expect("explores");
+        assert_eq!(sg.marking_layout().words(), 2, "96 places -> two words");
+        assert!(matches!(
+            sg.packed_marking(sg.initial()),
+            crate::marking::PackedMarking::W2(_)
+        ));
+    }
+
+    #[test]
+    fn buffered_carry_links_reach_the_w4_variant() {
+        // 4-deep carry buffers lift the 16-stage adder past 128 places.
+        let stg = adder_rt_with_links(16, 4);
+        assert!(stg.net().place_count() > 128, "{}", stg.net().place_count());
+        let sg = explore(&stg).expect("explores");
+        assert!(matches!(
+            sg.packed_marking(sg.initial()),
+            crate::marking::PackedMarking::W4(_)
+        ));
+        assert!(sg.is_strongly_connected());
+        let symbolic = crate::symbolic::reach_symbolic(&stg).expect("symbolic explores");
+        assert_eq!(symbolic.markings, sg.state_count() as u64);
+    }
+
+    #[test]
+    fn buffered_carry_links_reach_the_big_variant() {
+        // 13-deep carry buffers push the 16-stage adder past 256 places
+        // while staying strictly sequential: the boxed `Big` fallback
+        // finally runs under a real exploration, cheaply.
+        let stg = adder_rt_with_links(16, 13);
+        assert!(stg.net().place_count() > 256, "{}", stg.net().place_count());
+        let sg = explore(&stg).expect("explores");
+        assert!(sg.marking_layout().words() > 4);
+        assert!(matches!(
+            sg.packed_marking(sg.initial()),
+            crate::marking::PackedMarking::Big(_)
+        ));
+        assert!(sg.is_strongly_connected());
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! `ReachEngine` — the one reachability backend under the synthesis
+//! pipeline.
+//!
+//! Every stage of the CAD loop (STG → state graph → CSC resolution →
+//! region/function derivation → verification) needs reachability, and
+//! before this module each stage called the analysers directly: CSC
+//! resolution re-ran [`crate::reach::explore`] per candidate insertion,
+//! and every symbolic query built (and threw away) a fresh
+//! [`rt_boolean::Bdd`] manager. The engine is the shared façade those
+//! consumers now go through — `rt-synth`'s `resolve_csc_engine` and
+//! `derive_functions_for`, `rt-core`'s lazy passes, and `rt-verify`'s
+//! composition all take a `&mut ReachEngine` — and it is the seam later
+//! scaling work (sharding, batching, more backends) plugs into.
+//!
+//! ## Backend selection
+//!
+//! [`ReachBackend`] picks how **set-level** queries
+//! ([`ReachEngine::summary`]) are answered:
+//!
+//! * [`ReachBackend::Explicit`] — the packed-marking/interned-arena BFS
+//!   of [`crate::reach`], in a counting-only variant that skips codes
+//!   and arcs. Fastest for the paper-scale controllers; handles any
+//!   width the packed layouts do (`W1`/`W2`/`W4`/`Big`).
+//! * [`ReachBackend::Symbolic`] — BDD image computation
+//!   ([`crate::symbolic`]) inside a **persistent manager** owned by the
+//!   engine (see below). Scales with BDD structure instead of state
+//!   count and additionally yields the reachable set as a membership
+//!   oracle ([`ReachEngine::symbolic_set`]).
+//!
+//! [`ReachEngine::state_graph`] builds the full coded [`StateGraph`] —
+//! the object logic synthesis consumes — and is *intrinsically
+//! explicit* (per-state binary codes cannot be read off a BDD without
+//! enumeration), so both backends share the explicit constructor there.
+//! What the symbolic backend adds on that path is an independent audit:
+//! consumers cross-check the graph's state count against the symbolic
+//! marking count (see `rt_synth::resolve_csc_engine`), so a bug in
+//! either analyser surfaces as a loud mismatch instead of a silently
+//! wrong circuit.
+//!
+//! ## Manager reuse and `reset`
+//!
+//! The symbolic backend's `Bdd` manager is created lazily on the first
+//! symbolic query and then **survives across calls**: unique table,
+//! apply/cofactor caches and the by-index variable order are all kept,
+//! and the variable universe widens on demand
+//! ([`rt_boolean::Bdd::ensure_vars`]) so one engine serves nets of any
+//! width, > 64 places included. Re-running the same or a structurally
+//! similar net then resolves almost entirely out of cache — this is
+//! where the repeated re-explorations of CSC resolution win big
+//! (`bench_reach`'s `csc` stage measures warm-vs-fresh).
+//!
+//! The trade-off is memory: node ids are never garbage-collected, so a
+//! long-lived engine grows monotonically ([`ReachEngine::manager_nodes`]
+//! is the gauge). [`ReachEngine::reset`] is the escape hatch — it drops
+//! the manager (the next symbolic call starts cold) without touching
+//! the engine's options or backend. Reuse is sound because nothing is
+//! ever invalidated: a cached `(op, lhs, rhs)` entry describes pure
+//! functions of immutable nodes, so a poisoned result is impossible by
+//! construction — and `crates/stg/tests/engine_reuse.rs` holds the line
+//! with a fresh-vs-reused bit-identical property test over the corpus.
+//!
+//! ## Example
+//!
+//! ```
+//! use rt_stg::engine::{ReachBackend, ReachEngine};
+//! use rt_stg::models;
+//!
+//! # fn main() -> Result<(), rt_stg::StgError> {
+//! let mut engine = ReachEngine::symbolic();
+//! let stg = models::fifo_stg();
+//! let sg = engine.state_graph(&stg)?;          // coded graph for synthesis
+//! let summary = engine.summary(&stg)?;         // first symbolic call: cold
+//! assert_eq!(summary.markings, sg.state_count() as u64);
+//! engine.summary(&stg)?;                       // warm: replays the caches
+//! assert_eq!(engine.stats().manager_reuses, 1);
+//! engine.reset();                              // drop the manager
+//! assert_eq!(engine.manager_nodes(), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use rt_boolean::Bdd;
+
+use crate::error::StgError;
+use crate::reach::{count_markings_with, explore_with, ExploreOptions};
+use crate::state_graph::StateGraph;
+use crate::stg::Stg;
+use crate::symbolic::{reach_symbolic_in, SymbolicReach};
+
+/// Which analyser answers the engine's set-level queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReachBackend {
+    /// Packed-marking explicit enumeration (counting-only walk).
+    #[default]
+    Explicit,
+    /// BDD image computation in the engine's persistent manager.
+    Symbolic,
+}
+
+/// A backend-agnostic reachability answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReachSummary {
+    /// Number of distinct reachable markings.
+    pub markings: u64,
+    /// Fixpoint iterations (BFS layers). The two backends count layers
+    /// the same way, but silent-transition structure can make them
+    /// differ by the layer the initial marking is assigned to; treat as
+    /// a per-backend diagnostic, not a cross-backend invariant.
+    pub iterations: usize,
+    /// Live BDD nodes in the engine's manager after the call (0 on the
+    /// explicit backend).
+    pub bdd_nodes: usize,
+}
+
+/// Usage counters, mostly for benches and reuse assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Full state-graph constructions served.
+    pub graph_builds: usize,
+    /// Set-level summaries served (either backend).
+    pub summaries: usize,
+    /// Symbolic queries that found a manager already alive (the reuse
+    /// path, as opposed to a cold first build).
+    pub manager_reuses: usize,
+    /// Times [`ReachEngine::reset`] dropped the manager.
+    pub resets: usize,
+}
+
+/// The reusable reachability façade. See the module docs for the
+/// backend and reuse semantics.
+#[derive(Debug, Clone, Default)]
+pub struct ReachEngine {
+    backend: ReachBackend,
+    options: ExploreOptions,
+    manager: Option<Bdd>,
+    stats: EngineStats,
+}
+
+impl ReachEngine {
+    /// An engine with the explicit backend and default
+    /// [`ExploreOptions`].
+    pub fn explicit() -> Self {
+        ReachEngine::new(ReachBackend::Explicit)
+    }
+
+    /// An engine with the symbolic backend (persistent manager) and
+    /// default [`ExploreOptions`].
+    pub fn symbolic() -> Self {
+        ReachEngine::new(ReachBackend::Symbolic)
+    }
+
+    /// An engine with `backend` and default options.
+    pub fn new(backend: ReachBackend) -> Self {
+        ReachEngine::with_options(backend, ExploreOptions::default())
+    }
+
+    /// Full-control constructor.
+    pub fn with_options(backend: ReachBackend, options: ExploreOptions) -> Self {
+        ReachEngine { backend, options, manager: None, stats: EngineStats::default() }
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> ReachBackend {
+        self.backend
+    }
+
+    /// The exploration options every query runs under.
+    pub fn options(&self) -> &ExploreOptions {
+        &self.options
+    }
+
+    /// Mutable access to the options (e.g. to tighten `state_limit`
+    /// between pipeline stages).
+    pub fn options_mut(&mut self) -> &mut ExploreOptions {
+        &mut self.options
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Builds the full coded [`StateGraph`] of `stg` — the explicit
+    /// object every downstream synthesis pass consumes. Identical on
+    /// both backends (see module docs); the backend governs
+    /// [`ReachEngine::summary`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates every failure mode of [`crate::reach::explore_with`].
+    pub fn state_graph(&mut self, stg: &Stg) -> Result<StateGraph, StgError> {
+        self.stats.graph_builds += 1;
+        explore_with(stg, &self.options)
+    }
+
+    /// Answers the set-level question "how many markings are reachable"
+    /// through the configured backend.
+    ///
+    /// # Errors
+    ///
+    /// Explicit backend: [`crate::reach::count_markings_with`]'s errors.
+    /// Symbolic backend: [`crate::symbolic::reach_symbolic_in`]'s.
+    pub fn summary(&mut self, stg: &Stg) -> Result<ReachSummary, StgError> {
+        self.stats.summaries += 1;
+        match self.backend {
+            ReachBackend::Explicit => {
+                let count = count_markings_with(stg, &self.options)?;
+                Ok(ReachSummary {
+                    markings: count.markings,
+                    iterations: count.iterations,
+                    bdd_nodes: 0,
+                })
+            }
+            ReachBackend::Symbolic => {
+                let result = self.symbolic_set(stg)?;
+                Ok(ReachSummary {
+                    markings: result.markings,
+                    iterations: result.iterations,
+                    bdd_nodes: result.bdd_nodes,
+                })
+            }
+        }
+    }
+
+    /// Runs symbolic reachability in the engine's persistent manager and
+    /// returns the full [`SymbolicReach`], including the reachable-set
+    /// node for membership queries against [`ReachEngine::manager`].
+    /// Available regardless of the configured backend (it *is* the
+    /// symbolic facility; the backend only selects what
+    /// [`ReachEngine::summary`] uses).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::symbolic::reach_symbolic_in`]'s errors.
+    pub fn symbolic_set(&mut self, stg: &Stg) -> Result<SymbolicReach, StgError> {
+        if self.manager.is_some() {
+            self.stats.manager_reuses += 1;
+        }
+        let manager = self
+            .manager
+            .get_or_insert_with(|| Bdd::new(stg.net().place_count()));
+        reach_symbolic_in(stg, manager)
+    }
+
+    /// The persistent manager, if a symbolic query has run since the
+    /// last [`ReachEngine::reset`]. Needed to evaluate a
+    /// [`SymbolicReach::set`] returned by [`ReachEngine::symbolic_set`].
+    pub fn manager(&self) -> Option<&Bdd> {
+        self.manager.as_ref()
+    }
+
+    /// Live nodes in the persistent manager (0 when no manager is
+    /// alive) — the memory gauge for deciding when to
+    /// [`ReachEngine::reset`].
+    pub fn manager_nodes(&self) -> usize {
+        self.manager.as_ref().map_or(0, Bdd::node_count)
+    }
+
+    /// Drops the persistent symbolic manager: the next symbolic query
+    /// starts from a cold unique table and caches. Options, backend and
+    /// counters (except the `resets` increment) are untouched. Explicit
+    /// state is per-call, so this is a no-op for the explicit backend
+    /// beyond bookkeeping.
+    pub fn reset(&mut self) {
+        self.stats.resets += 1;
+        self.manager = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use crate::stg::Stg;
+
+    #[test]
+    fn backends_agree_on_summary_counts() {
+        let mut explicit = ReachEngine::explicit();
+        let mut symbolic = ReachEngine::symbolic();
+        for stg in [
+            models::handshake_stg(),
+            models::fifo_stg(),
+            models::fifo_stg_csc(),
+            models::celement_stg(),
+            models::ring_stg(6, 2),
+        ] {
+            let sg = explicit.state_graph(&stg).expect("explores");
+            let e = explicit.summary(&stg).expect("explicit summary");
+            let s = symbolic.summary(&stg).expect("symbolic summary");
+            assert_eq!(e.markings, sg.state_count() as u64, "{}", stg.name());
+            assert_eq!(s.markings, e.markings, "{}", stg.name());
+            assert_eq!(e.bdd_nodes, 0);
+            assert!(s.bdd_nodes > 2);
+        }
+    }
+
+    #[test]
+    fn symbolic_manager_persists_and_resets() {
+        let mut engine = ReachEngine::symbolic();
+        let stg = models::fifo_stg();
+        engine.summary(&stg).expect("first run");
+        let nodes_after_first = engine.manager_nodes();
+        assert!(nodes_after_first > 2);
+        assert_eq!(engine.stats().manager_reuses, 0);
+
+        // Second run reuses the manager: no new nodes for the same net.
+        engine.summary(&stg).expect("second run");
+        assert_eq!(engine.manager_nodes(), nodes_after_first);
+        assert_eq!(engine.stats().manager_reuses, 1);
+
+        // A different net widens/extends the same manager.
+        engine.summary(&models::celement_stg()).expect("third run");
+        assert!(engine.manager_nodes() > nodes_after_first);
+        assert_eq!(engine.stats().manager_reuses, 2);
+
+        engine.reset();
+        assert_eq!(engine.manager_nodes(), 0);
+        assert!(engine.manager().is_none());
+        assert_eq!(engine.stats().resets, 1);
+
+        // Cold again after reset.
+        engine.summary(&stg).expect("post-reset run");
+        assert_eq!(engine.stats().manager_reuses, 2, "post-reset call is cold");
+        assert_eq!(engine.manager_nodes(), nodes_after_first);
+    }
+
+    #[test]
+    fn explicit_backend_counts_without_codes() {
+        // A 70-signal net is over the state-graph code cap, but the
+        // counting walk does not need codes.
+        let mut stg = Stg::new("wide_signals");
+        let mut first_rise = None;
+        let mut prev = None;
+        for i in 0..70 {
+            let s = stg
+                .add_signal(format!("s{i}"), crate::signal::SignalKind::Internal)
+                .expect("fresh");
+            let rise = stg.transition_for(s, crate::signal::Edge::Rise);
+            let fall = stg.transition_for(s, crate::signal::Edge::Fall);
+            stg.arc(rise, fall);
+            if let Some(p) = prev {
+                stg.arc(p, rise);
+            }
+            first_rise.get_or_insert(rise);
+            prev = Some(fall);
+        }
+        // Close the ring with the token.
+        stg.marked_arc(prev.expect("last fall"), first_rise.expect("first rise"));
+
+        let mut engine = ReachEngine::explicit();
+        assert!(engine.state_graph(&stg).is_err(), "codes cap at 64 signals");
+        let summary = engine.summary(&stg).expect("counting walk is uncapped");
+        assert_eq!(summary.markings, 140, "one state per transition of the ring");
+    }
+
+    #[test]
+    fn options_are_respected_by_both_query_kinds() {
+        let mut engine = ReachEngine::explicit();
+        engine.options_mut().state_limit = 2;
+        let stg = models::fifo_stg();
+        assert!(engine.state_graph(&stg).is_err());
+        assert!(engine.summary(&stg).is_err());
+        assert_eq!(engine.stats().graph_builds, 1);
+        assert_eq!(engine.stats().summaries, 1);
+    }
+}

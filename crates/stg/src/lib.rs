@@ -29,9 +29,16 @@
 //!   synthesis, CSC detection and the lazy passes walk linear memory.
 //! * [`symbolic`] — BDD-based reachability with frontier-based image
 //!   steps, backed by the persistent operation cache in
-//!   [`rt_boolean::Bdd`].
+//!   [`rt_boolean::Bdd`]; runs in a caller-owned manager so caches
+//!   survive across calls.
+//! * [`engine`] — the [`ReachEngine`] façade the whole synthesis
+//!   pipeline queries: one engine, two interchangeable backends
+//!   (explicit enumeration / persistent-manager symbolic), covering
+//!   nets past 64 places through the packed `W2`/`W4`/`Big` variants.
 //! * [`models`] — ready-made specifications from the paper: the FIFO
 //!   controller of Figure 3, the C-element, pipeline rings, and more.
+//!   [`corpus`] adds the classic `.g` benchmarks plus generated wide
+//!   nets (`adder16_rt`, `fabric4x4`) for > 64-place coverage.
 //!
 //! ## Example
 //!
@@ -48,6 +55,7 @@
 //! ```
 
 pub mod corpus;
+pub mod engine;
 pub mod error;
 pub mod marking;
 pub mod models;
@@ -59,10 +67,11 @@ pub mod state_graph;
 pub mod stg;
 pub mod symbolic;
 
+pub use engine::{ReachBackend, ReachEngine, ReachSummary};
 pub use error::StgError;
 pub use marking::{MarkingArena, MarkingId, MarkingLayout, PackedMarking};
 pub use petri::{Marking, PetriNet, PlaceId, TransitionId};
 pub use reach::explore;
 pub use signal::{Edge, SignalEvent, SignalId, SignalKind};
-pub use state_graph::{StateGraph, StateId};
+pub use state_graph::{CsrBuilder, StateGraph, StateId};
 pub use stg::Stg;

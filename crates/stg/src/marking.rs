@@ -182,8 +182,16 @@ impl PackedMarking {
         Marking::from_tokens(tokens)
     }
 
+    /// The raw packed words backing the marking.
+    ///
+    /// For a safe-net layout (1 bit per place) bit *i* of the word
+    /// stream is exactly "place *i* is marked", which makes the words a
+    /// direct variable assignment for the symbolic reachable set
+    /// ([`rt_boolean::Bdd::evaluate_words`]). For wider layouts the
+    /// words are an opaque field encoding; use
+    /// [`PackedMarking::tokens`] instead.
     #[inline]
-    fn words(&self) -> &[u64] {
+    pub fn words(&self) -> &[u64] {
         match self {
             PackedMarking::W1(w) => std::slice::from_ref(w),
             PackedMarking::W2(w) => w,

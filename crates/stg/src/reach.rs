@@ -22,7 +22,7 @@ use crate::error::StgError;
 use crate::marking::{MarkingArena, MarkingId, MarkingLayout, PackedMarking};
 use crate::petri::PlaceId;
 use crate::signal::SignalId;
-use crate::state_graph::{StateArc, StateGraph, StateId};
+use crate::state_graph::{CsrBuilder, StateArc, StateGraph, StateId};
 use crate::stg::{Stg, TransitionLabel};
 
 /// Tuning knobs for [`explore_with`].
@@ -92,8 +92,7 @@ pub fn explore_with(stg: &Stg, options: &ExploreOptions) -> Result<StateGraph, S
     // synthesis flow) avoid faulting in kilobytes they never touch.
     let mut arena = MarkingArena::with_capacity(layout, 64);
     let mut codes: Vec<u64> = Vec::with_capacity(64);
-    let mut offsets: Vec<u32> = Vec::with_capacity(64);
-    let mut arcs: Vec<StateArc> = Vec::with_capacity(256);
+    let mut builder = CsrBuilder::with_capacity(64, 256);
     // Reused firing scratch: keeps the hot loop allocation-free even for
     // spilled (boxed) layouts.
     let mut scratch = PackedMarking::zero(&layout);
@@ -103,9 +102,11 @@ pub fn explore_with(stg: &Stg, options: &ExploreOptions) -> Result<StateGraph, S
 
     // Ids are handed out in discovery order and the BFS queue is FIFO, so
     // the work list is simply "the next id not yet processed" — no queue.
+    // Rows therefore complete in id order, exactly the CsrBuilder
+    // contract.
     let mut state = 0usize;
     while state < arena.len() {
-        offsets.push(arcs.len() as u32);
+        builder.start_row();
         let marking = arena.resolve(MarkingId(state as u32)).clone();
         let code = codes[state];
         let mut any_enabled = false;
@@ -163,14 +164,14 @@ pub fn explore_with(stg: &Stg, options: &ExploreOptions) -> Result<StateGraph, S
                     ),
                 });
             }
-            arcs.push(StateArc { event, to: StateId(next_id.0) });
+            builder.push_arc(StateArc { event, to: StateId(next_id.0) });
         }
         if !any_enabled && options.forbid_deadlock {
             return Err(StgError::Deadlock(format!("{}", marking.unpack(&layout))));
         }
         state += 1;
     }
-    offsets.push(arcs.len() as u32);
+    let (offsets, arcs) = builder.finish();
 
     let signal_names = stg
         .signals()
@@ -187,6 +188,75 @@ pub fn explore_with(stg: &Stg, options: &ExploreOptions) -> Result<StateGraph, S
         layout,
         StateId(0),
     ))
+}
+
+/// Result of a counting-only explicit walk ([`count_markings_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExplicitCount {
+    /// Number of distinct reachable markings.
+    pub markings: u64,
+    /// Breadth-first depth at which the walk converged (number of
+    /// frontier layers, counting the initial marking as layer 1).
+    pub iterations: usize,
+}
+
+/// Counts the reachable markings of `stg` without building a state
+/// graph: the packed BFS of [`explore_with`] minus codes, arcs and the
+/// consistency machinery. This is the explicit backend of
+/// [`crate::engine::ReachEngine`]'s set-level queries.
+///
+/// Because no binary codes are assigned, the walk has **no 64-signal
+/// cap** and performs **no consistency check** — it answers "how many
+/// markings" for any safe net the packed layouts can represent, which
+/// is what the symbolic backend answers too.
+///
+/// # Errors
+///
+/// * [`StgError::StateLimitExceeded`] — exploration exceeded the limit.
+/// * [`StgError::Unbounded`] — a place exceeded the token bound.
+/// * [`StgError::Deadlock`] — with `forbid_deadlock`, a marking enabling
+///   nothing was reached.
+pub fn count_markings_with(stg: &Stg, options: &ExploreOptions) -> Result<ExplicitCount, StgError> {
+    let net = stg.net();
+    let layout = marking_layout(stg, options)?;
+    let mut arena = MarkingArena::with_capacity(layout, 64);
+    let mut scratch = PackedMarking::zero(&layout);
+    arena.intern(PackedMarking::pack(&layout, &stg.initial_marking()));
+
+    let mut state = 0usize;
+    // Depth tracking: `layer_end` is the first id of the *next* BFS
+    // layer; ids are dense and in discovery order, so layers are just
+    // index ranges.
+    let mut iterations = 1usize;
+    let mut layer_end = arena.len();
+    while state < arena.len() {
+        if state == layer_end {
+            iterations += 1;
+            layer_end = arena.len();
+        }
+        let marking = arena.resolve(MarkingId(state as u32)).clone();
+        let mut any_enabled = false;
+        for transition in net.transitions() {
+            if !net.is_enabled_packed(transition, &marking, &layout) {
+                continue;
+            }
+            any_enabled = true;
+            net.fire_packed_into(transition, &marking, &layout, options.bound, &mut scratch)
+                .map_err(|place| StgError::Unbounded {
+                    place: net.place_name(place).to_string(),
+                    bound: u32::from(options.bound.unwrap_or(u16::MAX)),
+                })?;
+            let (_, fresh) = arena.intern_ref(&scratch);
+            if fresh && arena.len() > options.state_limit {
+                return Err(StgError::StateLimitExceeded(options.state_limit));
+            }
+        }
+        if !any_enabled && options.forbid_deadlock {
+            return Err(StgError::Deadlock(format!("{}", marking.unpack(&layout))));
+        }
+        state += 1;
+    }
+    Ok(ExplicitCount { markings: arena.len() as u64, iterations })
 }
 
 /// Builds the packing layout for exploring `stg` under `options`, and

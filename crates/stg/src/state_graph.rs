@@ -51,6 +51,83 @@ pub struct CscConflict {
     pub signal: SignalId,
 }
 
+/// Incremental builder for CSR arc rows: the producer starts each
+/// state's row in state-id order and appends its arcs, and the finished
+/// buffers drop straight into [`StateGraph::from_csr_parts`] — no
+/// nested `Vec<Vec<StateArc>>` intermediate anywhere.
+///
+/// Both the explicit reachability analyser ([`crate::reach`]) and the
+/// concurrency-reduction pass in `rt-core::lazy` emit through this
+/// builder: any breadth-first construction that hands out state ids in
+/// discovery order completes rows in exactly id order, which is the
+/// only contract the builder requires.
+///
+/// # Examples
+///
+/// ```
+/// use rt_stg::state_graph::{CsrBuilder, StateArc};
+/// use rt_stg::StateId;
+///
+/// let mut b = CsrBuilder::with_capacity(2, 2);
+/// b.start_row(); // state 0
+/// b.push_arc(StateArc { event: None, to: StateId(1) });
+/// b.start_row(); // state 1
+/// b.push_arc(StateArc { event: None, to: StateId(0) });
+/// let (offsets, arcs) = b.finish();
+/// assert_eq!(offsets, vec![0, 1, 2]);
+/// assert_eq!(arcs.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CsrBuilder {
+    offsets: Vec<u32>,
+    arcs: Vec<StateArc>,
+}
+
+impl CsrBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        CsrBuilder::default()
+    }
+
+    /// An empty builder pre-sized for `states` rows and `arcs` arcs.
+    pub fn with_capacity(states: usize, arcs: usize) -> Self {
+        CsrBuilder {
+            offsets: Vec::with_capacity(states + 1),
+            arcs: Vec::with_capacity(arcs),
+        }
+    }
+
+    /// Opens the next state's row; all subsequent [`CsrBuilder::push_arc`]
+    /// calls land in it until the next `start_row`.
+    #[inline]
+    pub fn start_row(&mut self) {
+        self.offsets.push(self.arcs.len() as u32);
+    }
+
+    /// Appends an arc to the current row.
+    #[inline]
+    pub fn push_arc(&mut self, arc: StateArc) {
+        self.arcs.push(arc);
+    }
+
+    /// Number of rows started so far.
+    pub fn rows(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Number of arcs pushed so far.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Seals the builder, returning `(offsets, arcs)` with the final
+    /// sentinel offset appended (`offsets.len() == rows + 1`).
+    pub fn finish(mut self) -> (Vec<u32>, Vec<StateArc>) {
+        self.offsets.push(self.arcs.len() as u32);
+        (self.offsets, self.arcs)
+    }
+}
+
 /// Arc rows in compressed-sparse-row form: all rows live in one
 /// contiguous `Vec<StateArc>`, with `offsets[i]..offsets[i+1]` delimiting
 /// state `i`'s row. Synthesis, CSC analysis and the lazy passes iterate
@@ -63,17 +140,6 @@ struct CsrArcs {
 }
 
 impl CsrArcs {
-    fn from_nested(nested: &[Vec<StateArc>]) -> Self {
-        let mut offsets = Vec::with_capacity(nested.len() + 1);
-        let mut arcs = Vec::with_capacity(nested.iter().map(Vec::len).sum());
-        for row in nested {
-            offsets.push(arcs.len() as u32);
-            arcs.extend_from_slice(row);
-        }
-        offsets.push(arcs.len() as u32);
-        CsrArcs { offsets, arcs }
-    }
-
     /// Builds the reversed (predecessor) CSR of `succ` by counting sort:
     /// one pass to count indegrees, a prefix sum, one pass to fill.
     /// Row-internal order matches iterating successor rows in state
@@ -141,9 +207,10 @@ pub struct StateGraph {
 
 impl StateGraph {
     /// Builds a state graph from raw parts with nested per-state arc
-    /// rows. Intended for the lazy-state-graph construction in `rt-core`
-    /// and for tests; the reachability analyser builds CSR directly via
-    /// `from_csr_parts`.
+    /// rows. Convenience for tests and hand-built graphs; production
+    /// producers (the reachability analyser, `rt-core`'s concurrency
+    /// reduction) emit CSR directly through [`CsrBuilder`] and
+    /// [`StateGraph::from_csr_parts`].
     pub fn from_parts(
         signal_names: Vec<String>,
         signal_kinds: Vec<SignalKind>,
@@ -160,33 +227,28 @@ impl StateGraph {
             .unwrap_or(0);
         let layout = MarkingLayout::new(places, Some(max_tokens.max(1)));
         let packed = markings.iter().map(|m| PackedMarking::pack(&layout, m)).collect();
-        let succ = CsrArcs::from_nested(&arcs);
-        Self::from_csr_rows(signal_names, signal_kinds, codes, succ, packed, layout, initial)
-    }
-
-    /// Like [`StateGraph::from_parts`], but reuses already-packed
-    /// markings and their layout instead of round-tripping through dense
-    /// token vectors. Preferred when deriving one graph from another
-    /// (e.g. concurrency reduction in `rt-core`), where the source
-    /// graph's packed markings can be copied verbatim.
-    pub fn from_packed_parts(
-        signal_names: Vec<String>,
-        signal_kinds: Vec<SignalKind>,
-        codes: Vec<u64>,
-        arcs: Vec<Vec<StateArc>>,
-        markings: Vec<PackedMarking>,
-        layout: MarkingLayout,
-        initial: StateId,
-    ) -> Self {
-        let succ = CsrArcs::from_nested(&arcs);
-        Self::from_csr_rows(signal_names, signal_kinds, codes, succ, markings, layout, initial)
+        let mut builder = CsrBuilder::with_capacity(arcs.len(), arcs.iter().map(Vec::len).sum());
+        for row in &arcs {
+            builder.start_row();
+            for &arc in row {
+                builder.push_arc(arc);
+            }
+        }
+        let (offsets, arcs) = builder.finish();
+        Self::from_csr_parts(signal_names, signal_kinds, codes, offsets, arcs, packed, layout, initial)
     }
 
     /// Builds a state graph from pre-assembled CSR buffers (`offsets`
-    /// delimits each state's row in `arcs`). Used by the reachability
-    /// analyser, which accumulates arcs in discovery order.
+    /// delimits each state's row in `arcs`, with a final sentinel —
+    /// exactly what [`CsrBuilder::finish`] yields). This is the
+    /// zero-conversion constructor every CSR-emitting producer uses.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `offsets` has one entry per state plus the
+    /// sentinel.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn from_csr_parts(
+    pub fn from_csr_parts(
         signal_names: Vec<String>,
         signal_kinds: Vec<SignalKind>,
         codes: Vec<u64>,

@@ -17,8 +17,23 @@
 //! repeated sub-conjunctions and cofactors resolve as single cache
 //! lookups instead of fresh traversals.
 //!
+//! There are two entry points:
+//!
+//! * [`reach_symbolic`] — the historical one-shot API: builds a fresh
+//!   manager per call and throws it away;
+//! * [`reach_symbolic_in`] — runs inside a **caller-owned manager**.
+//!   Because node ids are never garbage-collected, the unique table and
+//!   the persistent apply/cofactor caches stay valid across calls: a
+//!   re-exploration of the same (or a structurally similar) net resolves
+//!   almost entirely out of cache. [`crate::engine::ReachEngine`] builds
+//!   its long-lived symbolic backend on this entry point.
+//!
 //! Only *safe* (1-bounded) nets are supported: a marking is then exactly
-//! a set of places.
+//! a set of places. Nets of any width are accepted — place *i* maps to
+//! BDD variable *i*, and the manager is widened on demand via
+//! [`rt_boolean::Bdd::ensure_vars`], so > 64-place nets (the `W2`/`W4`/
+//! `Big` packed-marking territory of [`crate::marking`]) work
+//! transparently.
 
 use rt_boolean::bdd::NodeId;
 use rt_boolean::Bdd;
@@ -33,25 +48,46 @@ pub struct SymbolicReach {
     pub markings: u64,
     /// Breadth-first iterations to the fixpoint.
     pub iterations: usize,
-    /// Live BDD nodes at the end (memory proxy).
+    /// Live BDD nodes at the end (memory proxy). For a reused manager
+    /// this counts everything the manager holds, not just this call.
     pub bdd_nodes: usize,
+    /// The reachable set itself, valid for the manager the call ran in.
+    /// With [`reach_symbolic_in`] the caller can evaluate membership
+    /// (e.g. [`rt_boolean::Bdd::evaluate_words`] on packed markings) or
+    /// compose further images.
+    pub set: NodeId,
 }
 
-/// Computes the reachable markings of `stg`'s net symbolically.
+/// Computes the reachable markings of `stg`'s net symbolically in a
+/// fresh, throwaway manager.
 ///
 /// # Errors
 ///
-/// Returns [`StgError::TooManySignals`] when the net has more than 64
-/// places (the BDD manager in `rt-boolean` indexes variables by `u64`
-/// assignments in its tests; the manager itself has no hard limit, but
-/// we keep the interface consistent with the explicit analyser).
+/// Propagates every failure mode of [`reach_symbolic_in`].
 pub fn reach_symbolic(stg: &Stg) -> Result<SymbolicReach, StgError> {
+    let mut bdd = Bdd::new(stg.net().place_count());
+    reach_symbolic_in(stg, &mut bdd)
+}
+
+/// Computes the reachable markings of `stg`'s net symbolically inside
+/// `bdd`, widening the manager's variable universe to the net's place
+/// count if needed.
+///
+/// Reusing one manager across calls turns the per-transition `enabled`
+/// constraints and the image subcomputations of a repeated net into
+/// cache hits; see the module docs. The reported marking count is taken
+/// over the *net's* place universe ([`Bdd::satisfy_count_over`]), so it
+/// is independent of how wide the shared manager has grown.
+///
+/// # Errors
+///
+/// Returns [`StgError::StateLimitExceeded`] when the fixpoint has not
+/// converged after 10 000 image iterations (a diverging or enormous
+/// net).
+pub fn reach_symbolic_in(stg: &Stg, bdd: &mut Bdd) -> Result<SymbolicReach, StgError> {
     let net = stg.net();
-    if net.place_count() > 64 {
-        return Err(StgError::TooManySignals(net.place_count()));
-    }
     let places = net.place_count();
-    let mut bdd = Bdd::new(places);
+    bdd.ensure_vars(places);
 
     // Initial set: the exact initial marking as a minterm over places.
     let initial_marking = stg.initial_marking();
@@ -134,9 +170,10 @@ pub fn reach_symbolic(stg: &Stg) -> Result<SymbolicReach, StgError> {
     }
 
     Ok(SymbolicReach {
-        markings: bdd.satisfy_count(reached),
+        markings: bdd.satisfy_count_over(reached, places),
         iterations,
         bdd_nodes: bdd.node_count(),
+        set: reached,
     })
 }
 
@@ -191,6 +228,41 @@ mod tests {
             let explicit = explore(&stg).unwrap_or_else(|e| panic!("{name}: {e}"));
             let symbolic = reach_symbolic(&stg).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(symbolic.markings, explicit.state_count() as u64, "{name}");
+        }
+    }
+
+    #[test]
+    fn shared_manager_reproduces_fresh_results() {
+        // One manager across the whole model sweep: counts and the sets
+        // themselves must match the fresh-manager runs.
+        let mut shared = Bdd::new(4);
+        for (name, stg) in [
+            ("handshake", models::handshake_stg()),
+            ("fifo", models::fifo_stg()),
+            ("celement", models::celement_stg()),
+            ("fifo", models::fifo_stg()), // repeat: pure cache replay
+        ] {
+            let fresh = reach_symbolic(&stg).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let reused =
+                reach_symbolic_in(&stg, &mut shared).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(fresh.markings, reused.markings, "{name}");
+            assert_eq!(fresh.iterations, reused.iterations, "{name}");
+        }
+    }
+
+    #[test]
+    fn reachable_set_answers_membership() {
+        let stg = models::handshake_stg();
+        let mut bdd = Bdd::new(stg.net().place_count());
+        let result = reach_symbolic_in(&stg, &mut bdd).expect("explores");
+        let sg = explore(&stg).expect("explores");
+        assert_eq!(sg.marking_layout().bits(), 1, "safe net packs 1 bit/place");
+        for state in sg.states() {
+            let packed = sg.packed_marking(state);
+            assert!(
+                bdd.evaluate_words(result.set, packed.words()),
+                "explicitly reachable marking must be in the symbolic set"
+            );
         }
     }
 }

@@ -42,3 +42,41 @@ fn explicit_and_symbolic_agree_on_corpus() {
         assert_agreement(name, &stg);
     }
 }
+
+#[test]
+fn explicit_and_symbolic_agree_on_wide_models() {
+    // The > 64-place generated models: packed markings run W2 and
+    // beyond, the BDD manager runs past 64 variables.
+    for (name, stg) in corpus::wide() {
+        assert!(stg.net().place_count() > 64, "{name}");
+        assert_agreement(&name, &stg);
+    }
+}
+
+#[test]
+fn engine_backends_agree_on_models_and_wide_corpus() {
+    // The same sweep through the ReachEngine facade: one explicit and
+    // one symbolic engine (single persistent manager) across all
+    // models.
+    use rt_stg::engine::ReachEngine;
+    let mut explicit = ReachEngine::explicit();
+    let mut symbolic = ReachEngine::symbolic();
+    let mut specs: Vec<(String, Stg)> = vec![
+        ("fifo".into(), models::fifo_stg()),
+        ("celement".into(), models::celement_stg()),
+        ("ring6_2".into(), models::ring_stg(6, 2)),
+    ];
+    specs.extend(corpus::wide());
+    for (name, stg) in &specs {
+        let e = explicit.summary(stg).unwrap_or_else(|err| panic!("{name}: {err}"));
+        let s = symbolic.summary(stg).unwrap_or_else(|err| panic!("{name}: {err}"));
+        assert_eq!(e.markings, s.markings, "{name}: backends diverge");
+        let sg = explore(stg).unwrap_or_else(|err| panic!("{name}: {err}"));
+        assert_eq!(e.markings, sg.state_count() as u64, "{name}");
+    }
+    assert_eq!(
+        symbolic.stats().manager_reuses,
+        specs.len() - 1,
+        "every symbolic call after the first reused the one manager"
+    );
+}

@@ -9,11 +9,21 @@
 //! state signal off the critical path (the paper's "timing-aware state
 //! encoding"): insertions whose state-signal transitions trigger output
 //! events are penalized.
+//!
+//! All re-exploration funnels through one [`ReachEngine`]
+//! ([`resolve_csc_engine`]): the candidate search is the hottest
+//! repeated-reachability loop in the pipeline, and the engine is the
+//! seam that lets it run over either backend. On the symbolic backend
+//! the accepted resolution is additionally **audited** against the
+//! engine's persistent-manager symbolic marking count
+//! ([`SynthError::BackendMismatch`] on divergence), so the two
+//! analysers continuously cross-check each other in production use.
 
 use rt_boolean::minimize;
+use rt_stg::engine::ReachEngine;
 use rt_stg::petri::PlaceId;
 use rt_stg::stg::TransitionLabel;
-use rt_stg::{explore, SignalKind, StateGraph, Stg};
+use rt_stg::{SignalKind, StateGraph, Stg};
 
 use crate::error::SynthError;
 use crate::regions::{derive_functions, LocalDontCares};
@@ -58,29 +68,55 @@ pub fn resolve_csc(stg: &Stg) -> Result<CscResolution, SynthError> {
     resolve_csc_with(stg, &CscOptions::default())
 }
 
-/// [`resolve_csc`] with explicit options.
+/// [`resolve_csc`] with explicit options, run on a throwaway
+/// explicit-backend engine.
 pub fn resolve_csc_with(stg: &Stg, options: &CscOptions) -> Result<CscResolution, SynthError> {
-    let sg = explore(stg)?;
+    resolve_csc_engine(stg, options, &mut ReachEngine::explicit())
+}
+
+/// [`resolve_csc_with`] through a caller-owned [`ReachEngine`].
+///
+/// Every candidate re-exploration of the search goes through `engine`,
+/// so a shared engine accumulates its statistics (and, on the symbolic
+/// backend, its warm BDD manager) across the whole resolution — and
+/// across *multiple* resolutions when the caller keeps the engine
+/// alive. The accepted result is backend-independent: the candidate
+/// ranking uses only the explicitly built state graphs. On
+/// [`rt_stg::ReachBackend::Symbolic`] the final resolution is audited
+/// against the symbolic marking count.
+///
+/// # Errors
+///
+/// [`resolve_csc_with`]'s errors, plus [`SynthError::BackendMismatch`]
+/// if the symbolic audit disagrees with the explicit graph.
+pub fn resolve_csc_engine(
+    stg: &Stg,
+    options: &CscOptions,
+    engine: &mut ReachEngine,
+) -> Result<CscResolution, SynthError> {
+    let sg = engine.state_graph(stg)?;
     if sg.csc_conflicts().is_empty() {
         let cost = encoding_cost(&sg, 0);
-        return Ok(CscResolution { stg: stg.clone(), sg, inserted: Vec::new(), cost });
+        let resolution = CscResolution { stg: stg.clone(), sg, inserted: Vec::new(), cost };
+        audit_resolution(&resolution, engine)?;
+        return Ok(resolution);
     }
     let mut attempts = 0;
     let mut current = stg.clone();
+    let mut before = sg.csc_conflicts().len();
     let mut inserted = Vec::new();
     for round in 0..options.max_signals {
         let name = format!("csc{round}");
-        match best_insertion(&current, &name, options, &mut attempts) {
+        match best_insertion(&current, &name, options, before, engine, &mut attempts) {
             Some((next_stg, next_sg, cost)) => {
                 inserted.push(name);
                 if next_sg.csc_conflicts().is_empty() {
-                    return Ok(CscResolution {
-                        stg: next_stg,
-                        sg: next_sg,
-                        inserted,
-                        cost,
-                    });
+                    let resolution =
+                        CscResolution { stg: next_stg, sg: next_sg, inserted, cost };
+                    audit_resolution(&resolution, engine)?;
+                    return Ok(resolution);
                 }
+                before = next_sg.csc_conflicts().len();
                 current = next_stg;
             }
             None => break,
@@ -89,45 +125,58 @@ pub fn resolve_csc_with(stg: &Stg, options: &CscOptions) -> Result<CscResolution
     Err(SynthError::CscUnresolvable { attempts })
 }
 
+/// Symbolic-backend audit: the resolved STG's explicit state count must
+/// match the persistent manager's symbolic marking count.
+fn audit_resolution(
+    resolution: &CscResolution,
+    engine: &mut ReachEngine,
+) -> Result<(), SynthError> {
+    crate::regions::audit_against_symbolic(engine, &resolution.stg, &resolution.sg)
+}
+
 /// Tries every (rise-place, fall-place) pair; returns the best valid
-/// insertion as `(stg, sg, cost)`.
+/// insertion as `(stg, sg, cost)`. `before` is the conflict count of
+/// `stg` itself (already computed by the caller — no re-exploration).
 fn best_insertion(
     stg: &Stg,
     name: &str,
     options: &CscOptions,
+    before: usize,
+    engine: &mut ReachEngine,
     attempts: &mut usize,
 ) -> Option<(Stg, StateGraph, usize)> {
     let places = simple_places(stg);
     let mut best: Option<(Stg, StateGraph, usize)> = None;
-    let before = explore(stg).map(|g| g.csc_conflicts().len()).unwrap_or(usize::MAX);
+    let mut consider = |candidate: Stg, engine: &mut ReachEngine, attempts: &mut usize| {
+        *attempts += 1;
+        let Ok(sg) = engine.state_graph(&candidate) else { return };
+        if !sg.is_strongly_connected() || !sg.deadlock_states().is_empty() {
+            return;
+        }
+        let after = sg.csc_conflicts().len();
+        if after >= before {
+            return; // insertion must strictly help
+        }
+        let penalty = critical_penalty(&candidate, name) * options.critical_path_penalty;
+        let cost = if after == 0 {
+            encoding_cost(&sg, penalty)
+        } else {
+            // Not yet CSC-free: rank by remaining conflicts.
+            1_000 + after * 100 + penalty
+        };
+        if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
+            best = Some((candidate, sg, cost));
+        }
+    };
     for &p_plus in &places {
         for &p_minus in &places {
             if p_plus == p_minus {
                 continue;
             }
             for token_after in [false, true] {
-                *attempts += 1;
                 let candidate =
                     insert_state_signal_with(stg, name, p_plus, p_minus, token_after);
-                let Ok(sg) = explore(&candidate) else { continue };
-                if !sg.is_strongly_connected() || !sg.deadlock_states().is_empty() {
-                    continue;
-                }
-                let after = sg.csc_conflicts().len();
-                if after >= before {
-                    continue; // insertion must strictly help
-                }
-                let penalty =
-                    critical_penalty(&candidate, name) * options.critical_path_penalty;
-                let cost = if after == 0 {
-                    encoding_cost(&sg, penalty)
-                } else {
-                    // Not yet CSC-free: rank by remaining conflicts.
-                    1_000 + after * 100 + penalty
-                };
-                if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
-                    best = Some((candidate, sg, cost));
-                }
+                consider(candidate, engine, attempts);
             }
         }
     }
@@ -138,25 +187,8 @@ fn best_insertion(
             if t_plus == t_minus {
                 continue;
             }
-            *attempts += 1;
             let candidate = insert_after_transitions(stg, name, t_plus, t_minus);
-            let Ok(sg) = explore(&candidate) else { continue };
-            if !sg.is_strongly_connected() || !sg.deadlock_states().is_empty() {
-                continue;
-            }
-            let after = sg.csc_conflicts().len();
-            if after >= before {
-                continue;
-            }
-            let penalty = critical_penalty(&candidate, name) * options.critical_path_penalty;
-            let cost = if after == 0 {
-                encoding_cost(&sg, penalty)
-            } else {
-                1_000 + after * 100 + penalty
-            };
-            if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
-                best = Some((candidate, sg, cost));
-            }
+            consider(candidate, engine, attempts);
         }
     }
     best
@@ -354,7 +386,7 @@ fn critical_penalty(stg: &Stg, name: &str) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rt_stg::models;
+    use rt_stg::{explore, models};
 
     #[test]
     fn csc_free_spec_passes_through() {
@@ -401,6 +433,54 @@ mod tests {
         assert_eq!(rewritten.signal_count(), stg.signal_count() + 1);
         // The rewrite may or may not be consistent; exploration decides.
         let _ = explore(&rewritten);
+    }
+
+    #[test]
+    fn both_engine_backends_produce_identical_resolutions() {
+        let options = CscOptions::default();
+        for (name, stg) in [
+            ("fifo", models::fifo_stg()),
+            ("vme_read", rt_stg::corpus::parse(rt_stg::corpus::VME_READ_G).unwrap()),
+            ("handshake", models::handshake_stg()),
+        ] {
+            let mut explicit = ReachEngine::explicit();
+            let mut symbolic = ReachEngine::symbolic();
+            let a = resolve_csc_engine(&stg, &options, &mut explicit)
+                .unwrap_or_else(|e| panic!("{name} explicit: {e}"));
+            let b = resolve_csc_engine(&stg, &options, &mut symbolic)
+                .unwrap_or_else(|e| panic!("{name} symbolic: {e}"));
+            assert_eq!(a.inserted, b.inserted, "{name}");
+            assert_eq!(a.cost, b.cost, "{name}");
+            assert_eq!(a.sg.state_count(), b.sg.state_count(), "{name}");
+            assert_eq!(
+                a.sg.states().map(|s| a.sg.code(s)).collect::<Vec<_>>(),
+                b.sg.states().map(|s| b.sg.code(s)).collect::<Vec<_>>(),
+                "{name}: identical coded graphs"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_symbolic_engine_audits_and_reuses_across_resolutions() {
+        // One engine across two resolutions: manager survives, audit
+        // passes, and at least one symbolic call hit the warm manager.
+        let mut engine = ReachEngine::symbolic();
+        let first = resolve_csc_engine(&models::fifo_stg(), &CscOptions::default(), &mut engine)
+            .expect("fifo resolves");
+        assert!(!first.inserted.is_empty());
+        let nodes_after_first = engine.manager_nodes();
+        assert!(nodes_after_first > 2, "audit ran symbolically");
+        let second =
+            resolve_csc_engine(&models::fifo_stg(), &CscOptions::default(), &mut engine)
+                .expect("fifo resolves again");
+        assert_eq!(first.inserted, second.inserted);
+        assert_eq!(first.cost, second.cost);
+        assert!(engine.stats().manager_reuses >= 1, "second audit reused the manager");
+        assert_eq!(
+            engine.manager_nodes(),
+            nodes_after_first,
+            "identical net re-audited out of cache: no new nodes"
+        );
     }
 
     #[test]

@@ -29,6 +29,16 @@ pub enum SynthError {
     },
     /// The specification has no implemented (output/internal) signals.
     NothingToImplement,
+    /// The reachability engine's explicit and symbolic backends
+    /// disagreed on the reachable-marking count of the same STG — one
+    /// of the analysers is wrong, so the synthesis result cannot be
+    /// trusted.
+    BackendMismatch {
+        /// States in the explicitly built graph.
+        explicit: u64,
+        /// Markings counted symbolically.
+        symbolic: u64,
+    },
     /// An underlying STG analysis failed.
     Stg(StgError),
     /// The signal id is out of range for this state graph.
@@ -51,6 +61,11 @@ impl fmt::Display for SynthError {
             SynthError::NothingToImplement => {
                 write!(f, "specification has no output or internal signals")
             }
+            SynthError::BackendMismatch { explicit, symbolic } => write!(
+                f,
+                "reachability backends disagree: {explicit} explicit states vs \
+                 {symbolic} symbolic markings"
+            ),
             SynthError::Stg(err) => write!(f, "stg analysis failed: {err}"),
             SynthError::UnknownSignal(id) => write!(f, "unknown signal {id}"),
         }

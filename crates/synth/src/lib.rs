@@ -15,6 +15,13 @@
 //! state graphs, where timing assumptions have pruned states and enlarged
 //! the don't-care sets (Section 3 of the paper).
 //!
+//! Reachability runs through one [`rt_stg::ReachEngine`]: CSC
+//! resolution's candidate search ([`csc::resolve_csc_engine`]) and the
+//! STG-level function derivation ([`regions::derive_functions_for`])
+//! take a caller-owned engine, so repeated explorations share state
+//! (and, on the symbolic backend, a warm persistent BDD manager that
+//! audits every accepted graph).
+//!
 //! ## Example: the C-element synthesizes to a C-element
 //!
 //! ```
@@ -34,7 +41,7 @@ pub mod error;
 pub mod map;
 pub mod regions;
 
-pub use csc::{resolve_csc, CscResolution};
+pub use csc::{resolve_csc, resolve_csc_engine, resolve_csc_with, CscResolution};
 pub use error::SynthError;
 pub use map::{synthesize, synthesize_with_dc, synthesize_with_options, MapOptions, SynthesisResult};
-pub use regions::{SignalFunctions, SetResetSpec};
+pub use regions::{derive_functions_for, excitation_cover_for, SignalFunctions, SetResetSpec};

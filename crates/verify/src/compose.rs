@@ -26,7 +26,8 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use rt_netlist::{GateId, GateKind, NetId, NetKind, Netlist};
-use rt_stg::{explore, Edge, SignalEvent, StateGraph, StateId, Stg, StgError};
+use rt_stg::engine::ReachEngine;
+use rt_stg::{Edge, SignalEvent, StateGraph, StateId, Stg, StgError};
 
 /// A net-level relative-timing ordering: wherever both transitions are
 /// pending, `before` fires first.
@@ -146,7 +147,8 @@ struct ComposedState {
     spec: StateId,
 }
 
-/// Verifies `netlist` against the reachable behaviour of `spec`.
+/// Verifies `netlist` against the reachable behaviour of `spec`,
+/// explored through a throwaway explicit-backend [`ReachEngine`].
 ///
 /// # Errors
 ///
@@ -156,7 +158,24 @@ pub fn verify(
     spec: &Stg,
     orderings: &[NetOrdering],
 ) -> Result<VerifyReport, StgError> {
-    let sg = explore(spec)?;
+    verify_with_engine(netlist, spec, orderings, &mut ReachEngine::explicit())
+}
+
+/// [`verify`] through a caller-owned [`ReachEngine`] — the variant the
+/// synthesis pipeline uses so the specification's reachable states come
+/// from the same engine (same options, same warm symbolic manager) that
+/// drove synthesis.
+///
+/// # Errors
+///
+/// Returns [`StgError`] when the specification cannot be explored.
+pub fn verify_with_engine(
+    netlist: &Netlist,
+    spec: &Stg,
+    orderings: &[NetOrdering],
+    engine: &mut ReachEngine,
+) -> Result<VerifyReport, StgError> {
+    let sg = engine.state_graph(spec)?;
     Ok(verify_against_sg(netlist, &sg, orderings))
 }
 

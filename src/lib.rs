@@ -9,7 +9,9 @@
 //!
 //! This crate re-exports every subsystem under one roof:
 //!
-//! * [`stg`] — Signal Transition Graphs, reachability, state graphs
+//! * [`stg`] — Signal Transition Graphs, reachability, state graphs,
+//!   and the [`stg::engine::ReachEngine`] façade (explicit + persistent
+//!   symbolic backends) the whole synthesis pipeline queries
 //! * [`boolean`] — cube/cover algebra, espresso-lite minimizer, BDDs
 //! * [`netlist`] — gate library and gate-level netlists
 //! * [`sim`] — event-driven timing/energy simulation
