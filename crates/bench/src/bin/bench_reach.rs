@@ -4,17 +4,23 @@
 //! reachability over the model corpus (including the > 64-place wide
 //! models), plus a `csc` stage that times complete-state-coding
 //! resolution through [`rt_stg::engine::ReachEngine`] on both backends
-//! and measures the persistent symbolic manager's warm-vs-fresh
-//! advantage. Writes `BENCH_reach.json` with per-model wall times,
-//! exploration throughput (states/sec) and live BDD node counts.
-//! Future PRs compare against the committed baseline to catch
-//! regressions:
+//! (serially and on the candidate worker pool) and measures the
+//! persistent symbolic manager's warm-vs-fresh advantage, plus a
+//! `wide_parallel` stage comparing the serial and sharded explicit BFS
+//! on the wide corpus. Writes `BENCH_reach.json` with per-model wall
+//! times, exploration throughput (states/sec), live BDD node counts
+//! under both static variable orders, and the thread count every
+//! number was taken at. Future PRs compare against the committed
+//! baseline to catch regressions:
 //!
 //! ```text
-//! cargo run --release -p rt-bench --bin bench_reach [-- [--fast] OUTPUT.json]
+//! cargo run --release -p rt-bench --bin bench_reach [-- [--fast] [--threads N] OUTPUT.json]
 //! ```
 //!
-//! `--fast` shrinks the per-section measurement window (CI smoke). The
+//! `--fast` shrinks the per-section measurement window (CI smoke);
+//! `--threads N` sets the sharded-BFS worker count for the main
+//! explicit sweep (default 1; the `wide_parallel` and `csc` pool
+//! stages always measure both serial and `max(2, N)`-wide runs). The
 //! emitted JSON is structurally validated before the process exits 0,
 //! so a malformed snapshot fails loudly instead of rotting.
 
@@ -23,7 +29,7 @@ use std::time::Instant;
 
 use rt_stg::engine::ReachEngine;
 use rt_stg::reach::{explore_with, ExploreOptions};
-use rt_stg::symbolic::reach_symbolic;
+use rt_stg::symbolic::{reach_symbolic_in_ordered, VarOrder};
 use rt_stg::{corpus, models, Stg};
 use rt_synth::csc::{resolve_csc_engine, CscOptions};
 use rt_synth::synthesize;
@@ -39,6 +45,9 @@ struct Row {
     symbolic_ns: f64,
     symbolic_markings: u64,
     bdd_nodes: usize,
+    /// Node count under the legacy by-index order — the before/after
+    /// record for the static variable-ordering heuristic.
+    bdd_nodes_by_index: usize,
 }
 
 /// One measured CSC resolution (the engine stage).
@@ -47,9 +56,22 @@ struct CscRow {
     inserted: usize,
     explicit_ns: f64,
     symbolic_ns: f64,
+    /// Resolution wall time with the candidate search on the worker
+    /// pool (`pool_threads` wide) instead of the serial scan.
+    parallel_ns: f64,
+    pool_threads: usize,
     cold_summary_ns: f64,
     warm_summary_ns: f64,
     warm_speedup: f64,
+}
+
+/// One serial-vs-sharded comparison on a wide model.
+struct WideRow {
+    name: String,
+    states: usize,
+    serial_ns: f64,
+    parallel_ns: f64,
+    parallel_threads: usize,
 }
 
 /// Times `f` adaptively: repeats until `min_ms` of total wall time,
@@ -90,8 +112,12 @@ fn corpus_models() -> Vec<(String, Stg)> {
     out
 }
 
-fn measure(name: &str, stg: &Stg, min_ms: u128) -> Row {
-    let options = ExploreOptions::default();
+fn explore_options(threads: usize) -> ExploreOptions {
+    ExploreOptions { threads, ..ExploreOptions::default() }
+}
+
+fn measure(name: &str, stg: &Stg, min_ms: u128, threads: usize) -> Row {
+    let options = explore_options(threads);
     let sg = explore_with(stg, &options).expect("model explores");
     let states = sg.state_count();
     let arcs = sg.arc_count();
@@ -107,8 +133,20 @@ fn measure(name: &str, stg: &Stg, min_ms: u128) -> Row {
         && sg.signal_count() <= 16)
         .then(|| time_ns(min_ms, || synthesize(&sg, name).expect("synthesizes")));
 
-    let symbolic = reach_symbolic(stg).expect("symbolic explores");
-    let symbolic_ns = time_ns(min_ms, || reach_symbolic(stg).expect("symbolic explores"));
+    // Symbolic reach under the default (measured-best) static order,
+    // plus a single by-index run recording the legacy node count.
+    let fresh_default = || {
+        let mut bdd = rt_boolean::Bdd::new(stg.net().place_count());
+        reach_symbolic_in_ordered(stg, &mut bdd, VarOrder::default()).expect("symbolic explores")
+    };
+    let symbolic = fresh_default();
+    let symbolic_ns = time_ns(min_ms, fresh_default);
+    let bdd_nodes_by_index = {
+        let mut bdd = rt_boolean::Bdd::new(stg.net().place_count());
+        reach_symbolic_in_ordered(stg, &mut bdd, VarOrder::ByIndex)
+            .expect("symbolic explores")
+            .bdd_nodes
+    };
 
     Row {
         name: name.to_string(),
@@ -120,29 +158,42 @@ fn measure(name: &str, stg: &Stg, min_ms: u128) -> Row {
         symbolic_ns,
         symbolic_markings: symbolic.markings,
         bdd_nodes: symbolic.bdd_nodes,
+        bdd_nodes_by_index,
     }
 }
 
 /// The `csc` stage: CSC resolution through the engine on both backends
-/// (results must agree), plus the warm-vs-fresh symbolic summary
-/// comparison on one long-lived engine.
-fn measure_csc(name: &str, stg: &Stg, min_ms: u128) -> CscRow {
-    let options = CscOptions::default();
-    let explicit_res = resolve_csc_engine(stg, &options, &mut ReachEngine::explicit())
+/// (results must agree), the same resolution with the candidate search
+/// on the worker pool (the winner must also agree), plus the
+/// warm-vs-fresh symbolic summary comparison on one long-lived engine.
+fn measure_csc(name: &str, stg: &Stg, min_ms: u128, pool_threads: usize) -> CscRow {
+    let serial_options = CscOptions { threads: 1, ..CscOptions::default() };
+    let pool_options = CscOptions { threads: pool_threads, ..CscOptions::default() };
+    let explicit_res = resolve_csc_engine(stg, &serial_options, &mut ReachEngine::explicit())
         .expect("csc resolves on the explicit backend");
-    let symbolic_res = resolve_csc_engine(stg, &options, &mut ReachEngine::symbolic())
+    let symbolic_res = resolve_csc_engine(stg, &serial_options, &mut ReachEngine::symbolic())
         .expect("csc resolves on the symbolic backend");
     assert_eq!(
         explicit_res.inserted, symbolic_res.inserted,
         "{name}: backends must produce identical resolutions"
     );
     assert_eq!(explicit_res.cost, symbolic_res.cost, "{name}");
+    let pooled_res = resolve_csc_engine(stg, &pool_options, &mut ReachEngine::explicit())
+        .expect("csc resolves on the candidate pool");
+    assert_eq!(
+        pooled_res.inserted, explicit_res.inserted,
+        "{name}: pool width must not change the winner"
+    );
+    assert_eq!(pooled_res.cost, explicit_res.cost, "{name}");
 
     let explicit_ns = time_ns(min_ms, || {
-        resolve_csc_engine(stg, &options, &mut ReachEngine::explicit()).expect("resolves")
+        resolve_csc_engine(stg, &serial_options, &mut ReachEngine::explicit()).expect("resolves")
     });
     let symbolic_ns = time_ns(min_ms, || {
-        resolve_csc_engine(stg, &options, &mut ReachEngine::symbolic()).expect("resolves")
+        resolve_csc_engine(stg, &serial_options, &mut ReachEngine::symbolic()).expect("resolves")
+    });
+    let parallel_ns = time_ns(min_ms, || {
+        resolve_csc_engine(stg, &pool_options, &mut ReachEngine::explicit()).expect("resolves")
     });
 
     // Manager reuse: fresh-manager summaries (cold) vs second-and-later
@@ -163,10 +214,44 @@ fn measure_csc(name: &str, stg: &Stg, min_ms: u128) -> CscRow {
         inserted: explicit_res.inserted.len(),
         explicit_ns,
         symbolic_ns,
+        parallel_ns,
+        pool_threads,
         cold_summary_ns,
         warm_summary_ns,
         warm_speedup: cold_summary_ns / warm_summary_ns,
     }
+}
+
+/// The `wide_parallel` stage: serial vs sharded explicit BFS on every
+/// wide model, both configurations verified bit-identical before
+/// timing.
+fn measure_wide_parallel(min_ms: u128, threads: usize) -> Vec<WideRow> {
+    corpus::wide()
+        .into_iter()
+        .map(|(name, stg)| {
+            let serial = explore_with(&stg, &explore_options(1)).expect("serial explores");
+            let parallel =
+                explore_with(&stg, &explore_options(threads)).expect("sharded explores");
+            assert_eq!(
+                serial.state_count(),
+                parallel.state_count(),
+                "{name}: sharded walk must be bit-identical"
+            );
+            let serial_ns = time_ns(min_ms, || {
+                explore_with(&stg, &explore_options(1)).expect("serial explores")
+            });
+            let parallel_ns = time_ns(min_ms, || {
+                explore_with(&stg, &explore_options(threads)).expect("sharded explores")
+            });
+            WideRow {
+                name,
+                states: serial.state_count(),
+                serial_ns,
+                parallel_ns,
+                parallel_threads: threads,
+            }
+        })
+        .collect()
 }
 
 /// Structural sanity of the emitted snapshot: the keys downstream
@@ -176,8 +261,12 @@ fn validate(json: &str) -> Result<(), String> {
     for key in [
         "\"models\"",
         "\"csc\"",
+        "\"wide_parallel\"",
         "\"summary\"",
         "\"states_per_sec\"",
+        "\"threads\"",
+        "\"parallel_ns\"",
+        "\"bdd_nodes_by_index\"",
         "\"warm_speedup\"",
         "\"aggregate_states_per_sec\"",
     ] {
@@ -203,23 +292,37 @@ fn validate(json: &str) -> Result<(), String> {
 fn main() {
     let mut out_path = "BENCH_reach.json".to_string();
     let mut min_ms: u128 = 60;
-    for arg in std::env::args().skip(1) {
+    let mut threads: usize = 1;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--fast" {
             min_ms = 5;
+        } else if arg == "--threads" {
+            threads = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("bench_reach: --threads needs a number");
+                    std::process::exit(2);
+                });
         } else if arg.starts_with("--") {
-            eprintln!("bench_reach: unknown flag {arg} (usage: [--fast] [OUTPUT.json])");
+            eprintln!(
+                "bench_reach: unknown flag {arg} (usage: [--fast] [--threads N] [OUTPUT.json])"
+            );
             std::process::exit(2);
         } else {
             out_path = arg;
         }
     }
+    let pool_threads = threads.max(2);
 
     let mut rows = Vec::new();
     for (name, stg) in corpus_models() {
-        let row = measure(&name, &stg, min_ms);
+        let row = measure(&name, &stg, min_ms, threads);
         println!(
-            "{:<24} {:>7} states  explore {:>10.0} ns ({:>12.0} states/s)  symbolic {:>10.0} ns  {:>8} bdd nodes",
-            row.name, row.states, row.explore_ns, row.states_per_sec, row.symbolic_ns, row.bdd_nodes
+            "{:<24} {:>7} states  explore {:>10.0} ns ({:>12.0} states/s, x{threads})  symbolic {:>10.0} ns  {:>8} bdd nodes ({:>8} by index)",
+            row.name, row.states, row.explore_ns, row.states_per_sec, row.symbolic_ns,
+            row.bdd_nodes, row.bdd_nodes_by_index
         );
         rows.push(row);
     }
@@ -238,19 +341,31 @@ fn main() {
     ]
     .iter()
     .map(|(name, stg)| {
-        let row = measure_csc(name, stg, min_ms);
+        let row = measure_csc(name, stg, min_ms, pool_threads);
         println!(
-            "csc {:<20} +{} signals  explicit {:>11.0} ns  symbolic {:>11.0} ns  summary cold {:>9.0} ns / warm {:>7.0} ns  ({:.1}x)",
-            row.name, row.inserted, row.explicit_ns, row.symbolic_ns,
-            row.cold_summary_ns, row.warm_summary_ns, row.warm_speedup
+            "csc {:<20} +{} signals  serial {:>11.0} ns  pool(x{}) {:>11.0} ns  symbolic {:>11.0} ns  summary cold {:>9.0} / warm {:>7.0} ns ({:.1}x)",
+            row.name, row.inserted, row.explicit_ns, row.pool_threads, row.parallel_ns,
+            row.symbolic_ns, row.cold_summary_ns, row.warm_summary_ns, row.warm_speedup
         );
         row
     })
     .collect();
 
+    let wide_rows = measure_wide_parallel(min_ms, pool_threads);
+    for r in &wide_rows {
+        println!(
+            "wide {:<19} {:>7} states  serial {:>11.0} ns  sharded(x{}) {:>11.0} ns  ({:.2}x)",
+            r.name, r.states, r.serial_ns, r.parallel_threads, r.parallel_ns,
+            r.serial_ns / r.parallel_ns
+        );
+    }
+
     let total_states: usize = rows.iter().map(|r| r.states).sum();
     let total_explore_ns: f64 = rows.iter().map(|r| r.explore_ns).sum();
     let aggregate_states_per_sec = total_states as f64 / (total_explore_ns / 1e9);
+    let wide_states: usize = wide_rows.iter().map(|r| r.states).sum();
+    let wide_serial_ns: f64 = wide_rows.iter().map(|r| r.serial_ns).sum();
+    let wide_parallel_ns: f64 = wide_rows.iter().map(|r| r.parallel_ns).sum();
 
     let mut json = String::from("{\n  \"models\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -259,18 +374,21 @@ fn main() {
             .map_or("null".to_string(), |ns| format!("{ns:.0}"));
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"states\": {}, \"arcs\": {}, \"explore_ns\": {:.0}, \
-             \"states_per_sec\": {:.0}, \"synth_ns\": {}, \"symbolic_ns\": {:.0}, \
-             \"symbolic_markings\": {}, \"bdd_nodes\": {}}}{}",
+            "    {{\"name\": \"{}\", \"states\": {}, \"arcs\": {}, \"threads\": {}, \
+             \"explore_ns\": {:.0}, \"states_per_sec\": {:.0}, \"synth_ns\": {}, \
+             \"symbolic_ns\": {:.0}, \"symbolic_markings\": {}, \"bdd_nodes\": {}, \
+             \"bdd_nodes_by_index\": {}}}{}",
             r.name,
             r.states,
             r.arcs,
+            threads,
             r.explore_ns,
             r.states_per_sec,
             synth,
             r.symbolic_ns,
             r.symbolic_markings,
             r.bdd_nodes,
+            r.bdd_nodes_by_index,
             if i + 1 < rows.len() { "," } else { "" }
         );
     }
@@ -278,12 +396,15 @@ fn main() {
     for (i, r) in csc_rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"inserted\": {}, \"explicit_ns\": {:.0}, \
-             \"symbolic_ns\": {:.0}, \"cold_summary_ns\": {:.0}, \"warm_summary_ns\": {:.0}, \
+            "    {{\"name\": \"{}\", \"inserted\": {}, \"threads\": {}, \
+             \"explicit_ns\": {:.0}, \"parallel_ns\": {:.0}, \"symbolic_ns\": {:.0}, \
+             \"cold_summary_ns\": {:.0}, \"warm_summary_ns\": {:.0}, \
              \"warm_speedup\": {:.1}}}{}",
             r.name,
             r.inserted,
+            r.pool_threads,
             r.explicit_ns,
+            r.parallel_ns,
             r.symbolic_ns,
             r.cold_summary_ns,
             r.warm_summary_ns,
@@ -291,11 +412,33 @@ fn main() {
             if i + 1 < csc_rows.len() { "," } else { "" }
         );
     }
+    json.push_str("  ],\n  \"wide_parallel\": [\n");
+    for (i, r) in wide_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"states\": {}, \"threads\": {}, \
+             \"serial_ns\": {:.0}, \"parallel_ns\": {:.0}, \"speedup\": {:.2}}}{}",
+            r.name,
+            r.states,
+            r.parallel_threads,
+            r.serial_ns,
+            r.parallel_ns,
+            r.serial_ns / r.parallel_ns,
+            if i + 1 < wide_rows.len() { "," } else { "" }
+        );
+    }
     let _ = write!(
         json,
         "  ],\n  \"summary\": {{\"total_states\": {total_states}, \
          \"total_explore_ns\": {total_explore_ns:.0}, \
-         \"aggregate_states_per_sec\": {aggregate_states_per_sec:.0}}}\n}}\n"
+         \"aggregate_states_per_sec\": {aggregate_states_per_sec:.0}, \
+         \"threads\": {threads}, \
+         \"wide_states\": {wide_states}, \
+         \"wide_serial_states_per_sec\": {:.0}, \
+         \"wide_parallel_states_per_sec\": {:.0}, \
+         \"wide_parallel_threads\": {pool_threads}}}\n}}\n",
+        wide_states as f64 / (wide_serial_ns / 1e9),
+        wide_states as f64 / (wide_parallel_ns / 1e9),
     );
 
     if let Err(problem) = validate(&json) {
@@ -309,6 +452,6 @@ fn main() {
         std::process::exit(1);
     }
     println!(
-        "\naggregate: {aggregate_states_per_sec:.0} states/s over {total_states} states -> {out_path}"
+        "\naggregate: {aggregate_states_per_sec:.0} states/s over {total_states} states (x{threads}) -> {out_path}"
     );
 }

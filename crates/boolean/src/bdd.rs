@@ -246,6 +246,23 @@ impl Bdd {
         self.op_cache.len() + self.restrict_cache.len()
     }
 
+    /// Drops the apply and cofactor caches (releasing their memory) but
+    /// keeps the unique table and every node alive.
+    ///
+    /// This is the middle ground between "keep everything" and a full
+    /// manager drop: all existing [`NodeId`]s remain valid — hash
+    /// consing still makes equal functions pointer-identical, so
+    /// results after a trim are **bit-identical** to untrimmed runs
+    /// (`crates/stg/tests/engine_reuse.rs` pins this) — while the
+    /// memoized operation results, which dominate a long-lived
+    /// manager's footprint, are rebuilt on demand. The caches are pure
+    /// memo tables over immutable nodes; dropping entries can only cost
+    /// recomputation, never correctness.
+    pub fn trim_caches(&mut self) {
+        self.op_cache = FxHashMap::with_capacity_and_hasher(CACHE_CAPACITY, Default::default());
+        self.restrict_cache = FxHashMap::default();
+    }
+
     fn apply(&mut self, op: Op, a: NodeId, b: NodeId) -> NodeId {
         if let Some(result) = op.trivial(a, b) {
             return result;
@@ -300,6 +317,31 @@ impl Bdd {
             let bit = words
                 .get(var / 64)
                 .is_some_and(|w| w >> (var % 64) & 1 == 1);
+            current = if bit { node.high } else { node.low };
+        }
+        current == NodeId::ONE
+    }
+
+    /// Evaluates the function at a minterm under a variable-to-bit
+    /// permutation: BDD variable *v* reads bit `bit_of_var[v]` of the
+    /// word stream (bit *i* of the stream is `words[i / 64] >> (i %
+    /// 64)`). Variables beyond `bit_of_var`, and bits beyond `words`,
+    /// read as 0.
+    ///
+    /// This is the membership oracle for callers that build functions
+    /// under a non-identity static variable order (e.g. the
+    /// BFS-connectivity order of `rt_stg::symbolic`): the caller keeps
+    /// its natural bit layout and supplies the mapping once.
+    pub fn evaluate_mapped(&self, id: NodeId, words: &[u64], bit_of_var: &[u32]) -> bool {
+        let mut current = id;
+        while !self.is_terminal(current) {
+            let node = self.node(current);
+            let bit = bit_of_var
+                .get(node.var as usize)
+                .is_some_and(|&b| {
+                    let b = b as usize;
+                    words.get(b / 64).is_some_and(|w| w >> (b % 64) & 1 == 1)
+                });
             current = if bit { node.high } else { node.low };
         }
         current == NodeId::ONE
@@ -492,6 +534,42 @@ mod tests {
         let mut bdd = Bdd::new(6);
         let v = bdd.var(3);
         assert_eq!(bdd.satisfy_count(v), 32);
+    }
+
+    #[test]
+    fn trim_caches_preserves_nodes_and_results() {
+        let mut bdd = Bdd::new(6);
+        let a = bdd.var(0);
+        let b = bdd.var(3);
+        let ab = bdd.and(a, b);
+        let ex = bdd.exists(ab, 3);
+        let nodes = bdd.node_count();
+        assert!(bdd.cache_len() > 0, "ops and cofactors were cached");
+        bdd.trim_caches();
+        assert_eq!(bdd.cache_len(), 0);
+        assert_eq!(bdd.node_count(), nodes, "unique table untouched");
+        // Recomputing after the trim lands on the identical nodes.
+        assert_eq!(bdd.and(a, b), ab);
+        assert_eq!(bdd.exists(ab, 3), ex);
+        assert_eq!(bdd.node_count(), nodes, "hash consing still deduplicates");
+    }
+
+    #[test]
+    fn evaluate_mapped_permutes_bit_positions() {
+        // f = v0 ∧ ¬v1, with v0 reading bit 5 and v1 reading bit 2.
+        let mut bdd = Bdd::new(2);
+        let v0 = bdd.var(0);
+        let nv1 = bdd.nvar(1);
+        let f = bdd.and(v0, nv1);
+        let map = [5u32, 2u32];
+        assert!(bdd.evaluate_mapped(f, &[0b100000], &map));
+        assert!(!bdd.evaluate_mapped(f, &[0b100100], &map), "bit 2 set -> v1 true");
+        assert!(!bdd.evaluate_mapped(f, &[0b000000], &map));
+        // Out-of-range bits and variables read as 0.
+        let mut wide = Bdd::new(1);
+        let v = wide.var(0);
+        assert!(wide.evaluate_mapped(v, &[0, 1], &[64]), "bit 64 is words[1] bit 0");
+        assert!(!wide.evaluate_mapped(v, &[1], &[64]), "bit past the words reads 0");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! ```
 
 use rt_stg::engine::ReachEngine;
+use rt_stg::par::parallel_argmin;
 use rt_stg::{SignalKind, StateGraph, Stg};
 use rt_synth::csc::{insert_state_signal, simple_places};
 use rt_synth::regions::LocalDontCares;
@@ -33,6 +34,13 @@ pub struct RtSynthesisFlow {
     pub early_enable_depth: usize,
     /// Maximum state signals inserted by timing-aware encoding.
     pub max_state_signals: usize,
+    /// Worker-pool width for the timing-aware encoding's candidate
+    /// search (`0`, the default, resolves to one worker per available
+    /// core; `1` runs serially). Candidates are evaluated on private
+    /// per-worker [`ReachEngine`]s with a deterministic
+    /// `(cost, index)` reduction, so the chosen insertion — and hence
+    /// the whole flow report — is identical at every width.
+    pub threads: usize,
 }
 
 impl Default for RtSynthesisFlow {
@@ -41,6 +49,7 @@ impl Default for RtSynthesisFlow {
             auto_assumptions: true,
             early_enable_depth: 1,
             max_state_signals: 2,
+            threads: 0,
         }
     }
 }
@@ -88,6 +97,7 @@ impl RtSynthesisFlow {
             auto_assumptions: false,
             early_enable_depth: 0,
             max_state_signals: 3,
+            threads: 0,
         }
     }
 
@@ -165,7 +175,13 @@ impl RtSynthesisFlow {
         let mut round = 0;
         while !reduced.csc_conflicts().is_empty() && round < self.max_state_signals {
             let name = format!("x{round}");
-            match best_insertion_on_reduced(&working_stg, &all_assumptions, &name, engine) {
+            match best_insertion_on_reduced(
+                &working_stg,
+                &all_assumptions,
+                &name,
+                engine,
+                self.threads,
+            ) {
                 Some((next_stg, next_reduced)) => {
                     log.push(format!(
                         "timing-aware encoding: inserted `{name}`, {} states, {} conflicts",
@@ -245,44 +261,65 @@ impl RtSynthesisFlow {
 /// Searches state-signal insertions whose *reduced* graph is CSC-free —
 /// timing-aware encoding: the encoding is chosen against the lazy state
 /// space, not the full one.
+///
+/// Candidates (simple-place pairs) are evaluated on a `threads`-wide
+/// worker pool, one private explicit [`ReachEngine`] per worker, with
+/// the deterministic `(cost, index)` reduction of
+/// [`rt_stg::par::parallel_argmin`] — the winner matches the serial
+/// scan at every width. Worker counters are folded back into `engine`.
 fn best_insertion_on_reduced(
     stg: &Stg,
     assumptions: &[RtAssumption],
     name: &str,
     engine: &mut ReachEngine,
+    threads: usize,
 ) -> Option<(Stg, StateGraph)> {
     let places = simple_places(stg);
-    let mut best: Option<(Stg, StateGraph, usize)> = None;
     let baseline_conflicts = {
         let sg = engine.state_graph(stg).ok()?;
         reduce_unchecked(&sg, assumptions).csc_conflicts().len()
     };
+    let mut pairs = Vec::new();
     for &p_plus in &places {
         for &p_minus in &places {
-            if p_plus == p_minus {
-                continue;
-            }
-            let candidate = insert_state_signal(stg, name, p_plus, p_minus);
-            let Ok(sg) = engine.state_graph(&candidate) else { continue };
-            let reduced = reduce_unchecked(&sg, assumptions);
-            if !reduction_valid(&sg, &reduced) && sg.state_count() != reduced.state_count()
-            {
-                continue;
-            }
-            if !reduced.deadlock_states().is_empty() || !reduced.is_strongly_connected() {
-                continue;
-            }
-            let conflicts = reduced.csc_conflicts().len();
-            if conflicts >= baseline_conflicts {
-                continue;
-            }
-            let cost = conflicts * 1_000 + reduced.state_count();
-            if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
-                best = Some((candidate, reduced, cost));
+            if p_plus != p_minus {
+                pairs.push((p_plus, p_minus));
             }
         }
     }
-    best.map(|(stg, sg, _)| (stg, sg))
+    let worker_options = {
+        let mut o = engine.options().clone();
+        o.threads = 1; // candidate-level parallelism; don't nest BFS sharding
+        o
+    };
+    let (best, workers) = parallel_argmin(
+        pairs.len(),
+        threads,
+        || ReachEngine::with_options(engine.backend(), worker_options.clone()),
+        |worker: &mut ReachEngine, index| {
+            let (p_plus, p_minus) = pairs[index];
+            let candidate = insert_state_signal(stg, name, p_plus, p_minus);
+            let Ok(sg) = worker.state_graph(&candidate) else { return None };
+            let reduced = reduce_unchecked(&sg, assumptions);
+            if !reduction_valid(&sg, &reduced) && sg.state_count() != reduced.state_count()
+            {
+                return None;
+            }
+            if !reduced.deadlock_states().is_empty() || !reduced.is_strongly_connected() {
+                return None;
+            }
+            let conflicts = reduced.csc_conflicts().len();
+            if conflicts >= baseline_conflicts {
+                return None;
+            }
+            let cost = conflicts * 1_000 + reduced.state_count();
+            Some((cost, (candidate, reduced)))
+        },
+    );
+    for worker in &workers {
+        engine.absorb_stats(worker.stats());
+    }
+    best.map(|(_, _, (stg, sg))| (stg, sg))
 }
 
 /// Determines the minimal required constraint set.
@@ -489,6 +526,7 @@ mod tests {
                 auto_assumptions: auto,
                 early_enable_depth: early,
                 max_state_signals: 3,
+                threads: 0,
             }
             .run(&stg, user)
             .expect("flow runs")
@@ -507,6 +545,23 @@ mod tests {
             full.synthesis.netlist.transistor_count()
                 < si.synthesis.netlist.transistor_count()
         );
+    }
+
+    #[test]
+    fn pool_width_does_not_change_the_flow_report() {
+        let stg = models::fifo_stg();
+        let reference = RtSynthesisFlow::speed_independent().run(&stg, &[]).unwrap();
+        for threads in [1usize, 2, 8] {
+            let flow = RtSynthesisFlow { threads, ..RtSynthesisFlow::speed_independent() };
+            let report = flow.run(&stg, &[]).unwrap();
+            assert_eq!(report.inserted_signals, reference.inserted_signals, "x{threads}");
+            assert_eq!(report.lazy_states, reference.lazy_states, "x{threads}");
+            assert_eq!(
+                report.synthesis.literal_count,
+                reference.synthesis.literal_count,
+                "x{threads}"
+            );
+        }
     }
 
     #[test]

@@ -51,13 +51,42 @@
 //!
 //! The trade-off is memory: node ids are never garbage-collected, so a
 //! long-lived engine grows monotonically ([`ReachEngine::manager_nodes`]
-//! is the gauge). [`ReachEngine::reset`] is the escape hatch — it drops
-//! the manager (the next symbolic call starts cold) without touching
+//! is the gauge). Two escape hatches, cheapest first:
+//! [`ReachEngine::trim`] drops only the apply/cofactor memo tables
+//! (usually the bulk of a mature manager's footprint) while keeping the
+//! unique table, so every node id stays valid and later queries are
+//! bit-identical, just recomputed; [`ReachEngine::reset`] drops the
+//! whole manager (the next symbolic call starts cold). Neither touches
 //! the engine's options or backend. Reuse is sound because nothing is
 //! ever invalidated: a cached `(op, lhs, rhs)` entry describes pure
 //! functions of immutable nodes, so a poisoned result is impossible by
 //! construction — and `crates/stg/tests/engine_reuse.rs` holds the line
-//! with a fresh-vs-reused bit-identical property test over the corpus.
+//! with fresh-vs-reused and trimmed-vs-untrimmed bit-identical property
+//! tests over the corpus.
+//!
+//! ## Multi-core exploration: sharding and per-worker managers
+//!
+//! [`ExploreOptions::threads`] > 1 turns every explicit query
+//! ([`ReachEngine::state_graph`], explicit summaries) into the
+//! **sharded BFS** of [`crate::reach`]: markings are partitioned by
+//! FxHash ([`crate::marking::PackedMarking::shard`]) over N
+//! `std::thread::scope` workers, each owning its shard's interning
+//! arena, code table and CSR rows. Rounds are level-synchronous with
+//! two barriers; cross-shard successors travel through per-(sender,
+//! receiver) mailbox buffers and come back as shard-local ids, and a
+//! final serial renumbering pass replays the global FIFO discovery
+//! order over cheap integer pairs so the emitted [`StateGraph`] is
+//! bit-identical to the serial one at any thread count.
+//!
+//! The **symbolic manager deliberately stays single-threaded and
+//! per-engine**: its unique table, caches and node vector are one big
+//! shared-mutable structure, and hash-consing means every worker would
+//! contend on every `mk`. Parallel symbolic consumers therefore hold
+//! one engine (one manager) *per worker* — which is exactly how
+//! `rt_synth::resolve_csc_engine` runs its candidate search pool
+//! (`rt_stg::par::parallel_argmin`) — rather than sharing one manager
+//! behind a lock. Determinism is preserved there by the pool's
+//! `(cost, index)` reduction, not by scheduling.
 //!
 //! ## Example
 //!
@@ -124,6 +153,22 @@ pub struct EngineStats {
     pub manager_reuses: usize,
     /// Times [`ReachEngine::reset`] dropped the manager.
     pub resets: usize,
+    /// Times [`ReachEngine::trim`] dropped the manager's memo caches.
+    pub trims: usize,
+}
+
+impl EngineStats {
+    /// Folds `other` into `self`, counter by counter. This is how a
+    /// parallel candidate search reports the work its per-worker
+    /// engines did back to the caller's engine
+    /// ([`ReachEngine::absorb_stats`]).
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.graph_builds += other.graph_builds;
+        self.summaries += other.summaries;
+        self.manager_reuses += other.manager_reuses;
+        self.resets += other.resets;
+        self.trims += other.trims;
+    }
 }
 
 /// The reusable reachability façade. See the module docs for the
@@ -157,6 +202,15 @@ impl ReachEngine {
     /// Full-control constructor.
     pub fn with_options(backend: ReachBackend, options: ExploreOptions) -> Self {
         ReachEngine { backend, options, manager: None, stats: EngineStats::default() }
+    }
+
+    /// Builder-style thread-count override for the sharded explicit
+    /// walk (see the module docs): `1` = serial, `0` = one worker per
+    /// available core.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
+        self
     }
 
     /// The configured backend.
@@ -265,6 +319,33 @@ impl ReachEngine {
         self.stats.resets += 1;
         self.manager = None;
     }
+
+    /// Trims the persistent manager's apply/cofactor caches while
+    /// keeping the unique table and all nodes alive — the cheap middle
+    /// ground between full reuse and [`ReachEngine::reset`]. Later
+    /// queries return bit-identical results (hash consing still
+    /// deduplicates onto the same nodes; the memo tables only avoid
+    /// recomputation), so this trades warm-query speed for memory
+    /// without a cold restart. No-op when no manager is alive.
+    pub fn trim(&mut self) {
+        self.stats.trims += 1;
+        if let Some(manager) = self.manager.as_mut() {
+            manager.trim_caches();
+        }
+    }
+
+    /// Entries currently held by the persistent manager's memo caches
+    /// (0 when no manager is alive) — the gauge [`ReachEngine::trim`]
+    /// empties.
+    pub fn manager_cache_len(&self) -> usize {
+        self.manager.as_ref().map_or(0, Bdd::cache_len)
+    }
+
+    /// Folds the statistics of another engine (typically a worker from
+    /// a parallel candidate search) into this engine's counters.
+    pub fn absorb_stats(&mut self, other: &EngineStats) {
+        self.stats.absorb(other);
+    }
 }
 
 #[cfg(test)]
@@ -351,6 +432,54 @@ mod tests {
         assert!(engine.state_graph(&stg).is_err(), "codes cap at 64 signals");
         let summary = engine.summary(&stg).expect("counting walk is uncapped");
         assert_eq!(summary.markings, 140, "one state per transition of the ring");
+    }
+
+    #[test]
+    fn trim_keeps_nodes_and_reproduces_results() {
+        let mut engine = ReachEngine::symbolic();
+        let stg = models::fifo_stg();
+        let before = engine.symbolic_set(&stg).expect("first run");
+        let nodes = engine.manager_nodes();
+        assert!(engine.manager_cache_len() > 0, "warm caches exist");
+        engine.trim();
+        assert_eq!(engine.stats().trims, 1);
+        assert_eq!(engine.manager_cache_len(), 0, "caches dropped");
+        assert_eq!(engine.manager_nodes(), nodes, "unique table kept");
+        let after = engine.symbolic_set(&stg).expect("post-trim run");
+        assert_eq!(before.markings, after.markings);
+        assert_eq!(before.set, after.set, "same node id: bit-identical set");
+        assert_eq!(engine.manager_nodes(), nodes, "no new nodes after trim replay");
+    }
+
+    #[test]
+    fn threaded_engine_builds_identical_graphs_and_summaries() {
+        let stg = models::fifo_stg();
+        let mut serial = ReachEngine::explicit();
+        let baseline = serial.state_graph(&stg).expect("serial");
+        let count = serial.summary(&stg).expect("serial summary");
+        for threads in [2usize, 8] {
+            let mut engine = ReachEngine::explicit().with_threads(threads);
+            assert_eq!(engine.options().threads, threads);
+            let sg = engine.state_graph(&stg).expect("sharded");
+            assert_eq!(sg.state_count(), baseline.state_count());
+            for s in baseline.states() {
+                assert_eq!(sg.code(s), baseline.code(s));
+                assert_eq!(sg.successors(s), baseline.successors(s));
+            }
+            let summary = engine.summary(&stg).expect("sharded summary");
+            assert_eq!(summary, count, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn absorbed_stats_accumulate() {
+        let mut main = ReachEngine::explicit();
+        let mut worker = ReachEngine::explicit();
+        worker.state_graph(&models::fifo_stg()).expect("explores");
+        worker.summary(&models::fifo_stg()).expect("summarizes");
+        main.absorb_stats(worker.stats());
+        assert_eq!(main.stats().graph_builds, 1);
+        assert_eq!(main.stats().summaries, 1);
     }
 
     #[test]

@@ -23,7 +23,13 @@
 //!   with binary-coded states, the input to logic synthesis. The BFS
 //!   fires transitions directly on packed markings (zero per-state heap
 //!   allocations on safe nets ≤ 64 places) and accumulates arcs straight
-//!   into the state graph's compressed-sparse-row store.
+//!   into the state graph's compressed-sparse-row store. With
+//!   `ExploreOptions::threads > 1` the walk runs **sharded** over
+//!   `std::thread::scope` workers and stays bit-identical to the
+//!   serial order.
+//! * [`par`] — zero-dependency worker-pool utilities: thread-count
+//!   resolution and the deterministic `(cost, index)` argmin the CSC
+//!   candidate searches in `rt-synth`/`rt-core` parallelize with.
 //! * [`state_graph`] — the reachable behaviour with per-state binary
 //!   codes; successor/predecessor rows live in contiguous CSR arrays, so
 //!   synthesis, CSC detection and the lazy passes walk linear memory.
@@ -59,6 +65,7 @@ pub mod engine;
 pub mod error;
 pub mod marking;
 pub mod models;
+pub mod par;
 pub mod parse;
 pub mod petri;
 pub mod reach;

@@ -17,11 +17,32 @@
 //! into the compressed-sparse-row buffers the [`StateGraph`] keeps, so
 //! for a safe net with ≤ 64 places a visited state costs a `u64` copy,
 //! one hash and no allocation.
+//!
+//! ## Sharded (multi-core) exploration
+//!
+//! With [`ExploreOptions::threads`] > 1 the walk runs **sharded**: the
+//! marking space is partitioned by hash ([`PackedMarking::shard`]) over
+//! N workers under `std::thread::scope` (no external thread-pool
+//! dependency). Each worker owns the interning arena, code table and
+//! CSR rows of its shard; the walk is level-synchronous, with every
+//! round exchanging cross-shard successors through per-(sender,
+//! receiver) mailbox buffers. A final serial **renumbering pass**
+//! replays the global breadth-first discovery order over the cheap
+//! shard-local graph (integer pairs, no marking hashing) and emits rows
+//! through the shared [`CsrBuilder`], so the resulting [`StateGraph`]
+//! is **bit-identical to the serial one** — state ids, arc order,
+//! codes and markings all match, which the `csr_order` pin and the
+//! `parallel_determinism` property test both enforce. See
+//! [`crate::engine`]'s module docs for the full protocol.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
 
 use crate::error::StgError;
 use crate::marking::{MarkingArena, MarkingId, MarkingLayout, PackedMarking};
+use crate::par::effective_threads;
 use crate::petri::PlaceId;
-use crate::signal::SignalId;
+use crate::signal::{SignalEvent, SignalId};
 use crate::state_graph::{CsrBuilder, StateArc, StateGraph, StateId};
 use crate::stg::{Stg, TransitionLabel};
 
@@ -35,6 +56,11 @@ pub struct ExploreOptions {
     pub bound: Option<u16>,
     /// When `true`, a reachable deadlock is an error.
     pub forbid_deadlock: bool,
+    /// Worker count for the sharded breadth-first walk: `1` (the
+    /// default) runs the serial fast path, `0` resolves to one worker
+    /// per available core, anything else is taken literally. The
+    /// result is bit-identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for ExploreOptions {
@@ -43,6 +69,7 @@ impl Default for ExploreOptions {
             state_limit: 1 << 20,
             bound: Some(1),
             forbid_deadlock: false,
+            threads: 1,
         }
     }
 }
@@ -81,6 +108,10 @@ pub fn explore(stg: &Stg) -> Result<StateGraph, StgError> {
 pub fn explore_with(stg: &Stg, options: &ExploreOptions) -> Result<StateGraph, StgError> {
     if stg.signal_count() > 64 {
         return Err(StgError::TooManySignals(stg.signal_count()));
+    }
+    let threads = effective_threads(options.threads);
+    if threads > 1 {
+        return explore_sharded(stg, options, threads);
     }
     let net = stg.net();
     let initial_marking = stg.initial_marking();
@@ -153,16 +184,13 @@ pub fn explore_with(stg: &Stg, options: &ExploreOptions) -> Result<StateGraph, S
             } else if codes[next_id.index()] != next_code {
                 // The same marking was reached with two different signal
                 // codes: the STG is not consistent.
-                let bit = (codes[next_id.index()] ^ next_code).trailing_zeros();
-                return Err(StgError::Inconsistent {
-                    signal: stg.signal_name(SignalId(bit)).to_string(),
-                    detail: format!(
-                        "marking {} reached with codes {:b} and {:b}",
-                        arena.resolve(next_id).unpack(&layout),
-                        codes[next_id.index()],
-                        next_code
-                    ),
-                });
+                return Err(code_conflict(
+                    stg,
+                    &layout,
+                    arena.resolve(next_id),
+                    codes[next_id.index()],
+                    next_code,
+                ));
             }
             builder.push_arc(StateArc { event, to: StateId(next_id.0) });
         }
@@ -217,6 +245,13 @@ pub struct ExplicitCount {
 /// * [`StgError::Deadlock`] — with `forbid_deadlock`, a marking enabling
 ///   nothing was reached.
 pub fn count_markings_with(stg: &Stg, options: &ExploreOptions) -> Result<ExplicitCount, StgError> {
+    let threads = effective_threads(options.threads);
+    if threads > 1 {
+        let layout = marking_layout(stg, options)?;
+        let (shards, layers) = parallel_walk(stg, options, &layout, threads, false, 0)?;
+        let markings: usize = shards.iter().map(|s| s.markings.len()).sum();
+        return Ok(ExplicitCount { markings: markings as u64, iterations: 1 + layers });
+    }
     let net = stg.net();
     let layout = marking_layout(stg, options)?;
     let mut arena = MarkingArena::with_capacity(layout, 64);
@@ -257,6 +292,469 @@ pub fn count_markings_with(stg: &Stg, options: &ExploreOptions) -> Result<Explic
         state += 1;
     }
     Ok(ExplicitCount { markings: arena.len() as u64, iterations })
+}
+
+/// Arc-target placeholder used by a worker while the owning shard has
+/// not yet replied with the successor's shard-local id. A real target
+/// packs `(shard << 32) | local`, and a shard id of `u32::MAX` cannot
+/// occur (shard counts are small), so the all-ones word is free.
+const PENDING_TARGET: u64 = u64::MAX;
+
+#[inline]
+fn pack_target(shard: usize, local: u32) -> u64 {
+    ((shard as u64) << 32) | u64::from(local)
+}
+
+/// Cross-shard mailbox grid: `mailboxes[receiver][sender]` carries the
+/// `(marking, code)` messages of one round.
+type Mailboxes = Vec<Vec<Mutex<Vec<(PackedMarking, u64)>>>>;
+
+/// Per-shard result of [`parallel_walk`]: the shard's interned markings
+/// and (in graph-building mode) codes plus CSR rows whose targets are
+/// packed `(shard, local)` pairs.
+struct ShardOutput {
+    markings: Vec<PackedMarking>,
+    codes: Vec<u64>,
+    offsets: Vec<u32>,
+    events: Vec<Option<SignalEvent>>,
+    targets: Vec<u64>,
+}
+
+/// The sharded level-synchronous breadth-first walk shared by
+/// [`explore_with`] (graph-building mode) and [`count_markings_with`]
+/// (counting mode). See the module docs for the protocol; in short,
+/// each round runs three barrier-separated phases on every worker:
+///
+/// 1. **expand** — fire all transitions of the shard's current
+///    frontier; successors hashing into this shard are interned
+///    immediately, the rest go into one outbox per owning shard;
+/// 2. **intern** — adopt incoming markings from every other shard's
+///    outbox (in sender order, so shard-local ids are deterministic)
+///    and reply with the assigned shard-local ids;
+/// 3. **resolve** — patch the placeholder arc targets with the replies
+///    and agree on termination (no shard interned anything fresh) or
+///    abort (any worker hit an error, or the global state count blew
+///    the limit).
+///
+/// Returns the shard outputs plus the number of rounds that interned
+/// at least one fresh marking (`= BFS layers - 1`).
+fn parallel_walk(
+    stg: &Stg,
+    options: &ExploreOptions,
+    layout: &MarkingLayout,
+    threads: usize,
+    build: bool,
+    initial_code: u64,
+) -> Result<(Vec<ShardOutput>, usize), StgError> {
+    let net = stg.net();
+    let initial = PackedMarking::pack(layout, &stg.initial_marking());
+    let initial_owner = initial.shard(threads);
+
+    // mailboxes[receiver][sender] carry (marking, code) messages from
+    // the expand phase to the intern phase; replies[sender][receiver]
+    // carry the assigned shard-local ids back. Each cell is touched by
+    // exactly one writer and one reader per round, on opposite sides of
+    // a barrier — the mutexes only make that contract safe, they are
+    // never contended.
+    let mailboxes: Mailboxes = (0..threads)
+        .map(|_| (0..threads).map(|_| Mutex::new(Vec::new())).collect())
+        .collect();
+    let replies: Vec<Vec<Mutex<Vec<u32>>>> = (0..threads)
+        .map(|_| (0..threads).map(|_| Mutex::new(Vec::new())).collect())
+        .collect();
+    let fresh: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+    let sizes: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+    // Per-worker error flags, republished every round before the second
+    // barrier. Termination decisions read ONLY these per-round arrays:
+    // every worker then derives the same verdict in the same round,
+    // which is what keeps the barrier counts aligned. (A plain global
+    // abort flag deadlocks here: a worker racing ahead into round k+1
+    // could set it while a straggler is still deciding round k, making
+    // the straggler leave one round early and the setter wait forever.)
+    let errors: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+    let barrier = Barrier::new(threads);
+    // Work-skip hint only — never used for control-flow decisions (see
+    // above). Lets healthy workers stop expanding a doomed round early.
+    //
+    // Known limitation: a *panic* (as opposed to a reported StgError)
+    // in one worker would leave its peers parked on the barrier — the
+    // protocol converts every anticipated failure into an StgError
+    // precisely so that no worker ever unwinds between barriers.
+    let abort_hint = AtomicBool::new(false);
+    // One failure slot per worker: each worker only ever writes its
+    // own, and the post-join reduction picks the lowest worker index,
+    // so the reported error is deterministic for a given thread count
+    // even when several shards fail in the same round.
+    let failures: Vec<Mutex<Option<StgError>>> =
+        (0..threads).map(|_| Mutex::new(None)).collect();
+    let fail = |me: usize, error: StgError| {
+        let mut slot = failures[me].lock().expect("failure slot");
+        slot.get_or_insert(error);
+        abort_hint.store(true, Ordering::SeqCst);
+    };
+
+    let worker = |me: usize| -> (ShardOutput, usize) {
+        let mut arena = MarkingArena::with_capacity(*layout, 64);
+        let mut codes: Vec<u64> = Vec::new();
+        let mut offsets: Vec<u32> = Vec::new();
+        let mut events: Vec<Option<SignalEvent>> = Vec::new();
+        let mut targets: Vec<u64> = Vec::new();
+        // (arc index, owner shard, message index): placeholders to patch
+        // once the owner replies with shard-local ids.
+        let mut pending: Vec<(usize, u32, u32)> = Vec::new();
+        let mut outbox: Vec<Vec<(PackedMarking, u64)>> = vec![Vec::new(); threads];
+        let mut scratch = PackedMarking::zero(layout);
+        let mut processed = 0usize;
+        let mut layers = 0usize;
+        let mut my_error: Option<StgError> = None;
+        let mut errored = false;
+
+        if me == initial_owner {
+            arena.intern(initial.clone());
+            if build {
+                codes.push(initial_code);
+            }
+        }
+
+        loop {
+            // ---- Phase 1: expand this round's frontier ----
+            let frontier_end = arena.len();
+            let mut round_fresh = 0usize;
+            if !errored && !abort_hint.load(Ordering::Relaxed) {
+                'expand: while processed < frontier_end {
+                    let state = processed;
+                    processed += 1;
+                    if build {
+                        offsets.push(targets.len() as u32);
+                    }
+                    let marking = arena.resolve(MarkingId(state as u32)).clone();
+                    let code = if build { codes[state] } else { 0 };
+                    let mut any_enabled = false;
+                    for transition in net.transitions() {
+                        if !net.is_enabled_packed(transition, &marking, layout) {
+                            continue;
+                        }
+                        any_enabled = true;
+                        if let Err(place) = net.fire_packed_into(
+                            transition,
+                            &marking,
+                            layout,
+                            options.bound,
+                            &mut scratch,
+                        ) {
+                            my_error = Some(StgError::Unbounded {
+                                place: net.place_name(place).to_string(),
+                                bound: u32::from(options.bound.unwrap_or(u16::MAX)),
+                            });
+                            break 'expand;
+                        }
+                        let (event, next_code) = if build {
+                            match stg.label(transition) {
+                                TransitionLabel::Silent => (None, code),
+                                TransitionLabel::Event(ev) => {
+                                    let current = code >> ev.signal.index() & 1 == 1;
+                                    if current != ev.edge.source_value() {
+                                        my_error = Some(StgError::Inconsistent {
+                                            signal: stg.signal_name(ev.signal).to_string(),
+                                            detail: format!(
+                                                "{} fires in state {} where {} is already {}",
+                                                stg.event_name(ev),
+                                                marking.unpack(layout),
+                                                stg.signal_name(ev.signal),
+                                                u8::from(current)
+                                            ),
+                                        });
+                                        break 'expand;
+                                    }
+                                    let next = if ev.edge.target_value() {
+                                        code | 1 << ev.signal.index()
+                                    } else {
+                                        code & !(1 << ev.signal.index())
+                                    };
+                                    (Some(ev), next)
+                                }
+                            }
+                        } else {
+                            (None, 0)
+                        };
+                        let owner = scratch.shard(threads);
+                        if owner == me {
+                            let (next_id, is_fresh) = arena.intern_ref(&scratch);
+                            if is_fresh {
+                                round_fresh += 1;
+                                if build {
+                                    codes.push(next_code);
+                                }
+                                // Early per-shard guard: one shard alone
+                                // exceeding the *global* limit already
+                                // proves the walk is over budget, so bail
+                                // before allocating the rest of the layer.
+                                // (The cross-shard total is still checked
+                                // every round in phase 3.)
+                                if arena.len() > options.state_limit {
+                                    my_error = Some(StgError::StateLimitExceeded(
+                                        options.state_limit,
+                                    ));
+                                    break 'expand;
+                                }
+                            } else if build && codes[next_id.index()] != next_code {
+                                my_error = Some(code_conflict(
+                                    stg,
+                                    layout,
+                                    arena.resolve(next_id),
+                                    codes[next_id.index()],
+                                    next_code,
+                                ));
+                                break 'expand;
+                            }
+                            if build {
+                                events.push(event);
+                                targets.push(pack_target(me, next_id.0));
+                            }
+                        } else {
+                            if build {
+                                pending.push((
+                                    targets.len(),
+                                    owner as u32,
+                                    outbox[owner].len() as u32,
+                                ));
+                                events.push(event);
+                                targets.push(PENDING_TARGET);
+                            }
+                            outbox[owner].push((scratch.clone(), next_code));
+                        }
+                    }
+                    if !any_enabled && options.forbid_deadlock {
+                        my_error =
+                            Some(StgError::Deadlock(format!("{}", marking.unpack(layout))));
+                        break 'expand;
+                    }
+                }
+            }
+            if let Some(error) = my_error.take() {
+                errored = true;
+                fail(me, error);
+            }
+            for (owner, buffer) in outbox.iter_mut().enumerate() {
+                if owner != me && !buffer.is_empty() {
+                    *mailboxes[owner][me].lock().expect("mailbox") = std::mem::take(buffer);
+                }
+            }
+            barrier.wait();
+
+            // ---- Phase 2: intern incoming cross-shard successors ----
+            if !errored {
+                'senders: for sender in 0..threads {
+                    if sender == me {
+                        continue;
+                    }
+                    let messages =
+                        std::mem::take(&mut *mailboxes[me][sender].lock().expect("mailbox"));
+                    if messages.is_empty() {
+                        continue;
+                    }
+                    let mut reply = Vec::with_capacity(if build { messages.len() } else { 0 });
+                    for (marking, message_code) in &messages {
+                        let (id, is_fresh) = arena.intern_ref(marking);
+                        if is_fresh {
+                            round_fresh += 1;
+                            if build {
+                                codes.push(*message_code);
+                            }
+                            if arena.len() > options.state_limit {
+                                my_error =
+                                    Some(StgError::StateLimitExceeded(options.state_limit));
+                                break 'senders;
+                            }
+                        } else if build && codes[id.index()] != *message_code {
+                            my_error = Some(code_conflict(
+                                stg,
+                                layout,
+                                arena.resolve(id),
+                                codes[id.index()],
+                                *message_code,
+                            ));
+                            break 'senders;
+                        }
+                        if build {
+                            reply.push(id.0);
+                        }
+                    }
+                    if build {
+                        *replies[sender][me].lock().expect("reply slot") = reply;
+                    }
+                }
+                if let Some(error) = my_error.take() {
+                    errored = true;
+                    fail(me, error);
+                }
+            }
+            errors[me].store(usize::from(errored), Ordering::SeqCst);
+            fresh[me].store(round_fresh, Ordering::SeqCst);
+            sizes[me].store(arena.len(), Ordering::SeqCst);
+            barrier.wait();
+
+            // ---- Phase 3: resolve placeholders, agree on termination ----
+            // Every input to these decisions was published before the
+            // barrier above, so all workers reach the same verdict in
+            // the same round (see the `errors` comment).
+            if errors.iter().map(|e| e.load(Ordering::SeqCst)).sum::<usize>() > 0 {
+                break;
+            }
+            if build && !pending.is_empty() {
+                let incoming: Vec<Vec<u32>> = (0..threads)
+                    .map(|owner| {
+                        if owner == me {
+                            Vec::new()
+                        } else {
+                            std::mem::take(&mut *replies[me][owner].lock().expect("reply slot"))
+                        }
+                    })
+                    .collect();
+                for (arc, owner, message) in pending.drain(..) {
+                    targets[arc] =
+                        pack_target(owner as usize, incoming[owner as usize][message as usize]);
+                }
+            }
+            let total: usize = sizes.iter().map(|s| s.load(Ordering::SeqCst)).sum();
+            let fresh_total: usize = fresh.iter().map(|f| f.load(Ordering::SeqCst)).sum();
+            if total > options.state_limit {
+                fail(me, StgError::StateLimitExceeded(options.state_limit));
+                break;
+            }
+            if fresh_total == 0 {
+                break;
+            }
+            layers += 1;
+        }
+
+        if build {
+            offsets.push(targets.len() as u32);
+        }
+        (
+            ShardOutput { markings: arena.into_markings(), codes, offsets, events, targets },
+            layers,
+        )
+    };
+
+    let results: Vec<(ShardOutput, usize)> = std::thread::scope(|scope| {
+        let worker = &worker;
+        let handles: Vec<_> = (0..threads)
+            .map(|me| scope.spawn(move || worker(me)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    for slot in &failures {
+        if let Some(error) = slot.lock().expect("failure slot").take() {
+            return Err(error);
+        }
+    }
+    let layers = results[0].1;
+    Ok((results.into_iter().map(|(shard, _)| shard).collect(), layers))
+}
+
+/// Two arrival paths assigned the same marking different signal codes:
+/// the STG is not consistent. Mirrors the serial analyser's diagnostic.
+fn code_conflict(
+    stg: &Stg,
+    layout: &MarkingLayout,
+    marking: &PackedMarking,
+    existing: u64,
+    incoming: u64,
+) -> StgError {
+    let bit = (existing ^ incoming).trailing_zeros();
+    StgError::Inconsistent {
+        signal: stg.signal_name(SignalId(bit)).to_string(),
+        detail: format!(
+            "marking {} reached with codes {existing:b} and {incoming:b}",
+            marking.unpack(layout)
+        ),
+    }
+}
+
+/// Sharded-mode [`explore_with`]: runs [`parallel_walk`] in
+/// graph-building mode, then renumbers the shard-local graph into the
+/// exact serial breadth-first order (see the module docs) and emits the
+/// [`StateGraph`] through the shared [`CsrBuilder`].
+fn explore_sharded(
+    stg: &Stg,
+    options: &ExploreOptions,
+    threads: usize,
+) -> Result<StateGraph, StgError> {
+    let layout = marking_layout(stg, options)?;
+    let initial_code = infer_initial_code(stg, options, &layout)?;
+    let initial_owner = PackedMarking::pack(&layout, &stg.initial_marking()).shard(threads);
+    let (mut shards, _) = parallel_walk(stg, options, &layout, threads, true, initial_code)?;
+
+    // Renumbering pass: replay the global FIFO discovery order over the
+    // shard-local graph. States are visited in serial-id order and each
+    // row was recorded in transition order, so fresh successors are
+    // numbered exactly as the serial analyser numbers them; the output
+    // is bit-identical to the serial path. This pass touches only dense
+    // integer pairs — no marking is hashed or compared again.
+    let total: usize = shards.iter().map(|s| s.markings.len()).sum();
+    let total_arcs: usize = shards.iter().map(|s| s.targets.len()).sum();
+    let mut serial_ids: Vec<Vec<u32>> = shards
+        .iter()
+        .map(|s| vec![u32::MAX; s.markings.len()])
+        .collect();
+    let mut order: Vec<(u32, u32)> = Vec::with_capacity(total);
+    let mut builder = CsrBuilder::with_capacity(total, total_arcs);
+    let mut codes = Vec::with_capacity(total);
+    let mut markings = Vec::with_capacity(total);
+    serial_ids[initial_owner][0] = 0;
+    order.push((initial_owner as u32, 0));
+    let mut next = 0usize;
+    while next < order.len() {
+        let (shard_id, local) = order[next];
+        next += 1;
+        let local = local as usize;
+        let moved_marking = std::mem::replace(
+            &mut shards[shard_id as usize].markings[local],
+            PackedMarking::W1(0),
+        );
+        let shard = &shards[shard_id as usize];
+        builder.start_row();
+        codes.push(shard.codes[local]);
+        markings.push(moved_marking);
+        let row = shard.offsets[local] as usize..shard.offsets[local + 1] as usize;
+        for arc in row {
+            let target = shard.targets[arc];
+            debug_assert_ne!(target, PENDING_TARGET, "unresolved cross-shard arc");
+            let (to_shard, to_local) = ((target >> 32) as usize, target as u32 as usize);
+            let assigned = serial_ids[to_shard][to_local];
+            let to = if assigned == u32::MAX {
+                let fresh_id = order.len() as u32;
+                serial_ids[to_shard][to_local] = fresh_id;
+                order.push((to_shard as u32, to_local as u32));
+                fresh_id
+            } else {
+                assigned
+            };
+            builder.push_arc(StateArc { event: shard.events[arc], to: StateId(to) });
+        }
+    }
+    let (offsets, arcs) = builder.finish();
+
+    let signal_names = stg
+        .signals()
+        .map(|s| stg.signal_name(s).to_string())
+        .collect();
+    let signal_kinds = stg.signals().map(|s| stg.signal_kind(s)).collect();
+    Ok(StateGraph::from_csr_parts(
+        signal_names,
+        signal_kinds,
+        codes,
+        offsets,
+        arcs,
+        markings,
+        layout,
+        StateId(0),
+    ))
 }
 
 /// Builds the packing layout for exploring `stg` under `options`, and
@@ -492,6 +990,94 @@ mod tests {
         assert_eq!(silent_arcs.len(), 1);
         let (from, to) = silent_arcs[0];
         assert_eq!(sg.code(from), sg.code(to));
+    }
+
+    #[test]
+    fn sharded_exploration_is_bit_identical_to_serial() {
+        for stg in [
+            handshake(),
+            crate::models::fifo_stg(),
+            crate::models::fifo_stg_csc(),
+            crate::models::ring_stg(10, 3),
+        ] {
+            let serial = explore(&stg).expect("serial explores");
+            for threads in [2usize, 3, 8] {
+                let options = ExploreOptions { threads, ..ExploreOptions::default() };
+                let parallel = explore_with(&stg, &options)
+                    .unwrap_or_else(|e| panic!("{} at {threads} threads: {e}", stg.name()));
+                assert_eq!(parallel.state_count(), serial.state_count());
+                assert_eq!(parallel.arc_count(), serial.arc_count());
+                for state in serial.states() {
+                    assert_eq!(parallel.code(state), serial.code(state), "{state}");
+                    assert_eq!(
+                        parallel.successors(state),
+                        serial.successors(state),
+                        "{state} row"
+                    );
+                    assert_eq!(
+                        parallel.packed_marking(state),
+                        serial.packed_marking(state),
+                        "{state} marking"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_count_matches_serial_count() {
+        for stg in [handshake(), crate::models::fifo_stg(), crate::models::ring_stg(8, 2)] {
+            let serial = count_markings_with(&stg, &ExploreOptions::default()).expect("counts");
+            for threads in [2usize, 5] {
+                let options = ExploreOptions { threads, ..ExploreOptions::default() };
+                let parallel = count_markings_with(&stg, &options).expect("counts sharded");
+                assert_eq!(parallel, serial, "{} at {threads} threads", stg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_errors_match_serial_semantics() {
+        // State limit.
+        let options = ExploreOptions {
+            state_limit: 2,
+            threads: 4,
+            ..ExploreOptions::default()
+        };
+        assert_eq!(
+            explore_with(&handshake(), &options).unwrap_err(),
+            StgError::StateLimitExceeded(2)
+        );
+        // Inconsistency (a+ twice).
+        let mut bad = Stg::new("bad");
+        let a = bad.add_signal("a", crate::signal::SignalKind::Input).unwrap();
+        let t1 = bad.transition_for(a, Edge::Rise);
+        let t2 = bad.transition_for(a, Edge::Rise);
+        bad.arc(t1, t2);
+        let p = bad.add_place("start");
+        bad.set_tokens(p, 1);
+        bad.arc_from_place(p, t1);
+        let options = ExploreOptions { threads: 3, ..ExploreOptions::default() };
+        assert!(matches!(
+            explore_with(&bad, &options).unwrap_err(),
+            StgError::Inconsistent { .. }
+        ));
+        // Deadlock.
+        let mut dead = Stg::new("dead");
+        let a = dead.add_signal("a", crate::signal::SignalKind::Input).unwrap();
+        let t1 = dead.transition_for(a, Edge::Rise);
+        let p = dead.add_place("start");
+        dead.set_tokens(p, 1);
+        dead.arc_from_place(p, t1);
+        let options = ExploreOptions {
+            forbid_deadlock: true,
+            threads: 2,
+            ..ExploreOptions::default()
+        };
+        assert!(matches!(
+            explore_with(&dead, &options).unwrap_err(),
+            StgError::Deadlock(_)
+        ));
     }
 
     #[test]

@@ -50,14 +50,18 @@ fn assert_bit_identical(name: &str, stg: &Stg, reused: &mut ReachEngine) {
     assert_eq!(f.markings, sg.state_count() as u64, "{name}");
     let fresh_bdd = fresh.manager().expect("fresh manager alive");
     let reused_bdd = reused.manager().expect("reused manager alive");
+    assert_eq!(
+        f.place_of_var, r.place_of_var,
+        "{name}: static variable order must not depend on manager history"
+    );
     for state in sg.states() {
         let words = sg.packed_marking(state).words();
         assert!(
-            fresh_bdd.evaluate_words(f.set, words),
+            f.contains(fresh_bdd, words),
             "{name}: marking missing from fresh set"
         );
         assert!(
-            reused_bdd.evaluate_words(r.set, words),
+            r.contains(reused_bdd, words),
             "{name}: marking missing from reused set"
         );
     }
@@ -105,6 +109,49 @@ fn reused_manager_matches_fresh_runs_across_the_whole_sweep() {
         assert_bit_identical(&name, &stg, &mut engine);
     }
     assert_bit_identical("fabric4x4", &corpus::fabric4x4_stg(), &mut engine);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A manager trimmed at random points of the sweep must keep
+    /// returning bit-identical reachable sets: `trim` drops only memo
+    /// tables, never nodes, so every answer — count, fixpoint depth and
+    /// set membership — is unchanged, merely recomputed.
+    #[test]
+    fn trimmed_manager_matches_fresh_runs(
+        seed in 0u64..1 << 16,
+    ) {
+        let specs = sweep();
+        let mut engine = ReachEngine::symbolic();
+        let mut s = seed | 1;
+        for (i, (name, stg)) in specs.iter().enumerate() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if s >> 33 & 1 == 1 {
+                engine.trim();
+                prop_assert_eq!(engine.manager_cache_len(), 0, "trim empties the caches");
+            }
+            assert_bit_identical(name, stg, &mut engine);
+            prop_assert!(engine.manager_nodes() > 2, "manager alive after visit {i}");
+        }
+        prop_assert!(engine.stats().trims <= specs.len());
+    }
+}
+
+#[test]
+fn trim_then_revisit_allocates_no_new_nodes() {
+    // Replaying an already-interned net after a trim rebuilds cache
+    // entries but must land on the very same unique-table nodes.
+    let stg = models::fifo_stg();
+    let mut engine = ReachEngine::symbolic();
+    let before = engine.symbolic_set(&stg).expect("first run");
+    let nodes = engine.manager_nodes();
+    engine.trim();
+    let after = engine.symbolic_set(&stg).expect("post-trim run");
+    assert_eq!(before.set, after.set, "same reachable-set node id");
+    assert_eq!(before.markings, after.markings);
+    assert_eq!(before.iterations, after.iterations);
+    assert_eq!(engine.manager_nodes(), nodes, "no fresh nodes, only recomputed memos");
 }
 
 #[test]

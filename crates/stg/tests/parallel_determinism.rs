@@ -1,0 +1,133 @@
+//! Property tests for the sharded explicit BFS: at every thread count
+//! the parallel walk must produce a **bit-identical** [`StateGraph`] to
+//! the serial path — same state numbering, same arc rows in the same
+//! order, same codes, same packed markings — across the full corpus,
+//! wide (> 64-place) models included.
+//!
+//! This is the companion guard to `csr_order.rs`: that test pins the
+//! serial CSR order to the historical nested-`Vec` explorer, and this
+//! one pins every parallel configuration to the serial order, so
+//! synthesis sees one canonical state numbering no matter how many
+//! cores the walk used.
+
+use proptest::prelude::*;
+use rt_stg::engine::ReachEngine;
+use rt_stg::reach::{count_markings_with, explore_with, ExploreOptions};
+use rt_stg::{corpus, models, StateGraph, Stg};
+
+/// The sweep corpus: paper models, scaling generators, the `.g` corpus
+/// and the wide (> 64-place) models of [`corpus::wide`].
+fn sweep() -> Vec<(String, Stg)> {
+    let mut specs: Vec<(String, Stg)> = vec![
+        ("handshake".into(), models::handshake_stg()),
+        ("fifo".into(), models::fifo_stg()),
+        ("fifo_csc".into(), models::fifo_stg_csc()),
+        ("celement".into(), models::celement_stg()),
+        ("chain5".into(), models::chain_stg(5)),
+        ("ring10_3".into(), models::ring_stg(10, 3)),
+    ];
+    for (name, text) in corpus::all() {
+        specs.push((name.to_string(), corpus::parse(text).expect("parses")));
+    }
+    for (name, stg) in corpus::wide() {
+        specs.push((name, stg));
+    }
+    specs
+}
+
+fn options(threads: usize) -> ExploreOptions {
+    ExploreOptions { threads, ..ExploreOptions::default() }
+}
+
+/// Field-by-field bit-identity of two state graphs, with a model name
+/// in every assertion message.
+fn assert_graphs_identical(name: &str, threads: usize, serial: &StateGraph, parallel: &StateGraph) {
+    assert_eq!(
+        parallel.state_count(),
+        serial.state_count(),
+        "{name} x{threads}: state count"
+    );
+    assert_eq!(parallel.arc_count(), serial.arc_count(), "{name} x{threads}: arc count");
+    assert_eq!(parallel.initial(), serial.initial(), "{name} x{threads}: initial");
+    for state in serial.states() {
+        assert_eq!(
+            parallel.code(state),
+            serial.code(state),
+            "{name} x{threads}: code of {state}"
+        );
+        assert_eq!(
+            parallel.successors(state),
+            serial.successors(state),
+            "{name} x{threads}: successor row of {state}"
+        );
+        assert_eq!(
+            parallel.predecessors(state),
+            serial.predecessors(state),
+            "{name} x{threads}: predecessor row of {state}"
+        );
+        assert_eq!(
+            parallel.packed_marking(state),
+            serial.packed_marking(state),
+            "{name} x{threads}: marking of {state}"
+        );
+    }
+}
+
+#[test]
+fn sharded_walk_is_bit_identical_across_the_sweep_at_1_2_and_8_threads() {
+    for (name, stg) in sweep() {
+        let serial = explore_with(&stg, &options(1)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let serial_count =
+            count_markings_with(&stg, &options(1)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for threads in [1usize, 2, 8] {
+            let parallel = explore_with(&stg, &options(threads))
+                .unwrap_or_else(|e| panic!("{name} x{threads}: {e}"));
+            assert_graphs_identical(&name, threads, &serial, &parallel);
+            let count = count_markings_with(&stg, &options(threads))
+                .unwrap_or_else(|e| panic!("{name} x{threads}: {e}"));
+            assert_eq!(count, serial_count, "{name} x{threads}: counting walk");
+        }
+    }
+}
+
+#[test]
+fn engine_summaries_agree_with_graphs_at_every_thread_count() {
+    // The engine façade wired to the sharded walk: summaries (counting
+    // mode) and graphs (building mode) must stay mutually consistent.
+    for (name, stg) in corpus::wide() {
+        let mut serial = ReachEngine::explicit();
+        let baseline = serial.summary(&stg).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for threads in [2usize, 8] {
+            let mut engine = ReachEngine::explicit().with_threads(threads);
+            let summary = engine.summary(&stg).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(summary, baseline, "{name} x{threads}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random (model, thread-count) pairs, including oversubscribed
+    /// widths well past this machine's core count: the graph must be
+    /// bit-identical to serial every single time.
+    #[test]
+    fn random_thread_counts_reproduce_the_serial_graph(
+        seed in 0u64..1 << 16,
+        visits in 1usize..6,
+    ) {
+        let specs = sweep();
+        let mut s = seed | 1;
+        for _ in 0..visits {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let (name, stg) = &specs[(s >> 33) as usize % specs.len()];
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let threads = 2 + (s >> 33) as usize % 7; // 2..=8
+            let serial = explore_with(stg, &options(1))
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let parallel = explore_with(stg, &options(threads))
+                .unwrap_or_else(|e| panic!("{name} x{threads}: {e}"));
+            assert_graphs_identical(name, threads, &serial, &parallel);
+        }
+    }
+}

@@ -21,9 +21,10 @@
 
 use rt_boolean::minimize;
 use rt_stg::engine::ReachEngine;
+use rt_stg::par::{effective_threads, parallel_argmin};
 use rt_stg::petri::PlaceId;
 use rt_stg::stg::TransitionLabel;
-use rt_stg::{SignalKind, StateGraph, Stg};
+use rt_stg::{SignalKind, StateGraph, Stg, TransitionId};
 
 use crate::error::SynthError;
 use crate::regions::{derive_functions, LocalDontCares};
@@ -49,11 +50,18 @@ pub struct CscOptions {
     /// Penalty added per output event directly triggered by a state
     /// signal transition (the timing-aware bias; 0 disables it).
     pub critical_path_penalty: usize,
+    /// Worker-pool width for the candidate search (`0`, the default,
+    /// resolves to one worker per available core; `1` runs serially).
+    /// Each worker evaluates whole candidate insertions on a private
+    /// explicit [`ReachEngine`], and the deterministic `(cost, index)`
+    /// reduction of [`rt_stg::par::parallel_argmin`] guarantees the
+    /// winner is identical at every width.
+    pub threads: usize,
 }
 
 impl Default for CscOptions {
     fn default() -> Self {
-        CscOptions { max_signals: 3, critical_path_penalty: 4 }
+        CscOptions { max_signals: 3, critical_path_penalty: 4, threads: 0 }
     }
 }
 
@@ -134,9 +142,59 @@ fn audit_resolution(
     crate::regions::audit_against_symbolic(engine, &resolution.stg, &resolution.sg)
 }
 
-/// Tries every (rise-place, fall-place) pair; returns the best valid
-/// insertion as `(stg, sg, cost)`. `before` is the conflict count of
-/// `stg` itself (already computed by the caller — no re-exploration).
+/// One candidate insertion point of the search, cheap to enumerate up
+/// front so the worker pool can materialize and evaluate them
+/// independently.
+#[derive(Debug, Clone, Copy)]
+enum InsertionSpec {
+    /// Splice `x+`/`x-` into a pair of simple places.
+    Place { plus: PlaceId, minus: PlaceId, token_after: bool },
+    /// Insert `x+`/`x-` after whole transitions.
+    Trans { plus: TransitionId, minus: TransitionId },
+}
+
+/// Enumerates every candidate insertion in the canonical (serial
+/// search) order. The pool's deterministic reduction ties winners to
+/// this order, so it must stay stable.
+fn insertion_specs(stg: &Stg) -> Vec<InsertionSpec> {
+    let places = simple_places(stg);
+    let mut specs = Vec::new();
+    for &plus in &places {
+        for &minus in &places {
+            if plus == minus {
+                continue;
+            }
+            for token_after in [false, true] {
+                specs.push(InsertionSpec::Place { plus, minus, token_after });
+            }
+        }
+    }
+    let transitions: Vec<_> = stg.net().transitions().collect();
+    for &plus in &transitions {
+        for &minus in &transitions {
+            if plus == minus {
+                continue;
+            }
+            specs.push(InsertionSpec::Trans { plus, minus });
+        }
+    }
+    specs
+}
+
+/// Tries every candidate insertion point on the worker pool; returns
+/// the best valid insertion as `(stg, sg, cost)`. `before` is the
+/// conflict count of `stg` itself (already computed by the caller — no
+/// re-exploration).
+///
+/// Every worker owns a private explicit [`ReachEngine`] (persistent
+/// symbolic managers are not shared across threads; candidate ranking
+/// is purely explicit anyway — see [`resolve_csc_engine`]), and the
+/// workers' usage counters are folded back into `engine` afterwards,
+/// so a caller watching [`ReachEngine::stats`] sees the same
+/// `graph_builds` totals as the historical serial loop. The winner is
+/// the `(cost, index)` minimum over the canonical candidate order —
+/// bit-identical to the serial "first strictly better candidate wins"
+/// scan at every pool width.
 fn best_insertion(
     stg: &Stg,
     name: &str,
@@ -145,17 +203,33 @@ fn best_insertion(
     engine: &mut ReachEngine,
     attempts: &mut usize,
 ) -> Option<(Stg, StateGraph, usize)> {
-    let places = simple_places(stg);
-    let mut best: Option<(Stg, StateGraph, usize)> = None;
-    let mut consider = |candidate: Stg, engine: &mut ReachEngine, attempts: &mut usize| {
-        *attempts += 1;
-        let Ok(sg) = engine.state_graph(&candidate) else { return };
+    let specs = insertion_specs(stg);
+    *attempts += specs.len();
+    let pool = effective_threads(options.threads);
+    let mut worker_options = engine.options().clone();
+    if pool > 1 {
+        // Candidate-level parallelism replaces BFS-level sharding for
+        // the search: candidate nets are small, and nesting the two
+        // would oversubscribe the machine.
+        worker_options.threads = 1;
+    }
+
+    let evaluate = |worker: &mut ReachEngine, index: usize| {
+        let candidate = match specs[index] {
+            InsertionSpec::Place { plus, minus, token_after } => {
+                insert_state_signal_with(stg, name, plus, minus, token_after)
+            }
+            InsertionSpec::Trans { plus, minus } => {
+                insert_after_transitions(stg, name, plus, minus)
+            }
+        };
+        let Ok(sg) = worker.state_graph(&candidate) else { return None };
         if !sg.is_strongly_connected() || !sg.deadlock_states().is_empty() {
-            return;
+            return None;
         }
         let after = sg.csc_conflicts().len();
         if after >= before {
-            return; // insertion must strictly help
+            return None; // insertion must strictly help
         }
         let penalty = critical_penalty(&candidate, name) * options.critical_path_penalty;
         let cost = if after == 0 {
@@ -164,34 +238,19 @@ fn best_insertion(
             // Not yet CSC-free: rank by remaining conflicts.
             1_000 + after * 100 + penalty
         };
-        if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
-            best = Some((candidate, sg, cost));
-        }
+        Some((cost, (candidate, sg)))
     };
-    for &p_plus in &places {
-        for &p_minus in &places {
-            if p_plus == p_minus {
-                continue;
-            }
-            for token_after in [false, true] {
-                let candidate =
-                    insert_state_signal_with(stg, name, p_plus, p_minus, token_after);
-                consider(candidate, engine, attempts);
-            }
-        }
+
+    let (best, workers) = parallel_argmin(
+        specs.len(),
+        options.threads,
+        || ReachEngine::with_options(engine.backend(), worker_options.clone()),
+        evaluate,
+    );
+    for worker in &workers {
+        engine.absorb_stats(worker.stats());
     }
-    // Transition-based candidates.
-    let transitions: Vec<_> = stg.net().transitions().collect();
-    for &t_plus in &transitions {
-        for &t_minus in &transitions {
-            if t_plus == t_minus {
-                continue;
-            }
-            let candidate = insert_after_transitions(stg, name, t_plus, t_minus);
-            consider(candidate, engine, attempts);
-        }
-    }
-    best
+    best.map(|(_, cost, (candidate, sg))| (candidate, sg, cost))
 }
 
 /// Simple places: exactly one producer and one consumer — safe insertion
@@ -481,6 +540,40 @@ mod tests {
             nodes_after_first,
             "identical net re-audited out of cache: no new nodes"
         );
+    }
+
+    #[test]
+    fn candidate_pool_width_does_not_change_the_resolution() {
+        for (name, stg) in [
+            ("fifo", models::fifo_stg()),
+            (
+                "vme_read",
+                rt_stg::corpus::parse(rt_stg::corpus::VME_READ_G).unwrap(),
+            ),
+        ] {
+            let serial_options = CscOptions { threads: 1, ..CscOptions::default() };
+            let mut serial_engine = ReachEngine::explicit();
+            let serial = resolve_csc_engine(&stg, &serial_options, &mut serial_engine)
+                .unwrap_or_else(|e| panic!("{name} serial: {e}"));
+            for threads in [2usize, 8] {
+                let options = CscOptions { threads, ..CscOptions::default() };
+                let mut engine = ReachEngine::explicit();
+                let parallel = resolve_csc_engine(&stg, &options, &mut engine)
+                    .unwrap_or_else(|e| panic!("{name} x{threads}: {e}"));
+                assert_eq!(parallel.inserted, serial.inserted, "{name} x{threads}");
+                assert_eq!(parallel.cost, serial.cost, "{name} x{threads}");
+                assert_eq!(
+                    parallel.sg.states().map(|s| parallel.sg.code(s)).collect::<Vec<_>>(),
+                    serial.sg.states().map(|s| serial.sg.code(s)).collect::<Vec<_>>(),
+                    "{name} x{threads}: identical coded graphs"
+                );
+                assert_eq!(
+                    engine.stats().graph_builds,
+                    serial_engine.stats().graph_builds,
+                    "{name} x{threads}: absorbed worker stats match serial accounting"
+                );
+            }
+        }
     }
 
     #[test]
