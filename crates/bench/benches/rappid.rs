@@ -34,7 +34,10 @@ fn bench_row_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("rappid_row_sweep");
     for rows in [2usize, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
-            let model = Rappid::new(RappidConfig { rows, ..RappidConfig::default() });
+            let model = Rappid::new(RappidConfig {
+                rows,
+                ..RappidConfig::default()
+            });
             b.iter(|| model.run(&lines).instructions)
         });
     }

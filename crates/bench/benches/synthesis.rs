@@ -53,7 +53,12 @@ fn bench_synthesis(c: &mut Criterion) {
     group.bench_function("si_flow_with_encoding", |b| {
         let stg = models::fifo_stg();
         let flow = RtSynthesisFlow::speed_independent();
-        b.iter(|| flow.run(&stg, &[]).expect("flow runs").inserted_signals.len())
+        b.iter(|| {
+            flow.run(&stg, &[])
+                .expect("flow runs")
+                .inserted_signals
+                .len()
+        })
     });
     group.finish();
 }
@@ -63,15 +68,28 @@ fn bench_verification(c: &mut Criterion) {
     group.bench_function("celement_unbounded", |b| {
         let (netlist, _) = majority_celement();
         let spec = models::celement_stg();
-        b.iter(|| verify(&netlist, &spec, &[]).expect("verifies").states_explored)
+        b.iter(|| {
+            verify(&netlist, &spec, &[])
+                .expect("verifies")
+                .states_explored
+        })
     });
     group.bench_function("si_fifo_conformance", |b| {
         let (netlist, _) = rt_netlist::fifo::si_fifo();
         let spec = models::fifo_stg_csc();
-        b.iter(|| verify(&netlist, &spec, &[]).expect("verifies").states_explored)
+        b.iter(|| {
+            verify(&netlist, &spec, &[])
+                .expect("verifies")
+                .states_explored
+        })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_reachability, bench_synthesis, bench_verification);
+criterion_group!(
+    benches,
+    bench_reachability,
+    bench_synthesis,
+    bench_verification
+);
 criterion_main!(benches);

@@ -60,14 +60,8 @@ fn main() {
             "SI   (none)              : {}",
             run_cell(stg, false, 0, &[])
         );
-        println!(
-            "auto only                : {}",
-            run_cell(stg, true, 0, &[])
-        );
-        println!(
-            "auto + early enable      : {}",
-            run_cell(stg, true, 1, &[])
-        );
+        println!("auto only                : {}", run_cell(stg, true, 0, &[]));
+        println!("auto + early enable      : {}", run_cell(stg, true, 1, &[]));
         if !user.is_empty() {
             println!(
                 "user only                : {}",

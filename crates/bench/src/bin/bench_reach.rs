@@ -113,7 +113,10 @@ fn corpus_models() -> Vec<(String, Stg)> {
 }
 
 fn explore_options(threads: usize) -> ExploreOptions {
-    ExploreOptions { threads, ..ExploreOptions::default() }
+    ExploreOptions {
+        threads,
+        ..ExploreOptions::default()
+    }
 }
 
 fn measure(name: &str, stg: &Stg, min_ms: u128, threads: usize) -> Row {
@@ -122,7 +125,9 @@ fn measure(name: &str, stg: &Stg, min_ms: u128, threads: usize) -> Row {
     let states = sg.state_count();
     let arcs = sg.arc_count();
 
-    let explore_ns = time_ns(min_ms, || explore_with(stg, &options).expect("model explores"));
+    let explore_ns = time_ns(min_ms, || {
+        explore_with(stg, &options).expect("model explores")
+    });
     let states_per_sec = states as f64 / (explore_ns / 1e9);
 
     // Synthesis only makes sense for CSC-clean specs with implemented
@@ -167,8 +172,14 @@ fn measure(name: &str, stg: &Stg, min_ms: u128, threads: usize) -> Row {
 /// on the worker pool (the winner must also agree), plus the
 /// warm-vs-fresh symbolic summary comparison on one long-lived engine.
 fn measure_csc(name: &str, stg: &Stg, min_ms: u128, pool_threads: usize) -> CscRow {
-    let serial_options = CscOptions { threads: 1, ..CscOptions::default() };
-    let pool_options = CscOptions { threads: pool_threads, ..CscOptions::default() };
+    let serial_options = CscOptions {
+        threads: 1,
+        ..CscOptions::default()
+    };
+    let pool_options = CscOptions {
+        threads: pool_threads,
+        ..CscOptions::default()
+    };
     let explicit_res = resolve_csc_engine(stg, &serial_options, &mut ReachEngine::explicit())
         .expect("csc resolves on the explicit backend");
     let symbolic_res = resolve_csc_engine(stg, &serial_options, &mut ReachEngine::symbolic())
@@ -201,13 +212,19 @@ fn measure_csc(name: &str, stg: &Stg, min_ms: u128, pool_threads: usize) -> CscR
     // workload — exactly what the search re-explores.
     let resolved = &explicit_res.stg;
     let cold_summary_ns = time_ns(min_ms, || {
-        ReachEngine::symbolic().summary(resolved).expect("summarizes")
+        ReachEngine::symbolic()
+            .summary(resolved)
+            .expect("summarizes")
     });
     let mut warm_engine = ReachEngine::symbolic();
     warm_engine.summary(resolved).expect("warmup");
-    let warm_summary_ns =
-        time_ns(min_ms, || warm_engine.summary(resolved).expect("summarizes"));
-    assert!(warm_engine.stats().manager_reuses > 0, "warm path must reuse");
+    let warm_summary_ns = time_ns(min_ms, || {
+        warm_engine.summary(resolved).expect("summarizes")
+    });
+    assert!(
+        warm_engine.stats().manager_reuses > 0,
+        "warm path must reuse"
+    );
 
     CscRow {
         name: name.to_string(),
@@ -230,8 +247,7 @@ fn measure_wide_parallel(min_ms: u128, threads: usize) -> Vec<WideRow> {
         .into_iter()
         .map(|(name, stg)| {
             let serial = explore_with(&stg, &explore_options(1)).expect("serial explores");
-            let parallel =
-                explore_with(&stg, &explore_options(threads)).expect("sharded explores");
+            let parallel = explore_with(&stg, &explore_options(threads)).expect("sharded explores");
             assert_eq!(
                 serial.state_count(),
                 parallel.state_count(),
@@ -298,13 +314,10 @@ fn main() {
         if arg == "--fast" {
             min_ms = 5;
         } else if arg == "--threads" {
-            threads = args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| {
-                    eprintln!("bench_reach: --threads needs a number");
-                    std::process::exit(2);
-                });
+            threads = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("bench_reach: --threads needs a number");
+                std::process::exit(2);
+            });
         } else if arg.starts_with("--") {
             eprintln!(
                 "bench_reach: unknown flag {arg} (usage: [--fast] [--threads N] [OUTPUT.json])"
@@ -355,7 +368,11 @@ fn main() {
     for r in &wide_rows {
         println!(
             "wide {:<19} {:>7} states  serial {:>11.0} ns  sharded(x{}) {:>11.0} ns  ({:.2}x)",
-            r.name, r.states, r.serial_ns, r.parallel_threads, r.parallel_ns,
+            r.name,
+            r.states,
+            r.serial_ns,
+            r.parallel_threads,
+            r.parallel_ns,
             r.serial_ns / r.parallel_ns
         );
     }

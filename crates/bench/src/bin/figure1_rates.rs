@@ -56,8 +56,11 @@ fn main() {
     println!("-- scalability sweep (vertical: steering rows) --");
     println!("rows   inst/ns");
     for rows in [1usize, 2, 4, 6, 8] {
-        let r = Rappid::new(RappidConfig { rows, ..RappidConfig::default() })
-            .run(&workload::short_heavy(256, 3));
+        let r = Rappid::new(RappidConfig {
+            rows,
+            ..RappidConfig::default()
+        })
+        .run(&workload::short_heavy(256, 3));
         println!("{rows:>4}   {:>7.2}", r.instructions_per_ns());
     }
 

@@ -13,7 +13,11 @@ use rt_verify::{extract_requirements, verify};
 fn main() {
     println!("== Figure 4: speed-independent FIFO cell ==\n");
     let (netlist, _) = si_fifo();
-    println!("{} transistors, {} gates", netlist.transistor_count(), netlist.gate_count());
+    println!(
+        "{} transistors, {} gates",
+        netlist.transistor_count(),
+        netlist.gate_count()
+    );
     let report = verify(&netlist, &models::fifo_stg_csc(), &[]).expect("spec explores");
     println!(
         "unbounded-delay conformance: {} ({} composed states explored)",

@@ -13,7 +13,9 @@ use rt_stg::models;
 fn main() {
     println!("== Figure 5: RT FIFO, automatic timing assumptions ==\n");
     let stg = models::fifo_stg();
-    let si = RtSynthesisFlow::speed_independent().run(&stg, &[]).expect("SI flow");
+    let si = RtSynthesisFlow::speed_independent()
+        .run(&stg, &[])
+        .expect("SI flow");
     let auto = RtSynthesisFlow::new().run(&stg, &[]).expect("auto flow");
 
     println!("-- flow log --\n{}\n", auto.log_text());

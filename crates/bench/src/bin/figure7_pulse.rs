@@ -22,12 +22,18 @@ fn main() {
     println!("  arc 1 (causal): li+ -> ro+ through the footed domino");
     println!("  arc 2 (RT): input pulse width  >= {} ps", c.min_width_ps);
     println!("  arc 3 (RT): input pulse width  <= {} ps", c.max_width_ps);
-    println!("  arc 4 (RT): pulse separation   >= {} ps", c.min_separation_ps);
+    println!(
+        "  arc 4 (RT): pulse separation   >= {} ps",
+        c.min_separation_ps
+    );
     println!("\n-- echo sweep (12 pulses in, count out) --");
     println!("period (ps)   echoed");
     for period in [600u64, 450, 350, 300, 280, 260, 240, 200] {
         let echoed = echoed_pulses(&netlist, ports, period, 120, 12);
         println!("{period:>11}   {echoed:>6}");
     }
-    println!("\n(the paper's pulse row: 350 ps cycle; ours: {} ps)", c.min_separation_ps);
+    println!(
+        "\n(the paper's pulse row: 350 ps cycle; ours: {} ps)",
+        c.min_separation_ps
+    );
 }

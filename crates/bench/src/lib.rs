@@ -9,9 +9,7 @@
 use rt_dft::{fault_coverage_four_phase, fault_coverage_pulse};
 use rt_netlist::fifo::{self, FifoPorts};
 use rt_netlist::Netlist;
-use rt_rappid::{
-    compare, workload, ClockedConfig, ClockedDecoder, Rappid, RappidConfig, Table1,
-};
+use rt_rappid::{compare, workload, ClockedConfig, ClockedDecoder, Rappid, RappidConfig, Table1};
 use rt_sim::agent::{run_with_agents, FourPhaseConsumer, RingProducer};
 use rt_sim::measure::EdgeRecorder;
 use rt_sim::{DelayConfig, Simulator};
@@ -41,10 +39,7 @@ pub const TABLE2_ENV_PS: u64 = 40;
 pub const JITTER_SEEDS: [u64; 6] = [1, 7, 13, 42, 99, 1234];
 
 /// Measures one handshake FIFO variant (SI / BM / RT).
-pub fn measure_handshake_fifo(
-    name: &'static str,
-    build: fn() -> (Netlist, FifoPorts),
-) -> FifoRow {
+pub fn measure_handshake_fifo(name: &'static str, build: fn() -> (Netlist, FifoPorts)) -> FifoRow {
     let (netlist, ports) = build();
     let cycle = |config: DelayConfig| -> (u64, u64) {
         let mut sim = Simulator::with_delays(&netlist, config);

@@ -135,8 +135,16 @@ impl Bdd {
 
     /// Creates a manager pre-sized for roughly `capacity` live nodes.
     pub fn with_capacity(vars: usize, capacity: usize) -> Self {
-        let zero = Node { var: TERMINAL_VAR, low: NodeId::ZERO, high: NodeId::ZERO };
-        let one = Node { var: TERMINAL_VAR, low: NodeId::ONE, high: NodeId::ONE };
+        let zero = Node {
+            var: TERMINAL_VAR,
+            low: NodeId::ZERO,
+            high: NodeId::ZERO,
+        };
+        let one = Node {
+            var: TERMINAL_VAR,
+            low: NodeId::ONE,
+            high: NodeId::ONE,
+        };
         let mut nodes = Vec::with_capacity(capacity.max(2));
         nodes.push(zero);
         nodes.push(one);
@@ -144,10 +152,7 @@ impl Bdd {
             vars,
             nodes,
             unique: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
-            op_cache: FxHashMap::with_capacity_and_hasher(
-                CACHE_CAPACITY,
-                Default::default(),
-            ),
+            op_cache: FxHashMap::with_capacity_and_hasher(CACHE_CAPACITY, Default::default()),
             restrict_cache: FxHashMap::default(),
         }
     }
@@ -278,8 +283,16 @@ impl Bdd {
         let na = self.node(a);
         let nb = self.node(b);
         let var = na.var.min(nb.var);
-        let (a0, a1) = if na.var == var { (na.low, na.high) } else { (a, a) };
-        let (b0, b1) = if nb.var == var { (nb.low, nb.high) } else { (b, b) };
+        let (a0, a1) = if na.var == var {
+            (na.low, na.high)
+        } else {
+            (a, a)
+        };
+        let (b0, b1) = if nb.var == var {
+            (nb.low, nb.high)
+        } else {
+            (b, b)
+        };
         let low = self.apply(op, a0, b0);
         let high = self.apply(op, a1, b1);
         let result = self.mk(var, low, high);
@@ -336,12 +349,10 @@ impl Bdd {
         let mut current = id;
         while !self.is_terminal(current) {
             let node = self.node(current);
-            let bit = bit_of_var
-                .get(node.var as usize)
-                .is_some_and(|&b| {
-                    let b = b as usize;
-                    words.get(b / 64).is_some_and(|w| w >> (b % 64) & 1 == 1)
-                });
+            let bit = bit_of_var.get(node.var as usize).is_some_and(|&b| {
+                let b = b as usize;
+                words.get(b / 64).is_some_and(|w| w >> (b % 64) & 1 == 1)
+            });
             current = if bit { node.high } else { node.low };
         }
         current == NodeId::ONE
@@ -354,7 +365,11 @@ impl Bdd {
         for cube in cover.cubes() {
             let mut term = NodeId::ONE;
             for (var, positive) in cube.literals() {
-                let lit = if positive { self.var(var) } else { self.nvar(var) };
+                let lit = if positive {
+                    self.var(var)
+                } else {
+                    self.nvar(var)
+                };
                 term = self.and(term, lit);
             }
             acc = self.or(acc, term);
@@ -396,8 +411,7 @@ impl Bdd {
             return f;
         }
         let node = self.node(id);
-        let f = 0.5 * self.sat_fraction(node.low, memo)
-            + 0.5 * self.sat_fraction(node.high, memo);
+        let f = 0.5 * self.sat_fraction(node.low, memo) + 0.5 * self.sat_fraction(node.high, memo);
         memo.insert(id, f);
         f
     }
@@ -488,10 +502,13 @@ mod tests {
 
     #[test]
     fn cover_conversion_matches_truth_table() {
-        let cover = Cover::from_cubes(4, vec![
-            Cube::from_literals(4, &[(0, true), (2, false)]),
-            Cube::from_literals(4, &[(1, true), (3, true)]),
-        ]);
+        let cover = Cover::from_cubes(
+            4,
+            vec![
+                Cube::from_literals(4, &[(0, true), (2, false)]),
+                Cube::from_literals(4, &[(1, true), (3, true)]),
+            ],
+        );
         let tt = TruthTable::from_cover(&cover);
         let mut bdd = Bdd::new(4);
         let f = bdd.from_cover(&cover);
@@ -563,13 +580,22 @@ mod tests {
         let f = bdd.and(v0, nv1);
         let map = [5u32, 2u32];
         assert!(bdd.evaluate_mapped(f, &[0b100000], &map));
-        assert!(!bdd.evaluate_mapped(f, &[0b100100], &map), "bit 2 set -> v1 true");
+        assert!(
+            !bdd.evaluate_mapped(f, &[0b100100], &map),
+            "bit 2 set -> v1 true"
+        );
         assert!(!bdd.evaluate_mapped(f, &[0b000000], &map));
         // Out-of-range bits and variables read as 0.
         let mut wide = Bdd::new(1);
         let v = wide.var(0);
-        assert!(wide.evaluate_mapped(v, &[0, 1], &[64]), "bit 64 is words[1] bit 0");
-        assert!(!wide.evaluate_mapped(v, &[1], &[64]), "bit past the words reads 0");
+        assert!(
+            wide.evaluate_mapped(v, &[0, 1], &[64]),
+            "bit 64 is words[1] bit 0"
+        );
+        assert!(
+            !wide.evaluate_mapped(v, &[1], &[64]),
+            "bit past the words reads 0"
+        );
     }
 
     #[test]

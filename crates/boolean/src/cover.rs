@@ -30,12 +30,18 @@ pub struct Cover {
 impl Cover {
     /// The empty cover (constant 0).
     pub fn empty(vars: usize) -> Self {
-        Cover { vars, cubes: Vec::new() }
+        Cover {
+            vars,
+            cubes: Vec::new(),
+        }
     }
 
     /// The universal cover (constant 1).
     pub fn one(vars: usize) -> Self {
-        Cover { vars, cubes: vec![Cube::full(vars)] }
+        Cover {
+            vars,
+            cubes: vec![Cube::full(vars)],
+        }
     }
 
     /// Builds a cover from cubes, dropping empty ones.
@@ -103,7 +109,10 @@ impl Cover {
         debug_assert_eq!(self.vars, other.vars);
         let mut cubes = self.cubes.clone();
         cubes.extend(other.cubes.iter().copied());
-        Cover { vars: self.vars, cubes }
+        Cover {
+            vars: self.vars,
+            cubes,
+        }
     }
 
     /// Conjunction of two covers (pairwise cube intersection).
@@ -118,7 +127,10 @@ impl Cover {
                 }
             }
         }
-        Cover { vars: self.vars, cubes }
+        Cover {
+            vars: self.vars,
+            cubes,
+        }
     }
 
     /// Cofactor of the cover with respect to a literal.
@@ -346,29 +358,38 @@ mod tests {
 
     #[test]
     fn tautology_of_complementary_literals() {
-        let f = Cover::from_cubes(1, vec![
-            Cube::from_literals(1, &[(0, true)]),
-            Cube::from_literals(1, &[(0, false)]),
-        ]);
+        let f = Cover::from_cubes(
+            1,
+            vec![
+                Cube::from_literals(1, &[(0, true)]),
+                Cube::from_literals(1, &[(0, false)]),
+            ],
+        );
         assert!(f.is_tautology());
     }
 
     #[test]
     fn non_tautology_detected() {
-        let f = Cover::from_cubes(2, vec![
-            Cube::from_literals(2, &[(0, true)]),
-            Cube::from_literals(2, &[(1, true)]),
-        ]);
+        let f = Cover::from_cubes(
+            2,
+            vec![
+                Cube::from_literals(2, &[(0, true)]),
+                Cube::from_literals(2, &[(1, true)]),
+            ],
+        );
         assert!(!f.is_tautology()); // 00 not covered
     }
 
     #[test]
     fn cube_containment_in_cover() {
         // f = a + b covers cube a·b̄ but not the full cube.
-        let f = Cover::from_cubes(2, vec![
-            Cube::from_literals(2, &[(0, true)]),
-            Cube::from_literals(2, &[(1, true)]),
-        ]);
+        let f = Cover::from_cubes(
+            2,
+            vec![
+                Cube::from_literals(2, &[(0, true)]),
+                Cube::from_literals(2, &[(1, true)]),
+            ],
+        );
         assert!(f.contains_cube(&Cube::from_literals(2, &[(0, true), (1, false)])));
         assert!(!f.contains_cube(&Cube::full(2)));
     }
@@ -376,10 +397,13 @@ mod tests {
     #[test]
     fn complement_is_exhaustively_correct() {
         // f = a·b + c̄ over three variables.
-        let f = Cover::from_cubes(3, vec![
-            Cube::from_literals(3, &[(0, true), (1, true)]),
-            Cube::from_literals(3, &[(2, false)]),
-        ]);
+        let f = Cover::from_cubes(
+            3,
+            vec![
+                Cube::from_literals(3, &[(0, true), (1, true)]),
+                Cube::from_literals(3, &[(2, false)]),
+            ],
+        );
         let not_f = f.complement();
         for m in 0..8u64 {
             assert_eq!(not_f.evaluate(m), !f.evaluate(m), "at {m:03b}");
@@ -390,10 +414,13 @@ mod tests {
 
     #[test]
     fn sharp_is_pointwise_difference() {
-        let f = Cover::from_cubes(3, vec![
-            Cube::from_literals(3, &[(0, true)]),
-            Cube::from_literals(3, &[(1, true)]),
-        ]);
+        let f = Cover::from_cubes(
+            3,
+            vec![
+                Cube::from_literals(3, &[(0, true)]),
+                Cube::from_literals(3, &[(1, true)]),
+            ],
+        );
         let g = Cover::from_cubes(3, vec![Cube::from_literals(3, &[(2, true)])]);
         let d = f.sharp(&g);
         for m in 0..8u64 {
@@ -412,10 +439,13 @@ mod tests {
 
     #[test]
     fn single_cube_containment_removes_redundancy() {
-        let f = Cover::from_cubes(2, vec![
-            Cube::from_literals(2, &[(0, true)]),
-            Cube::from_literals(2, &[(0, true), (1, true)]), // contained
-        ]);
+        let f = Cover::from_cubes(
+            2,
+            vec![
+                Cube::from_literals(2, &[(0, true)]),
+                Cube::from_literals(2, &[(0, true), (1, true)]), // contained
+            ],
+        );
         let reduced = f.single_cube_containment();
         assert_eq!(reduced.cube_count(), 1);
         exhaustive_equal(&reduced, &f);
@@ -430,10 +460,13 @@ mod tests {
 
     #[test]
     fn equivalence_and_containment() {
-        let f = Cover::from_cubes(2, vec![
-            Cube::from_literals(2, &[(0, true), (1, true)]),
-            Cube::from_literals(2, &[(0, true), (1, false)]),
-        ]);
+        let f = Cover::from_cubes(
+            2,
+            vec![
+                Cube::from_literals(2, &[(0, true), (1, true)]),
+                Cube::from_literals(2, &[(0, true), (1, false)]),
+            ],
+        );
         let g = Cover::from_cubes(2, vec![Cube::from_literals(2, &[(0, true)])]);
         assert!(f.equivalent(&g));
         assert!(g.contains_cover(&f));
@@ -444,10 +477,13 @@ mod tests {
 
     #[test]
     fn expression_rendering() {
-        let f = Cover::from_cubes(3, vec![
-            Cube::from_literals(3, &[(0, true), (1, false)]),
-            Cube::from_literals(3, &[(2, true)]),
-        ]);
+        let f = Cover::from_cubes(
+            3,
+            vec![
+                Cube::from_literals(3, &[(0, true), (1, false)]),
+                Cube::from_literals(3, &[(2, true)]),
+            ],
+        );
         assert_eq!(f.to_expression(&["a", "b", "c"]), "a·b' + c");
         assert_eq!(Cover::empty(1).to_expression(&["x"]), "0");
         assert_eq!(Cover::one(1).to_expression(&["x"]), "1");

@@ -51,7 +51,11 @@ impl Cube {
     pub fn full(vars: usize) -> Self {
         assert!(vars <= 64, "cube supports at most 64 variables");
         let vars = vars as u32;
-        Cube { vars, can0: mask(vars), can1: mask(vars) }
+        Cube {
+            vars,
+            can0: mask(vars),
+            can1: mask(vars),
+        }
     }
 
     /// Builds a cube from `(variable, positive)` literal pairs; unlisted
@@ -101,7 +105,11 @@ impl Cube {
     pub fn without_literal(self, var: usize) -> Self {
         assert!((var as u32) < self.vars, "variable out of range");
         let bit = 1u64 << var;
-        Cube { vars: self.vars, can0: self.can0 | bit, can1: self.can1 | bit }
+        Cube {
+            vars: self.vars,
+            can0: self.can0 | bit,
+            can1: self.can1 | bit,
+        }
     }
 
     /// Number of variables in the cube's space.
@@ -240,7 +248,11 @@ impl Cube {
         assert!(vars <= 64);
         let vars = vars as u32;
         let m = mask(vars);
-        Cube { vars, can0: can0 & m, can1: can1 & m }
+        Cube {
+            vars,
+            can0: can0 & m,
+            can1: can1 & m,
+        }
     }
 }
 

@@ -108,7 +108,11 @@ mod tests {
         for i in 0u64..1000 {
             seen.insert(hash_of(&i));
         }
-        assert_eq!(seen.len(), 1000, "no collisions among small sequential keys");
+        assert_eq!(
+            seen.len(),
+            1000,
+            "no collisions among small sequential keys"
+        );
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub mod minimize;
 pub mod tt;
 
 pub use bdd::Bdd;
-pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use cover::Cover;
 pub use cube::Cube;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use minimize::{minimize, minimize_with_stats, MinimizeStats};
 pub use tt::TruthTable;

@@ -246,10 +246,13 @@ mod tests {
 
     #[test]
     fn adjacent_cubes_merge() {
-        let on = Cover::from_cubes(2, vec![
-            Cube::from_literals(2, &[(0, true), (1, true)]),
-            Cube::from_literals(2, &[(0, true), (1, false)]),
-        ]);
+        let on = Cover::from_cubes(
+            2,
+            vec![
+                Cube::from_literals(2, &[(0, true), (1, true)]),
+                Cube::from_literals(2, &[(0, true), (1, false)]),
+            ],
+        );
         let dc = Cover::empty(2);
         let g = minimize(&on, &dc);
         check_contract(&on, &dc, &g);
@@ -295,11 +298,14 @@ mod tests {
     #[test]
     fn redundant_cube_removed() {
         // f = a + b with an extra cube ab.
-        let on = Cover::from_cubes(2, vec![
-            Cube::from_literals(2, &[(0, true)]),
-            Cube::from_literals(2, &[(1, true)]),
-            Cube::from_literals(2, &[(0, true), (1, true)]),
-        ]);
+        let on = Cover::from_cubes(
+            2,
+            vec![
+                Cube::from_literals(2, &[(0, true)]),
+                Cube::from_literals(2, &[(1, true)]),
+                Cube::from_literals(2, &[(0, true), (1, true)]),
+            ],
+        );
         let g = minimize(&on, &Cover::empty(2));
         check_contract(&on, &Cover::empty(2), &g);
         assert_eq!(g.cube_count(), 2);
@@ -310,7 +316,9 @@ mod tests {
         // Deterministic pseudo-random functions via a simple LCG.
         let mut seed = 0x2545F4914F6CDD1Du64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             seed >> 33
         };
         for _ in 0..20 {

@@ -35,7 +35,10 @@ impl TruthTable {
     pub fn zero(vars: usize) -> Self {
         assert!(vars <= 16, "truth table supports at most 16 variables");
         let words = (1usize << vars).div_ceil(64);
-        TruthTable { vars, bits: vec![0; words.max(1)] }
+        TruthTable {
+            vars,
+            bits: vec![0; words.max(1)],
+        }
     }
 
     /// The constant-1 table.
@@ -96,7 +99,9 @@ impl TruthTable {
 
     /// All satisfying minterms in ascending order.
     pub fn minterms(&self) -> Vec<u64> {
-        (0..(1u64 << self.vars)).filter(|&m| self.value(m)).collect()
+        (0..(1u64 << self.vars))
+            .filter(|&m| self.value(m))
+            .collect()
     }
 
     /// Converts to a (canonical minterm) cover.
@@ -169,10 +174,13 @@ mod tests {
 
     #[test]
     fn cover_roundtrip() {
-        let f = Cover::from_cubes(3, vec![
-            Cube::from_literals(3, &[(0, true), (2, false)]),
-            Cube::from_literals(3, &[(1, true)]),
-        ]);
+        let f = Cover::from_cubes(
+            3,
+            vec![
+                Cube::from_literals(3, &[(0, true), (2, false)]),
+                Cube::from_literals(3, &[(1, true)]),
+            ],
+        );
         let tt = TruthTable::from_cover(&f);
         let back = tt.to_cover();
         for m in 0..8u64 {

@@ -70,12 +70,20 @@ impl RtAssumption {
 
     /// An automatically extracted assumption.
     pub fn automatic(before: SignalEvent, after: SignalEvent) -> Self {
-        RtAssumption { before, after, kind: AssumptionKind::Automatic }
+        RtAssumption {
+            before,
+            after,
+            kind: AssumptionKind::Automatic,
+        }
     }
 
     /// An early-enable (lazy-signal) assumption.
     pub fn early(before: SignalEvent, after: SignalEvent) -> Self {
-        RtAssumption { before, after, kind: AssumptionKind::EarlyEnable }
+        RtAssumption {
+            before,
+            after,
+            kind: AssumptionKind::EarlyEnable,
+        }
     }
 
     /// Renders the assumption against a state graph's signal names, e.g.
@@ -114,7 +122,10 @@ pub struct RtConstraint {
 impl RtConstraint {
     /// Wraps an assumption with its rationale.
     pub fn new(assumption: RtAssumption, rationale: impl Into<String>) -> Self {
-        RtConstraint { assumption, rationale: rationale.into() }
+        RtConstraint {
+            assumption,
+            rationale: rationale.into(),
+        }
     }
 
     /// Renders against signal names.
@@ -138,8 +149,14 @@ mod tests {
     fn constructors_set_kinds() {
         let e1 = SignalEvent::rise(SignalId(0));
         let e2 = SignalEvent::fall(SignalId(1));
-        assert_eq!(RtAssumption::automatic(e1, e2).kind, AssumptionKind::Automatic);
-        assert_eq!(RtAssumption::early(e1, e2).kind, AssumptionKind::EarlyEnable);
+        assert_eq!(
+            RtAssumption::automatic(e1, e2).kind,
+            AssumptionKind::Automatic
+        );
+        assert_eq!(
+            RtAssumption::early(e1, e2).kind,
+            AssumptionKind::EarlyEnable
+        );
         assert_eq!(
             RtAssumption::user(SignalId(0), Edge::Rise, SignalId(1), Edge::Fall).kind,
             AssumptionKind::User

@@ -44,7 +44,10 @@ struct Objective {
 }
 
 fn objective(sg: &StateGraph) -> Objective {
-    Objective { csc_conflicts: sg.csc_conflicts().len(), states: sg.state_count() }
+    Objective {
+        csc_conflicts: sg.csc_conflicts().len(),
+        states: sg.state_count(),
+    }
 }
 
 /// Enumerates candidate assumptions for `sg` under the two delay rules.

@@ -65,7 +65,9 @@ mod tests {
         assert!(Error::source(&err).is_some());
         let err: RtError = SynthError::NothingToImplement.into();
         assert!(err.to_string().contains("synthesis failed"));
-        let err = RtError::InvalidAssumptions { reason: "deadlock".into() };
+        let err = RtError::InvalidAssumptions {
+            reason: "deadlock".into(),
+        };
         assert_eq!(err.to_string(), "invalid assumption set: deadlock");
     }
 }

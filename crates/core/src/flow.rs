@@ -203,8 +203,7 @@ impl RtSynthesisFlow {
             .filter(|&s| reduced.signal_kind(s) == SignalKind::Internal)
             .collect();
         let (local_dc, early_assumptions) = if self.early_enable_depth > 0 {
-            let (dc, implied) =
-                lazy_dont_cares(&reduced, &lazy_signals, self.early_enable_depth);
+            let (dc, implied) = lazy_dont_cares(&reduced, &lazy_signals, self.early_enable_depth);
             if !implied.is_empty() {
                 log.push(format!(
                     "early enabling: {} lazy signals, {} implied orderings",
@@ -241,8 +240,7 @@ impl RtSynthesisFlow {
         // Stage 6: back-annotation — drop assumptions whose removal does
         // not change the lazy graph (they were subsumed), keep the rest
         // as required constraints.
-        let constraints =
-            back_annotate(&sg0, user, &accepted, &early_assumptions, &mut log);
+        let constraints = back_annotate(&sg0, user, &accepted, &early_assumptions, &mut log);
 
         Ok(FlowReport {
             initial_states: sg0.state_count(),
@@ -299,10 +297,11 @@ fn best_insertion_on_reduced(
         |worker: &mut ReachEngine, index| {
             let (p_plus, p_minus) = pairs[index];
             let candidate = insert_state_signal(stg, name, p_plus, p_minus);
-            let Ok(sg) = worker.state_graph(&candidate) else { return None };
+            let Ok(sg) = worker.state_graph(&candidate) else {
+                return None;
+            };
             let reduced = reduce_unchecked(&sg, assumptions);
-            if !reduction_valid(&sg, &reduced) && sg.state_count() != reduced.state_count()
-            {
+            if !reduction_valid(&sg, &reduced) && sg.state_count() != reduced.state_count() {
                 return None;
             }
             if !reduced.deadlock_states().is_empty() || !reduced.is_strongly_connected() {
@@ -346,9 +345,7 @@ fn back_annotate(
             .collect();
         let full = reduce_unchecked(sg0, &with_all);
         let partial = reduce_unchecked(sg0, &without);
-        if partial.state_count() != full.state_count()
-            || partial.arc_count() != full.arc_count()
-        {
+        if partial.state_count() != full.state_count() || partial.arc_count() != full.arc_count() {
             kept.push(RtConstraint::new(
                 assumption,
                 "user-supplied environment/architecture ordering",
@@ -370,10 +367,11 @@ fn back_annotate(
             .filter(|a| *a != candidate.assumption)
             .collect();
         let partial = reduce_unchecked(sg0, &without);
-        if partial.state_count() != full.state_count()
-            || partial.arc_count() != full.arc_count()
-        {
-            kept.push(RtConstraint::new(candidate.assumption, candidate.rationale.clone()));
+        if partial.state_count() != full.state_count() || partial.arc_count() != full.arc_count() {
+            kept.push(RtConstraint::new(
+                candidate.assumption,
+                candidate.rationale.clone(),
+            ));
         }
     }
     // Early-enable orderings are constraints by construction.
@@ -422,7 +420,10 @@ mod tests {
             "SI flow must resolve CSC by insertion: {}",
             report.log_text()
         );
-        assert!(report.constraints.is_empty(), "SI circuits need no constraints");
+        assert!(
+            report.constraints.is_empty(),
+            "SI circuits need no constraints"
+        );
         report.synthesis.netlist.validate().unwrap();
     }
 
@@ -431,7 +432,11 @@ mod tests {
         let stg = models::fifo_stg();
         let user = vec![ring_assumption(&stg)];
         let report = RtSynthesisFlow::new().run(&stg, &user).unwrap();
-        assert!(report.lazy_states < report.initial_states, "{}", report.log_text());
+        assert!(
+            report.lazy_states < report.initial_states,
+            "{}",
+            report.log_text()
+        );
         assert!(!report.constraints.is_empty());
         report.synthesis.netlist.validate().unwrap();
     }
@@ -455,7 +460,9 @@ mod tests {
     #[test]
     fn flow_log_covers_every_stage() {
         let stg = models::fifo_stg();
-        let report = RtSynthesisFlow::new().run(&stg, &[ring_assumption(&stg)]).unwrap();
+        let report = RtSynthesisFlow::new()
+            .run(&stg, &[ring_assumption(&stg)])
+            .unwrap();
         let log = report.log_text();
         assert!(log.contains("reachability"), "{log}");
         assert!(log.contains("logic synthesis"), "{log}");
@@ -492,14 +499,22 @@ mod tests {
             RtAssumption::user(s("li"), Edge::Fall, s("ri"), Edge::Fall),
         ];
         let rt = RtSynthesisFlow::new().run(&stg, &user).unwrap();
-        assert!(rt.inserted_signals.is_empty(), "no state signal needed: {}", rt.log_text());
+        assert!(
+            rt.inserted_signals.is_empty(),
+            "no state signal needed: {}",
+            rt.log_text()
+        );
         assert!(
             rt.synthesis.netlist.transistor_count() <= 30,
             "Figure-6 class area, got {}",
             rt.synthesis.netlist.transistor_count()
         );
         // Roughly the paper's three constraints: small, mixed user/auto.
-        assert!((3..=5).contains(&rt.constraints.len()), "{:#?}", rt.constraints);
+        assert!(
+            (3..=5).contains(&rt.constraints.len()),
+            "{:#?}",
+            rt.constraints
+        );
         let si = RtSynthesisFlow::speed_independent().run(&stg, &[]).unwrap();
         assert!(
             si.synthesis.netlist.transistor_count()
@@ -542,8 +557,7 @@ mod tests {
         assert!(full.synthesis.literal_count < si.synthesis.literal_count);
         assert!(full.lazy_states <= user_only.lazy_states);
         assert!(
-            full.synthesis.netlist.transistor_count()
-                < si.synthesis.netlist.transistor_count()
+            full.synthesis.netlist.transistor_count() < si.synthesis.netlist.transistor_count()
         );
     }
 
@@ -552,13 +566,18 @@ mod tests {
         let stg = models::fifo_stg();
         let reference = RtSynthesisFlow::speed_independent().run(&stg, &[]).unwrap();
         for threads in [1usize, 2, 8] {
-            let flow = RtSynthesisFlow { threads, ..RtSynthesisFlow::speed_independent() };
+            let flow = RtSynthesisFlow {
+                threads,
+                ..RtSynthesisFlow::speed_independent()
+            };
             let report = flow.run(&stg, &[]).unwrap();
-            assert_eq!(report.inserted_signals, reference.inserted_signals, "x{threads}");
+            assert_eq!(
+                report.inserted_signals, reference.inserted_signals,
+                "x{threads}"
+            );
             assert_eq!(report.lazy_states, reference.lazy_states, "x{threads}");
             assert_eq!(
-                report.synthesis.literal_count,
-                reference.synthesis.literal_count,
+                report.synthesis.literal_count, reference.synthesis.literal_count,
                 "x{threads}"
             );
         }

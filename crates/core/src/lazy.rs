@@ -63,9 +63,9 @@ pub fn reduce_unchecked(sg: &StateGraph, assumptions: &[RtAssumption]) -> StateG
     // `e before f` has `e` enabled in s.
     let suppressed = |state: StateId, event: Option<SignalEvent>| -> bool {
         let Some(f) = event else { return false };
-        assumptions.iter().any(|a| {
-            a.after == f && a.before != f && sg.is_enabled(state, a.before)
-        })
+        assumptions
+            .iter()
+            .any(|a| a.after == f && a.before != f && sg.is_enabled(state, a.before))
     };
 
     let mut map: HashMap<StateId, StateId> = HashMap::new();
@@ -87,7 +87,10 @@ pub fn reduce_unchecked(sg: &StateGraph, assumptions: &[RtAssumption]) -> StateG
         // would deadlock); validation reports it via connectivity checks
         // if this changes behaviour.
         let keep_all = !sg.successors(old).is_empty()
-            && sg.successors(old).iter().all(|arc| suppressed(old, arc.event));
+            && sg
+                .successors(old)
+                .iter()
+                .all(|arc| suppressed(old, arc.event));
         for arc in sg.successors(old) {
             if !keep_all && suppressed(old, arc.event) {
                 continue;
@@ -103,7 +106,10 @@ pub fn reduce_unchecked(sg: &StateGraph, assumptions: &[RtAssumption]) -> StateG
                     id
                 }
             };
-            builder.push_arc(StateArc { event: arc.event, to: new_to });
+            builder.push_arc(StateArc {
+                event: arc.event,
+                to: new_to,
+            });
         }
     }
 

@@ -125,9 +125,8 @@ pub fn pulse_constraints() -> PulseConstraints {
 
     // Arc 3: maximum width (input still up when the foot re-arms causes
     // a double fire, detected as extra output pulses).
-    let exact = |width: u64| -> bool {
-        echoed_pulses(&netlist, ports, safe_period, width, 12) == 12
-    };
+    let exact =
+        |width: u64| -> bool { echoed_pulses(&netlist, ports, safe_period, width, 12) == 12 };
     let mut lo = min_width_ps;
     let mut hi = safe_period;
     while lo + 1 < hi {
@@ -140,7 +139,11 @@ pub fn pulse_constraints() -> PulseConstraints {
     }
     let max_width_ps = lo;
 
-    PulseConstraints { min_width_ps, max_width_ps, min_separation_ps }
+    PulseConstraints {
+        min_width_ps,
+        max_width_ps,
+        min_separation_ps,
+    }
 }
 
 #[cfg(test)]

@@ -54,7 +54,10 @@ pub fn enumerate_faults(netlist: &Netlist) -> Vec<Fault> {
     let mut faults = Vec::new();
     for gate_id in netlist.gates() {
         for stuck in [false, true] {
-            faults.push(Fault { site: FaultSite::GateOutput(gate_id), stuck });
+            faults.push(Fault {
+                site: FaultSite::GateOutput(gate_id),
+                stuck,
+            });
         }
         let gate = netlist.gate(gate_id);
         if gate.inputs.len() > 1 {
@@ -85,17 +88,13 @@ pub fn inject(netlist: &Netlist, fault: Fault) -> (Netlist, NetId) {
     let stuck_net = out.add_net("stuck", NetKind::Input);
     for gate_id in netlist.gates() {
         let gate = netlist.gate(gate_id);
-        let mut inputs: Vec<NetId> =
-            gate.inputs.iter().map(|&n| net_map[n.index()]).collect();
+        let mut inputs: Vec<NetId> = gate.inputs.iter().map(|&n| net_map[n.index()]).collect();
         let mut output = net_map[gate.output.index()];
         match fault.site {
             FaultSite::GateOutput(faulty) if faulty == gate_id => {
                 // The gate drives a dangling shadow net; consumers of the
                 // original output net now see the stuck net.
-                let shadow = out.add_net(
-                    format!("{}_shadow", gate.name),
-                    NetKind::Internal,
-                );
+                let shadow = out.add_net(format!("{}_shadow", gate.name), NetKind::Internal);
                 output = shadow;
             }
             FaultSite::GateInput(faulty, pin) if faulty == gate_id => {
@@ -117,12 +116,7 @@ pub fn inject(netlist: &Netlist, fault: Fault) -> (Netlist, NetId) {
 /// Rebuilds a netlist replacing every *use* of `from` with `to` (the
 /// driver of `from` keeps driving it; `skip_driver` marks the faulty
 /// gate whose own connection stays put).
-fn rewire_consumers(
-    netlist: &Netlist,
-    from: NetId,
-    to: NetId,
-    _skip_driver: GateId,
-) -> Netlist {
+fn rewire_consumers(netlist: &Netlist, from: NetId, to: NetId, _skip_driver: GateId) -> Netlist {
     let mut out = Netlist::new(netlist.name());
     for net in netlist.nets() {
         // The original output net may now be undriven; demote it to an
@@ -181,7 +175,10 @@ mod tests {
             .gates()
             .find(|&g| netlist.gate(g).name == "dom_lo")
             .unwrap();
-        let fault = Fault { site: FaultSite::GateOutput(dom_lo), stuck: true };
+        let fault = Fault {
+            site: FaultSite::GateOutput(dom_lo),
+            stuck: true,
+        };
         let (faulty, stuck_net) = inject(&netlist, fault);
         // Consumers of lo now read the stuck net.
         let consumers = faulty.fanout(stuck_net);
@@ -195,7 +192,10 @@ mod tests {
             .gates()
             .find(|&g| netlist.gate(g).name == "dom_r")
             .unwrap();
-        let fault = Fault { site: FaultSite::GateInput(dom_r, 1), stuck: false };
+        let fault = Fault {
+            site: FaultSite::GateInput(dom_r, 1),
+            stuck: false,
+        };
         let (faulty, stuck_net) = inject(&netlist, fault);
         let gate = faulty
             .gates()
@@ -221,7 +221,13 @@ mod tests {
         let a = n.add_net("a", NetKind::Input);
         let y = n.add_net("y", NetKind::Output);
         let g = n.add_gate("inv", GateKind::Inv, vec![a], y);
-        let (faulty, _) = inject(&n, Fault { site: FaultSite::GateOutput(g), stuck: false });
+        let (faulty, _) = inject(
+            &n,
+            Fault {
+                site: FaultSite::GateOutput(g),
+                stuck: false,
+            },
+        );
         assert_eq!(faulty.gate_count(), 1);
     }
 }

@@ -35,6 +35,4 @@ pub mod simulate;
 pub use fault::{enumerate_faults, inject, Fault, FaultSite};
 pub use report::{classify_residue, HazardTransistorReport, Residue};
 pub use scan::{feedback_loops, scan_candidates};
-pub use simulate::{
-    fault_coverage_four_phase, fault_coverage_pulse, CoverageResult, Signature,
-};
+pub use simulate::{fault_coverage_four_phase, fault_coverage_pulse, CoverageResult, Signature};

@@ -83,12 +83,14 @@ pub fn classify_residue(netlist: &Netlist, coverage: &CoverageResult) -> HazardT
             FaultSite::GateInput(gate_id, _pin) => {
                 let gate = netlist.gate(gate_id);
                 match gate.kind {
-                    GateKind::Gc { .. } | GateKind::DominoSr { .. } => {
-                        Residue::HazardGuard { fault, gate: gate.name.clone() }
-                    }
-                    GateKind::Aoi { .. } => {
-                        Residue::RedundantCover { fault, gate: gate.name.clone() }
-                    }
+                    GateKind::Gc { .. } | GateKind::DominoSr { .. } => Residue::HazardGuard {
+                        fault,
+                        gate: gate.name.clone(),
+                    },
+                    GateKind::Aoi { .. } => Residue::RedundantCover {
+                        fault,
+                        gate: gate.name.clone(),
+                    },
                     _ => Residue::Shortfall(fault),
                 }
             }

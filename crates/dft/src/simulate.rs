@@ -10,7 +10,9 @@
 
 use rt_netlist::fifo::FifoPorts;
 use rt_netlist::{NetId, NetKind, Netlist};
-use rt_sim::agent::{run_with_agents, FourPhaseConsumer, FourPhaseProducer, PulseSource, RingProducer};
+use rt_sim::agent::{
+    run_with_agents, FourPhaseConsumer, FourPhaseProducer, PulseSource, RingProducer,
+};
 use rt_sim::Simulator;
 
 use crate::fault::{enumerate_faults, inject, Fault};
@@ -107,9 +109,7 @@ fn event_sequence(sim: &Simulator<'_>, nets: &[NetId]) -> Vec<(usize, bool)> {
     let trace = sim.trace().unwrap_or(&[]);
     trace
         .iter()
-        .filter_map(|&(_, n, v)| {
-            nets.iter().position(|&out| out == n).map(|idx| (idx, v))
-        })
+        .filter_map(|&(_, n, v)| nets.iter().position(|&out| out == n).map(|idx| (idx, v)))
         .collect()
 }
 
@@ -271,7 +271,12 @@ pub fn pulse_signature(
         .map(|&n| (sim.transition_count(n), sim.value(n)))
         .collect();
     let events = event_sequence(&sim, &nets);
-    Signature { outputs, cycles: 0, events, violations: 0 }
+    Signature {
+        outputs,
+        cycles: 0,
+        events,
+        violations: 0,
+    }
 }
 
 /// Serial stuck-at fault simulation with the four-phase testbench.
@@ -289,11 +294,7 @@ pub fn fault_coverage_four_phase(
 }
 
 /// Serial stuck-at fault simulation with the pulse testbench.
-pub fn fault_coverage_pulse(
-    netlist: &Netlist,
-    ports: FifoPorts,
-    pulses: u64,
-) -> CoverageResult {
+pub fn fault_coverage_pulse(netlist: &Netlist, ports: FifoPorts, pulses: u64) -> CoverageResult {
     let golden = pulse_signature(netlist, ports, pulses, None);
     run_faults(netlist, &golden, |faulty, stuck| {
         pulse_signature(faulty, ports, pulses, Some(stuck))
@@ -317,7 +318,11 @@ fn run_faults(
             undetected.push(fault);
         }
     }
-    CoverageResult { detected, total: faults.len(), undetected }
+    CoverageResult {
+        detected,
+        total: faults.len(),
+        undetected,
+    }
 }
 
 #[cfg(test)]
@@ -355,7 +360,11 @@ mod tests {
         // harbour untestable stuck-at-1 faults.
         let (netlist, ports) = si_fifo();
         let result = fault_coverage_four_phase(&netlist, ports, 6);
-        assert!(result.coverage_pct() >= 80.0, "{:.1}%", result.coverage_pct());
+        assert!(
+            result.coverage_pct() >= 80.0,
+            "{:.1}%",
+            result.coverage_pct()
+        );
         assert!(
             result.coverage_pct() < 100.0,
             "guard redundancy leaves escapes"
@@ -373,7 +382,11 @@ mod tests {
             matches!(f.site, crate::fault::FaultSite::GateInput(g, _)
                 if netlist.gate(g).name.starts_with("aoi"))
         });
-        assert!(in_aoi, "escapes sit in the AOI hold terms: {:?}", result.undetected);
+        assert!(
+            in_aoi,
+            "escapes sit in the AOI hold terms: {:?}",
+            result.undetected
+        );
     }
 
     #[test]
@@ -393,10 +406,7 @@ mod tests {
     fn undetected_faults_are_reported() {
         let (netlist, ports) = bm_fifo();
         let result = fault_coverage_four_phase(&netlist, ports, 6);
-        assert_eq!(
-            result.detected + result.undetected.len(),
-            result.total
-        );
+        assert_eq!(result.detected + result.undetected.len(), result.total);
         for fault in &result.undetected {
             // Describable against the original netlist.
             let _ = fault.describe(&netlist);

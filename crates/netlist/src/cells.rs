@@ -49,7 +49,17 @@ pub fn majority_celement() -> (Netlist, CelementPorts) {
     n.add_gate("and_ac", GateKind::And, vec![a, c], ac);
     n.add_gate("and_bc", GateKind::And, vec![b, c], bc);
     n.add_gate("or_c", GateKind::Or, vec![ab, ac, bc], c);
-    (n, CelementPorts { a, b, c, ab, ac, bc })
+    (
+        n,
+        CelementPorts {
+            a,
+            b,
+            c,
+            ab,
+            ac,
+            bc,
+        },
+    )
 }
 
 /// A monolithic (atomic) C-element implementation of the same interface:

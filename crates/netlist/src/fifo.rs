@@ -137,12 +137,7 @@ pub fn si_fifo_standard_c() -> (Netlist, FifoPorts) {
     n.add_gate("inv_ro", GateKind::Inv, vec![p.ro], nreset_x);
     n.add_gate("c_x", GateKind::Celem, vec![set_x, nreset_x], x);
     // lo = C(set = x, reset̅ = li + ro + x).
-    n.add_gate(
-        "or_nreset_lo",
-        GateKind::Or,
-        vec![p.li, p.ro, x],
-        nreset_lo,
-    );
+    n.add_gate("or_nreset_lo", GateKind::Or, vec![p.li, p.ro, x], nreset_lo);
     n.add_gate("c_lo", GateKind::Celem, vec![x, nreset_lo], p.lo);
     // ro = C(set = lo·ri̅·x, reset̅ = ri̅).
     n.add_gate("and_set_ro", GateKind::And, vec![p.lo, ri_b, x], set_ro);
@@ -196,7 +191,9 @@ pub fn bm_fifo() -> (Netlist, FifoPorts) {
     // lo = li·x + lo·li + lo·ri̅.
     n.add_gate(
         "aoi_lo",
-        GateKind::Aoi { groups: vec![2, 2, 2] },
+        GateKind::Aoi {
+            groups: vec![2, 2, 2],
+        },
         vec![p.li, x, p.lo, p.li, p.lo, ri_b],
         lo_n,
     );
@@ -289,7 +286,12 @@ pub fn pulse_fifo() -> (Netlist, FifoPorts) {
     let foot = n.add_net("foot", NetKind::Internal);
 
     // Footed domino: evaluates when the foot is high and li pulses.
-    n.add_gate("dom", GateKind::DominoOr { footed: true }, vec![foot, li], d);
+    n.add_gate(
+        "dom",
+        GateKind::DominoOr { footed: true },
+        vec![foot, li],
+        d,
+    );
     // Self-reset chain: foot = delayed inverse of d... d high -> foot low
     // (precharge) -> d low -> foot high (armed).
     n.add_gate("inv_f1", GateKind::Inv, vec![d], f1);
@@ -327,7 +329,11 @@ pub fn rt_fifo_chain(stages: usize) -> (Netlist, FifoPorts, Vec<NetId>) {
     }
     for (k, &s) in stage_nodes.iter().enumerate() {
         let req = if k == 0 { li } else { stage_nodes[k - 1] };
-        let ack = if k + 1 < stages { stage_nodes[k + 1] } else { ri };
+        let ack = if k + 1 < stages {
+            stage_nodes[k + 1]
+        } else {
+            ri
+        };
         // Sequenced precharge (reset = ack·req̅) keeps the set and reset
         // stacks disjoint in time even when several tokens are in flight.
         let req_b = n.add_net(format!("reqb{k}"), NetKind::Internal);
@@ -368,9 +374,9 @@ mod tests {
     #[test]
     fn all_variants_are_structurally_valid() {
         for (netlist, _) in [si_fifo(), bm_fifo(), rt_fifo(), pulse_fifo()] {
-            netlist.validate().unwrap_or_else(|e| {
-                panic!("{} failed validation: {e}", netlist.name())
-            });
+            netlist
+                .validate()
+                .unwrap_or_else(|e| panic!("{} failed validation: {e}", netlist.name()));
         }
     }
 

@@ -87,9 +87,7 @@ impl GateKind {
         match self {
             GateKind::Inv | GateKind::Buf => Some(1),
             GateKind::Xor2 => Some(2),
-            GateKind::Aoi { groups } => {
-                Some(groups.iter().map(|&g| g as usize).sum())
-            }
+            GateKind::Aoi { groups } => Some(groups.iter().map(|&g| g as usize).sum()),
             GateKind::Gc { set, reset } | GateKind::DominoSr { set, reset } => {
                 Some((*set + *reset) as usize)
             }
@@ -216,18 +214,14 @@ impl GateKind {
             GateKind::Xor2 => 8,
             GateKind::Nand | GateKind::Nor => 2 * inputs,
             GateKind::And | GateKind::Or => 2 * inputs + 2,
-            GateKind::Aoi { groups } => {
-                2 * groups.iter().map(|&g| g as usize).sum::<usize>()
-            }
+            GateKind::Aoi { groups } => 2 * groups.iter().map(|&g| g as usize).sum::<usize>(),
             GateKind::Celem => 4 * inputs + 4,
             GateKind::Gc { set, reset } => 2 * (*set as usize + *reset as usize) + 4,
             GateKind::DominoOr { footed } | GateKind::DominoAnd { footed } => {
                 let data = if *footed { inputs - 1 } else { inputs };
                 data + if *footed { 6 } else { 5 }
             }
-            GateKind::DominoSr { set, reset } => {
-                *set as usize + *reset as usize + 4
-            }
+            GateKind::DominoSr { set, reset } => *set as usize + *reset as usize + 4,
         }
     }
 

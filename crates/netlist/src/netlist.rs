@@ -94,10 +94,11 @@ impl fmt::Display for NetlistError {
             NetlistError::DrivenInput(net) => {
                 write!(f, "input net `{net}` is driven by a gate")
             }
-            NetlistError::ArityMismatch { gate, expected, actual } => write!(
-                f,
-                "gate `{gate}` expects {expected} inputs, got {actual}"
-            ),
+            NetlistError::ArityMismatch {
+                gate,
+                expected,
+                actual,
+            } => write!(f, "gate `{gate}` expects {expected} inputs, got {actual}"),
         }
     }
 }
@@ -191,7 +192,12 @@ impl Netlist {
         } else {
             self.driver[output.index()] = self.driver[output.index()];
         }
-        self.gates.push(Gate { name: name.into(), kind, inputs, output });
+        self.gates.push(Gate {
+            name: name.into(),
+            kind,
+            inputs,
+            output,
+        });
         id
     }
 
@@ -286,21 +292,15 @@ impl Netlist {
             match self.net_kind(net) {
                 NetKind::Input => {
                     if drivers > 0 {
-                        return Err(NetlistError::DrivenInput(
-                            self.net_name(net).to_string(),
-                        ));
+                        return Err(NetlistError::DrivenInput(self.net_name(net).to_string()));
                     }
                 }
                 NetKind::Output | NetKind::Internal => {
                     if drivers == 0 {
-                        return Err(NetlistError::Undriven(
-                            self.net_name(net).to_string(),
-                        ));
+                        return Err(NetlistError::Undriven(self.net_name(net).to_string()));
                     }
                     if drivers > 1 {
-                        return Err(NetlistError::MultiplyDriven(
-                            self.net_name(net).to_string(),
-                        ));
+                        return Err(NetlistError::MultiplyDriven(self.net_name(net).to_string()));
                     }
                 }
             }

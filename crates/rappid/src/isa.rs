@@ -38,9 +38,9 @@ pub fn is_prefix(byte: u8) -> bool {
 enum Imm {
     None,
     Byte,
-    Word,   // 2 bytes regardless of prefixes (e.g. RET imm16)
-    Z,      // 4 bytes, or 2 under the 0x66 operand-size prefix
-    Prefix, // not an instruction: a prefix byte
+    Word,    // 2 bytes regardless of prefixes (e.g. RET imm16)
+    Z,       // 4 bytes, or 2 under the 0x66 operand-size prefix
+    Prefix,  // not an instruction: a prefix byte
     TwoByte, // 0x0F escape
 }
 
@@ -55,8 +55,8 @@ fn opcode_info(op: u8) -> (bool, Imm) {
         0x00..=0x3F => {
             let low = op & 0x07;
             match low {
-                0x04 => (false, Byte), // ALU AL, imm8
-                0x05 => (false, Z),    // ALU EAX, imm32
+                0x04 => (false, Byte),        // ALU AL, imm8
+                0x05 => (false, Z),           // ALU EAX, imm32
                 0x06 | 0x07 => (false, None), // push/pop seg
                 _ => (true, None),
             }
@@ -76,29 +76,29 @@ fn opcode_info(op: u8) -> (bool, Imm) {
         0x84..=0x8F => (true, None),  // test/xchg/mov/lea/pop r/m
         0x90..=0x97 => (false, None), // nop/xchg
         0x98 | 0x99 => (false, None),
-        0x9A => (false, Z),           // far call (plus 2 more: approximate)
+        0x9A => (false, Z), // far call (plus 2 more: approximate)
         0x9B..=0x9F => (false, None),
-        0xA0..=0xA3 => (false, Z),    // mov AL/EAX, moffs
-        0xA4..=0xA7 => (false, None), // movs/cmps
-        0xA8 => (false, Byte),        // test AL, imm8
-        0xA9 => (false, Z),           // test EAX, imm32
-        0xAA..=0xAF => (false, None), // stos/lods/scas
-        0xB0..=0xB7 => (false, Byte), // mov r8, imm8
-        0xB8..=0xBF => (false, Z),    // mov r32, imm32
-        0xC0 | 0xC1 => (true, Byte),  // shift r/m, imm8
-        0xC2 => (false, Word),        // ret imm16
-        0xC3 => (false, None),        // ret
-        0xC4 | 0xC5 => (true, None),  // les/lds
-        0xC6 => (true, Byte),         // mov r/m8, imm8
-        0xC7 => (true, Z),            // mov r/m32, imm32
-        0xC8 => (false, Word),        // enter imm16, imm8 (approx: +1 below)
-        0xC9 => (false, None),        // leave
-        0xCA => (false, Word),        // retf imm16
+        0xA0..=0xA3 => (false, Z),           // mov AL/EAX, moffs
+        0xA4..=0xA7 => (false, None),        // movs/cmps
+        0xA8 => (false, Byte),               // test AL, imm8
+        0xA9 => (false, Z),                  // test EAX, imm32
+        0xAA..=0xAF => (false, None),        // stos/lods/scas
+        0xB0..=0xB7 => (false, Byte),        // mov r8, imm8
+        0xB8..=0xBF => (false, Z),           // mov r32, imm32
+        0xC0 | 0xC1 => (true, Byte),         // shift r/m, imm8
+        0xC2 => (false, Word),               // ret imm16
+        0xC3 => (false, None),               // ret
+        0xC4 | 0xC5 => (true, None),         // les/lds
+        0xC6 => (true, Byte),                // mov r/m8, imm8
+        0xC7 => (true, Z),                   // mov r/m32, imm32
+        0xC8 => (false, Word),               // enter imm16, imm8 (approx: +1 below)
+        0xC9 => (false, None),               // leave
+        0xCA => (false, Word),               // retf imm16
         0xCB | 0xCC | 0xCE => (false, None), // retf/int3/into
-        0xCD => (false, Byte),        // int imm8
-        0xCF => (false, None),        // iret
-        0xD0..=0xD3 => (true, None),  // shift r/m, 1/cl
-        0xD4 | 0xD5 => (false, Byte), // aam/aad
+        0xCD => (false, Byte),               // int imm8
+        0xCF => (false, None),               // iret
+        0xD0..=0xD3 => (true, None),         // shift r/m, 1/cl
+        0xD4 | 0xD5 => (false, Byte),        // aam/aad
         0xD6 | 0xD7 => (false, None),
         0xD8..=0xDF => (true, None),  // x87
         0xE0..=0xE3 => (false, Byte), // loop/jcxz
@@ -139,10 +139,7 @@ fn modrm_extra(modrm: u8, sib: Option<u8>) -> u8 {
     }
     extra
         + match md {
-            0b00
-                if (rm == 0b101 || base_is_ebp_disp32) => {
-                    4
-                }
+            0b00 if (rm == 0b101 || base_is_ebp_disp32) => 4,
             0b01 => 1,
             0b10 => 4,
             _ => 0,
@@ -234,7 +231,13 @@ pub fn instruction_length(bytes: &[u8]) -> DecodedLength {
     let total = idx.clamp(1, 15) as u8;
     let common = !two_byte && prefixes == 0 && total <= 4;
     let complex = two_byte || prefixes > 0;
-    DecodedLength { total, prefixes, has_modrm, common, complex }
+    DecodedLength {
+        total,
+        prefixes,
+        has_modrm,
+        common,
+        complex,
+    }
 }
 
 fn clamp(bytes: &[u8], want: usize, prefixes: u8, has_modrm: bool, common: bool) -> DecodedLength {
@@ -324,15 +327,9 @@ mod tests {
         // 8B 45 08 = mov eax, [ebp+8].
         assert_eq!(instruction_length(&[0x8B, 0x45, 0x08]).total, 3);
         // 8B 85 imm32 = mov eax, [ebp+disp32].
-        assert_eq!(
-            instruction_length(&[0x8B, 0x85, 0, 0, 0, 0]).total,
-            6
-        );
+        assert_eq!(instruction_length(&[0x8B, 0x85, 0, 0, 0, 0]).total, 6);
         // 8B 05 disp32 = mov eax, [disp32] (mod=00, rm=101).
-        assert_eq!(
-            instruction_length(&[0x8B, 0x05, 0, 0, 0, 0]).total,
-            6
-        );
+        assert_eq!(instruction_length(&[0x8B, 0x05, 0, 0, 0, 0]).total, 6);
     }
 
     #[test]
@@ -342,10 +339,7 @@ mod tests {
         // 8B 44 24 04 = mov eax, [esp+4] (SIB + disp8).
         assert_eq!(instruction_length(&[0x8B, 0x44, 0x24, 0x04]).total, 4);
         // mod=00, SIB base=101: disp32 follows.
-        assert_eq!(
-            instruction_length(&[0x8B, 0x04, 0x25, 0, 0, 0, 0]).total,
-            7
-        );
+        assert_eq!(instruction_length(&[0x8B, 0x04, 0x25, 0, 0, 0, 0]).total, 7);
     }
 
     #[test]
@@ -354,10 +348,7 @@ mod tests {
         assert_eq!(instruction_length(&[0xE8, 0, 0, 0, 0]).total, 5);
         assert_eq!(instruction_length(&[0x74, 0x10]).total, 2);
         // Two-byte Jcc rel32.
-        assert_eq!(
-            instruction_length(&[0x0F, 0x84, 0, 0, 0, 0]).total,
-            6
-        );
+        assert_eq!(instruction_length(&[0x0F, 0x84, 0, 0, 0, 0]).total, 6);
     }
 
     #[test]
@@ -369,10 +360,7 @@ mod tests {
     #[test]
     fn group1_immediates() {
         // 81 /0 imm32: add r/m32, imm32 (register form).
-        assert_eq!(
-            instruction_length(&[0x81, 0xC0, 1, 2, 3, 4]).total,
-            6
-        );
+        assert_eq!(instruction_length(&[0x81, 0xC0, 1, 2, 3, 4]).total, 6);
         // 83 /0 imm8.
         assert_eq!(instruction_length(&[0x83, 0xC0, 0x01]).total, 3);
     }

@@ -37,19 +37,12 @@ impl Table1 {
 
 /// Builds Table 1 from a pair of runs over the same workload plus the
 /// control-logic testability measured by `rt-dft`.
-pub fn compare(
-    rappid: &RappidResult,
-    clocked: &ClockedResult,
-    testability_pct: f64,
-) -> Table1 {
+pub fn compare(rappid: &RappidResult, clocked: &ClockedResult, testability_pct: f64) -> Table1 {
     Table1 {
         throughput_ratio: rappid.instructions_per_ns() / clocked.instructions_per_ns(),
-        latency_ratio: clocked.latency_ps as f64
-            / rappid.first_issue_latency_ps.max(1) as f64,
+        latency_ratio: clocked.latency_ps as f64 / rappid.first_issue_latency_ps.max(1) as f64,
         power_ratio: clocked.power_fj_per_ns() / rappid.power_fj_per_ns().max(1e-9),
-        area_penalty_pct: (rappid.area_transistors as f64
-            / clocked.area_transistors as f64
-            - 1.0)
+        area_penalty_pct: (rappid.area_transistors as f64 / clocked.area_transistors as f64 - 1.0)
             * 100.0,
         testability_pct,
     }

@@ -145,7 +145,11 @@ impl Rappid {
         let mut line_arrive = vec![0u64; line_count.max(1)];
         let mut line_consumed = vec![0u64; line_count.max(1)];
         for k in 0..line_count {
-            let supply = if k == 0 { 0 } else { line_arrive[k - 1] + c.line_supply_ps };
+            let supply = if k == 0 {
+                0
+            } else {
+                line_arrive[k - 1] + c.line_supply_ps
+            };
             let window = if k >= c.line_buffer {
                 line_consumed[k - c.line_buffer]
             } else {
@@ -192,7 +196,11 @@ impl Rappid {
             };
             let tag_arrive = tag_done_prev + cross;
             let ready = decode_ready.max(tag_arrive);
-            let hop = if len <= 4 { c.tag_common_ps } else { c.tag_uncommon_ps };
+            let hop = if len <= 4 {
+                c.tag_common_ps
+            } else {
+                c.tag_uncommon_ps
+            };
             let tag_done = ready + hop;
             if i == 0 {
                 first_tag = tag_done;
@@ -274,7 +282,11 @@ mod tests {
         let lines = typical_mix(512, 11);
         let result = Rappid::new(RappidConfig::default()).run(&lines);
         // Tag ≈ 3.6 GHz class; decode ≈ 0.7 GHz; steering ≈ 0.9 GHz/row.
-        assert!(result.tag_period_ps < 450, "tag period {}", result.tag_period_ps);
+        assert!(
+            result.tag_period_ps < 450,
+            "tag period {}",
+            result.tag_period_ps
+        );
         assert!(result.decode_period_ps > 1_000);
         assert!(result.steer_period_ps > 1_000);
     }
@@ -307,7 +319,11 @@ mod tests {
     #[test]
     fn more_rows_increase_throughput_until_tag_limits() {
         let lines = short_heavy(256, 5);
-        let two = Rappid::new(RappidConfig { rows: 2, ..RappidConfig::default() }).run(&lines);
+        let two = Rappid::new(RappidConfig {
+            rows: 2,
+            ..RappidConfig::default()
+        })
+        .run(&lines);
         let four = Rappid::new(RappidConfig::default()).run(&lines);
         assert!(
             four.instructions_per_ns() > two.instructions_per_ns(),
@@ -315,8 +331,11 @@ mod tests {
             four.instructions_per_ns(),
             two.instructions_per_ns()
         );
-        let eight =
-            Rappid::new(RappidConfig { rows: 8, ..RappidConfig::default() }).run(&lines);
+        let eight = Rappid::new(RappidConfig {
+            rows: 8,
+            ..RappidConfig::default()
+        })
+        .run(&lines);
         // Beyond the tag rate, extra rows stop helping much.
         assert!(eight.instructions_per_ns() < four.instructions_per_ns() * 1.6);
     }

@@ -62,7 +62,11 @@ impl TagRing {
             n.add_gate(format!("ib{i}"), GateKind::Inv, vec![f1], f2);
             n.add_gate(format!("ic{i}"), GateKind::Inv, vec![f2], foot);
         }
-        TagRing { netlist: n, stages, inject }
+        TagRing {
+            netlist: n,
+            stages,
+            inject,
+        }
     }
 
     /// The underlying netlist.

@@ -97,11 +97,7 @@ fn draw(classes: &[(u8, u32)], rng: &mut StdRng) -> u8 {
 }
 
 /// Builds `lines` cache lines from the given length-class distribution.
-pub fn lines_from_distribution(
-    lines: usize,
-    classes: &[(u8, u32)],
-    seed: u64,
-) -> Vec<CacheLine> {
+pub fn lines_from_distribution(lines: usize, classes: &[(u8, u32)], seed: u64) -> Vec<CacheLine> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut bytes = Vec::with_capacity(lines * 16);
     while bytes.len() < lines * 16 {
@@ -203,7 +199,11 @@ mod tests {
     fn short_and_long_mixes_diverge() {
         let short = stream_stats(&short_heavy(256, 7));
         let long = stream_stats(&long_heavy(256, 7));
-        assert!(short.mean_length < 2.2, "short mean {:.2}", short.mean_length);
+        assert!(
+            short.mean_length < 2.2,
+            "short mean {:.2}",
+            short.mean_length
+        );
         assert!(long.mean_length > 4.0, "long mean {:.2}", long.mean_length);
         assert!(short.instructions > long.instructions);
     }
@@ -227,10 +227,7 @@ mod tests {
                     8 | 9 => 3,
                     c => c,
                 };
-                assert_eq!(
-                    decoded.total, expected,
-                    "class {class}: bytes {bytes:02X?}"
-                );
+                assert_eq!(decoded.total, expected, "class {class}: bytes {bytes:02X?}");
             }
         }
     }

@@ -56,7 +56,8 @@ impl Bencher {
                 std::hint::black_box(routine());
             }
             let elapsed = t0.elapsed();
-            self.samples_ns.push(elapsed.as_nanos() as f64 / iters as f64);
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
         }
         self.iters = iters;
     }
@@ -65,7 +66,10 @@ impl Bencher {
         let mut sorted = self.samples_ns.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));
         let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
-        println!("{name:<48} time: {median:>14.1} ns/iter ({} iters)", self.iters);
+        println!(
+            "{name:<48} time: {median:>14.1} ns/iter ({} iters)",
+            self.iters
+        );
     }
 }
 
@@ -78,12 +82,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter`.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// Just the parameter, for single-function groups.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -95,7 +103,11 @@ pub struct BenchmarkGroup<'a> {
 
 impl BenchmarkGroup<'_> {
     /// Runs `f` as a benchmark named `id`.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
         let mut b = Bencher::default();
         f(&mut b);
         b.report(&format!("{}/{}", self.name, id));
@@ -126,7 +138,10 @@ pub struct Criterion {}
 impl Criterion {
     /// Starts a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
     }
 
     /// Runs `f` as a stand-alone benchmark.
@@ -171,9 +186,7 @@ mod tests {
         c.bench_function("noop", |b| b.iter(|| ran += 1));
         assert!(ran >= 1);
         let mut group = c.benchmark_group("g");
-        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &n| {
-            b.iter(|| n * 2)
-        });
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &n| b.iter(|| n * 2));
         group.finish();
     }
 

@@ -46,7 +46,9 @@ pub mod test_runner {
                 .ok()
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(0x5EED_CAFE_F00D_u64);
-            TestRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+            TestRng {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
         }
 
         /// The next 64 random bits.
@@ -90,10 +92,7 @@ pub mod strategy {
 
         /// Chains a dependent strategy: `f` builds a second strategy from
         /// each generated value.
-        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(
-            self,
-            f: F,
-        ) -> FlatMap<Self, F>
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
         where
             Self: Sized,
         {
@@ -233,13 +232,19 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { min: r.start, max: r.end - 1 }
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
-            SizeRange { min: *r.start(), max: *r.end() }
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
         }
     }
 
@@ -252,7 +257,10 @@ pub mod collection {
 
     /// A vector of values from `element`, with length drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -260,7 +268,12 @@ pub mod collection {
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.max - self.size.min) as u64;
-            let len = self.size.min + if span == 0 { 0 } else { rng.below(span + 1) as usize };
+            let len = self.size.min
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span + 1) as usize
+                };
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
     }

@@ -102,7 +102,12 @@ pub struct FourPhaseConsumer {
 impl FourPhaseConsumer {
     /// Creates a consumer with the given response delay.
     pub fn new(req: NetId, ack: NetId, delay_ps: u64) -> Self {
-        FourPhaseConsumer { req, ack, delay_ps, handshakes: 0 }
+        FourPhaseConsumer {
+            req,
+            ack,
+            delay_ps,
+            handshakes: 0,
+        }
     }
 
     /// Number of request edges answered.

@@ -12,8 +12,7 @@ use std::collections::BinaryHeap;
 use rt_netlist::{GateId, GateKind, NetId, Netlist};
 
 /// Delay configuration for a simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DelayConfig {
     /// Use each gate's nominal [`rt_netlist::DelayModel`].
     #[default]
@@ -33,7 +32,6 @@ pub enum DelayConfig {
         seed: u64,
     },
 }
-
 
 /// Kinds of dynamic hazards the engine records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -245,8 +243,7 @@ impl<'a> Simulator<'a> {
             let mut changed = false;
             for gate in self.netlist.gates() {
                 let g = self.netlist.gate(gate);
-                let inputs: Vec<bool> =
-                    g.inputs.iter().map(|&n| self.values[n.index()]).collect();
+                let inputs: Vec<bool> = g.inputs.iter().map(|&n| self.values[n.index()]).collect();
                 let new = g.kind.evaluate(&inputs, self.values[g.output.index()]);
                 if new != self.values[g.output.index()] {
                     self.values[g.output.index()] = new;
@@ -328,8 +325,7 @@ impl<'a> Simulator<'a> {
                     // Redirect the pending event to the new value.
                     let delay = self.gate_delay(gate, new);
                     self.seq += 1;
-                    self.pending[out.index()] =
-                        Some((self.time_ps + delay, new, self.seq));
+                    self.pending[out.index()] = Some((self.time_ps + delay, new, self.seq));
                     self.queue.push(Reverse(Event {
                         time_ps: self.time_ps + delay,
                         seq: self.seq,
@@ -342,8 +338,7 @@ impl<'a> Simulator<'a> {
                 if new != prev {
                     let delay = self.gate_delay(gate, new);
                     self.seq += 1;
-                    self.pending[out.index()] =
-                        Some((self.time_ps + delay, new, self.seq));
+                    self.pending[out.index()] = Some((self.time_ps + delay, new, self.seq));
                     self.queue.push(Reverse(Event {
                         time_ps: self.time_ps + delay,
                         seq: self.seq,
@@ -484,7 +479,10 @@ mod tests {
         sim.run_until(1_000_000);
         assert!(sim.value(output), "output never fell");
         assert_eq!(
-            sim.hazards().iter().filter(|h| h.kind == HazardKind::Glitch).count(),
+            sim.hazards()
+                .iter()
+                .filter(|h| h.kind == HazardKind::Glitch)
+                .count(),
             1
         );
     }
@@ -579,10 +577,7 @@ mod tests {
     fn jitter_is_deterministic_per_seed() {
         let (net, input, output) = inv_chain(6);
         let run = |seed: u64| {
-            let mut sim = Simulator::with_delays(
-                &net,
-                DelayConfig::Jitter { spread: 20, seed },
-            );
+            let mut sim = Simulator::with_delays(&net, DelayConfig::Jitter { spread: 20, seed });
             sim.settle_initial(8);
             sim.schedule(input, true, 0);
             sim.run_until(1_000_000);

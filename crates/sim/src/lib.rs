@@ -38,6 +38,8 @@ pub mod engine;
 pub mod measure;
 pub mod vcd;
 
-pub use agent::{run_with_agents, Agent, FourPhaseConsumer, FourPhaseProducer, PulseSource, RingProducer};
+pub use agent::{
+    run_with_agents, Agent, FourPhaseConsumer, FourPhaseProducer, PulseSource, RingProducer,
+};
 pub use engine::{DelayConfig, Hazard, HazardKind, Simulator};
 pub use measure::{CycleStats, EdgeRecorder};

@@ -18,7 +18,11 @@ pub struct EdgeRecorder {
 impl EdgeRecorder {
     /// Creates a recorder for `net`.
     pub fn new(net: NetId) -> Self {
-        EdgeRecorder { net, rises: Vec::new(), falls: Vec::new() }
+        EdgeRecorder {
+            net,
+            rises: Vec::new(),
+            falls: Vec::new(),
+        }
     }
 
     /// Timestamps of rising edges.

@@ -38,7 +38,10 @@ pub fn to_vcd(sim: &Simulator<'_>, netlist: &Netlist) -> Option<String> {
     out.push_str("$date rt-cad simulation $end\n");
     out.push_str("$version rt-sim $end\n");
     out.push_str("$timescale 1ps $end\n");
-    out.push_str(&format!("$scope module {} $end\n", sanitize(netlist.name())));
+    out.push_str(&format!(
+        "$scope module {} $end\n",
+        sanitize(netlist.name())
+    ));
     for net in netlist.nets() {
         out.push_str(&format!(
             "$var wire 1 {} {} $end\n",
@@ -88,7 +91,13 @@ fn ident(net: NetId) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -119,7 +128,11 @@ mod tests {
         let (n, doc) = traced_run();
         assert!(doc.contains("$timescale 1ps $end"));
         for net in n.nets() {
-            assert!(doc.contains(&sanitize(n.net_name(net))), "{}", n.net_name(net));
+            assert!(
+                doc.contains(&sanitize(n.net_name(net))),
+                "{}",
+                n.net_name(net)
+            );
         }
         assert!(doc.contains("$dumpvars"));
         assert!(doc.contains("$enddefinitions $end"));

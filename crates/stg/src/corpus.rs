@@ -175,7 +175,11 @@ pub fn adder_rt_with_links(stages: usize, link_depth: usize) -> Stg {
     let mut stg = Stg::new(format!("adder{stages}_rt"));
     let reqs: Vec<_> = (0..stages)
         .map(|i| {
-            let kind = if i == 0 { SignalKind::Input } else { SignalKind::Internal };
+            let kind = if i == 0 {
+                SignalKind::Input
+            } else {
+                SignalKind::Internal
+            };
             stg.add_signal(format!("r{i}"), kind).expect("fresh signal")
         })
         .collect();
@@ -185,10 +189,22 @@ pub fn adder_rt_with_links(stages: usize, link_depth: usize) -> Stg {
                 .expect("fresh signal")
         })
         .collect();
-    let rp: Vec<_> = reqs.iter().map(|&s| stg.transition_for(s, Edge::Rise)).collect();
-    let rm: Vec<_> = reqs.iter().map(|&s| stg.transition_for(s, Edge::Fall)).collect();
-    let ap: Vec<_> = acks.iter().map(|&s| stg.transition_for(s, Edge::Rise)).collect();
-    let am: Vec<_> = acks.iter().map(|&s| stg.transition_for(s, Edge::Fall)).collect();
+    let rp: Vec<_> = reqs
+        .iter()
+        .map(|&s| stg.transition_for(s, Edge::Rise))
+        .collect();
+    let rm: Vec<_> = reqs
+        .iter()
+        .map(|&s| stg.transition_for(s, Edge::Fall))
+        .collect();
+    let ap: Vec<_> = acks
+        .iter()
+        .map(|&s| stg.transition_for(s, Edge::Rise))
+        .collect();
+    let am: Vec<_> = acks
+        .iter()
+        .map(|&s| stg.transition_for(s, Edge::Fall))
+        .collect();
     for i in 0..stages {
         let next = (i + 1) % stages;
         // Four-phase handshake of stage i; the stage idles with a token
@@ -258,10 +274,22 @@ pub fn fabric_stg(rows: usize, cols: usize, link_depth: usize) -> Stg {
                 .expect("fresh signal")
         })
         .collect();
-    let rp: Vec<_> = reqs.iter().map(|&s| stg.transition_for(s, Edge::Rise)).collect();
-    let rm: Vec<_> = reqs.iter().map(|&s| stg.transition_for(s, Edge::Fall)).collect();
-    let ap: Vec<_> = acks.iter().map(|&s| stg.transition_for(s, Edge::Rise)).collect();
-    let am: Vec<_> = acks.iter().map(|&s| stg.transition_for(s, Edge::Fall)).collect();
+    let rp: Vec<_> = reqs
+        .iter()
+        .map(|&s| stg.transition_for(s, Edge::Rise))
+        .collect();
+    let rm: Vec<_> = reqs
+        .iter()
+        .map(|&s| stg.transition_for(s, Edge::Fall))
+        .collect();
+    let ap: Vec<_> = acks
+        .iter()
+        .map(|&s| stg.transition_for(s, Edge::Rise))
+        .collect();
+    let am: Vec<_> = acks
+        .iter()
+        .map(|&s| stg.transition_for(s, Edge::Fall))
+        .collect();
 
     // A link from `from` (an acknowledge rise) to `to` (the downstream
     // request rise): wrap links are direct and carry the circulating
@@ -365,8 +393,7 @@ mod tests {
         let g1 = stg.signal_by_name("g1").expect("g1");
         let g2 = stg.signal_by_name("g2").expect("g2");
         let contention = sg.states().any(|s| {
-            sg.is_enabled(s, rt_stg_event(g1, true))
-                && sg.is_enabled(s, rt_stg_event(g2, true))
+            sg.is_enabled(s, rt_stg_event(g1, true)) && sg.is_enabled(s, rt_stg_event(g2, true))
         });
         assert!(contention);
     }
@@ -374,7 +401,11 @@ mod tests {
     fn rt_stg_event(signal: crate::SignalId, rise: bool) -> crate::SignalEvent {
         crate::SignalEvent::new(
             signal,
-            if rise { crate::Edge::Rise } else { crate::Edge::Fall },
+            if rise {
+                crate::Edge::Rise
+            } else {
+                crate::Edge::Fall
+            },
         )
     }
 

@@ -201,7 +201,12 @@ impl ReachEngine {
 
     /// Full-control constructor.
     pub fn with_options(backend: ReachBackend, options: ExploreOptions) -> Self {
-        ReachEngine { backend, options, manager: None, stats: EngineStats::default() }
+        ReachEngine {
+            backend,
+            options,
+            manager: None,
+            stats: EngineStats::default(),
+        }
     }
 
     /// Builder-style thread-count override for the sharded explicit
@@ -431,7 +436,10 @@ mod tests {
         let mut engine = ReachEngine::explicit();
         assert!(engine.state_graph(&stg).is_err(), "codes cap at 64 signals");
         let summary = engine.summary(&stg).expect("counting walk is uncapped");
-        assert_eq!(summary.markings, 140, "one state per transition of the ring");
+        assert_eq!(
+            summary.markings, 140,
+            "one state per transition of the ring"
+        );
     }
 
     #[test]
@@ -448,7 +456,11 @@ mod tests {
         let after = engine.symbolic_set(&stg).expect("post-trim run");
         assert_eq!(before.markings, after.markings);
         assert_eq!(before.set, after.set, "same node id: bit-identical set");
-        assert_eq!(engine.manager_nodes(), nodes, "no new nodes after trim replay");
+        assert_eq!(
+            engine.manager_nodes(),
+            nodes,
+            "no new nodes after trim replay"
+        );
     }
 
     #[test]

@@ -90,10 +90,16 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let cases: Vec<(StgError, &str)> = vec![
             (StgError::UnknownSignal("a".into()), "unknown signal `a`"),
-            (StgError::DuplicateSignal("b".into()), "duplicate signal `b`"),
+            (
+                StgError::DuplicateSignal("b".into()),
+                "duplicate signal `b`",
+            ),
             (StgError::UnknownPlace("p".into()), "unknown place `p`"),
             (
-                StgError::Unbounded { place: "p0".into(), bound: 1 },
+                StgError::Unbounded {
+                    place: "p0".into(),
+                    bound: 1,
+                },
                 "place `p0` exceeds token bound 1",
             ),
             (

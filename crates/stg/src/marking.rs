@@ -71,8 +71,18 @@ impl MarkingLayout {
         };
         let per_word = (64 / bits) as usize;
         let words = places.div_ceil(per_word).max(1);
-        let capacity = if bits >= 16 { u16::MAX } else { (1u16 << bits) - 1 };
-        MarkingLayout { places, bits, per_word, words, capacity }
+        let capacity = if bits >= 16 {
+            u16::MAX
+        } else {
+            (1u16 << bits) - 1
+        };
+        MarkingLayout {
+            places,
+            bits,
+            per_word,
+            words,
+            capacity,
+        }
     }
 
     /// Number of places covered.
@@ -99,7 +109,10 @@ impl MarkingLayout {
     #[inline]
     fn slot(&self, place: usize) -> (usize, u32) {
         debug_assert!(place < self.places, "place out of range");
-        (place / self.per_word, (place % self.per_word) as u32 * self.bits)
+        (
+            place / self.per_word,
+            (place % self.per_word) as u32 * self.bits,
+        )
     }
 
     #[inline]
@@ -161,7 +174,11 @@ impl PackedMarking {
     /// Panics if `marking` covers a different number of places than
     /// `layout`, or some token count exceeds the layout capacity.
     pub fn pack(layout: &MarkingLayout, marking: &Marking) -> Self {
-        assert_eq!(marking.len(), layout.places, "marking/layout place count mismatch");
+        assert_eq!(
+            marking.len(),
+            layout.places,
+            "marking/layout place count mismatch"
+        );
         let mut packed = PackedMarking::zero(layout);
         for (place, tokens) in marking.marked_places() {
             assert!(
@@ -225,7 +242,10 @@ impl PackedMarking {
     /// Debug-asserts that `count` fits the layout's field width.
     #[inline]
     pub fn set_tokens(&mut self, layout: &MarkingLayout, place: PlaceId, count: u16) {
-        debug_assert!(count <= layout.capacity, "token count exceeds field capacity");
+        debug_assert!(
+            count <= layout.capacity,
+            "token count exceeds field capacity"
+        );
         let (word, shift) = layout.slot(place.index());
         let mask = layout.mask();
         let w = &mut self.words_mut()[word];

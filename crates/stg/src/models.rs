@@ -19,8 +19,12 @@ use crate::stg::Stg;
 /// ```
 pub fn handshake_stg() -> Stg {
     let mut stg = Stg::new("handshake");
-    let a = stg.add_signal("a", SignalKind::Input).expect("fresh signal");
-    let b = stg.add_signal("b", SignalKind::Output).expect("fresh signal");
+    let a = stg
+        .add_signal("a", SignalKind::Input)
+        .expect("fresh signal");
+    let b = stg
+        .add_signal("b", SignalKind::Output)
+        .expect("fresh signal");
     let ap = stg.transition_for(a, Edge::Rise);
     let bp = stg.transition_for(b, Edge::Rise);
     let am = stg.transition_for(a, Edge::Fall);
@@ -54,10 +58,18 @@ pub fn handshake_stg() -> Stg {
 /// prune the conflicting states.
 pub fn fifo_stg() -> Stg {
     let mut stg = Stg::new("fifo");
-    let li = stg.add_signal("li", SignalKind::Input).expect("fresh signal");
-    let lo = stg.add_signal("lo", SignalKind::Output).expect("fresh signal");
-    let ro = stg.add_signal("ro", SignalKind::Output).expect("fresh signal");
-    let ri = stg.add_signal("ri", SignalKind::Input).expect("fresh signal");
+    let li = stg
+        .add_signal("li", SignalKind::Input)
+        .expect("fresh signal");
+    let lo = stg
+        .add_signal("lo", SignalKind::Output)
+        .expect("fresh signal");
+    let ro = stg
+        .add_signal("ro", SignalKind::Output)
+        .expect("fresh signal");
+    let ri = stg
+        .add_signal("ri", SignalKind::Input)
+        .expect("fresh signal");
 
     let li_p = stg.transition_for(li, Edge::Rise);
     let lo_p = stg.transition_for(lo, Edge::Rise);
@@ -100,11 +112,21 @@ pub fn fifo_stg() -> Stg {
 /// instead).
 pub fn fifo_stg_csc() -> Stg {
     let mut stg = Stg::new("fifo_csc");
-    let li = stg.add_signal("li", SignalKind::Input).expect("fresh signal");
-    let lo = stg.add_signal("lo", SignalKind::Output).expect("fresh signal");
-    let ro = stg.add_signal("ro", SignalKind::Output).expect("fresh signal");
-    let ri = stg.add_signal("ri", SignalKind::Input).expect("fresh signal");
-    let x = stg.add_signal("x", SignalKind::Internal).expect("fresh signal");
+    let li = stg
+        .add_signal("li", SignalKind::Input)
+        .expect("fresh signal");
+    let lo = stg
+        .add_signal("lo", SignalKind::Output)
+        .expect("fresh signal");
+    let ro = stg
+        .add_signal("ro", SignalKind::Output)
+        .expect("fresh signal");
+    let ri = stg
+        .add_signal("ri", SignalKind::Input)
+        .expect("fresh signal");
+    let x = stg
+        .add_signal("x", SignalKind::Internal)
+        .expect("fresh signal");
 
     let li_p = stg.transition_for(li, Edge::Rise);
     let lo_p = stg.transition_for(lo, Edge::Rise);
@@ -151,9 +173,15 @@ pub fn fifo_stg_csc() -> Stg {
 /// ```
 pub fn celement_stg() -> Stg {
     let mut stg = Stg::new("celement");
-    let a = stg.add_signal("a", SignalKind::Input).expect("fresh signal");
-    let b = stg.add_signal("b", SignalKind::Input).expect("fresh signal");
-    let c = stg.add_signal("c", SignalKind::Output).expect("fresh signal");
+    let a = stg
+        .add_signal("a", SignalKind::Input)
+        .expect("fresh signal");
+    let b = stg
+        .add_signal("b", SignalKind::Input)
+        .expect("fresh signal");
+    let c = stg
+        .add_signal("c", SignalKind::Output)
+        .expect("fresh signal");
 
     let ap = stg.transition_for(a, Edge::Rise);
     let bp = stg.transition_for(b, Edge::Rise);
@@ -230,7 +258,9 @@ pub fn ring_stg(n: usize, tokens: usize) -> Stg {
 pub fn chain_stg(n: usize) -> Stg {
     assert!(n >= 1, "chain needs at least one stage");
     let mut stg = Stg::new(format!("chain{n}"));
-    let r = stg.add_signal("r", SignalKind::Input).expect("fresh signal");
+    let r = stg
+        .add_signal("r", SignalKind::Input)
+        .expect("fresh signal");
     let acks: Vec<_> = (0..n)
         .map(|i| {
             stg.add_signal(format!("a{i}"), SignalKind::Output)
@@ -239,8 +269,14 @@ pub fn chain_stg(n: usize) -> Stg {
         .collect();
     let rp = stg.transition_for(r, Edge::Rise);
     let rm = stg.transition_for(r, Edge::Fall);
-    let aps: Vec<_> = acks.iter().map(|&a| stg.transition_for(a, Edge::Rise)).collect();
-    let ams: Vec<_> = acks.iter().map(|&a| stg.transition_for(a, Edge::Fall)).collect();
+    let aps: Vec<_> = acks
+        .iter()
+        .map(|&a| stg.transition_for(a, Edge::Rise))
+        .collect();
+    let ams: Vec<_> = acks
+        .iter()
+        .map(|&a| stg.transition_for(a, Edge::Fall))
+        .collect();
     stg.arc(rp, aps[0]);
     for i in 1..n {
         stg.arc(aps[i - 1], aps[i]);

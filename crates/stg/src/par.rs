@@ -157,12 +157,7 @@ mod tests {
 
     #[test]
     fn disqualified_candidates_are_skipped() {
-        let (best, _) = parallel_argmin(
-            6,
-            4,
-            || (),
-            |(), i| (i % 2 == 1).then_some((100 - i, i)),
-        );
+        let (best, _) = parallel_argmin(6, 4, || (), |(), i| (i % 2 == 1).then_some((100 - i, i)));
         assert_eq!(best, Some((5, 95, 5)));
         let (none, _) = parallel_argmin(4, 2, || (), |(), _| None::<(usize, ())>);
         assert!(none.is_none());

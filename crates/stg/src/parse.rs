@@ -155,12 +155,7 @@ impl<'a> Parser<'a> {
         Ok(self.stg)
     }
 
-    fn declare(
-        &mut self,
-        names: &[&str],
-        kind: SignalKind,
-        _line: usize,
-    ) -> Result<(), StgError> {
+    fn declare(&mut self, names: &[&str], kind: SignalKind, _line: usize) -> Result<(), StgError> {
         for name in names {
             self.stg.add_signal(*name, kind)?;
         }
@@ -177,7 +172,8 @@ impl<'a> Parser<'a> {
             if self.stg.signal_by_name(base).is_some() {
                 let event = self.stg.parse_event(token)?;
                 let id = self.stg.transition(event);
-                self.nodes.insert(token.to_string(), NodeRef::Transition(id));
+                self.nodes
+                    .insert(token.to_string(), NodeRef::Transition(id));
                 return Ok(NodeRef::Transition(id));
             }
             return Err(StgError::Parse {
@@ -188,7 +184,8 @@ impl<'a> Parser<'a> {
         // Dummy transition?
         if self.dummy_names.iter().any(|d| d == token) {
             let id = self.stg.silent(token);
-            self.nodes.insert(token.to_string(), NodeRef::Transition(id));
+            self.nodes
+                .insert(token.to_string(), NodeRef::Transition(id));
             return Ok(NodeRef::Transition(id));
         }
         // Otherwise: an explicit place.
@@ -235,7 +232,11 @@ impl<'a> Parser<'a> {
     }
 
     fn marking_line(&mut self, text: &str, line_no: usize) -> Result<(), StgError> {
-        let inner = text.trim().trim_start_matches('{').trim_end_matches('}').trim();
+        let inner = text
+            .trim()
+            .trim_start_matches('{')
+            .trim_end_matches('}')
+            .trim();
         if inner.is_empty() {
             return Ok(());
         }
@@ -369,7 +370,11 @@ pub fn write_g(stg: &Stg) -> String {
         let name = if is_implicit(place) {
             let from = net.producers(place)[0];
             let to = net.consumers(place)[0];
-            format!("<{},{}>", net.transition_name(from), net.transition_name(to))
+            format!(
+                "<{},{}>",
+                net.transition_name(from),
+                net.transition_name(to)
+            )
         } else {
             net.place_name(place).to_string()
         };
@@ -387,7 +392,13 @@ pub fn write_g(stg: &Stg) -> String {
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() {
         "model".to_string()

@@ -68,7 +68,9 @@ pub struct Marking {
 impl Marking {
     /// A marking over `places` places with zero tokens everywhere.
     pub fn empty(places: usize) -> Self {
-        Marking { tokens: vec![0; places] }
+        Marking {
+            tokens: vec![0; places],
+        }
     }
 
     /// Builds a marking from an explicit token vector.
@@ -299,7 +301,9 @@ impl PetriNet {
 
     /// All transitions enabled in `m`.
     pub fn enabled(&self, m: &Marking) -> Vec<TransitionId> {
-        self.transitions().filter(|&t| self.is_enabled(t, m)).collect()
+        self.transitions()
+            .filter(|&t| self.is_enabled(t, m))
+            .collect()
     }
 
     /// Fires `transition` from marking `m`, returning the successor marking,
@@ -397,7 +401,8 @@ impl PetriNet {
     /// pipelines such as the paper's FIFO ring and have strong liveness
     /// guarantees.
     pub fn is_marked_graph(&self) -> bool {
-        self.places().all(|p| self.consumers(p).len() <= 1 && self.producers(p).len() <= 1)
+        self.places()
+            .all(|p| self.consumers(p).len() <= 1 && self.producers(p).len() <= 1)
     }
 
     /// A net is *free choice* if whenever a place feeds several transitions,
@@ -406,9 +411,9 @@ impl PetriNet {
         self.places().all(|p| {
             let consumers = self.consumers(p);
             consumers.len() <= 1
-                || consumers.iter().all(|&t| {
-                    self.preset(t).len() == 1 && self.preset(t)[0].place == p
-                })
+                || consumers
+                    .iter()
+                    .all(|&t| self.preset(t).len() == 1 && self.preset(t)[0].place == p)
         })
     }
 
@@ -473,7 +478,10 @@ impl PetriNet {
     /// Looks up a place id by name (linear scan; intended for parsing and
     /// tests, not inner loops).
     pub fn place_by_name(&self, name: &str) -> Option<PlaceId> {
-        self.place_names.iter().position(|n| n == name).map(|i| PlaceId(i as u32))
+        self.place_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| PlaceId(i as u32))
     }
 
     /// Looks up a transition id by name.
@@ -583,7 +591,10 @@ mod tests {
         let err = net.check_bound(&m, 1).unwrap_err();
         assert_eq!(
             err,
-            StgError::Unbounded { place: "p1".to_string(), bound: 1 }
+            StgError::Unbounded {
+                place: "p1".to_string(),
+                bound: 1
+            }
         );
     }
 

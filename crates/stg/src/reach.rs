@@ -192,7 +192,10 @@ pub fn explore_with(stg: &Stg, options: &ExploreOptions) -> Result<StateGraph, S
                     next_code,
                 ));
             }
-            builder.push_arc(StateArc { event, to: StateId(next_id.0) });
+            builder.push_arc(StateArc {
+                event,
+                to: StateId(next_id.0),
+            });
         }
         if !any_enabled && options.forbid_deadlock {
             return Err(StgError::Deadlock(format!("{}", marking.unpack(&layout))));
@@ -250,7 +253,10 @@ pub fn count_markings_with(stg: &Stg, options: &ExploreOptions) -> Result<Explic
         let layout = marking_layout(stg, options)?;
         let (shards, layers) = parallel_walk(stg, options, &layout, threads, false, 0)?;
         let markings: usize = shards.iter().map(|s| s.markings.len()).sum();
-        return Ok(ExplicitCount { markings: markings as u64, iterations: 1 + layers });
+        return Ok(ExplicitCount {
+            markings: markings as u64,
+            iterations: 1 + layers,
+        });
     }
     let net = stg.net();
     let layout = marking_layout(stg, options)?;
@@ -291,7 +297,10 @@ pub fn count_markings_with(stg: &Stg, options: &ExploreOptions) -> Result<Explic
         }
         state += 1;
     }
-    Ok(ExplicitCount { markings: arena.len() as u64, iterations })
+    Ok(ExplicitCount {
+        markings: arena.len() as u64,
+        iterations,
+    })
 }
 
 /// Arc-target placeholder used by a worker while the owning shard has
@@ -385,8 +394,7 @@ fn parallel_walk(
     // own, and the post-join reduction picks the lowest worker index,
     // so the reported error is deterministic for a given thread count
     // even when several shards fail in the same round.
-    let failures: Vec<Mutex<Option<StgError>>> =
-        (0..threads).map(|_| Mutex::new(None)).collect();
+    let failures: Vec<Mutex<Option<StgError>>> = (0..threads).map(|_| Mutex::new(None)).collect();
     let fail = |me: usize, error: StgError| {
         let mut slot = failures[me].lock().expect("failure slot");
         slot.get_or_insert(error);
@@ -492,9 +500,8 @@ fn parallel_walk(
                                 // (The cross-shard total is still checked
                                 // every round in phase 3.)
                                 if arena.len() > options.state_limit {
-                                    my_error = Some(StgError::StateLimitExceeded(
-                                        options.state_limit,
-                                    ));
+                                    my_error =
+                                        Some(StgError::StateLimitExceeded(options.state_limit));
                                     break 'expand;
                                 }
                             } else if build && codes[next_id.index()] != next_code {
@@ -525,8 +532,7 @@ fn parallel_walk(
                         }
                     }
                     if !any_enabled && options.forbid_deadlock {
-                        my_error =
-                            Some(StgError::Deadlock(format!("{}", marking.unpack(layout))));
+                        my_error = Some(StgError::Deadlock(format!("{}", marking.unpack(layout))));
                         break 'expand;
                     }
                 }
@@ -562,8 +568,7 @@ fn parallel_walk(
                                 codes.push(*message_code);
                             }
                             if arena.len() > options.state_limit {
-                                my_error =
-                                    Some(StgError::StateLimitExceeded(options.state_limit));
+                                my_error = Some(StgError::StateLimitExceeded(options.state_limit));
                                 break 'senders;
                             }
                         } else if build && codes[id.index()] != *message_code {
@@ -598,7 +603,12 @@ fn parallel_walk(
             // Every input to these decisions was published before the
             // barrier above, so all workers reach the same verdict in
             // the same round (see the `errors` comment).
-            if errors.iter().map(|e| e.load(Ordering::SeqCst)).sum::<usize>() > 0 {
+            if errors
+                .iter()
+                .map(|e| e.load(Ordering::SeqCst))
+                .sum::<usize>()
+                > 0
+            {
                 break;
             }
             if build && !pending.is_empty() {
@@ -632,7 +642,13 @@ fn parallel_walk(
             offsets.push(targets.len() as u32);
         }
         (
-            ShardOutput { markings: arena.into_markings(), codes, offsets, events, targets },
+            ShardOutput {
+                markings: arena.into_markings(),
+                codes,
+                offsets,
+                events,
+                targets,
+            },
             layers,
         )
     };
@@ -654,7 +670,10 @@ fn parallel_walk(
         }
     }
     let layers = results[0].1;
-    Ok((results.into_iter().map(|(shard, _)| shard).collect(), layers))
+    Ok((
+        results.into_iter().map(|(shard, _)| shard).collect(),
+        layers,
+    ))
 }
 
 /// Two arrival paths assigned the same marking different signal codes:
@@ -735,7 +754,10 @@ fn explore_sharded(
             } else {
                 assigned
             };
-            builder.push_arc(StateArc { event: shard.events[arc], to: StateId(to) });
+            builder.push_arc(StateArc {
+                event: shard.events[arc],
+                to: StateId(to),
+            });
         }
     }
     let (offsets, arcs) = builder.finish();
@@ -934,7 +956,10 @@ mod tests {
         stg.arc_to_place(t2, sink);
         let err = explore(&stg).unwrap_err();
         assert!(
-            matches!(err, StgError::Unbounded { .. } | StgError::Inconsistent { .. }),
+            matches!(
+                err,
+                StgError::Unbounded { .. } | StgError::Inconsistent { .. }
+            ),
             "got {err:?}"
         );
     }
@@ -942,7 +967,10 @@ mod tests {
     #[test]
     fn state_limit_enforced() {
         let stg = handshake();
-        let options = ExploreOptions { state_limit: 2, ..ExploreOptions::default() };
+        let options = ExploreOptions {
+            state_limit: 2,
+            ..ExploreOptions::default()
+        };
         let err = explore_with(&stg, &options).unwrap_err();
         assert_eq!(err, StgError::StateLimitExceeded(2));
     }
@@ -956,7 +984,10 @@ mod tests {
         stg.set_tokens(p, 1);
         stg.arc_from_place(p, t1);
         // t1 produces nothing: deadlock after firing.
-        let options = ExploreOptions { forbid_deadlock: true, ..ExploreOptions::default() };
+        let options = ExploreOptions {
+            forbid_deadlock: true,
+            ..ExploreOptions::default()
+        };
         let err = explore_with(&stg, &options).unwrap_err();
         assert!(matches!(err, StgError::Deadlock(_)), "got {err:?}");
         // Without the flag the deadlock state is simply present.
@@ -1002,7 +1033,10 @@ mod tests {
         ] {
             let serial = explore(&stg).expect("serial explores");
             for threads in [2usize, 3, 8] {
-                let options = ExploreOptions { threads, ..ExploreOptions::default() };
+                let options = ExploreOptions {
+                    threads,
+                    ..ExploreOptions::default()
+                };
                 let parallel = explore_with(&stg, &options)
                     .unwrap_or_else(|e| panic!("{} at {threads} threads: {e}", stg.name()));
                 assert_eq!(parallel.state_count(), serial.state_count());
@@ -1026,10 +1060,17 @@ mod tests {
 
     #[test]
     fn sharded_count_matches_serial_count() {
-        for stg in [handshake(), crate::models::fifo_stg(), crate::models::ring_stg(8, 2)] {
+        for stg in [
+            handshake(),
+            crate::models::fifo_stg(),
+            crate::models::ring_stg(8, 2),
+        ] {
             let serial = count_markings_with(&stg, &ExploreOptions::default()).expect("counts");
             for threads in [2usize, 5] {
-                let options = ExploreOptions { threads, ..ExploreOptions::default() };
+                let options = ExploreOptions {
+                    threads,
+                    ..ExploreOptions::default()
+                };
                 let parallel = count_markings_with(&stg, &options).expect("counts sharded");
                 assert_eq!(parallel, serial, "{} at {threads} threads", stg.name());
             }
@@ -1050,21 +1091,28 @@ mod tests {
         );
         // Inconsistency (a+ twice).
         let mut bad = Stg::new("bad");
-        let a = bad.add_signal("a", crate::signal::SignalKind::Input).unwrap();
+        let a = bad
+            .add_signal("a", crate::signal::SignalKind::Input)
+            .unwrap();
         let t1 = bad.transition_for(a, Edge::Rise);
         let t2 = bad.transition_for(a, Edge::Rise);
         bad.arc(t1, t2);
         let p = bad.add_place("start");
         bad.set_tokens(p, 1);
         bad.arc_from_place(p, t1);
-        let options = ExploreOptions { threads: 3, ..ExploreOptions::default() };
+        let options = ExploreOptions {
+            threads: 3,
+            ..ExploreOptions::default()
+        };
         assert!(matches!(
             explore_with(&bad, &options).unwrap_err(),
             StgError::Inconsistent { .. }
         ));
         // Deadlock.
         let mut dead = Stg::new("dead");
-        let a = dead.add_signal("a", crate::signal::SignalKind::Input).unwrap();
+        let a = dead
+            .add_signal("a", crate::signal::SignalKind::Input)
+            .unwrap();
         let t1 = dead.transition_for(a, Edge::Rise);
         let p = dead.add_place("start");
         dead.set_tokens(p, 1);

@@ -157,11 +157,20 @@ impl CsrArcs {
         }
         let offsets = counts.clone();
         let mut cursor = counts;
-        let mut arcs = vec![StateArc { event: None, to: StateId(0) }; succ.arcs.len()];
+        let mut arcs = vec![
+            StateArc {
+                event: None,
+                to: StateId(0)
+            };
+            succ.arcs.len()
+        ];
         for from in 0..states {
             for arc in succ.row(from) {
                 let slot = &mut cursor[arc.to.index()];
-                arcs[*slot as usize] = StateArc { event: arc.event, to: StateId(from as u32) };
+                arcs[*slot as usize] = StateArc {
+                    event: arc.event,
+                    to: StateId(from as u32),
+                };
                 *slot += 1;
             }
         }
@@ -229,7 +238,10 @@ impl StateGraph {
             .max()
             .unwrap_or(0);
         let layout = MarkingLayout::new(places, Some(max_tokens.max(1)));
-        let packed = markings.iter().map(|m| PackedMarking::pack(&layout, m)).collect();
+        let packed = markings
+            .iter()
+            .map(|m| PackedMarking::pack(&layout, m))
+            .collect();
         let mut builder = CsrBuilder::with_capacity(arcs.len(), arcs.iter().map(Vec::len).sum());
         for row in &arcs {
             builder.start_row();
@@ -238,7 +250,16 @@ impl StateGraph {
             }
         }
         let (offsets, arcs) = builder.finish();
-        Self::from_csr_parts(signal_names, signal_kinds, codes, offsets, arcs, packed, layout, initial)
+        Self::from_csr_parts(
+            signal_names,
+            signal_kinds,
+            codes,
+            offsets,
+            arcs,
+            packed,
+            layout,
+            initial,
+        )
     }
 
     /// Builds a state graph from pre-assembled CSR buffers (`offsets`
@@ -263,7 +284,15 @@ impl StateGraph {
     ) -> Self {
         debug_assert_eq!(offsets.len(), codes.len() + 1);
         let succ = CsrArcs { offsets, arcs };
-        Self::from_csr_rows(signal_names, signal_kinds, codes, succ, markings, layout, initial)
+        Self::from_csr_rows(
+            signal_names,
+            signal_kinds,
+            codes,
+            succ,
+            markings,
+            layout,
+            initial,
+        )
     }
 
     fn from_csr_rows(
@@ -386,7 +415,9 @@ impl StateGraph {
 
     /// Whether `event` is enabled in `state`.
     pub fn is_enabled(&self, state: StateId, event: SignalEvent) -> bool {
-        self.successors(state).iter().any(|arc| arc.event == Some(event))
+        self.successors(state)
+            .iter()
+            .any(|arc| arc.event == Some(event))
     }
 
     /// Whether `signal` is *excited* in `state`, and if so toward which
@@ -415,7 +446,9 @@ impl StateGraph {
 
     /// The excitation region of `event`: all states in which it is enabled.
     pub fn excitation_region(&self, event: SignalEvent) -> Vec<StateId> {
-        self.states().filter(|&s| self.is_enabled(s, event)).collect()
+        self.states()
+            .filter(|&s| self.is_enabled(s, event))
+            .collect()
     }
 
     /// The quiescent region of `signal` at `value`: states where the signal
@@ -423,8 +456,7 @@ impl StateGraph {
     pub fn quiescent_region(&self, signal: SignalId, value: bool) -> Vec<StateId> {
         self.states()
             .filter(|&s| {
-                self.signal_value(s, signal) == value
-                    && self.excitation(s, signal).is_none()
+                self.signal_value(s, signal) == value && self.excitation(s, signal).is_none()
             })
             .collect()
     }
@@ -476,7 +508,9 @@ impl StateGraph {
 
     /// States with no outgoing arcs (deadlocks).
     pub fn deadlock_states(&self) -> Vec<StateId> {
-        self.states().filter(|&s| self.successors(s).is_empty()).collect()
+        self.states()
+            .filter(|&s| self.successors(s).is_empty())
+            .collect()
     }
 
     /// Renders a human-readable state code such as `1010` (signal 0 first).
@@ -496,7 +530,11 @@ impl StateGraph {
     pub fn to_dot(&self) -> String {
         let mut out = String::from("digraph sg {\n  rankdir=TB;\n");
         for s in self.states() {
-            let shape = if s == self.initial { "doublecircle" } else { "circle" };
+            let shape = if s == self.initial {
+                "doublecircle"
+            } else {
+                "circle"
+            };
             out.push_str(&format!(
                 "  {s} [shape={shape},label=\"{}\\n{}\"];\n",
                 s,
@@ -506,11 +544,7 @@ impl StateGraph {
         for s in self.states() {
             for arc in self.successors(s) {
                 let label = match arc.event {
-                    Some(ev) => format!(
-                        "{}{}",
-                        self.signal_name(ev.signal),
-                        ev.edge.suffix()
-                    ),
+                    Some(ev) => format!("{}{}", self.signal_name(ev.signal), ev.edge.suffix()),
                     None => "ε".to_string(),
                 };
                 out.push_str(&format!("  {s} -> {} [label=\"{label}\"];\n", arc.to));
@@ -576,10 +610,22 @@ mod tests {
         let a = SignalId(0);
         let b = SignalId(1);
         let arcs = vec![
-            vec![StateArc { event: Some(SignalEvent::rise(a)), to: StateId(1) }],
-            vec![StateArc { event: Some(SignalEvent::rise(b)), to: StateId(2) }],
-            vec![StateArc { event: Some(SignalEvent::fall(a)), to: StateId(3) }],
-            vec![StateArc { event: Some(SignalEvent::fall(b)), to: StateId(0) }],
+            vec![StateArc {
+                event: Some(SignalEvent::rise(a)),
+                to: StateId(1),
+            }],
+            vec![StateArc {
+                event: Some(SignalEvent::rise(b)),
+                to: StateId(2),
+            }],
+            vec![StateArc {
+                event: Some(SignalEvent::fall(a)),
+                to: StateId(3),
+            }],
+            vec![StateArc {
+                event: Some(SignalEvent::fall(b)),
+                to: StateId(0),
+            }],
         ];
         StateGraph::from_parts(
             vec!["a".into(), "b".into()],
@@ -639,9 +685,18 @@ mod tests {
         let a = SignalId(0);
         let b = SignalId(1);
         let arcs = vec![
-            vec![StateArc { event: Some(SignalEvent::rise(b)), to: StateId(1) }],
-            vec![StateArc { event: Some(SignalEvent::fall(b)), to: StateId(2) }],
-            vec![StateArc { event: Some(SignalEvent::rise(a)), to: StateId(0) }],
+            vec![StateArc {
+                event: Some(SignalEvent::rise(b)),
+                to: StateId(1),
+            }],
+            vec![StateArc {
+                event: Some(SignalEvent::fall(b)),
+                to: StateId(2),
+            }],
+            vec![StateArc {
+                event: Some(SignalEvent::rise(a)),
+                to: StateId(0),
+            }],
         ];
         let sg = StateGraph::from_parts(
             vec!["a".into(), "b".into()],

@@ -163,7 +163,9 @@ impl Stg {
 
     /// Signal ids of a given kind.
     pub fn signals_of_kind(&self, kind: SignalKind) -> Vec<SignalId> {
-        self.signals().filter(|&s| self.signal_kind(s) == kind).collect()
+        self.signals()
+            .filter(|&s| self.signal_kind(s) == kind)
+            .collect()
     }
 
     /// Renders an event as `name+` / `name-`.
@@ -273,11 +275,7 @@ impl Stg {
     pub fn transitions_of(&self, signal: SignalId) -> Vec<TransitionId> {
         self.net
             .transitions()
-            .filter(|&t| {
-                self.label(t)
-                    .event()
-                    .is_some_and(|ev| ev.signal == signal)
-            })
+            .filter(|&t| self.label(t).event().is_some_and(|ev| ev.signal == signal))
             .collect()
     }
 
@@ -298,8 +296,8 @@ impl Stg {
     /// declared, or a [`StgError::Parse`]-style error for a missing suffix
     /// (reported as `UnknownSignal` with the raw text).
     pub fn parse_event(&self, text: &str) -> Result<SignalEvent, StgError> {
-        let (base, edge) = split_event_name(text)
-            .ok_or_else(|| StgError::UnknownSignal(text.to_string()))?;
+        let (base, edge) =
+            split_event_name(text).ok_or_else(|| StgError::UnknownSignal(text.to_string()))?;
         let signal = self
             .signal_by_name(base)
             .ok_or_else(|| StgError::UnknownSignal(base.to_string()))?;

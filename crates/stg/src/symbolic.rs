@@ -135,13 +135,14 @@ fn bfs_connectivity_order(stg: &Stg) -> Vec<u32> {
     let mut var_of: Vec<u32> = vec![u32::MAX; places];
     let mut next_var = 0u32;
     let mut stack: std::collections::VecDeque<PlaceId> = std::collections::VecDeque::new();
-    let mut visit = |p: PlaceId, var_of: &mut Vec<u32>, stack: &mut std::collections::VecDeque<PlaceId>| {
-        if var_of[p.index()] == u32::MAX {
-            var_of[p.index()] = next_var;
-            next_var += 1;
-            stack.push_back(p);
-        }
-    };
+    let mut visit =
+        |p: PlaceId, var_of: &mut Vec<u32>, stack: &mut std::collections::VecDeque<PlaceId>| {
+            if var_of[p.index()] == u32::MAX {
+                var_of[p.index()] = next_var;
+                next_var += 1;
+                stack.push_back(p);
+            }
+        };
     if let Some(seed) = net.places().find(|&p| initial.tokens(p) > 0) {
         visit(seed, &mut var_of, &mut stack);
     }
@@ -375,7 +376,11 @@ mod tests {
             let stg = models::ring_stg(n, tokens);
             let explicit = explore(&stg).expect("explores");
             let symbolic = reach_symbolic(&stg).expect("symbolic explores");
-            assert_eq!(symbolic.markings, explicit.state_count() as u64, "ring {n}/{tokens}");
+            assert_eq!(
+                symbolic.markings,
+                explicit.state_count() as u64,
+                "ring {n}/{tokens}"
+            );
         }
     }
 
@@ -441,7 +446,11 @@ mod tests {
             ("ring8_2", models::ring_stg(8, 2)),
         ] {
             let sg = explore(&stg).expect("explores");
-            for order in [VarOrder::ByIndex, VarOrder::BfsConnectivity, VarOrder::ReverseIndex] {
+            for order in [
+                VarOrder::ByIndex,
+                VarOrder::BfsConnectivity,
+                VarOrder::ReverseIndex,
+            ] {
                 let mut bdd = Bdd::new(stg.net().place_count());
                 let r = reach_symbolic_in_ordered(&stg, &mut bdd, order)
                     .unwrap_or_else(|e| panic!("{name} {order:?}: {e}"));
@@ -459,8 +468,8 @@ mod tests {
         let stg = models::fifo_stg();
         let places = stg.net().place_count();
         let mut bdd = Bdd::new(places);
-        let r = reach_symbolic_in_ordered(&stg, &mut bdd, VarOrder::BfsConnectivity)
-            .expect("explores");
+        let r =
+            reach_symbolic_in_ordered(&stg, &mut bdd, VarOrder::BfsConnectivity).expect("explores");
         let mut seen = vec![false; places];
         for &p in &r.place_of_var {
             assert!(!seen[p as usize], "place {p} mapped twice");
@@ -469,8 +478,7 @@ mod tests {
         assert!(seen.iter().all(|&s| s), "every place mapped");
 
         let mut bdd2 = Bdd::new(places);
-        let ri = reach_symbolic_in_ordered(&stg, &mut bdd2, VarOrder::ByIndex)
-            .expect("explores");
+        let ri = reach_symbolic_in_ordered(&stg, &mut bdd2, VarOrder::ByIndex).expect("explores");
         assert_eq!(
             ri.place_of_var,
             (0..places as u32).collect::<Vec<_>>(),

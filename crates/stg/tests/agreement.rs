@@ -68,8 +68,12 @@ fn engine_backends_agree_on_models_and_wide_corpus() {
     ];
     specs.extend(corpus::wide());
     for (name, stg) in &specs {
-        let e = explicit.summary(stg).unwrap_or_else(|err| panic!("{name}: {err}"));
-        let s = symbolic.summary(stg).unwrap_or_else(|err| panic!("{name}: {err}"));
+        let e = explicit
+            .summary(stg)
+            .unwrap_or_else(|err| panic!("{name}: {err}"));
+        let s = symbolic
+            .summary(stg)
+            .unwrap_or_else(|err| panic!("{name}: {err}"));
         assert_eq!(e.markings, s.markings, "{name}: backends diverge");
         let sg = explore(stg).unwrap_or_else(|err| panic!("{name}: {err}"));
         assert_eq!(e.markings, sg.state_count() as u64, "{name}");

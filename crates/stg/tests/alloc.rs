@@ -53,7 +53,10 @@ fn main() {
 fn firing_safe_net_transitions_never_allocates() {
     let stg = models::fifo_stg();
     let net = stg.net();
-    assert!(net.place_count() <= 64, "fifo model must fit the inline word");
+    assert!(
+        net.place_count() <= 64,
+        "fifo model must fit the inline word"
+    );
 
     let layout = MarkingLayout::new(net.place_count(), Some(1));
     let mut current = PackedMarking::pack(&layout, &stg.initial_marking());
@@ -79,7 +82,10 @@ fn firing_safe_net_transitions_never_allocates() {
                 break;
             }
         }
-        assert!(advanced, "fifo spec is live; some transition is always enabled");
+        assert!(
+            advanced,
+            "fifo spec is live; some transition is always enabled"
+        );
     }
     let after = allocation_count();
     assert_eq!(
@@ -108,7 +114,8 @@ fn interning_known_markings_never_allocates() {
             .transitions()
             .find(|&t| net.is_enabled_packed(t, &current, &layout))
             .expect("live spec");
-        net.fire_packed_into(t, &current, &layout, Some(1), &mut scratch).expect("safe");
+        net.fire_packed_into(t, &current, &layout, Some(1), &mut scratch)
+            .expect("safe");
         std::mem::swap(&mut current, &mut scratch);
     }
 
@@ -120,5 +127,9 @@ fn interning_known_markings_never_allocates() {
         assert!(!fresh, "second pass only revisits known markings");
     }
     let after = allocation_count();
-    assert_eq!(after - before, 0, "re-interning known markings must not allocate");
+    assert_eq!(
+        after - before,
+        0,
+        "re-interning known markings must not allocate"
+    );
 }

@@ -33,7 +33,9 @@ fn reference_explore(stg: &Stg) -> (Vec<Marking>, Vec<Vec<StateArc>>) {
     while let Some(state) = queue.pop_front() {
         let marking = markings[state as usize].clone();
         for transition in net.enabled(&marking) {
-            let next = net.fire(transition, &marking).expect("enabled transition fires");
+            let next = net
+                .fire(transition, &marking)
+                .expect("enabled transition fires");
             let to = match index.get(&next) {
                 Some(&existing) => existing,
                 None => {
@@ -49,7 +51,10 @@ fn reference_explore(stg: &Stg) -> (Vec<Marking>, Vec<Vec<StateArc>>) {
                 TransitionLabel::Silent => None,
                 TransitionLabel::Event(ev) => Some(ev),
             };
-            arcs[state as usize].push(StateArc { event, to: StateId(to) });
+            arcs[state as usize].push(StateArc {
+                event,
+                to: StateId(to),
+            });
         }
     }
     (markings, arcs)
@@ -76,8 +81,10 @@ fn assert_same_order(name: &str, stg: &Stg) {
     let mut ref_preds: Vec<Vec<StateArc>> = vec![Vec::new(); ref_markings.len()];
     for (from, row) in ref_arcs.iter().enumerate() {
         for arc in row {
-            ref_preds[arc.to.index()]
-                .push(StateArc { event: arc.event, to: StateId(from as u32) });
+            ref_preds[arc.to.index()].push(StateArc {
+                event: arc.event,
+                to: StateId(from as u32),
+            });
         }
     }
     for state in sg.states() {

@@ -40,13 +40,24 @@ fn sweep() -> Vec<(String, Stg)> {
 /// support).
 fn assert_bit_identical(name: &str, stg: &Stg, reused: &mut ReachEngine) {
     let mut fresh = ReachEngine::symbolic();
-    let f = fresh.symbolic_set(stg).unwrap_or_else(|e| panic!("{name}: fresh: {e}"));
-    let r = reused.symbolic_set(stg).unwrap_or_else(|e| panic!("{name}: reused: {e}"));
+    let f = fresh
+        .symbolic_set(stg)
+        .unwrap_or_else(|e| panic!("{name}: fresh: {e}"));
+    let r = reused
+        .symbolic_set(stg)
+        .unwrap_or_else(|e| panic!("{name}: reused: {e}"));
     assert_eq!(f.markings, r.markings, "{name}: model counts diverge");
-    assert_eq!(f.iterations, r.iterations, "{name}: fixpoint depth diverges");
+    assert_eq!(
+        f.iterations, r.iterations,
+        "{name}: fixpoint depth diverges"
+    );
 
     let sg = explore(stg).unwrap_or_else(|e| panic!("{name}: explicit: {e}"));
-    assert_eq!(sg.marking_layout().bits(), 1, "{name}: safe net, 1 bit/place");
+    assert_eq!(
+        sg.marking_layout().bits(),
+        1,
+        "{name}: safe net, 1 bit/place"
+    );
     assert_eq!(f.markings, sg.state_count() as u64, "{name}");
     let fresh_bdd = fresh.manager().expect("fresh manager alive");
     let reused_bdd = reused.manager().expect("reused manager alive");
@@ -151,7 +162,11 @@ fn trim_then_revisit_allocates_no_new_nodes() {
     assert_eq!(before.set, after.set, "same reachable-set node id");
     assert_eq!(before.markings, after.markings);
     assert_eq!(before.iterations, after.iterations);
-    assert_eq!(engine.manager_nodes(), nodes, "no fresh nodes, only recomputed memos");
+    assert_eq!(
+        engine.manager_nodes(),
+        nodes,
+        "no fresh nodes, only recomputed memos"
+    );
 }
 
 #[test]
@@ -166,5 +181,8 @@ fn reset_restores_cold_start_equivalence() {
     let after = engine.symbolic_set(&stg).expect("explores after reset");
     assert_eq!(before.markings, after.markings);
     assert_eq!(before.iterations, after.iterations);
-    assert_eq!(before.bdd_nodes, after.bdd_nodes, "cold rebuild is byte-for-byte");
+    assert_eq!(
+        before.bdd_nodes, after.bdd_nodes,
+        "cold rebuild is byte-for-byte"
+    );
 }

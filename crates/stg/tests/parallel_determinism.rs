@@ -36,7 +36,10 @@ fn sweep() -> Vec<(String, Stg)> {
 }
 
 fn options(threads: usize) -> ExploreOptions {
-    ExploreOptions { threads, ..ExploreOptions::default() }
+    ExploreOptions {
+        threads,
+        ..ExploreOptions::default()
+    }
 }
 
 /// Field-by-field bit-identity of two state graphs, with a model name
@@ -47,8 +50,16 @@ fn assert_graphs_identical(name: &str, threads: usize, serial: &StateGraph, para
         serial.state_count(),
         "{name} x{threads}: state count"
     );
-    assert_eq!(parallel.arc_count(), serial.arc_count(), "{name} x{threads}: arc count");
-    assert_eq!(parallel.initial(), serial.initial(), "{name} x{threads}: initial");
+    assert_eq!(
+        parallel.arc_count(),
+        serial.arc_count(),
+        "{name} x{threads}: arc count"
+    );
+    assert_eq!(
+        parallel.initial(),
+        serial.initial(),
+        "{name} x{threads}: initial"
+    );
     for state in serial.states() {
         assert_eq!(
             parallel.code(state),
@@ -96,10 +107,14 @@ fn engine_summaries_agree_with_graphs_at_every_thread_count() {
     // mode) and graphs (building mode) must stay mutually consistent.
     for (name, stg) in corpus::wide() {
         let mut serial = ReachEngine::explicit();
-        let baseline = serial.summary(&stg).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let baseline = serial
+            .summary(&stg)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         for threads in [2usize, 8] {
             let mut engine = ReachEngine::explicit().with_threads(threads);
-            let summary = engine.summary(&stg).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let summary = engine
+                .summary(&stg)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(summary, baseline, "{name} x{threads}");
         }
     }

@@ -11,7 +11,11 @@ fn random_ring(n: usize, marked_at: usize) -> Stg {
     let mut stg = Stg::new(format!("ring{n}"));
     let signals: Vec<_> = (0..n)
         .map(|i| {
-            let kind = if i == 0 { SignalKind::Input } else { SignalKind::Output };
+            let kind = if i == 0 {
+                SignalKind::Input
+            } else {
+                SignalKind::Output
+            };
             stg.add_signal(format!("s{i}"), kind).expect("fresh")
         })
         .collect();

@@ -61,7 +61,11 @@ pub struct CscOptions {
 
 impl Default for CscOptions {
     fn default() -> Self {
-        CscOptions { max_signals: 3, critical_path_penalty: 4, threads: 0 }
+        CscOptions {
+            max_signals: 3,
+            critical_path_penalty: 4,
+            threads: 0,
+        }
     }
 }
 
@@ -105,7 +109,12 @@ pub fn resolve_csc_engine(
     let sg = engine.state_graph(stg)?;
     if sg.csc_conflicts().is_empty() {
         let cost = encoding_cost(&sg, 0);
-        let resolution = CscResolution { stg: stg.clone(), sg, inserted: Vec::new(), cost };
+        let resolution = CscResolution {
+            stg: stg.clone(),
+            sg,
+            inserted: Vec::new(),
+            cost,
+        };
         audit_resolution(&resolution, engine)?;
         return Ok(resolution);
     }
@@ -119,8 +128,12 @@ pub fn resolve_csc_engine(
             Some((next_stg, next_sg, cost)) => {
                 inserted.push(name);
                 if next_sg.csc_conflicts().is_empty() {
-                    let resolution =
-                        CscResolution { stg: next_stg, sg: next_sg, inserted, cost };
+                    let resolution = CscResolution {
+                        stg: next_stg,
+                        sg: next_sg,
+                        inserted,
+                        cost,
+                    };
                     audit_resolution(&resolution, engine)?;
                     return Ok(resolution);
                 }
@@ -148,9 +161,16 @@ fn audit_resolution(
 #[derive(Debug, Clone, Copy)]
 enum InsertionSpec {
     /// Splice `x+`/`x-` into a pair of simple places.
-    Place { plus: PlaceId, minus: PlaceId, token_after: bool },
+    Place {
+        plus: PlaceId,
+        minus: PlaceId,
+        token_after: bool,
+    },
     /// Insert `x+`/`x-` after whole transitions.
-    Trans { plus: TransitionId, minus: TransitionId },
+    Trans {
+        plus: TransitionId,
+        minus: TransitionId,
+    },
 }
 
 /// Enumerates every candidate insertion in the canonical (serial
@@ -165,7 +185,11 @@ fn insertion_specs(stg: &Stg) -> Vec<InsertionSpec> {
                 continue;
             }
             for token_after in [false, true] {
-                specs.push(InsertionSpec::Place { plus, minus, token_after });
+                specs.push(InsertionSpec::Place {
+                    plus,
+                    minus,
+                    token_after,
+                });
             }
         }
     }
@@ -216,14 +240,18 @@ fn best_insertion(
 
     let evaluate = |worker: &mut ReachEngine, index: usize| {
         let candidate = match specs[index] {
-            InsertionSpec::Place { plus, minus, token_after } => {
-                insert_state_signal_with(stg, name, plus, minus, token_after)
-            }
+            InsertionSpec::Place {
+                plus,
+                minus,
+                token_after,
+            } => insert_state_signal_with(stg, name, plus, minus, token_after),
             InsertionSpec::Trans { plus, minus } => {
                 insert_after_transitions(stg, name, plus, minus)
             }
         };
-        let Ok(sg) = worker.state_graph(&candidate) else { return None };
+        let Ok(sg) = worker.state_graph(&candidate) else {
+            return None;
+        };
         if !sg.is_strongly_connected() || !sg.deadlock_states().is_empty() {
             return None;
         }
@@ -425,7 +453,9 @@ fn encoding_cost(sg: &StateGraph, penalty: usize) -> usize {
 /// signal's transitions (the timing-aware "keep x off the critical path"
 /// metric).
 fn critical_penalty(stg: &Stg, name: &str) -> usize {
-    let Some(x) = stg.signal_by_name(name) else { return 0 };
+    let Some(x) = stg.signal_by_name(name) else {
+        return 0;
+    };
     let net = stg.net();
     let mut count = 0;
     for t in stg.transitions_of(x) {
@@ -499,7 +529,10 @@ mod tests {
         let options = CscOptions::default();
         for (name, stg) in [
             ("fifo", models::fifo_stg()),
-            ("vme_read", rt_stg::corpus::parse(rt_stg::corpus::VME_READ_G).unwrap()),
+            (
+                "vme_read",
+                rt_stg::corpus::parse(rt_stg::corpus::VME_READ_G).unwrap(),
+            ),
             ("handshake", models::handshake_stg()),
         ] {
             let mut explicit = ReachEngine::explicit();
@@ -529,12 +562,14 @@ mod tests {
         assert!(!first.inserted.is_empty());
         let nodes_after_first = engine.manager_nodes();
         assert!(nodes_after_first > 2, "audit ran symbolically");
-        let second =
-            resolve_csc_engine(&models::fifo_stg(), &CscOptions::default(), &mut engine)
-                .expect("fifo resolves again");
+        let second = resolve_csc_engine(&models::fifo_stg(), &CscOptions::default(), &mut engine)
+            .expect("fifo resolves again");
         assert_eq!(first.inserted, second.inserted);
         assert_eq!(first.cost, second.cost);
-        assert!(engine.stats().manager_reuses >= 1, "second audit reused the manager");
+        assert!(
+            engine.stats().manager_reuses >= 1,
+            "second audit reused the manager"
+        );
         assert_eq!(
             engine.manager_nodes(),
             nodes_after_first,
@@ -551,20 +586,34 @@ mod tests {
                 rt_stg::corpus::parse(rt_stg::corpus::VME_READ_G).unwrap(),
             ),
         ] {
-            let serial_options = CscOptions { threads: 1, ..CscOptions::default() };
+            let serial_options = CscOptions {
+                threads: 1,
+                ..CscOptions::default()
+            };
             let mut serial_engine = ReachEngine::explicit();
             let serial = resolve_csc_engine(&stg, &serial_options, &mut serial_engine)
                 .unwrap_or_else(|e| panic!("{name} serial: {e}"));
             for threads in [2usize, 8] {
-                let options = CscOptions { threads, ..CscOptions::default() };
+                let options = CscOptions {
+                    threads,
+                    ..CscOptions::default()
+                };
                 let mut engine = ReachEngine::explicit();
                 let parallel = resolve_csc_engine(&stg, &options, &mut engine)
                     .unwrap_or_else(|e| panic!("{name} x{threads}: {e}"));
                 assert_eq!(parallel.inserted, serial.inserted, "{name} x{threads}");
                 assert_eq!(parallel.cost, serial.cost, "{name} x{threads}");
                 assert_eq!(
-                    parallel.sg.states().map(|s| parallel.sg.code(s)).collect::<Vec<_>>(),
-                    serial.sg.states().map(|s| serial.sg.code(s)).collect::<Vec<_>>(),
+                    parallel
+                        .sg
+                        .states()
+                        .map(|s| parallel.sg.code(s))
+                        .collect::<Vec<_>>(),
+                    serial
+                        .sg
+                        .states()
+                        .map(|s| serial.sg.code(s))
+                        .collect::<Vec<_>>(),
                     "{name} x{threads}: identical coded graphs"
                 );
                 assert_eq!(

@@ -95,7 +95,10 @@ mod tests {
     fn display_messages() {
         let err = SynthError::CscConflict { signal: "x".into() };
         assert_eq!(err.to_string(), "csc conflict on signal `x`");
-        let err = SynthError::OverlappingCovers { signal: "ro".into(), state_code: 5 };
+        let err = SynthError::OverlappingCovers {
+            signal: "ro".into(),
+            state_code: 5,
+        };
         assert!(err.to_string().contains("101"));
     }
 

@@ -43,5 +43,7 @@ pub mod regions;
 
 pub use csc::{resolve_csc, resolve_csc_engine, resolve_csc_with, CscResolution};
 pub use error::SynthError;
-pub use map::{synthesize, synthesize_with_dc, synthesize_with_options, MapOptions, SynthesisResult};
-pub use regions::{derive_functions_for, excitation_cover_for, SignalFunctions, SetResetSpec};
+pub use map::{
+    synthesize, synthesize_with_dc, synthesize_with_options, MapOptions, SynthesisResult,
+};
+pub use regions::{derive_functions_for, excitation_cover_for, SetResetSpec, SignalFunctions};

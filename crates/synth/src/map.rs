@@ -31,10 +31,7 @@ impl SynthesisResult {
     /// Pretty-prints the set/reset equations against the state-graph
     /// signal names.
     pub fn equations_text(&self, sg: &StateGraph) -> String {
-        let names: Vec<&str> = sg
-            .signals()
-            .map(|s| sg.signal_name(s))
-            .collect();
+        let names: Vec<&str> = sg.signals().map(|s| sg.signal_name(s)).collect();
         let mut out = String::new();
         for (signal, set, reset) in &self.equations {
             out.push_str(&format!(
@@ -114,7 +111,11 @@ pub fn synthesize_with_options(
         equations.push((spec.signal, set, reset));
     }
     builder.finish();
-    Ok(SynthesisResult { netlist, equations, literal_count })
+    Ok(SynthesisResult {
+        netlist,
+        equations,
+        literal_count,
+    })
 }
 
 /// The minimized covers must never both be on in a reachable state —
@@ -176,10 +177,9 @@ impl<'a> Mapper<'a> {
         while nets.len() > max {
             let take = (nets.len() - max + 1).min(nets.len()).max(2);
             let group: Vec<NetId> = nets.drain(..take).collect();
-            let folded = self.netlist.add_net(
-                format!("{owner}_{role}_d{}", self.aux),
-                NetKind::Internal,
-            );
+            let folded = self
+                .netlist
+                .add_net(format!("{owner}_{role}_d{}", self.aux), NetKind::Internal);
             self.aux += 1;
             self.netlist.add_gate(
                 format!("and_{owner}_{role}_d{}", self.aux),
@@ -248,10 +248,9 @@ impl<'a> Mapper<'a> {
                     if literals.len() == 1 {
                         products.push(literals[0]);
                     } else {
-                        let net = self.netlist.add_net(
-                            format!("{owner}_{role}_p{}", self.aux),
-                            NetKind::Internal,
-                        );
+                        let net = self
+                            .netlist
+                            .add_net(format!("{owner}_{role}_p{}", self.aux), NetKind::Internal);
                         self.aux += 1;
                         self.netlist.add_gate(
                             format!("and_{owner}_{role}_{}", self.aux),
@@ -265,12 +264,8 @@ impl<'a> Mapper<'a> {
                 let or_net = self
                     .netlist
                     .add_net(format!("{owner}_{role}_or"), NetKind::Internal);
-                self.netlist.add_gate(
-                    format!("or_{owner}_{role}"),
-                    GateKind::Or,
-                    products,
-                    or_net,
-                );
+                self.netlist
+                    .add_gate(format!("or_{owner}_{role}"), GateKind::Or, products, or_net);
                 vec![or_net]
             }
         }

@@ -129,7 +129,13 @@ pub fn derive_functions(
                 }
             }
         }
-        specs.push(SetResetSpec { signal, set_on, set_dc, reset_on, reset_dc });
+        specs.push(SetResetSpec {
+            signal,
+            set_on,
+            set_dc,
+            reset_on,
+            reset_dc,
+        });
     }
     Ok(SignalFunctions { vars, specs })
 }
@@ -209,7 +215,10 @@ pub(crate) fn audit_against_symbolic(
     let summary = engine.summary(stg)?;
     let explicit = sg.state_count() as u64;
     if summary.markings != explicit {
-        return Err(SynthError::BackendMismatch { explicit, symbolic: summary.markings });
+        return Err(SynthError::BackendMismatch {
+            explicit,
+            symbolic: summary.markings,
+        });
     }
     Ok(())
 }
@@ -339,7 +348,10 @@ mod tests {
                 }
             }
         }
-        assert!(symbolic.stats().manager_reuses >= 2, "one manager across the sweep");
+        assert!(
+            symbolic.stats().manager_reuses >= 2,
+            "one manager across the sweep"
+        );
     }
 
     #[test]

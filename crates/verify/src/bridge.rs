@@ -82,11 +82,7 @@ impl MarginLine {
 /// a fast-path delay budget. "This requires transforming RT constraints
 /// in the form of events into delay constraints for gates, wires and
 /// paths in the circuit" (§6).
-pub fn margin_report(
-    netlist: &Netlist,
-    spec: &Stg,
-    orderings: &[NetOrdering],
-) -> Vec<MarginLine> {
+pub fn margin_report(netlist: &Netlist, spec: &Stg, orderings: &[NetOrdering]) -> Vec<MarginLine> {
     path_constraints(netlist, spec, orderings)
         .into_iter()
         .map(|constraint| {
@@ -96,14 +92,14 @@ pub fn margin_report(
                 let (net, value) = window[1];
                 if let Some(gate_id) = netlist.driver(net) {
                     let gate = netlist.gate(gate_id);
-                    let current = gate
-                        .kind
-                        .delay_model(gate.inputs.len())
-                        .for_edge(value);
+                    let current = gate.kind.delay_model(gate.inputs.len()).for_edge(value);
                     budgets.push((gate.name.clone(), current, current + margin));
                 }
             }
-            MarginLine { constraint, budgets }
+            MarginLine {
+                constraint,
+                budgets,
+            }
         })
         .collect()
 }
@@ -135,7 +131,10 @@ mod tests {
             .iter()
             .map(|o| o.describe(&report.synthesis.netlist))
             .collect();
-        assert!(described.iter().any(|d| d == "ri- before li+"), "{described:?}");
+        assert!(
+            described.iter().any(|d| d == "ri- before li+"),
+            "{described:?}"
+        );
     }
 
     #[test]
@@ -188,8 +187,7 @@ mod tests {
         // report constraints mention x0, which exists in THIS netlist; use
         // the hand netlist instead, which has no x0.
         let (hand, _) = rt_netlist::fifo::rt_fifo();
-        let orderings =
-            orderings_from_constraints(&hand, &report.lazy_sg, &report.constraints);
+        let orderings = orderings_from_constraints(&hand, &report.lazy_sg, &report.constraints);
         // x0 events do not resolve against the hand netlist.
         assert!(orderings.len() <= report.constraints.len());
     }

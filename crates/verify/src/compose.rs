@@ -89,13 +89,19 @@ impl Failure {
     /// Human-readable description.
     pub fn describe(&self, netlist: &Netlist) -> String {
         match self {
-            Failure::UnexpectedOutput { net, value, trace, .. } => format!(
+            Failure::UnexpectedOutput {
+                net, value, trace, ..
+            } => format!(
                 "unexpected output {}{} after {} steps",
                 netlist.net_name(*net),
                 if *value { '+' } else { '-' },
                 trace.len()
             ),
-            Failure::SemiModularity { gate, withdrawn_by, trace } => format!(
+            Failure::SemiModularity {
+                gate,
+                withdrawn_by,
+                trace,
+            } => format!(
                 "semi-modularity: gate `{}` de-excited by {}{} after {} steps",
                 netlist.gate(*gate).name,
                 netlist.net_name(withdrawn_by.0),
@@ -273,7 +279,10 @@ impl<'a> Composer<'a> {
         if !self.transparent[net.index()] || depth > 8 {
             return Self::stored_value(state, net);
         }
-        let gate_id = self.netlist.driver(net).expect("transparent nets are driven");
+        let gate_id = self
+            .netlist
+            .driver(net)
+            .expect("transparent nets are driven");
         let gate = self.netlist.gate(gate_id);
         let input = self.read(state, gate.inputs[0], depth + 1);
         match gate.kind {
@@ -285,8 +294,13 @@ impl<'a> Composer<'a> {
 
     fn eval_gate(&self, state: u64, gate_id: GateId) -> bool {
         let gate = self.netlist.gate(gate_id);
-        let inputs: Vec<bool> = gate.inputs.iter().map(|&n| self.read(state, n, 0)).collect();
-        gate.kind.evaluate(&inputs, Self::stored_value(state, gate.output))
+        let inputs: Vec<bool> = gate
+            .inputs
+            .iter()
+            .map(|&n| self.read(state, n, 0))
+            .collect();
+        gate.kind
+            .evaluate(&inputs, Self::stored_value(state, gate.output))
     }
 
     /// Initial net values: derived from the spec's initial code for
@@ -295,11 +309,8 @@ impl<'a> Composer<'a> {
         let mut values = 0u64;
         for net in self.netlist.nets() {
             if let Some(signal) = self.net_signal[net.index()] {
-                values = Self::with_value(
-                    values,
-                    net,
-                    self.sg.signal_value(self.sg.initial(), signal),
-                );
+                values =
+                    Self::with_value(values, net, self.sg.signal_value(self.sg.initial(), signal));
             }
         }
         for _ in 0..2 * self.netlist.gate_count() + 4 {
@@ -339,10 +350,8 @@ impl<'a> Composer<'a> {
         }
         for &(net, signal) in &self.input_nets {
             let current = Self::stored_value(state.net_values, net);
-            let event =
-                SignalEvent::new(signal, if current { Edge::Fall } else { Edge::Rise });
-            if self.sg.is_enabled(state.spec, event)
-                || self.enabled_after_silent(state.spec, event)
+            let event = SignalEvent::new(signal, if current { Edge::Fall } else { Edge::Rise });
+            if self.sg.is_enabled(state.spec, event) || self.enabled_after_silent(state.spec, event)
             {
                 out.push((net, !current, None));
             }
@@ -351,9 +360,10 @@ impl<'a> Composer<'a> {
     }
 
     fn enabled_after_silent(&self, state: StateId, event: SignalEvent) -> bool {
-        self.sg.successors(state).iter().any(|arc| {
-            arc.event.is_none() && self.sg.is_enabled(arc.to, event)
-        })
+        self.sg
+            .successors(state)
+            .iter()
+            .any(|arc| arc.event.is_none() && self.sg.is_enabled(arc.to, event))
     }
 
     fn suppressed(
@@ -361,9 +371,9 @@ impl<'a> Composer<'a> {
         candidate: (NetId, bool),
         pending: &[(NetId, bool, Option<GateId>)],
     ) -> bool {
-        self.orderings.iter().any(|o| {
-            o.after == candidate && pending.iter().any(|&(n, v, _)| (n, v) == o.before)
-        })
+        self.orderings
+            .iter()
+            .any(|o| o.after == candidate && pending.iter().any(|&(n, v, _)| (n, v) == o.before))
     }
 
     fn record(&mut self, failure: Failure) {
@@ -371,8 +381,15 @@ impl<'a> Composer<'a> {
             Failure::UnexpectedOutput { net, value, .. } => {
                 format!("u{}{}", net.index(), value)
             }
-            Failure::SemiModularity { gate, withdrawn_by, .. } => {
-                format!("h{}:{}:{}", gate.index(), withdrawn_by.0.index(), withdrawn_by.1)
+            Failure::SemiModularity {
+                gate, withdrawn_by, ..
+            } => {
+                format!(
+                    "h{}:{}:{}",
+                    gate.index(),
+                    withdrawn_by.0.index(),
+                    withdrawn_by.1
+                )
             }
         };
         if self.failure_keys.insert(key) {
@@ -386,8 +403,7 @@ impl<'a> Composer<'a> {
             spec: self.sg.initial(),
         };
         let mut seen: HashSet<ComposedState> = HashSet::new();
-        let mut parents: HashMap<ComposedState, (ComposedState, (NetId, bool))> =
-            HashMap::new();
+        let mut parents: HashMap<ComposedState, (ComposedState, (NetId, bool))> = HashMap::new();
         let mut queue = VecDeque::new();
         seen.insert(initial);
         queue.push_back(initial);
@@ -406,10 +422,8 @@ impl<'a> Composer<'a> {
                 }
                 let mut next_spec = state.spec;
                 if let Some(signal) = self.net_signal[net.index()] {
-                    let event = SignalEvent::new(
-                        signal,
-                        if value { Edge::Rise } else { Edge::Fall },
-                    );
+                    let event =
+                        SignalEvent::new(signal, if value { Edge::Rise } else { Edge::Fall });
                     match self.spec_successor(state.spec, event) {
                         Some(q) => next_spec = q,
                         None => {
@@ -575,8 +589,9 @@ mod tests {
         let report = verify(&netlist, &models::celement_stg(), &[]).unwrap();
         let failure = &report.failures[0];
         let trace = match failure {
-            Failure::SemiModularity { trace, .. }
-            | Failure::UnexpectedOutput { trace, .. } => trace,
+            Failure::SemiModularity { trace, .. } | Failure::UnexpectedOutput { trace, .. } => {
+                trace
+            }
         };
         assert!(!trace.is_empty(), "witness trace reaches the failure");
     }
@@ -590,7 +605,9 @@ mod tests {
             &netlist,
             &sg,
             &[],
-            VerifyOptions { strict_semi_modularity: true },
+            VerifyOptions {
+                strict_semi_modularity: true,
+            },
         );
         assert!(strict.failures.len() >= lax.failures.len());
     }

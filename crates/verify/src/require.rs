@@ -62,15 +62,28 @@ pub fn extract_requirements(
                 }
             }
             let report = verify_against_sg(netlist, sg, &minimal);
-            return Requirements { orderings: minimal, report, iterations };
+            return Requirements {
+                orderings: minimal,
+                report,
+                iterations,
+            };
         }
         if iterations > 32 {
-            return Requirements { orderings, report, iterations };
+            return Requirements {
+                orderings,
+                report,
+                iterations,
+            };
         }
         let mut extended = false;
         for failure in &report.failures {
             match failure {
-                Failure::UnexpectedOutput { net, value, pending_others, .. } => {
+                Failure::UnexpectedOutput {
+                    net,
+                    value,
+                    pending_others,
+                    ..
+                } => {
                     // The offending transition fired too early: every
                     // other pending transition is a repair candidate —
                     // "disallow the erroneous firing through relative
@@ -86,7 +99,9 @@ pub fn extract_requirements(
                         }
                     }
                 }
-                Failure::SemiModularity { gate, withdrawn_by, .. } => {
+                Failure::SemiModularity {
+                    gate, withdrawn_by, ..
+                } => {
                     let out = netlist.gate(*gate).output;
                     for value in [true, false] {
                         let ordering = NetOrdering::new((out, value), *withdrawn_by);
@@ -102,7 +117,11 @@ pub fn extract_requirements(
         if !extended {
             // Nothing left to propose: not timing-fixable.
             let report = verify_against_sg(netlist, sg, &orderings);
-            return Requirements { orderings, report, iterations };
+            return Requirements {
+                orderings,
+                report,
+                iterations,
+            };
         }
     }
 }
@@ -121,13 +140,11 @@ mod tests {
         assert!(req.satisfied(), "loop must converge: {:?}", req.orderings);
         assert!(!req.orderings.is_empty());
         // The extracted set speaks about the internal products.
-        let names: Vec<String> = req
-            .orderings
-            .iter()
-            .map(|o| o.describe(&netlist))
-            .collect();
+        let names: Vec<String> = req.orderings.iter().map(|o| o.describe(&netlist)).collect();
         assert!(
-            names.iter().any(|n| n.contains("ab") || n.contains("ac") || n.contains("bc")),
+            names
+                .iter()
+                .any(|n| n.contains("ab") || n.contains("ac") || n.contains("bc")),
             "{names:?}"
         );
         let _ = p;

@@ -20,7 +20,10 @@ fn xyz_synthesizes_and_conforms_directly() {
 fn vme_read_flow_inserts_a_state_signal_and_conforms() {
     let stg = corpus::parse(corpus::VME_READ_G).expect("parses");
     let resolution = resolve_csc(&stg).expect("encodable");
-    assert!(!resolution.inserted.is_empty(), "the canonical CSC insertion");
+    assert!(
+        !resolution.inserted.is_empty(),
+        "the canonical CSC insertion"
+    );
     assert!(resolution.sg.csc_conflicts().is_empty());
     let result = synthesize(&resolution.sg, "vme_read").expect("synthesizes");
     result.netlist.validate().expect("structurally sound");
@@ -44,7 +47,9 @@ fn rt_flow_shrinks_vme_read_too() {
     // Relative timing generalizes beyond the FIFO: on the VME controller
     // the automatic flow must do at least as well as the SI baseline.
     let stg = corpus::parse(corpus::VME_READ_G).expect("parses");
-    let si = RtSynthesisFlow::speed_independent().run(&stg, &[]).expect("SI flow");
+    let si = RtSynthesisFlow::speed_independent()
+        .run(&stg, &[])
+        .expect("SI flow");
     let rt = RtSynthesisFlow::new().run(&stg, &[]).expect("RT flow");
     assert!(
         rt.synthesis.literal_count <= si.synthesis.literal_count,

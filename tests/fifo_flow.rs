@@ -57,7 +57,9 @@ fn rt_flow_eliminates_the_state_signal_and_conforms() {
 #[test]
 fn rt_is_at_least_forty_percent_smaller_than_si() {
     let spec = models::fifo_stg();
-    let si = RtSynthesisFlow::speed_independent().run(&spec, &[]).expect("SI flow");
+    let si = RtSynthesisFlow::speed_independent()
+        .run(&spec, &[])
+        .expect("SI flow");
     let rt = RtSynthesisFlow::new()
         .run(&spec, &ring_assumptions(&spec))
         .expect("RT flow");
@@ -113,7 +115,11 @@ fn pulse_constraints_bound_the_protocol() {
 
 #[test]
 fn g_format_round_trip_preserves_behaviour() {
-    for stg in [models::fifo_stg(), models::fifo_stg_csc(), models::celement_stg()] {
+    for stg in [
+        models::fifo_stg(),
+        models::fifo_stg_csc(),
+        models::celement_stg(),
+    ] {
         let text = rt_cad::stg::parse::write_g(&stg);
         let parsed = rt_cad::stg::parse::parse_g(&text).expect("round trip parses");
         let a = explore(&stg).expect("original explores");

@@ -59,7 +59,10 @@ fn table1_shape_holds_end_to_end() {
     let clocked = ClockedDecoder::new(ClockedConfig::default()).run(&lines);
 
     let throughput = rappid.instructions_per_ns() / clocked.instructions_per_ns();
-    assert!((2.0..=4.0).contains(&throughput), "paper 3x, got {throughput:.2}");
+    assert!(
+        (2.0..=4.0).contains(&throughput),
+        "paper 3x, got {throughput:.2}"
+    );
 
     let latency = clocked.latency_ps as f64 / rappid.first_issue_latency_ps as f64;
     assert!(latency > 1.4, "paper 2x, got {latency:.2}");
