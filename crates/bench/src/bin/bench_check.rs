@@ -1,0 +1,277 @@
+//! CI perf-regression gate: diff a fresh `bench_reach` snapshot
+//! against the committed baseline and fail on per-model slowdowns.
+//!
+//! ```text
+//! cargo run --release -p rt-bench --bin bench_check -- \
+//!     BENCH_reach.json /tmp/BENCH_reach_ci_t1.json \
+//!     [--max-ratio 2.5] [--min-states 20]
+//! ```
+//!
+//! For every model present in **both** snapshots' `models` sections,
+//! the gate compares mean explicit-exploration wall time and fails
+//! (exit 1) when `fresh / baseline > max-ratio` — the 2.5× default is
+//! deliberately loose because the baseline and the CI runner are
+//! different machines and the CI run uses the short `--fast`
+//! measurement window. Models below `--min-states` states are
+//! **skipped**: ROADMAP documents their ±40% run-to-run noise
+//! (sub-20-state models swing wildly in a 1-core container), so gating
+//! on them would make the job flaky instead of protective.
+//!
+//! The parser is deliberately matched to `bench_reach`'s emitter (one
+//! model object per line) rather than a general JSON reader — the two
+//! binaries live in the same crate and are updated together; anything
+//! unparseable exits 2 so a format drift fails loudly rather than
+//! silently gating nothing. Speedups are reported but never fail the
+//! gate.
+
+use std::process::ExitCode;
+
+/// One comparable model row.
+#[derive(Debug, Clone, PartialEq)]
+struct ModelRow {
+    name: String,
+    states: u64,
+    explore_ns: f64,
+}
+
+/// Extracts a `"key": value` number from one emitted object line.
+fn field_number(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &line[line.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts a `"key": "value"` string from one emitted object line.
+fn field_string(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\": \"");
+    let rest = &line[line.find(&needle)? + needle.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Pulls the comparable model rows out of a `bench_reach` snapshot:
+/// every object carrying `name`, `states` **and** `explore_ns` (the
+/// `csc`/`csc_symbolic`/`wide_parallel` sections lack the latter, so
+/// they are naturally excluded).
+fn parse_models(json: &str) -> Vec<ModelRow> {
+    json.lines()
+        .filter_map(|line| {
+            Some(ModelRow {
+                name: field_string(line, "name")?,
+                states: field_number(line, "states")? as u64,
+                explore_ns: field_number(line, "explore_ns")?,
+            })
+        })
+        .collect()
+}
+
+/// The verdict of one baseline-vs-fresh comparison.
+#[derive(Debug, Clone, PartialEq)]
+enum Verdict {
+    /// Within the allowed ratio (contains the measured ratio).
+    Ok(f64),
+    /// Skipped as too small/noisy.
+    SkippedSmall,
+    /// Slower than allowed (contains the measured ratio).
+    Regressed(f64),
+}
+
+/// Compares every model present in both snapshots.
+fn compare(
+    baseline: &[ModelRow],
+    fresh: &[ModelRow],
+    max_ratio: f64,
+    min_states: u64,
+) -> Vec<(String, Verdict)> {
+    baseline
+        .iter()
+        .filter_map(|b| {
+            let f = fresh.iter().find(|f| f.name == b.name)?;
+            let ratio = f.explore_ns / b.explore_ns;
+            let verdict = if b.states < min_states {
+                Verdict::SkippedSmall
+            } else if ratio > max_ratio {
+                Verdict::Regressed(ratio)
+            } else {
+                Verdict::Ok(ratio)
+            };
+            Some((b.name.clone(), verdict))
+        })
+        .collect()
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench_check BASELINE.json FRESH.json [--max-ratio R] [--min-states N]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut max_ratio = 2.5f64;
+    let mut min_states = 20u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-ratio" => {
+                max_ratio = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--min-states" => {
+                min_states = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ if arg.starts_with("--") => usage(),
+            _ => paths.push(arg),
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        usage();
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = parse_models(&read(baseline_path));
+    let fresh = parse_models(&read(fresh_path));
+    if baseline.is_empty() || fresh.is_empty() {
+        eprintln!(
+            "bench_check: no parseable model rows (baseline {}, fresh {}) — format drift?",
+            baseline.len(),
+            fresh.len()
+        );
+        return ExitCode::from(2);
+    }
+
+    let results = compare(&baseline, &fresh, max_ratio, min_states);
+    if results.is_empty() {
+        eprintln!("bench_check: no model appears in both snapshots — format drift?");
+        return ExitCode::from(2);
+    }
+    let mut regressions = 0usize;
+    for (name, verdict) in &results {
+        match verdict {
+            Verdict::Ok(ratio) => println!("  ok      {name:<24} {ratio:>6.2}x"),
+            Verdict::SkippedSmall => {
+                println!("  skip    {name:<24}   (sub-{min_states}-state noise)");
+            }
+            Verdict::Regressed(ratio) => {
+                regressions += 1;
+                println!("  REGRESS {name:<24} {ratio:>6.2}x  (limit {max_ratio}x)");
+            }
+        }
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_check: {regressions} model(s) regressed past {max_ratio}x vs {baseline_path}"
+        );
+        return ExitCode::from(1);
+    }
+    println!(
+        "bench_check: {} model(s) within {max_ratio}x of {baseline_path}",
+        results.len()
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature snapshot in `bench_reach`'s emitted shape; `scale`
+    /// multiplies every exploration time (the injected slowdown).
+    fn snapshot(scale: f64) -> String {
+        let rows = [
+            ("tiny", 8u64, 1500.0),
+            ("ring", 48, 2500.0),
+            ("big_ring", 1304, 750000.0),
+        ];
+        let mut out = String::from("{\n  \"models\": [\n");
+        for (name, states, ns) in rows {
+            out.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"states\": {states}, \"arcs\": 1, \
+                 \"threads\": 1, \"explore_ns\": {:.0}, \"states_per_sec\": 1}},\n",
+                ns * scale
+            ));
+        }
+        out.push_str(
+            "  ],\n  \"csc\": [\n    {\"name\": \"fifo\", \"inserted\": 1, \
+             \"explicit_ns\": 99}\n  ]\n}\n",
+        );
+        out
+    }
+
+    #[test]
+    fn parses_only_full_model_rows() {
+        let rows = parse_models(&snapshot(1.0));
+        assert_eq!(
+            rows.len(),
+            3,
+            "the csc row (no states/explore_ns pair) is excluded"
+        );
+        assert_eq!(rows[1].name, "ring");
+        assert_eq!(rows[2].states, 1304);
+        assert!((rows[2].explore_ns - 750000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let base = parse_models(&snapshot(1.0));
+        let fresh = parse_models(&snapshot(1.0));
+        let results = compare(&base, &fresh, 2.5, 20);
+        assert!(results
+            .iter()
+            .all(|(_, v)| matches!(v, Verdict::Ok(_) | Verdict::SkippedSmall)));
+    }
+
+    #[test]
+    fn injected_slowdown_is_caught() {
+        // A 3x across-the-board slowdown must regress every gated
+        // model while the sub-20-state one stays skipped.
+        let base = parse_models(&snapshot(1.0));
+        let slow = parse_models(&snapshot(3.0));
+        let results = compare(&base, &slow, 2.5, 20);
+        assert_eq!(results.len(), 3);
+        assert!(
+            matches!(results[0].1, Verdict::SkippedSmall),
+            "tiny is noise-skipped"
+        );
+        assert!(matches!(results[1].1, Verdict::Regressed(r) if (r - 3.0).abs() < 0.01));
+        assert!(matches!(results[2].1, Verdict::Regressed(_)));
+    }
+
+    #[test]
+    fn speedups_and_mild_noise_pass() {
+        let base = parse_models(&snapshot(1.0));
+        let noisy = parse_models(&snapshot(0.5));
+        assert!(compare(&base, &noisy, 2.5, 20)
+            .iter()
+            .all(|(_, v)| !matches!(v, Verdict::Regressed(_))));
+        let mild = parse_models(&snapshot(2.0));
+        assert!(compare(&base, &mild, 2.5, 20)
+            .iter()
+            .all(|(_, v)| !matches!(v, Verdict::Regressed(_))));
+    }
+
+    #[test]
+    fn missing_models_are_tolerated_but_disjoint_sets_are_not() {
+        let base = parse_models(&snapshot(1.0));
+        let mut fresh = parse_models(&snapshot(1.0));
+        fresh.remove(0);
+        assert_eq!(compare(&base, &fresh, 2.5, 20).len(), 2);
+        let unrelated = vec![ModelRow {
+            name: "other".into(),
+            states: 100,
+            explore_ns: 1.0,
+        }];
+        assert!(compare(&base, &unrelated, 2.5, 20).is_empty());
+    }
+}

@@ -29,6 +29,7 @@ use std::time::Instant;
 
 use rt_stg::engine::ReachEngine;
 use rt_stg::reach::{explore_with, ExploreOptions};
+use rt_stg::symbolic::csc::csc_conflicts_symbolic_in;
 use rt_stg::symbolic::{reach_symbolic_in_ordered, VarOrder};
 use rt_stg::{corpus, models, Stg};
 use rt_synth::csc::{resolve_csc_engine, CscOptions};
@@ -48,6 +49,9 @@ struct Row {
     /// Node count under the legacy by-index order — the before/after
     /// record for the static variable-ordering heuristic.
     bdd_nodes_by_index: usize,
+    /// The concrete order `VarOrder::Auto` resolved to for this net
+    /// (the place-count fallback is a measured choice; record it).
+    var_order: String,
 }
 
 /// One measured CSC resolution (the engine stage).
@@ -89,27 +93,10 @@ fn time_ns<T>(min_ms: u128, mut f: impl FnMut() -> T) -> f64 {
     start.elapsed().as_nanos() as f64 / reps as f64
 }
 
+/// The measured model list — one source of truth, shared with the
+/// cross-detector agreement tests ([`corpus::sweep`]).
 fn corpus_models() -> Vec<(String, Stg)> {
-    let mut out: Vec<(String, Stg)> = vec![
-        ("handshake".into(), models::handshake_stg()),
-        ("fifo".into(), models::fifo_stg()),
-        ("fifo_csc".into(), models::fifo_stg_csc()),
-        ("celement".into(), models::celement_stg()),
-        ("chain4".into(), models::chain_stg(4)),
-        ("chain6".into(), models::chain_stg(6)),
-        ("ring6_2".into(), models::ring_stg(6, 2)),
-        ("ring8_2".into(), models::ring_stg(8, 2)),
-        ("ring10_3".into(), models::ring_stg(10, 3)),
-        ("ring12_3".into(), models::ring_stg(12, 3)),
-    ];
-    for (name, text) in corpus::all() {
-        let stg = corpus::parse(text).expect("corpus entry parses");
-        out.push((format!("corpus:{name}"), stg));
-    }
-    for (name, stg) in corpus::wide() {
-        out.push((format!("wide:{name}"), stg));
-    }
-    out
+    corpus::sweep()
 }
 
 fn explore_options(threads: usize) -> ExploreOptions {
@@ -164,6 +151,60 @@ fn measure(name: &str, stg: &Stg, min_ms: u128, threads: usize) -> Row {
         symbolic_markings: symbolic.markings,
         bdd_nodes: symbolic.bdd_nodes,
         bdd_nodes_by_index,
+        var_order: format!(
+            "{:?}",
+            VarOrder::default().resolved_for(stg.net().place_count())
+        ),
+    }
+}
+
+/// One measured CSC *detection* comparison (the `csc_symbolic` stage):
+/// the explicit detector (full graph build + `csc_conflicts`) against
+/// the symbolic pair-space relation, cold and warm.
+struct CscSymbolicRow {
+    name: String,
+    conflicts: u64,
+    explicit_detect_ns: f64,
+    symbolic_cold_ns: f64,
+    symbolic_warm_ns: f64,
+    bdd_nodes: usize,
+}
+
+/// Times conflict *detection* (not resolution) both ways. The counts
+/// must agree — this is the bench-side guard mirroring
+/// `crates/stg/tests/csc_symbolic.rs`.
+fn measure_csc_symbolic(name: &str, stg: &Stg, min_ms: u128) -> CscSymbolicRow {
+    let sg = explore_with(stg, &explore_options(1)).expect("model explores");
+    let explicit_conflicts = sg.csc_conflicts().len() as u64;
+    let cold = || {
+        let mut bdd = rt_boolean::Bdd::new(0);
+        csc_conflicts_symbolic_in(stg, &mut bdd, VarOrder::default()).expect("analyses")
+    };
+    let analysis = cold();
+    assert_eq!(
+        analysis.conflicts, explicit_conflicts,
+        "{name}: detectors must agree on the conflict count"
+    );
+    let explicit_detect_ns = time_ns(min_ms, || {
+        explore_with(stg, &explore_options(1))
+            .expect("model explores")
+            .csc_conflicts()
+            .len()
+    });
+    let symbolic_cold_ns = time_ns(min_ms, cold);
+    let mut engine = ReachEngine::symbolic();
+    engine.csc_conflicts_symbolic(stg).expect("warmup");
+    let symbolic_warm_ns = time_ns(min_ms, || {
+        engine.csc_conflicts_symbolic(stg).expect("analyses")
+    });
+    assert!(engine.stats().manager_reuses > 0, "warm path must reuse");
+    CscSymbolicRow {
+        name: name.to_string(),
+        conflicts: explicit_conflicts,
+        explicit_detect_ns,
+        symbolic_cold_ns,
+        symbolic_warm_ns,
+        bdd_nodes: analysis.bdd_nodes,
     }
 }
 
@@ -283,6 +324,10 @@ fn validate(json: &str) -> Result<(), String> {
         "\"threads\"",
         "\"parallel_ns\"",
         "\"bdd_nodes_by_index\"",
+        "\"var_order\"",
+        "\"csc_symbolic\"",
+        "\"explicit_detect_ns\"",
+        "\"symbolic_warm_ns\"",
         "\"warm_speedup\"",
         "\"aggregate_states_per_sec\"",
     ] {
@@ -308,11 +353,13 @@ fn validate(json: &str) -> Result<(), String> {
 fn main() {
     let mut out_path = "BENCH_reach.json".to_string();
     let mut min_ms: u128 = 60;
+    let mut fast = false;
     let mut threads: usize = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--fast" {
             min_ms = 5;
+            fast = true;
         } else if arg == "--threads" {
             threads = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                 eprintln!("bench_reach: --threads needs a number");
@@ -364,6 +411,38 @@ fn main() {
     })
     .collect();
 
+    // Conflict *detection* head-to-head: the symbolic pair-space
+    // detector against the explicit graph build, on the conflicted
+    // specs and the wide models (fabric4x4 only on full runs — its
+    // analysis alone is seconds).
+    let mut csc_symbolic_models: Vec<(String, Stg)> = vec![
+        ("fifo".to_string(), models::fifo_stg()),
+        (
+            "corpus:vme_read".to_string(),
+            corpus::parse(corpus::VME_READ_G).expect("parses"),
+        ),
+        (
+            "corpus:pipeline_stage".to_string(),
+            corpus::parse(corpus::PIPELINE_STAGE_G).expect("parses"),
+        ),
+        ("wide:adder16_rt".to_string(), corpus::adder16_rt_stg()),
+    ];
+    if !fast {
+        csc_symbolic_models.push(("wide:fabric4x4".to_string(), corpus::fabric4x4_stg()));
+    }
+    let csc_symbolic_rows: Vec<CscSymbolicRow> = csc_symbolic_models
+        .iter()
+        .map(|(name, stg)| {
+            let row = measure_csc_symbolic(name, stg, min_ms);
+            println!(
+                "csc-sym {:<16} {:>7} conflicts  explicit {:>11.0} ns  symbolic cold {:>11.0} / warm {:>11.0} ns  {:>8} bdd nodes",
+                row.name, row.conflicts, row.explicit_detect_ns, row.symbolic_cold_ns,
+                row.symbolic_warm_ns, row.bdd_nodes
+            );
+            row
+        })
+        .collect();
+
     let wide_rows = measure_wide_parallel(min_ms, pool_threads);
     for r in &wide_rows {
         println!(
@@ -394,7 +473,7 @@ fn main() {
             "    {{\"name\": \"{}\", \"states\": {}, \"arcs\": {}, \"threads\": {}, \
              \"explore_ns\": {:.0}, \"states_per_sec\": {:.0}, \"synth_ns\": {}, \
              \"symbolic_ns\": {:.0}, \"symbolic_markings\": {}, \"bdd_nodes\": {}, \
-             \"bdd_nodes_by_index\": {}}}{}",
+             \"bdd_nodes_by_index\": {}, \"var_order\": \"{}\"}}{}",
             r.name,
             r.states,
             r.arcs,
@@ -406,6 +485,7 @@ fn main() {
             r.symbolic_markings,
             r.bdd_nodes,
             r.bdd_nodes_by_index,
+            r.var_order,
             if i + 1 < rows.len() { "," } else { "" }
         );
     }
@@ -427,6 +507,25 @@ fn main() {
             r.warm_summary_ns,
             r.warm_speedup,
             if i + 1 < csc_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"csc_symbolic\": [\n");
+    for (i, r) in csc_symbolic_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"conflicts\": {}, \"explicit_detect_ns\": {:.0}, \
+             \"symbolic_cold_ns\": {:.0}, \"symbolic_warm_ns\": {:.0}, \"bdd_nodes\": {}}}{}",
+            r.name,
+            r.conflicts,
+            r.explicit_detect_ns,
+            r.symbolic_cold_ns,
+            r.symbolic_warm_ns,
+            r.bdd_nodes,
+            if i + 1 < csc_symbolic_rows.len() {
+                ","
+            } else {
+                ""
+            }
         );
     }
     json.push_str("  ],\n  \"wide_parallel\": [\n");

@@ -450,6 +450,174 @@ impl Bdd {
         self.restrict_cache.insert((id, var, value), result);
         result
     }
+
+    /// Renames every variable *v* in the support of `id` to `map[v]`,
+    /// where `map` is **strictly increasing over the function's
+    /// support** (renamed children must stay below their renamed
+    /// parents). Under that side condition the rename is a pure
+    /// relabelling — no reordering pass is needed and the result is
+    /// computed in one linear traversal.
+    ///
+    /// This is the primed↔unprimed primitive of the pair-space
+    /// constructions in `rt_stg::symbolic::csc`: a reachable set built
+    /// over "unprimed" variable slots is copied onto the adjacent
+    /// "primed" slots (`map[v] = v + 1` on the support) so a
+    /// conflict relation `R(s) ∧ R(s')` can be formed inside one
+    /// manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a support variable is missing from `map`, maps past
+    /// the manager's variable universe, or violates monotonicity.
+    pub fn rename_monotone(&mut self, id: NodeId, map: &[u32]) -> NodeId {
+        // Global support check first: parent-child monotonicity alone
+        // would let a map collide two support variables that never
+        // share a path (e.g. the two branches of an if-then-else),
+        // silently conflating them into one variable.
+        let mut support: Vec<u32> = Vec::new();
+        let mut seen: FxHashMap<NodeId, ()> = FxHashMap::default();
+        self.collect_support(id, &mut support, &mut seen);
+        support.sort_unstable();
+        support.dedup();
+        for pair in support.windows(2) {
+            let (a, b) = (pair[0] as usize, pair[1] as usize);
+            assert!(
+                map.get(a).zip(map.get(b)).is_some_and(|(&ma, &mb)| ma < mb),
+                "rename map is not strictly increasing over the support: \
+                 {a} -> {:?} vs {b} -> {:?}",
+                map.get(a),
+                map.get(b)
+            );
+        }
+        let mut memo: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+        self.rename_rec(id, map, &mut memo)
+    }
+
+    fn collect_support(&self, id: NodeId, out: &mut Vec<u32>, seen: &mut FxHashMap<NodeId, ()>) {
+        if self.is_terminal(id) || seen.insert(id, ()).is_some() {
+            return;
+        }
+        let node = self.node(id);
+        out.push(node.var);
+        self.collect_support(node.low, out, seen);
+        self.collect_support(node.high, out, seen);
+    }
+
+    fn rename_rec(
+        &mut self,
+        id: NodeId,
+        map: &[u32],
+        memo: &mut FxHashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        if self.is_terminal(id) {
+            return id;
+        }
+        if let Some(&hit) = memo.get(&id) {
+            return hit;
+        }
+        let node = self.node(id);
+        let renamed = *map
+            .get(node.var as usize)
+            .unwrap_or_else(|| panic!("rename map misses support variable {}", node.var));
+        assert!(
+            (renamed as usize) < self.vars,
+            "rename maps variable {} past the manager ({} vars)",
+            node.var,
+            self.vars
+        );
+        let low = self.rename_rec(node.low, map, memo);
+        let high = self.rename_rec(node.high, map, memo);
+        let result = self.mk(renamed, low, high);
+        memo.insert(id, result);
+        result
+    }
+
+    /// One satisfying assignment of the function, as a bit stream
+    /// (`bit v of words[v / 64]` = value of variable *v*), or `None`
+    /// for the constant-0 function. Variables the chosen BDD path does
+    /// not constrain are reported as 0, which is always a valid
+    /// completion; the branch choice prefers the low child, so the
+    /// result is deterministic for a given diagram.
+    pub fn satisfy_one(&self, id: NodeId) -> Option<Vec<u64>> {
+        if id == NodeId::ZERO {
+            return None;
+        }
+        let mut words = vec![0u64; self.vars.div_ceil(64).max(1)];
+        let mut current = id;
+        while !self.is_terminal(current) {
+            let node = self.node(current);
+            if node.low == NodeId::ZERO {
+                words[node.var as usize / 64] |= 1 << (node.var % 64);
+                current = node.high;
+            } else {
+                current = node.low;
+            }
+        }
+        debug_assert_eq!(current, NodeId::ONE);
+        Some(words)
+    }
+
+    /// Every satisfying assignment of `id` projected onto `vars`
+    /// (sorted ascending, at most 64 of them, and covering the
+    /// function's entire support): one mask per assignment, bit *i* =
+    /// the value of `vars[i]`. Variables of `vars` the diagram leaves
+    /// free expand into both values, so the result enumerates the full
+    /// on-set over the given universe, in ascending path order.
+    ///
+    /// This backs the reachable-*code* enumeration of the symbolic CSC
+    /// detector (`rt_stg::symbolic::csc`), where the projected
+    /// function ranges over a handful of signal variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is unsorted, longer than 64, or misses a
+    /// support variable of `id`.
+    pub fn satisfy_all_over(&self, id: NodeId, vars: &[u32]) -> Vec<u64> {
+        assert!(vars.len() <= 64, "mask enumeration caps at 64 variables");
+        assert!(
+            vars.windows(2).all(|w| w[0] < w[1]),
+            "vars must be sorted ascending"
+        );
+        let mut out = Vec::new();
+        self.satisfy_all_rec(id, vars, 0, 0, &mut out);
+        out
+    }
+
+    fn satisfy_all_rec(&self, id: NodeId, vars: &[u32], idx: usize, acc: u64, out: &mut Vec<u64>) {
+        if id == NodeId::ZERO {
+            return;
+        }
+        if idx == vars.len() {
+            assert!(
+                self.is_terminal(id),
+                "function depends on variable {} outside the enumeration universe",
+                self.node(id).var
+            );
+            out.push(acc);
+            return;
+        }
+        let var = vars[idx];
+        let node = if self.is_terminal(id) {
+            None
+        } else {
+            Some(self.node(id))
+        };
+        match node {
+            Some(n) if n.var < var => panic!(
+                "function depends on variable {} outside the enumeration universe",
+                n.var
+            ),
+            Some(n) if n.var == var => {
+                self.satisfy_all_rec(n.low, vars, idx + 1, acc, out);
+                self.satisfy_all_rec(n.high, vars, idx + 1, acc | 1 << idx, out);
+            }
+            // Terminal ONE or a node below `var`: the variable is free.
+            _ => {
+                self.satisfy_all_rec(id, vars, idx + 1, acc, out);
+                self.satisfy_all_rec(id, vars, idx + 1, acc | 1 << idx, out);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -617,5 +785,97 @@ mod tests {
         }
         assert_eq!(acc, acc2);
         assert_eq!(bdd.node_count(), after);
+    }
+
+    #[test]
+    fn rename_monotone_shifts_support_onto_new_slots() {
+        // f(v0, v2) = v0 ∧ ¬v2 renamed onto the odd slots (v -> v + 1).
+        let mut bdd = Bdd::new(4);
+        let v0 = bdd.var(0);
+        let nv2 = bdd.nvar(2);
+        let f = bdd.and(v0, nv2);
+        let map = [1u32, 0, 3, 0];
+        let g = bdd.rename_monotone(f, &map);
+        for m in 0..16u64 {
+            let expected = (m >> 1 & 1 == 1) && (m >> 3 & 1 == 0);
+            assert_eq!(bdd.evaluate(g, m), expected, "minterm {m:04b}");
+        }
+        // The original is untouched and terminals pass through.
+        assert!(bdd.evaluate(f, 0b0001));
+        assert_eq!(bdd.rename_monotone(NodeId::ONE, &map), NodeId::ONE);
+        assert_eq!(bdd.rename_monotone(NodeId::ZERO, &map), NodeId::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "not strictly increasing")]
+    fn rename_monotone_rejects_order_violations() {
+        let mut bdd = Bdd::new(4);
+        let v0 = bdd.var(0);
+        let v1 = bdd.var(1);
+        let f = bdd.and(v0, v1);
+        // Swapping the two support variables would need a reorder.
+        bdd.rename_monotone(f, &[1, 0, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not strictly increasing")]
+    fn rename_monotone_rejects_cross_branch_collisions() {
+        // ite(v0, v1, v2) with v1 and v2 both mapped to variable 3:
+        // every parent-child edge is increasing, but the two branches
+        // would conflate into one variable.
+        let mut bdd = Bdd::new(4);
+        let v0 = bdd.var(0);
+        let v1 = bdd.var(1);
+        let v2 = bdd.var(2);
+        let f = bdd.ite(v0, v1, v2);
+        bdd.rename_monotone(f, &[0, 3, 3, 3]);
+    }
+
+    #[test]
+    fn satisfy_all_over_enumerates_the_on_set() {
+        // f = v1 ∧ ¬v4 over the universe {1, 4, 6}: v6 is free.
+        let mut bdd = Bdd::new(8);
+        let v1 = bdd.var(1);
+        let nv4 = bdd.nvar(4);
+        let f = bdd.and(v1, nv4);
+        let masks = bdd.satisfy_all_over(f, &[1, 4, 6]);
+        assert_eq!(masks, vec![0b001, 0b101], "v1 set, v4 clear, v6 both ways");
+        assert!(bdd.satisfy_all_over(NodeId::ZERO, &[1, 4, 6]).is_empty());
+        assert_eq!(bdd.satisfy_all_over(NodeId::ONE, &[3]).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the enumeration universe")]
+    fn satisfy_all_over_rejects_missing_support() {
+        let mut bdd = Bdd::new(4);
+        let v0 = bdd.var(0);
+        let v2 = bdd.var(2);
+        let f = bdd.and(v0, v2);
+        bdd.satisfy_all_over(f, &[2]);
+    }
+
+    #[test]
+    fn satisfy_one_returns_a_model_or_none() {
+        let mut bdd = Bdd::new(70);
+        assert_eq!(bdd.satisfy_one(NodeId::ZERO), None);
+        let all_zero = bdd.satisfy_one(NodeId::ONE).expect("tautology");
+        assert!(
+            all_zero.iter().all(|&w| w == 0),
+            "unconstrained bits default to 0"
+        );
+        // A function over a wide universe: v3 ∧ ¬v10 ∧ v65.
+        let v3 = bdd.var(3);
+        let nv10 = bdd.nvar(10);
+        let v65 = bdd.var(65);
+        let f = bdd.and(v3, nv10);
+        let f = bdd.and(f, v65);
+        let words = bdd.satisfy_one(f).expect("satisfiable");
+        assert!(
+            bdd.evaluate_words(f, &words),
+            "returned assignment satisfies f"
+        );
+        assert_eq!(words[0] >> 3 & 1, 1);
+        assert_eq!(words[0] >> 10 & 1, 0);
+        assert_eq!(words[1] >> 1 & 1, 1, "variable 65 lives in the second word");
     }
 }

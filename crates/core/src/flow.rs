@@ -13,10 +13,12 @@
 //!               RT circuit  +  required RT constraints (back-annotated)
 //! ```
 
-use rt_stg::engine::ReachEngine;
+use rt_stg::engine::{ReachBackend, ReachEngine};
 use rt_stg::par::parallel_argmin;
 use rt_stg::{SignalKind, StateGraph, Stg};
-use rt_synth::csc::{insert_state_signal, simple_places};
+use rt_synth::csc::{
+    insert_state_signal, resolve_csc_engine, simple_places, CscOptions, DEFAULT_SYMBOLIC_THRESHOLD,
+};
 use rt_synth::regions::LocalDontCares;
 use rt_synth::{synthesize_with_dc, SynthesisResult};
 
@@ -41,6 +43,17 @@ pub struct RtSynthesisFlow {
     /// `(cost, index)` reduction, so the chosen insertion — and hence
     /// the whole flow report — is identical at every width.
     pub threads: usize,
+    /// Place count at or above which a flow running on a
+    /// [`ReachBackend::Symbolic`] engine **with no active relative-
+    /// timing assumptions** delegates its state-encoding stage to
+    /// [`rt_synth::csc::resolve_csc_engine`]'s symbolic candidate
+    /// search — no per-candidate explicit state graphs (the lazy
+    /// reduction is the identity without assumptions, so the two
+    /// searches rank the same nets). The explicit graph is still built
+    /// once afterwards for logic synthesis. Defaults to
+    /// [`DEFAULT_SYMBOLIC_THRESHOLD`]; set 0 to force the symbolic
+    /// search, `usize::MAX` to disable it.
+    pub csc_symbolic_threshold: usize,
 }
 
 impl Default for RtSynthesisFlow {
@@ -50,6 +63,7 @@ impl Default for RtSynthesisFlow {
             early_enable_depth: 1,
             max_state_signals: 2,
             threads: 0,
+            csc_symbolic_threshold: DEFAULT_SYMBOLIC_THRESHOLD,
         }
     }
 }
@@ -98,6 +112,7 @@ impl RtSynthesisFlow {
             early_enable_depth: 0,
             max_state_signals: 3,
             threads: 0,
+            csc_symbolic_threshold: DEFAULT_SYMBOLIC_THRESHOLD,
         }
     }
 
@@ -172,6 +187,46 @@ impl RtSynthesisFlow {
         // Stage 3: timing-aware state encoding on the reduced graph.
         let mut working_stg = stg.clone();
         let mut inserted = Vec::new();
+        // Without active assumptions the lazy reduction is the
+        // identity, so on a symbolic engine over a net past the
+        // threshold the whole encoding search can delegate to the
+        // fully symbolic candidate loop — no per-candidate explicit
+        // graphs (see `csc_symbolic_threshold`). One explicit graph is
+        // then built for the synthesis stages downstream.
+        if !reduced.csc_conflicts().is_empty()
+            && all_assumptions.is_empty()
+            && engine.backend() == ReachBackend::Symbolic
+            && stg.net().place_count() >= self.csc_symbolic_threshold
+        {
+            let csc_options = CscOptions {
+                max_signals: self.max_state_signals,
+                threads: self.threads,
+                symbolic_threshold: self.csc_symbolic_threshold,
+                ..CscOptions::default()
+            };
+            match resolve_csc_engine(&working_stg, &csc_options, engine) {
+                Ok(resolution) => {
+                    log.push(format!(
+                        "timing-aware encoding (symbolic detector): inserted {:?}, cost {}",
+                        resolution.inserted, resolution.cost
+                    ));
+                    inserted = resolution.inserted.clone();
+                    working_stg = resolution.stg;
+                    reduced = engine.state_graph(&working_stg)?;
+                }
+                // Match the legacy loop's failure semantics: an
+                // unresolvable encoding degrades to the explicit
+                // search below (which keeps whatever partial progress
+                // it makes) instead of aborting the whole flow.
+                Err(rt_synth::SynthError::CscUnresolvable { attempts }) => {
+                    log.push(format!(
+                        "timing-aware encoding (symbolic detector): unresolved after \
+                         {attempts} candidates, falling back to the explicit search"
+                    ));
+                }
+                Err(err) => return Err(err.into()),
+            }
+        }
         let mut round = 0;
         while !reduced.csc_conflicts().is_empty() && round < self.max_state_signals {
             let name = format!("x{round}");
@@ -542,6 +597,7 @@ mod tests {
                 early_enable_depth: early,
                 max_state_signals: 3,
                 threads: 0,
+                csc_symbolic_threshold: DEFAULT_SYMBOLIC_THRESHOLD,
             }
             .run(&stg, user)
             .expect("flow runs")
@@ -589,5 +645,38 @@ mod tests {
         let report = RtSynthesisFlow::speed_independent().run(&stg, &[]).unwrap();
         assert!(report.inserted_signals.is_empty());
         assert_eq!(report.initial_csc_conflicts, 0);
+    }
+
+    #[test]
+    fn symbolic_threshold_delegates_the_encoding_search() {
+        // Threshold 0 + symbolic engine + no assumptions: the encoding
+        // stage must run on the symbolic detector (no per-candidate
+        // explicit graphs — only the initial exploration and the one
+        // post-encoding graph synthesis needs), and the flow must still
+        // produce a valid CSC-free implementation.
+        let stg = models::fifo_stg();
+        let flow = RtSynthesisFlow {
+            csc_symbolic_threshold: 0,
+            ..RtSynthesisFlow::speed_independent()
+        };
+        let mut engine = ReachEngine::symbolic();
+        let report = flow.run_with_engine(&stg, &[], &mut engine).unwrap();
+        assert!(!report.inserted_signals.is_empty(), "{}", report.log_text());
+        assert!(
+            report.log_text().contains("symbolic detector"),
+            "{}",
+            report.log_text()
+        );
+        assert!(
+            engine.stats().symbolic_csc > 0,
+            "candidates were ranked symbolically"
+        );
+        assert_eq!(
+            engine.stats().graph_builds,
+            2,
+            "initial exploration + one post-encoding graph, none per candidate"
+        );
+        assert!(report.lazy_sg.csc_conflicts().is_empty());
+        report.synthesis.netlist.validate().unwrap();
     }
 }

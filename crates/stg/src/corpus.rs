@@ -351,6 +351,35 @@ pub fn wide() -> Vec<(String, Stg)> {
     ]
 }
 
+/// The whole model sweep as `(name, stg)` pairs: the paper's named
+/// models, every `.g` corpus entry (`corpus:` prefix) and the generated
+/// wide nets (`wide:` prefix). One list shared by `bench_reach`, the
+/// cross-detector agreement tests and anything else that wants "every
+/// model we have" — so a model added here is automatically measured
+/// *and* cross-checked.
+pub fn sweep() -> Vec<(String, Stg)> {
+    let mut out: Vec<(String, Stg)> = vec![
+        ("handshake".into(), crate::models::handshake_stg()),
+        ("fifo".into(), crate::models::fifo_stg()),
+        ("fifo_csc".into(), crate::models::fifo_stg_csc()),
+        ("celement".into(), crate::models::celement_stg()),
+        ("chain4".into(), crate::models::chain_stg(4)),
+        ("chain6".into(), crate::models::chain_stg(6)),
+        ("ring6_2".into(), crate::models::ring_stg(6, 2)),
+        ("ring8_2".into(), crate::models::ring_stg(8, 2)),
+        ("ring10_3".into(), crate::models::ring_stg(10, 3)),
+        ("ring12_3".into(), crate::models::ring_stg(12, 3)),
+    ];
+    for (name, text) in all() {
+        let stg = parse(text).expect("corpus entry parses");
+        out.push((format!("corpus:{name}"), stg));
+    }
+    for (name, stg) in wide() {
+        out.push((format!("wide:{name}"), stg));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -114,7 +114,8 @@ use crate::error::StgError;
 use crate::reach::{count_markings_with, explore_with, ExploreOptions};
 use crate::state_graph::StateGraph;
 use crate::stg::Stg;
-use crate::symbolic::{reach_symbolic_in, SymbolicReach};
+use crate::symbolic::csc::{csc_conflicts_symbolic_opts, CscAnalysis};
+use crate::symbolic::{reach_symbolic_in, SymbolicReach, VarOrder};
 
 /// Which analyser answers the engine's set-level queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -155,6 +156,10 @@ pub struct EngineStats {
     pub resets: usize,
     /// Times [`ReachEngine::trim`] dropped the manager's memo caches.
     pub trims: usize,
+    /// Symbolic CSC conflict analyses served
+    /// ([`ReachEngine::csc_conflicts_symbolic`]) — the gauge the
+    /// no-explicit-graph encoding path is asserted with.
+    pub symbolic_csc: usize,
 }
 
 impl EngineStats {
@@ -168,6 +173,7 @@ impl EngineStats {
         self.manager_reuses += other.manager_reuses;
         self.resets += other.resets;
         self.trims += other.trims;
+        self.symbolic_csc += other.symbolic_csc;
     }
 }
 
@@ -301,11 +307,48 @@ impl ReachEngine {
         reach_symbolic_in(stg, manager)
     }
 
+    /// Runs the full symbolic CSC conflict analysis of `stg`
+    /// ([`crate::symbolic::csc`]) in the engine's persistent manager:
+    /// conflict count and witness, reachable-marking count, deadlock
+    /// and strong-connectivity flags — all **without building a
+    /// [`StateGraph`]** (the call leaves
+    /// [`EngineStats::graph_builds`] untouched and bumps
+    /// [`EngineStats::symbolic_csc`] instead). Like
+    /// [`ReachEngine::symbolic_set`], it is available regardless of
+    /// the configured backend, and repeated analyses of the same (or a
+    /// structurally similar) net replay the warm manager.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`csc_conflicts_symbolic_in`]'s errors
+    /// (> 64 signals, inconsistency, no fixpoint).
+    pub fn csc_conflicts_symbolic(&mut self, stg: &Stg) -> Result<CscAnalysis, StgError> {
+        if self.manager.is_some() {
+            self.stats.manager_reuses += 1;
+        }
+        self.stats.symbolic_csc += 1;
+        let manager = self
+            .manager
+            .get_or_insert_with(|| Bdd::new(stg.net().place_count()));
+        // The engine's own options drive the initial-code inference so
+        // both detectors derive identical codes under any tuning.
+        csc_conflicts_symbolic_opts(stg, manager, VarOrder::default(), &self.options)
+    }
+
     /// The persistent manager, if a symbolic query has run since the
     /// last [`ReachEngine::reset`]. Needed to evaluate a
     /// [`SymbolicReach::set`] returned by [`ReachEngine::symbolic_set`].
     pub fn manager(&self) -> Option<&Bdd> {
         self.manager.as_ref()
+    }
+
+    /// Mutable access to the persistent manager, for derived symbolic
+    /// queries that build further diagrams in it (e.g.
+    /// [`CscAnalysis::code_table`], which the symbolic encoding path in
+    /// `rt-synth` derives logic costs from). Mutation only ever *adds*
+    /// nodes — existing [`rt_boolean::bdd::NodeId`]s stay valid.
+    pub fn manager_mut(&mut self) -> Option<&mut Bdd> {
+        self.manager.as_mut()
     }
 
     /// Live nodes in the persistent manager (0 when no manager is

@@ -36,7 +36,11 @@
 //! * [`symbolic`] — BDD-based reachability with frontier-based image
 //!   steps, backed by the persistent operation cache in
 //!   [`rt_boolean::Bdd`]; runs in a caller-owned manager so caches
-//!   survive across calls.
+//!   survive across calls. [`symbolic::csc`] detects, counts and
+//!   witnesses CSC conflicts entirely symbolically (signal codes as
+//!   shared BDD variables over a primed/unprimed place pair space) —
+//!   the encoding passes' escape from explicit enumeration on huge
+//!   nets.
 //! * [`engine`] — the [`ReachEngine`] façade the whole synthesis
 //!   pipeline queries: one engine, two interchangeable backends
 //!   (explicit enumeration / persistent-manager symbolic), covering

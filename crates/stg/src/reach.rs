@@ -809,7 +809,12 @@ fn marking_layout(stg: &Stg, options: &ExploreOptions) -> Result<MarkingLayout, 
 /// The visited set is the interning arena itself (a marking is "seen"
 /// exactly when it is already interned), replacing the historical
 /// `HashMap<Marking, ()>`-as-a-set over heap token vectors.
-fn infer_initial_code(
+///
+/// `pub(crate)` because the symbolic CSC detector
+/// ([`crate::symbolic::csc`]) seeds its signal-code variables from the
+/// same inference, so both analysers agree on the initial code by
+/// construction.
+pub(crate) fn infer_initial_code(
     stg: &Stg,
     options: &ExploreOptions,
     layout: &MarkingLayout,

@@ -69,6 +69,22 @@ use crate::error::StgError;
 use crate::petri::PlaceId;
 use crate::stg::Stg;
 
+pub mod csc;
+
+/// Place count below which [`VarOrder::Auto`] resolves to
+/// [`VarOrder::ByIndex`] instead of [`VarOrder::ReverseIndex`].
+///
+/// Measured over the corpus snapshot (`BENCH_reach.json`, `bdd_nodes`
+/// vs `bdd_nodes_by_index`): `ReverseIndex` wins or ties everywhere
+/// except `arbiter2` (9 places, 344 → 398 nodes — its shared `me`
+/// place is declared mid-net, so reversing declaration order buries
+/// it). Every model it beats `ByIndex` on by more than a handful of
+/// nodes (`fifo` 651 → 572, `vme_read` 566 → 398, `chain4` 300 → 279)
+/// has ≥ 10 places; below that the reversal saves at most ~8 nodes
+/// (`celement` 235 → 227), so index order is the safer default for
+/// tiny nets.
+pub const AUTO_REVERSE_MIN_PLACES: usize = 10;
+
 /// Static place → BDD-variable ordering strategy for a symbolic run.
 /// See the module docs for the corpus-wide measurements behind the
 /// default.
@@ -82,10 +98,34 @@ pub enum VarOrder {
     /// for nets whose declaration order carries none.
     BfsConnectivity,
     /// Declaration order reversed — the measured corpus-wide winner
-    /// (declaration order is itself a connectivity order here, and the
-    /// reversal puts late-declared link/wrap places near the root).
-    #[default]
+    /// on non-trivial nets (declaration order is itself a connectivity
+    /// order here, and the reversal puts late-declared link/wrap
+    /// places near the root).
     ReverseIndex,
+    /// The default: [`VarOrder::ReverseIndex`] for nets with at least
+    /// [`AUTO_REVERSE_MIN_PLACES`] places, [`VarOrder::ByIndex`] below
+    /// that (reversal regressed `arbiter2`, the corpus's smallest
+    /// shared-place net — see the constant's docs).
+    #[default]
+    Auto,
+}
+
+impl VarOrder {
+    /// The concrete strategy this order uses for a net with `places`
+    /// places: identity for the named strategies, the measured
+    /// size-based choice for [`VarOrder::Auto`]. Never returns `Auto`.
+    pub fn resolved_for(self, places: usize) -> VarOrder {
+        match self {
+            VarOrder::Auto => {
+                if places >= AUTO_REVERSE_MIN_PLACES {
+                    VarOrder::ReverseIndex
+                } else {
+                    VarOrder::ByIndex
+                }
+            }
+            other => other,
+        }
+    }
 }
 
 /// Result of a symbolic exploration.
@@ -215,13 +255,21 @@ pub fn reach_symbolic_in_ordered(
     bdd: &mut Bdd,
     order: VarOrder,
 ) -> Result<SymbolicReach, StgError> {
+    let var_of = place_order(stg, order);
+    reach_symbolic_in_custom(stg, bdd, &var_of)
+}
+
+/// The place → variable permutation `order` denotes for `stg`
+/// (`Auto` resolved by place count). Shared with the signal-extended
+/// layout of [`csc`].
+pub(crate) fn place_order(stg: &Stg, order: VarOrder) -> Vec<u32> {
     let places = stg.net().place_count() as u32;
-    let var_of: Vec<u32> = match order {
+    match order.resolved_for(places as usize) {
         VarOrder::ByIndex => (0..places).collect(),
         VarOrder::BfsConnectivity => bfs_connectivity_order(stg),
         VarOrder::ReverseIndex => (0..places).rev().collect(),
-    };
-    reach_symbolic_in_custom(stg, bdd, &var_of)
+        VarOrder::Auto => unreachable!("resolved_for never returns Auto"),
+    }
 }
 
 /// [`reach_symbolic_in`] under a caller-supplied static order:

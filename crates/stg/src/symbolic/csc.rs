@@ -1,0 +1,683 @@
+//! Symbolic complete-state-coding conflict detection.
+//!
+//! The explicit detector ([`crate::state_graph::StateGraph::csc_conflicts`])
+//! needs the fully enumerated, binary-coded state graph; on nets past a
+//! few dozen places that enumeration is the last explicit-only wall in
+//! the encoding passes. This module detects (and counts, and witnesses)
+//! CSC conflicts **without ever materializing a state graph**: the
+//! reachable set, the signal codes and the conflict relation are all
+//! BDDs in one (typically persistent, engine-owned) manager.
+//!
+//! ## Variable layout
+//!
+//! The diagram ranges over three interleaved groups of variables:
+//!
+//! * every **place** owns an adjacent *(unprimed, primed)* variable
+//!   pair — the unprimed slot carries the reachability BFS, the primed
+//!   slot carries the second state of the conflict pair space;
+//! * every **signal** owns a *single, shared* code variable.
+//!
+//! Sharing the code variables between the two pair-space copies is the
+//! load-bearing trick: the conflict relation needs "same code", and
+//! with one set of code variables the conjunction `R(p, y) ∧ R(p', y)`
+//! *is* the equality join — no primed code copy, no `⋀ yᵢ ↔ y'ᵢ`
+//! constraint, and the product diagram stays synchronized on the code
+//! prefix instead of squaring.
+//!
+//! Places follow the measured static order of [`super::VarOrder`]
+//! (`Auto` by default); each signal's code variable is spliced directly
+//! after its *anchor* place — the earliest-ordered place adjacent to
+//! any of the signal's transitions — because a consistent signal's
+//! value is a function of the tokens circulating through exactly those
+//! places, and a code variable far from its support multiplies the
+//! diagram.
+//!
+//! ## The conflict relation
+//!
+//! The BFS tracks codes transparently: firing an `a+`-labelled
+//! transition existentially quantifies and re-sets signal `a`'s
+//! variable alongside the pre/post places (and the enabling constraint
+//! demands the source value, so an inconsistent specification is
+//! *detected*, not silently re-encoded — see
+//! [`csc_conflicts_symbolic_in`]'s errors). After the fixpoint, for an
+//! implemented signal *j* with excitation sets `ER(j+)`, `ER(j-)`:
+//!
+//! ```text
+//! implied_j = ER(j+) ∨ (y_j ∧ ¬ER(j-))          (the next-state value)
+//! Conf_j    = R(p,y) ∧ R(p',y) ∧ implied_j(p,y) ∧ ¬implied_j(p',y)
+//! ```
+//!
+//! Each satisfying assignment of `Conf_j` is an **ordered** pair of
+//! distinct reachable states sharing a code and disagreeing on *j*'s
+//! implied value, with the `1`-side first — exactly one assignment per
+//! unordered explicit conflict, so `∑_j |Conf_j|` (by BDD model
+//! counting) equals `StateGraph::csc_conflicts().len()` *exactly*, and
+//! [`rt_boolean::Bdd::satisfy_one`] over any non-empty `Conf_j` yields
+//! a concrete witness pair of packed markings
+//! ([`CscWitness`]). `crates/stg/tests/csc_symbolic.rs` pins the
+//! count-and-witness agreement across the corpus, wide models
+//! included.
+//!
+//! Liveness side-conditions the encoding search needs ride along on
+//! the same diagrams: deadlock freedom is `R ∧ ¬(⋁ enabled_t) = ∅`,
+//! and strong connectivity is `R ⊆ B` for the backward fixpoint `B`
+//! from the initial state (every reachable state can return).
+//!
+//! The detector caps at 64 signals (codes and witnesses are `u64`
+//! streams, like the explicit graph's) but has **no place cap**: the
+//! wide `W2`/`W4` corpus models run through the same entry points.
+
+use rt_boolean::bdd::NodeId;
+use rt_boolean::Bdd;
+
+use crate::error::StgError;
+use crate::marking::MarkingLayout;
+use crate::reach::{infer_initial_code, ExploreOptions};
+use crate::signal::{Edge, SignalId};
+use crate::stg::{Stg, TransitionLabel};
+use crate::symbolic::{place_order, VarOrder};
+
+/// A concrete CSC conflict extracted from the symbolic pair space: two
+/// reachable markings sharing a binary code but disagreeing on the
+/// implied value of `signal`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CscWitness {
+    /// Packed marking of the state whose implied value of `signal` is 1
+    /// (bit *p* of the stream = place *p* marked, the safe-net layout of
+    /// [`crate::marking::PackedMarking::words`]).
+    pub marking_a: Vec<u64>,
+    /// Packed marking of the `implied = 0` state.
+    pub marking_b: Vec<u64>,
+    /// The code both states share (bit *i* = signal *i*).
+    pub code: u64,
+    /// The implemented signal whose next-state function the pair makes
+    /// ambiguous.
+    pub signal: SignalId,
+}
+
+/// Per-code excitation summary of a (CSC-free) specification, derived
+/// without a state graph: for every reachable code, whether each
+/// implemented signal is excited and toward which edge. This is what
+/// `rt-synth` derives encoding costs from on the symbolic path.
+#[derive(Debug, Clone)]
+pub struct CodeTable {
+    /// The implemented signals, in signal-index order — the column
+    /// order of every row's `excited` vector.
+    pub implemented: Vec<SignalId>,
+    /// One row per reachable code, ascending by code.
+    pub rows: Vec<CodeRow>,
+}
+
+/// One reachable code and its excitation vector (see [`CodeTable`]).
+#[derive(Debug, Clone)]
+pub struct CodeRow {
+    /// The binary code (bit *i* = signal *i*).
+    pub code: u64,
+    /// Excitation of `CodeTable::implemented[k]` in the states carrying
+    /// this code (`None` = quiescent). Only meaningful for CSC-free
+    /// sets, where all same-code states agree.
+    pub excited: Vec<Option<Edge>>,
+}
+
+/// Everything one symbolic CSC analysis produced. The `NodeId`s inside
+/// are valid for the manager the analysis ran in (keep using the same
+/// manager for [`CscAnalysis::code_table`]).
+#[derive(Debug, Clone)]
+pub struct CscAnalysis {
+    /// Number of reachable markings (the audit count — must match the
+    /// explicit analyser).
+    pub markings: u64,
+    /// Forward-BFS iterations to the fixpoint.
+    pub iterations: usize,
+    /// Total CSC conflicts — exactly
+    /// [`crate::state_graph::StateGraph::csc_conflicts`]`().len()`.
+    ///
+    /// "Exactly" inherits [`rt_boolean::Bdd::satisfy_count_over`]'s
+    /// contract: counts are computed through `f64` model counting and
+    /// are exact while they fit the 53-bit mantissa (~9 × 10¹⁵ pairs);
+    /// beyond that they are correctly-rounded approximations.
+    pub conflicts: u64,
+    /// Conflict count per implemented signal (signals with zero
+    /// conflicts omitted), ascending by signal index.
+    pub per_signal: Vec<(SignalId, u64)>,
+    /// A concrete conflict pair, when any conflict exists (taken from
+    /// the lowest-indexed conflicted signal's relation).
+    pub witness: Option<CscWitness>,
+    /// Whether no reachable marking enables nothing.
+    pub deadlock_free: bool,
+    /// Whether every reachable marking can return to the initial one.
+    pub strongly_connected: bool,
+    /// Live nodes in the manager after the analysis (for a shared
+    /// manager this counts everything it holds).
+    pub bdd_nodes: usize,
+    // -- internals for the code-table derivation --
+    uvar: Vec<u32>,
+    svar: Vec<u32>,
+    implemented: Vec<SignalId>,
+    reached: NodeId,
+    rise: Vec<NodeId>,
+    fall: Vec<NodeId>,
+}
+
+/// One transition's symbolic firing data, shared by the forward image,
+/// the backward (pre-image) step and the enabledness queries.
+struct TransImage {
+    /// Variables the firing rewrites (pre ∪ post places, plus the
+    /// signal variable for labelled transitions).
+    changed: Vec<usize>,
+    /// Variables set to 1 by the firing (post places; the signal on a
+    /// rise).
+    set_one: Vec<usize>,
+    /// Variables cleared by the firing (pre \ post places; the signal
+    /// on a fall).
+    set_zero: Vec<usize>,
+    /// Full enabling constraint: preset marked, produced places empty
+    /// (the safeness side condition of [`super::reach_symbolic_in`]),
+    /// and — for labelled transitions — the signal at its source value.
+    enabled: NodeId,
+    /// The place-only part of `enabled`, for the consistency scan.
+    place_enabled: NodeId,
+    /// `(signal variable, edge, signal)` for labelled transitions.
+    event: Option<(usize, Edge, SignalId)>,
+}
+
+/// [`csc_conflicts_symbolic_in`] in a fresh, throwaway manager under
+/// the default [`VarOrder`].
+///
+/// # Errors
+///
+/// Same as [`csc_conflicts_symbolic_in`].
+pub fn csc_conflicts_symbolic(stg: &Stg) -> Result<CscAnalysis, StgError> {
+    let mut bdd = Bdd::new(0);
+    csc_conflicts_symbolic_in(stg, &mut bdd, VarOrder::default())
+}
+
+/// Runs the full symbolic CSC analysis of `stg` inside `bdd`, widening
+/// the manager's variable universe as needed (one persistent manager
+/// serves any mix of nets — this is how
+/// [`crate::engine::ReachEngine::csc_conflicts_symbolic`] calls it).
+///
+/// # Errors
+///
+/// * [`StgError::TooManySignals`] — more than 64 signals (codes and
+///   witnesses are `u64`s, matching the explicit graph's cap);
+/// * [`StgError::Inconsistent`] — a reachable marking enables an edge
+///   of a signal already at that edge's target value;
+/// * [`StgError::StateLimitExceeded`] — no fixpoint after 10 000 image
+///   iterations.
+pub fn csc_conflicts_symbolic_in(
+    stg: &Stg,
+    bdd: &mut Bdd,
+    order: VarOrder,
+) -> Result<CscAnalysis, StgError> {
+    csc_conflicts_symbolic_opts(stg, bdd, order, &ExploreOptions::default())
+}
+
+/// [`csc_conflicts_symbolic_in`] under explicit [`ExploreOptions`].
+/// The BDD analysis itself is unaffected by exploration tuning, but
+/// the **initial-code inference** (the bounded explicit sweep of
+/// [`infer_initial_code`]) runs under `options`, so an engine-driven
+/// analysis derives the same initial code as that engine's explicit
+/// detector would.
+///
+/// # Errors
+///
+/// Same as [`csc_conflicts_symbolic_in`].
+pub fn csc_conflicts_symbolic_opts(
+    stg: &Stg,
+    bdd: &mut Bdd,
+    order: VarOrder,
+    options: &ExploreOptions,
+) -> Result<CscAnalysis, StgError> {
+    let net = stg.net();
+    let places = net.place_count();
+    let signals = stg.signal_count();
+    if signals > 64 {
+        return Err(StgError::TooManySignals(signals));
+    }
+
+    // --- Variable layout: place pairs with anchored signal splices ---
+    let pos_of_place = place_order(stg, order);
+    let mut place_at = vec![0usize; places];
+    for (place, &pos) in pos_of_place.iter().enumerate() {
+        place_at[pos as usize] = place;
+    }
+    // A signal's anchor is the earliest-ordered place its transitions
+    // touch; untouched signals park at the tail.
+    let mut signals_at: Vec<Vec<usize>> = vec![Vec::new(); places + 1];
+    for s in 0..signals {
+        let mut anchor = places as u32;
+        for t in stg.transitions_of(SignalId(s as u32)) {
+            for arc in net.preset(t).iter().chain(net.postset(t)) {
+                anchor = anchor.min(pos_of_place[arc.place.index()]);
+            }
+        }
+        signals_at[anchor as usize].push(s);
+    }
+    let mut uvar = vec![0u32; places];
+    let mut svar = vec![0u32; signals];
+    let mut next = 0u32;
+    for pos in 0..=places {
+        if pos < places {
+            uvar[place_at[pos]] = next;
+            next += 2;
+        }
+        for &s in &signals_at[pos] {
+            svar[s] = next;
+            next += 1;
+        }
+    }
+    let total_vars = next as usize;
+    debug_assert_eq!(total_vars, 2 * places + signals);
+    bdd.ensure_vars(total_vars);
+
+    // --- Initial state: exact minterm over places and code bits ---
+    let layout = MarkingLayout::new(places, Some(1));
+    let initial_code = infer_initial_code(stg, options, &layout)?;
+    let initial_marking = stg.initial_marking();
+    let mut initial = bdd.constant(true);
+    for p in net.places() {
+        let v = uvar[p.index()] as usize;
+        let lit = if initial_marking.tokens(p) > 0 {
+            bdd.var(v)
+        } else {
+            bdd.nvar(v)
+        };
+        initial = bdd.and(initial, lit);
+    }
+    for (s, &v) in svar.iter().enumerate() {
+        let lit = if initial_code >> s & 1 == 1 {
+            bdd.var(v as usize)
+        } else {
+            bdd.nvar(v as usize)
+        };
+        initial = bdd.and(initial, lit);
+    }
+
+    // --- Per-transition firing data ---
+    let mut images = Vec::new();
+    for t in net.transitions() {
+        let pre: Vec<usize> = net
+            .preset(t)
+            .iter()
+            .map(|a| uvar[a.place.index()] as usize)
+            .collect();
+        let post: Vec<usize> = net
+            .postset(t)
+            .iter()
+            .map(|a| uvar[a.place.index()] as usize)
+            .collect();
+        let mut place_enabled = bdd.constant(true);
+        for &v in &pre {
+            let lit = bdd.var(v);
+            place_enabled = bdd.and(place_enabled, lit);
+        }
+        for &v in &post {
+            if !pre.contains(&v) {
+                let lit = bdd.nvar(v);
+                place_enabled = bdd.and(place_enabled, lit);
+            }
+        }
+        let mut changed = pre.clone();
+        for &v in &post {
+            if !changed.contains(&v) {
+                changed.push(v);
+            }
+        }
+        let set_one = post.clone();
+        let mut set_zero: Vec<usize> = pre.iter().copied().filter(|v| !post.contains(v)).collect();
+        let mut enabled = place_enabled;
+        let event = match stg.label(t) {
+            TransitionLabel::Silent => None,
+            TransitionLabel::Event(ev) => {
+                let sv = svar[ev.signal.index()] as usize;
+                let source = if ev.edge.source_value() {
+                    bdd.var(sv)
+                } else {
+                    bdd.nvar(sv)
+                };
+                enabled = bdd.and(enabled, source);
+                changed.push(sv);
+                if ev.edge.target_value() {
+                    // `set_one` keeps places first; the signal variable
+                    // is appended, which the quantifier loops accept in
+                    // any order.
+                    let mut with_signal = set_one.clone();
+                    with_signal.push(sv);
+                    images.push(TransImage {
+                        changed,
+                        set_one: with_signal,
+                        set_zero,
+                        enabled,
+                        place_enabled,
+                        event: Some((sv, ev.edge, ev.signal)),
+                    });
+                    continue;
+                }
+                set_zero.push(sv);
+                Some((sv, ev.edge, ev.signal))
+            }
+        };
+        images.push(TransImage {
+            changed,
+            set_one,
+            set_zero,
+            enabled,
+            place_enabled,
+            event,
+        });
+    }
+
+    // --- Forward fixpoint (frontier-based, like the place-only BFS) ---
+    let zero = bdd.constant(false);
+    let mut reached = initial;
+    let mut frontier = initial;
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let mut next_layer = zero;
+        for image in &images {
+            let mut fired = bdd.and(frontier, image.enabled);
+            if fired == zero {
+                continue;
+            }
+            for &v in &image.changed {
+                fired = bdd.exists(fired, v);
+            }
+            for &v in &image.set_zero {
+                let lit = bdd.nvar(v);
+                fired = bdd.and(fired, lit);
+            }
+            for &v in &image.set_one {
+                let lit = bdd.var(v);
+                fired = bdd.and(fired, lit);
+            }
+            next_layer = bdd.or(next_layer, fired);
+        }
+        let not_reached = bdd.not(reached);
+        let fresh = bdd.and(next_layer, not_reached);
+        if fresh == zero {
+            break;
+        }
+        reached = bdd.or(reached, fresh);
+        frontier = fresh;
+        if iterations > 10_000 {
+            return Err(StgError::StateLimitExceeded(1 << 20));
+        }
+    }
+
+    // --- Consistency: no reachable state may place-enable an edge of a
+    // signal already at the edge's target value. (The checked `enabled`
+    // above then makes the fixpoint exactly the consistent token game.)
+    for image in &images {
+        if let Some((sv, edge, signal)) = image.event {
+            let wrong = if edge.target_value() {
+                bdd.var(sv)
+            } else {
+                bdd.nvar(sv)
+            };
+            let viol = bdd.and(reached, image.place_enabled);
+            let viol = bdd.and(viol, wrong);
+            if viol != zero {
+                return Err(StgError::Inconsistent {
+                    signal: stg.signal_name(signal).to_string(),
+                    detail: format!(
+                        "a reachable marking enables {}{} with the signal already at {}",
+                        stg.signal_name(signal),
+                        edge.suffix(),
+                        u8::from(edge.target_value()),
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- Deadlock freedom: peel every transition's enabling cube off
+    // the reachable set. (Never build the global `⋁ enabled_t`: a
+    // disjunction of cubes with scattered supports explodes under any
+    // fixed order — on a 16-stage chain it alone costs 2.5 M nodes —
+    // while the peeled intermediate stays bounded by `R`, which the
+    // fixpoint already proved small.)
+    let mut dead = reached;
+    for image in &images {
+        if dead == zero {
+            break;
+        }
+        let not_enabled = bdd.not(image.enabled);
+        dead = bdd.and(dead, not_enabled);
+    }
+    let deadlock_free = dead == zero;
+
+    // --- Strong connectivity: backward fixpoint from the initial state
+    // within R. R is forward-closed, so `R ⊆ B` ⇔ every state reaches
+    // the initial state ⇔ (with forward reachability) one SCC.
+    let mut back = initial;
+    let mut back_frontier = initial;
+    let mut back_iterations = 0usize;
+    loop {
+        back_iterations += 1;
+        let mut pre_layer = zero;
+        for image in &images {
+            let mut succ = back_frontier;
+            for &v in &image.set_one {
+                let lit = bdd.var(v);
+                succ = bdd.and(succ, lit);
+            }
+            for &v in &image.set_zero {
+                let lit = bdd.nvar(v);
+                succ = bdd.and(succ, lit);
+            }
+            if succ == zero {
+                continue;
+            }
+            for &v in &image.changed {
+                succ = bdd.exists(succ, v);
+            }
+            let pre_states = bdd.and(succ, image.enabled);
+            pre_layer = bdd.or(pre_layer, pre_states);
+        }
+        let not_back = bdd.not(back);
+        let fresh = bdd.and(pre_layer, not_back);
+        let fresh = bdd.and(fresh, reached);
+        if fresh == zero {
+            break;
+        }
+        back = bdd.or(back, fresh);
+        back_frontier = fresh;
+        if back_iterations > 10_000 {
+            return Err(StgError::StateLimitExceeded(1 << 20));
+        }
+    }
+    let not_back = bdd.not(back);
+    let strongly_connected = bdd.and(reached, not_back) == zero;
+
+    // --- Excitation sets and the conflict relation ---
+    let mut rise = vec![zero; signals];
+    let mut fall = vec![zero; signals];
+    for image in &images {
+        if let Some((_, edge, signal)) = image.event {
+            let slot = match edge {
+                Edge::Rise => &mut rise[signal.index()],
+                Edge::Fall => &mut fall[signal.index()],
+            };
+            *slot = bdd.or(*slot, image.enabled);
+        }
+    }
+    // Prime map: each place's unprimed slot shifts onto its adjacent
+    // primed twin; signal variables are shared and stay put.
+    let mut prime_map: Vec<u32> = (0..total_vars as u32).collect();
+    for &v in &uvar {
+        prime_map[v as usize] = v + 1;
+    }
+    let reached_primed = bdd.rename_monotone(reached, &prime_map);
+    let pair_base = bdd.and(reached, reached_primed);
+
+    let implemented: Vec<SignalId> = stg
+        .signals()
+        .filter(|&s| stg.signal_kind(s).is_implemented())
+        .collect();
+    let mut conflicts = 0u64;
+    let mut per_signal = Vec::new();
+    let mut witness = None;
+    for &signal in &implemented {
+        let s = signal.index();
+        let value = bdd.var(svar[s] as usize);
+        let not_falling = bdd.not(fall[s]);
+        let stable_high = bdd.and(value, not_falling);
+        let implied = bdd.or(rise[s], stable_high);
+        let implied_primed = bdd.rename_monotone(implied, &prime_map);
+        let not_implied_primed = bdd.not(implied_primed);
+        let conf = bdd.and(pair_base, implied);
+        let conf = bdd.and(conf, not_implied_primed);
+        if conf == zero {
+            continue;
+        }
+        let count = bdd.satisfy_count_over(conf, total_vars);
+        if witness.is_none() {
+            let words = bdd.satisfy_one(conf).expect("non-empty relation");
+            witness = Some(decode_witness(&words, &uvar, &svar, signal));
+        }
+        conflicts += count;
+        per_signal.push((signal, count));
+    }
+
+    Ok(CscAnalysis {
+        markings: bdd.satisfy_count_over(reached, places + signals),
+        iterations,
+        conflicts,
+        per_signal,
+        witness,
+        deadlock_free,
+        strongly_connected,
+        bdd_nodes: bdd.node_count(),
+        uvar,
+        svar,
+        implemented,
+        reached,
+        rise,
+        fall,
+    })
+}
+
+/// Maps one satisfying assignment of a conflict relation back to packed
+/// markings and the shared code.
+fn decode_witness(words: &[u64], uvar: &[u32], svar: &[u32], signal: SignalId) -> CscWitness {
+    let bit = |v: u32| {
+        words
+            .get(v as usize / 64)
+            .is_some_and(|w| w >> (v % 64) & 1 == 1)
+    };
+    let mut marking_a = vec![0u64; (uvar.len().div_ceil(64)).max(1)];
+    let mut marking_b = marking_a.clone();
+    for (place, &v) in uvar.iter().enumerate() {
+        if bit(v) {
+            marking_a[place / 64] |= 1 << (place % 64);
+        }
+        if bit(v + 1) {
+            marking_b[place / 64] |= 1 << (place % 64);
+        }
+    }
+    let mut code = 0u64;
+    for (s, &v) in svar.iter().enumerate() {
+        if bit(v) {
+            code |= 1 << s;
+        }
+    }
+    CscWitness {
+        marking_a,
+        marking_b,
+        code,
+        signal,
+    }
+}
+
+impl CscAnalysis {
+    /// Derives the per-code excitation table of a (CSC-free) analysis:
+    /// projects the reachable set and the excitation sets onto the code
+    /// variables and enumerates every reachable code. `bdd` must be the
+    /// manager the analysis ran in.
+    ///
+    /// Only meaningful when [`CscAnalysis::conflicts`] is 0 (CSC-free
+    /// sets excite uniformly per code); rows of a conflicted set report
+    /// "excited somewhere under this code".
+    pub fn code_table(&self, bdd: &mut Bdd) -> CodeTable {
+        // Quantify place variables bottom-up (largest first keeps the
+        // intermediate diagrams rooted where they already are).
+        let mut place_vars: Vec<u32> = self.uvar.clone();
+        place_vars.sort_unstable_by(|a, b| b.cmp(a));
+        let project = |bdd: &mut Bdd, mut node: NodeId, place_vars: &[u32]| {
+            for &v in place_vars {
+                node = bdd.exists(node, v as usize);
+            }
+            node
+        };
+        let codes_set = project(bdd, self.reached, &place_vars);
+        let mut svar_sorted: Vec<(u32, usize)> = self
+            .svar
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(s, v)| (v, s))
+            .collect();
+        svar_sorted.sort_unstable();
+        let vars: Vec<u32> = svar_sorted.iter().map(|&(v, _)| v).collect();
+        let masks = bdd.satisfy_all_over(codes_set, &vars);
+        // `satisfy_all_over` bits follow `vars` order; remap to signal
+        // index order.
+        let to_code = |mask: u64| {
+            let mut code = 0u64;
+            for (i, &(_, s)) in svar_sorted.iter().enumerate() {
+                if mask >> i & 1 == 1 {
+                    code |= 1 << s;
+                }
+            }
+            code
+        };
+        let mut codes: Vec<u64> = masks.into_iter().map(to_code).collect();
+        codes.sort_unstable();
+
+        let eval_words = |code: u64, svar: &[u32], len: usize| {
+            let mut words = vec![0u64; len.div_ceil(64).max(1)];
+            for (s, &v) in svar.iter().enumerate() {
+                if code >> s & 1 == 1 {
+                    words[v as usize / 64] |= 1 << (v % 64);
+                }
+            }
+            words
+        };
+        let total_vars = 2 * self.uvar.len() + self.svar.len();
+        let mut rise_proj = Vec::with_capacity(self.implemented.len());
+        let mut fall_proj = Vec::with_capacity(self.implemented.len());
+        for &signal in &self.implemented {
+            let er = bdd.and(self.reached, self.rise[signal.index()]);
+            rise_proj.push(project(bdd, er, &place_vars));
+            let ef = bdd.and(self.reached, self.fall[signal.index()]);
+            fall_proj.push(project(bdd, ef, &place_vars));
+        }
+        let rows = codes
+            .into_iter()
+            .map(|code| {
+                let words = eval_words(code, &self.svar, total_vars);
+                let excited = self
+                    .implemented
+                    .iter()
+                    .enumerate()
+                    .map(|(k, _)| {
+                        if bdd.evaluate_words(rise_proj[k], &words) {
+                            Some(Edge::Rise)
+                        } else if bdd.evaluate_words(fall_proj[k], &words) {
+                            Some(Edge::Fall)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                CodeRow { code, excited }
+            })
+            .collect();
+        CodeTable {
+            implemented: self.implemented.clone(),
+            rows,
+        }
+    }
+}

@@ -15,27 +15,71 @@
 //! repeated-reachability loop in the pipeline, and the engine is the
 //! seam that lets it run over either backend. On the symbolic backend
 //! the accepted resolution is additionally **audited** against the
-//! engine's persistent-manager symbolic marking count
-//! ([`SynthError::BackendMismatch`] on divergence), so the two
+//! engine's persistent-manager symbolic marking count and the symbolic
+//! conflict detector ([`SynthError::BackendMismatch`] /
+//! [`SynthError::DetectorMismatch`] on divergence), so the two
 //! analysers continuously cross-check each other in production use.
+//!
+//! ## The explicit/symbolic detector threshold
+//!
+//! The candidate loop has two interchangeable conflict detectors:
+//!
+//! * **explicit** — build the coded [`StateGraph`] per candidate and
+//!   call [`StateGraph::csc_conflicts`]. Fastest for paper-scale
+//!   controllers (tens of states), and the only path that yields the
+//!   graph downstream logic synthesis consumes, so the accepted
+//!   resolution carries `sg: Some(_)`.
+//! * **symbolic** — ask the engine for
+//!   [`rt_stg::engine::ReachEngine::csc_conflicts_symbolic`]: conflict
+//!   counts, liveness flags and encoding costs all come off BDDs in the
+//!   persistent manager, and **no explicit state graph is ever
+//!   constructed** (`EngineStats::graph_builds` stays 0; the
+//!   resolution carries `sg: None`). This is the path that scales past
+//!   the explicit-enumeration wall on huge nets.
+//!
+//! [`CscOptions::symbolic_threshold`] arbitrates: on a
+//! [`ReachBackend::Symbolic`] engine, nets with at least that many
+//! places rank candidates symbolically; smaller nets keep the explicit
+//! detector (whose per-candidate graphs are microseconds at that size
+//! and whose literal-count costs are the historical tie-breakers). The
+//! default, [`DEFAULT_SYMBOLIC_THRESHOLD`], switches over right where
+//! packed markings spill past one machine word — below it the two
+//! backends produce bit-identical resolutions, above it the symbolic
+//! path may tie-break differently (its logic costs come from per-*code*
+//! covers rather than per-*state* covers) while still accepting only
+//! CSC-free, live, deadlock-free encodings. Set the threshold to 0 to
+//! force the symbolic detector everywhere, or `usize::MAX` to disable
+//! it.
 
-use rt_boolean::minimize;
-use rt_stg::engine::ReachEngine;
+use std::collections::BTreeSet;
+
+use rt_boolean::{minimize, Cover, Cube};
+use rt_stg::engine::{ReachBackend, ReachEngine};
 use rt_stg::par::{effective_threads, parallel_argmin};
 use rt_stg::petri::PlaceId;
+use rt_stg::reach::count_markings_with;
 use rt_stg::stg::TransitionLabel;
-use rt_stg::{SignalKind, StateGraph, Stg, TransitionId};
+use rt_stg::symbolic::csc::CscAnalysis;
+use rt_stg::{Edge, SignalKind, StateGraph, Stg, TransitionId};
 
 use crate::error::SynthError;
-use crate::regions::{derive_functions, LocalDontCares};
+use crate::regions::{derive_functions, unreachable_cover, LocalDontCares};
+
+/// Default [`CscOptions::symbolic_threshold`]: the first place count
+/// whose packed markings no longer fit one machine word — the size
+/// class the paper's wide adder/fabric workloads start at, and where
+/// per-candidate explicit graphs stop being microseconds.
+pub const DEFAULT_SYMBOLIC_THRESHOLD: usize = 65;
 
 /// Outcome of CSC resolution.
 #[derive(Debug, Clone)]
 pub struct CscResolution {
     /// The (possibly rewritten) STG, CSC-free.
     pub stg: Stg,
-    /// Its state graph.
-    pub sg: StateGraph,
+    /// Its state graph — `Some` on the explicit-detector path, `None`
+    /// when the symbolic path accepted the encoding without ever
+    /// enumerating states (see the module docs on the threshold).
+    pub sg: Option<StateGraph>,
     /// Names of inserted state signals (empty when none were needed).
     pub inserted: Vec<String>,
     /// Cost of the chosen encoding (minimized literal count).
@@ -53,10 +97,15 @@ pub struct CscOptions {
     /// Worker-pool width for the candidate search (`0`, the default,
     /// resolves to one worker per available core; `1` runs serially).
     /// Each worker evaluates whole candidate insertions on a private
-    /// explicit [`ReachEngine`], and the deterministic `(cost, index)`
-    /// reduction of [`rt_stg::par::parallel_argmin`] guarantees the
-    /// winner is identical at every width.
+    /// [`ReachEngine`] of the caller's backend, and the deterministic
+    /// `(cost, index)` reduction of [`rt_stg::par::parallel_argmin`]
+    /// guarantees the winner is identical at every width.
     pub threads: usize,
+    /// Place count at or above which a [`ReachBackend::Symbolic`]
+    /// engine ranks candidates with the symbolic conflict detector
+    /// instead of building explicit state graphs (see the module
+    /// docs). Irrelevant on explicit-backend engines.
+    pub symbolic_threshold: usize,
 }
 
 impl Default for CscOptions {
@@ -65,6 +114,7 @@ impl Default for CscOptions {
             max_signals: 3,
             critical_path_penalty: 4,
             threads: 0,
+            symbolic_threshold: DEFAULT_SYMBOLIC_THRESHOLD,
         }
     }
 }
@@ -106,12 +156,17 @@ pub fn resolve_csc_engine(
     options: &CscOptions,
     engine: &mut ReachEngine,
 ) -> Result<CscResolution, SynthError> {
+    if engine.backend() == ReachBackend::Symbolic
+        && stg.net().place_count() >= options.symbolic_threshold
+    {
+        return resolve_csc_symbolic(stg, options, engine);
+    }
     let sg = engine.state_graph(stg)?;
     if sg.csc_conflicts().is_empty() {
         let cost = encoding_cost(&sg, 0);
         let resolution = CscResolution {
             stg: stg.clone(),
-            sg,
+            sg: Some(sg),
             inserted: Vec::new(),
             cost,
         };
@@ -130,7 +185,7 @@ pub fn resolve_csc_engine(
                 if next_sg.csc_conflicts().is_empty() {
                     let resolution = CscResolution {
                         stg: next_stg,
-                        sg: next_sg,
+                        sg: Some(next_sg),
                         inserted,
                         cost,
                     };
@@ -146,13 +201,116 @@ pub fn resolve_csc_engine(
     Err(SynthError::CscUnresolvable { attempts })
 }
 
-/// Symbolic-backend audit: the resolved STG's explicit state count must
-/// match the persistent manager's symbolic marking count.
+/// The fully symbolic resolution loop: every candidate is scored by the
+/// engine's symbolic CSC analysis — conflict counts, deadlock freedom,
+/// strong connectivity and (for CSC-free candidates) per-code logic
+/// costs all come off BDDs in the persistent manager, and **no
+/// explicit [`StateGraph`] is ever constructed** (the engine's
+/// `graph_builds` counter stays where it was; `symbolic_csc` ticks
+/// instead). The accepted resolution therefore carries `sg: None`.
+///
+/// The accepted encoding is audited against the *explicit* analyser
+/// anyway — via the counting-only packed walk
+/// ([`rt_stg::reach::count_markings_with`]), which enumerates markings
+/// without building a graph — so the two reachability implementations
+/// still cross-check each other on every accepted resolution.
+fn resolve_csc_symbolic(
+    stg: &Stg,
+    options: &CscOptions,
+    engine: &mut ReachEngine,
+) -> Result<CscResolution, SynthError> {
+    let analysis = engine.csc_conflicts_symbolic(stg)?;
+    if analysis.conflicts == 0 {
+        let cost = symbolic_encoding_cost(stg, &analysis, engine, 0);
+        audit_symbolic_acceptance(stg, analysis.markings, engine)?;
+        return Ok(CscResolution {
+            stg: stg.clone(),
+            sg: None,
+            inserted: Vec::new(),
+            cost,
+        });
+    }
+    let mut attempts = 0;
+    let mut current = stg.clone();
+    let mut before = analysis.conflicts;
+    let mut inserted = Vec::new();
+    for round in 0..options.max_signals {
+        let name = format!("csc{round}");
+        match best_insertion_symbolic(&current, &name, options, before, engine, &mut attempts) {
+            Some((next_stg, after, markings, cost)) => {
+                inserted.push(name);
+                if after == 0 {
+                    audit_symbolic_acceptance(&next_stg, markings, engine)?;
+                    return Ok(CscResolution {
+                        stg: next_stg,
+                        sg: None,
+                        inserted,
+                        cost,
+                    });
+                }
+                before = after;
+                current = next_stg;
+            }
+            None => break,
+        }
+    }
+    Err(SynthError::CscUnresolvable { attempts })
+}
+
+/// Acceptance audit of the symbolic path: the symbolic reachable-
+/// marking count of the accepted STG must match the explicit
+/// counting-only walk (no state graph, no 64-signal cap).
+///
+/// On nets past the explicit walk's state limit the audit is
+/// **skipped**, not failed: those are precisely the nets the symbolic
+/// path exists for, and an enumeration-bounded cross-check cannot be a
+/// hard gate there. Every other explicit-walk failure (unboundedness,
+/// deadlock under `forbid_deadlock`) still propagates — it signals a
+/// real divergence between the analysers' net semantics.
+fn audit_symbolic_acceptance(
+    stg: &Stg,
+    symbolic_markings: u64,
+    engine: &mut ReachEngine,
+) -> Result<(), SynthError> {
+    let count = match count_markings_with(stg, engine.options()) {
+        Ok(count) => count,
+        Err(rt_stg::StgError::StateLimitExceeded(_)) => return Ok(()),
+        Err(err) => return Err(err.into()),
+    };
+    if count.markings != symbolic_markings {
+        return Err(SynthError::BackendMismatch {
+            explicit: count.markings,
+            symbolic: symbolic_markings,
+        });
+    }
+    Ok(())
+}
+
+/// Symbolic-backend audit of an explicit-path resolution: the resolved
+/// STG's explicit state count must match the persistent manager's
+/// symbolic marking count, **and** the symbolic conflict detector must
+/// agree with [`StateGraph::csc_conflicts`] on the accepted graph —
+/// both detectors cross-check each other on every accepted resolution.
 fn audit_resolution(
     resolution: &CscResolution,
     engine: &mut ReachEngine,
 ) -> Result<(), SynthError> {
-    crate::regions::audit_against_symbolic(engine, &resolution.stg, &resolution.sg)
+    let sg = resolution
+        .sg
+        .as_ref()
+        .expect("the explicit path always carries its graph");
+    crate::regions::audit_against_symbolic(engine, &resolution.stg, sg)?;
+    if engine.backend() == ReachBackend::Symbolic {
+        let analysis = engine.csc_conflicts_symbolic(&resolution.stg)?;
+        let explicit = sg.csc_conflicts().len() as u64;
+        if analysis.conflicts != explicit {
+            return Err(SynthError::DetectorMismatch {
+                explicit,
+                symbolic: analysis.conflicts,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// One candidate insertion point of the search, cheap to enumerate up
@@ -279,6 +437,143 @@ fn best_insertion(
         engine.absorb_stats(worker.stats());
     }
     best.map(|(_, cost, (candidate, sg))| (candidate, sg, cost))
+}
+
+/// The symbolic twin of [`best_insertion`]: candidates are scored by
+/// the engine's symbolic CSC analysis instead of explicit state
+/// graphs. Returns the winner as `(stg, remaining conflicts, symbolic
+/// marking count, cost)`.
+///
+/// Every worker owns a private *symbolic* [`ReachEngine`] — one
+/// persistent manager per worker, since managers are not shared across
+/// threads (see `rt_stg::engine`'s module docs) — and the usual
+/// deterministic `(cost, index)` reduction picks the winner. Worker
+/// counters (including `symbolic_csc`) fold back into `engine`.
+fn best_insertion_symbolic(
+    stg: &Stg,
+    name: &str,
+    options: &CscOptions,
+    before: u64,
+    engine: &mut ReachEngine,
+    attempts: &mut usize,
+) -> Option<(Stg, u64, u64, usize)> {
+    let specs = insertion_specs(stg);
+    *attempts += specs.len();
+    let pool = effective_threads(options.threads);
+    let mut worker_options = engine.options().clone();
+    if pool > 1 {
+        worker_options.threads = 1;
+    }
+
+    let evaluate = |worker: &mut ReachEngine, index: usize| {
+        let candidate = match specs[index] {
+            InsertionSpec::Place {
+                plus,
+                minus,
+                token_after,
+            } => insert_state_signal_with(stg, name, plus, minus, token_after),
+            InsertionSpec::Trans { plus, minus } => {
+                insert_after_transitions(stg, name, plus, minus)
+            }
+        };
+        // An inconsistent or diverging candidate errors, exactly like a
+        // failed explicit exploration: disqualified.
+        let Ok(analysis) = worker.csc_conflicts_symbolic(&candidate) else {
+            return None;
+        };
+        if !analysis.strongly_connected || !analysis.deadlock_free {
+            return None;
+        }
+        let after = analysis.conflicts;
+        if after >= before {
+            return None; // insertion must strictly help
+        }
+        let penalty = critical_penalty(&candidate, name) * options.critical_path_penalty;
+        let cost = if after == 0 {
+            symbolic_encoding_cost(&candidate, &analysis, worker, penalty)
+        } else {
+            // Not yet CSC-free: rank by remaining conflicts, the same
+            // formula as the explicit loop. Pair-space counts can be
+            // astronomically large on huge nets, so clamp before the
+            // scale-up — an overflow here would hand a massively
+            // conflicted candidate an artificially tiny cost.
+            let clamped = after.min((usize::MAX / 200) as u64) as usize;
+            1_000 + clamped * 100 + penalty
+        };
+        Some((cost, (candidate, after, analysis.markings)))
+    };
+
+    let (best, workers) = parallel_argmin(
+        specs.len(),
+        options.threads,
+        || ReachEngine::with_options(engine.backend(), worker_options.clone()),
+        evaluate,
+    );
+    for worker in &workers {
+        engine.absorb_stats(worker.stats());
+    }
+    best.map(|(_, cost, (candidate, after, markings))| (candidate, after, markings, cost))
+}
+
+/// Minimized literal count of a CSC-free candidate, derived from the
+/// symbolic analysis' per-*code* excitation table instead of a state
+/// graph: one minterm cube per reachable code (CSC-freeness makes
+/// excitation a function of the code), unreachable codes as global
+/// don't-cares — the same monotonic-cover rules as
+/// [`crate::regions::derive_functions`], so the number is the same
+/// kind of logic cost, merely derived without enumeration. Falls back
+/// to a prohibitive cost when the net has nothing to implement or more
+/// code bits than a cover can carry.
+fn symbolic_encoding_cost(
+    stg: &Stg,
+    analysis: &CscAnalysis,
+    engine: &mut ReachEngine,
+    penalty: usize,
+) -> usize {
+    let vars = stg.signal_count();
+    if vars > 16 {
+        // Two-level cover costs live in the truth-table regime (the
+        // unreachable-code don't-care complement is exponential past
+        // it — the explicit path never derives costs there either, as
+        // `bench_reach` skips synthesis above 16 signals). Rank wide
+        // CSC-free candidates by the timing-aware penalty alone; ties
+        // break by candidate order.
+        return penalty;
+    }
+    let Some(manager) = engine.manager_mut() else {
+        return usize::MAX / 2;
+    };
+    let table = analysis.code_table(manager);
+    if table.implemented.is_empty() {
+        return usize::MAX / 2;
+    }
+    let reachable: BTreeSet<u64> = table.rows.iter().map(|r| r.code).collect();
+    let unreachable_dc = unreachable_cover(vars, &reachable);
+    let mut total = penalty;
+    for (k, &signal) in table.implemented.iter().enumerate() {
+        let mut set_on = Cover::empty(vars);
+        let mut set_dc = unreachable_dc.clone();
+        let mut reset_on = Cover::empty(vars);
+        let mut reset_dc = unreachable_dc.clone();
+        for row in &table.rows {
+            let cube = Cube::minterm(vars, row.code);
+            match row.excited[k] {
+                Some(Edge::Rise) => set_on.push(cube),
+                Some(Edge::Fall) => reset_on.push(cube),
+                None => {
+                    if row.code >> signal.index() & 1 == 1 {
+                        set_dc.push(cube);
+                    } else {
+                        reset_dc.push(cube);
+                    }
+                }
+            }
+        }
+        let set = minimize(&set_on, &set_dc);
+        let reset = minimize(&reset_on, &reset_dc);
+        total += set.literal_count() + reset.literal_count() + 2;
+    }
+    total
 }
 
 /// Simple places: exactly one producer and one consumer — safe insertion
@@ -477,12 +772,18 @@ mod tests {
     use super::*;
     use rt_stg::{explore, models};
 
+    /// The explicit-path graph of a resolution (every test below that
+    /// uses it runs below the symbolic threshold).
+    fn graph(res: &CscResolution) -> &StateGraph {
+        res.sg.as_ref().expect("explicit path carries its graph")
+    }
+
     #[test]
     fn csc_free_spec_passes_through() {
         let stg = models::handshake_stg();
         let res = resolve_csc(&stg).unwrap();
         assert!(res.inserted.is_empty());
-        assert_eq!(res.sg.state_count(), 4);
+        assert_eq!(graph(&res).state_count(), 4);
     }
 
     #[test]
@@ -490,8 +791,8 @@ mod tests {
         let stg = models::fifo_stg();
         let res = resolve_csc(&stg).unwrap();
         assert!(!res.inserted.is_empty(), "fifo needs a state signal");
-        assert!(res.sg.csc_conflicts().is_empty());
-        assert!(res.sg.is_strongly_connected());
+        assert!(graph(&res).csc_conflicts().is_empty());
+        assert!(graph(&res).is_strongly_connected());
         // The new signal is internal.
         let x = res.stg.signal_by_name(&res.inserted[0]).unwrap();
         assert_eq!(res.stg.signal_kind(x), SignalKind::Internal);
@@ -543,10 +844,11 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{name} symbolic: {e}"));
             assert_eq!(a.inserted, b.inserted, "{name}");
             assert_eq!(a.cost, b.cost, "{name}");
-            assert_eq!(a.sg.state_count(), b.sg.state_count(), "{name}");
+            let (ga, gb) = (graph(&a), graph(&b));
+            assert_eq!(ga.state_count(), gb.state_count(), "{name}");
             assert_eq!(
-                a.sg.states().map(|s| a.sg.code(s)).collect::<Vec<_>>(),
-                b.sg.states().map(|s| b.sg.code(s)).collect::<Vec<_>>(),
+                ga.states().map(|s| ga.code(s)).collect::<Vec<_>>(),
+                gb.states().map(|s| gb.code(s)).collect::<Vec<_>>(),
                 "{name}: identical coded graphs"
             );
         }
@@ -603,17 +905,10 @@ mod tests {
                     .unwrap_or_else(|e| panic!("{name} x{threads}: {e}"));
                 assert_eq!(parallel.inserted, serial.inserted, "{name} x{threads}");
                 assert_eq!(parallel.cost, serial.cost, "{name} x{threads}");
+                let (gp, gs) = (graph(&parallel), graph(&serial));
                 assert_eq!(
-                    parallel
-                        .sg
-                        .states()
-                        .map(|s| parallel.sg.code(s))
-                        .collect::<Vec<_>>(),
-                    serial
-                        .sg
-                        .states()
-                        .map(|s| serial.sg.code(s))
-                        .collect::<Vec<_>>(),
+                    gp.states().map(|s| gp.code(s)).collect::<Vec<_>>(),
+                    gs.states().map(|s| gs.code(s)).collect::<Vec<_>>(),
                     "{name} x{threads}: identical coded graphs"
                 );
                 assert_eq!(

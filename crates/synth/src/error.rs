@@ -39,6 +39,15 @@ pub enum SynthError {
         /// Markings counted symbolically.
         symbolic: u64,
     },
+    /// The explicit and symbolic CSC conflict *detectors* disagreed on
+    /// the conflict count of the same specification — one of them is
+    /// wrong, so the accepted encoding cannot be trusted.
+    DetectorMismatch {
+        /// Conflicts found on the explicitly coded state graph.
+        explicit: u64,
+        /// Conflicts counted by the symbolic pair-space relation.
+        symbolic: u64,
+    },
     /// An underlying STG analysis failed.
     Stg(StgError),
     /// The signal id is out of range for this state graph.
@@ -65,6 +74,11 @@ impl fmt::Display for SynthError {
                 f,
                 "reachability backends disagree: {explicit} explicit states vs \
                  {symbolic} symbolic markings"
+            ),
+            SynthError::DetectorMismatch { explicit, symbolic } => write!(
+                f,
+                "csc detectors disagree: {explicit} conflicts on the explicit \
+                 graph vs {symbolic} symbolic"
             ),
             SynthError::Stg(err) => write!(f, "stg analysis failed: {err}"),
             SynthError::UnknownSignal(id) => write!(f, "unknown signal {id}"),

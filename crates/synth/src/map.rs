@@ -406,7 +406,8 @@ mod tests {
     #[test]
     fn end_to_end_resolution_plus_synthesis() {
         let res = crate::csc::resolve_csc(&models::fifo_stg()).unwrap();
-        let result = synthesize(&res.sg, "fifo_auto").unwrap();
+        let sg = res.sg.as_ref().expect("explicit path carries its graph");
+        let result = synthesize(sg, "fifo_auto").unwrap();
         result.netlist.validate().unwrap();
         assert!(result.literal_count > 0);
     }

@@ -24,10 +24,14 @@ fn vme_read_flow_inserts_a_state_signal_and_conforms() {
         !resolution.inserted.is_empty(),
         "the canonical CSC insertion"
     );
-    assert!(resolution.sg.csc_conflicts().is_empty());
-    let result = synthesize(&resolution.sg, "vme_read").expect("synthesizes");
+    let sg = resolution
+        .sg
+        .as_ref()
+        .expect("the explicit resolution path carries its graph");
+    assert!(sg.csc_conflicts().is_empty());
+    let result = synthesize(sg, "vme_read").expect("synthesizes");
     result.netlist.validate().expect("structurally sound");
-    let report = verify_against_sg(&result.netlist, &resolution.sg, &[]);
+    let report = verify_against_sg(&result.netlist, sg, &[]);
     assert!(report.passed(), "{:?}", report.failures);
 }
 
