@@ -23,6 +23,12 @@
 //! unparseable exits 2 so a format drift fails loudly rather than
 //! silently gating nothing. Speedups are reported but never fail the
 //! gate.
+//!
+//! Beyond timing, the gate also fails (exit 1) when the **fresh**
+//! snapshot's summary reports a nonzero `degradations` count: the
+//! standard corpus must run to completion under default budgets, so any
+//! recorded fallback means a budget silently tripped. Baselines that
+//! predate the key are tolerated (absent ⇒ 0).
 
 use std::process::ExitCode;
 
@@ -66,6 +72,16 @@ fn parse_models(json: &str) -> Vec<ModelRow> {
             })
         })
         .collect()
+}
+
+/// Total engine degradations recorded in a snapshot's summary line.
+/// 0 when the snapshot predates the key — only fresh snapshots (whose
+/// emitter validates the key exists) are gated on it.
+fn summary_degradations(json: &str) -> u64 {
+    json.lines()
+        .find(|line| line.contains("\"aggregate_states_per_sec\""))
+        .and_then(|line| field_number(line, "degradations"))
+        .unwrap_or(0.0) as u64
 }
 
 /// The verdict of one baseline-vs-fresh comparison.
@@ -140,8 +156,10 @@ fn main() -> ExitCode {
             std::process::exit(2);
         })
     };
-    let baseline = parse_models(&read(baseline_path));
-    let fresh = parse_models(&read(fresh_path));
+    let baseline_text = read(baseline_path);
+    let fresh_text = read(fresh_path);
+    let baseline = parse_models(&baseline_text);
+    let fresh = parse_models(&fresh_text);
     if baseline.is_empty() || fresh.is_empty() {
         eprintln!(
             "bench_check: no parseable model rows (baseline {}, fresh {}) — format drift?",
@@ -172,6 +190,17 @@ fn main() -> ExitCode {
     if regressions > 0 {
         eprintln!(
             "bench_check: {regressions} model(s) regressed past {max_ratio}x vs {baseline_path}"
+        );
+        return ExitCode::from(1);
+    }
+    // Degradation gate: the standard corpus under default budgets must
+    // never trip a fallback — a nonzero count means a budget or
+    // degradation policy silently kicked in during the fresh run.
+    let degradations = summary_degradations(&fresh_text);
+    if degradations > 0 {
+        eprintln!(
+            "bench_check: fresh snapshot records {degradations} engine degradation(s) — \
+             budgets must not trip on the standard corpus"
         );
         return ExitCode::from(1);
     }
@@ -259,6 +288,22 @@ mod tests {
         assert!(compare(&base, &mild, 2.5, 20)
             .iter()
             .all(|(_, v)| !matches!(v, Verdict::Regressed(_))));
+    }
+
+    #[test]
+    fn degradation_count_is_read_from_the_summary_line() {
+        // The real emitter's summary object is one physical line keyed
+        // (among others) by aggregate_states_per_sec and degradations.
+        let with_summary = format!(
+            "{}  \"summary\": {{\"models\": 3, \"threads\": 1, \"degradations\": 2, \
+             \"aggregate_states_per_sec\": 123456}}\n}}\n",
+            snapshot(1.0)
+        );
+        assert_eq!(summary_degradations(&with_summary), 2);
+        let clean = with_summary.replace("\"degradations\": 2", "\"degradations\": 0");
+        assert_eq!(summary_degradations(&clean), 0);
+        // Snapshots predating the key (like the bare fixture) gate as 0.
+        assert_eq!(summary_degradations(&snapshot(1.0)), 0);
     }
 
     #[test]

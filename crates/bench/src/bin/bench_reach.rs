@@ -67,6 +67,11 @@ struct CscRow {
     cold_summary_ns: f64,
     warm_summary_ns: f64,
     warm_speedup: f64,
+    /// Engine degradations recorded across this row's verification
+    /// resolutions. Under default (unlimited) budgets this must be 0 —
+    /// `bench_check` fails the gate when a fresh snapshot reports any,
+    /// so a budget fallback can never silently shift what is measured.
+    degradations: usize,
 }
 
 /// One serial-vs-sharded comparison on a wide model.
@@ -221,16 +226,19 @@ fn measure_csc(name: &str, stg: &Stg, min_ms: u128, pool_threads: usize) -> CscR
         threads: pool_threads,
         ..CscOptions::default()
     };
-    let explicit_res = resolve_csc_engine(stg, &serial_options, &mut ReachEngine::explicit())
+    let mut explicit_engine = ReachEngine::explicit();
+    let explicit_res = resolve_csc_engine(stg, &serial_options, &mut explicit_engine)
         .expect("csc resolves on the explicit backend");
-    let symbolic_res = resolve_csc_engine(stg, &serial_options, &mut ReachEngine::symbolic())
+    let mut symbolic_engine = ReachEngine::symbolic();
+    let symbolic_res = resolve_csc_engine(stg, &serial_options, &mut symbolic_engine)
         .expect("csc resolves on the symbolic backend");
     assert_eq!(
         explicit_res.inserted, symbolic_res.inserted,
         "{name}: backends must produce identical resolutions"
     );
     assert_eq!(explicit_res.cost, symbolic_res.cost, "{name}");
-    let pooled_res = resolve_csc_engine(stg, &pool_options, &mut ReachEngine::explicit())
+    let mut pooled_engine = ReachEngine::explicit();
+    let pooled_res = resolve_csc_engine(stg, &pool_options, &mut pooled_engine)
         .expect("csc resolves on the candidate pool");
     assert_eq!(
         pooled_res.inserted, explicit_res.inserted,
@@ -267,6 +275,11 @@ fn measure_csc(name: &str, stg: &Stg, min_ms: u128, pool_threads: usize) -> CscR
         "warm path must reuse"
     );
 
+    let degradations = explicit_engine.stats().degradations.len()
+        + symbolic_engine.stats().degradations.len()
+        + pooled_engine.stats().degradations.len()
+        + warm_engine.stats().degradations.len();
+
     CscRow {
         name: name.to_string(),
         inserted: explicit_res.inserted.len(),
@@ -277,6 +290,7 @@ fn measure_csc(name: &str, stg: &Stg, min_ms: u128, pool_threads: usize) -> CscR
         cold_summary_ns,
         warm_summary_ns,
         warm_speedup: cold_summary_ns / warm_summary_ns,
+        degradations,
     }
 }
 
@@ -330,6 +344,7 @@ fn validate(json: &str) -> Result<(), String> {
         "\"symbolic_warm_ns\"",
         "\"warm_speedup\"",
         "\"aggregate_states_per_sec\"",
+        "\"degradations\"",
     ] {
         if !json.contains(key) {
             return Err(format!("missing key {key}"));
@@ -459,6 +474,9 @@ fn main() {
     let total_states: usize = rows.iter().map(|r| r.states).sum();
     let total_explore_ns: f64 = rows.iter().map(|r| r.explore_ns).sum();
     let aggregate_states_per_sec = total_states as f64 / (total_explore_ns / 1e9);
+    // Budget-fallback gauge: with the default unlimited budgets nothing
+    // may degrade; `bench_check` fails a snapshot that reports any.
+    let total_degradations: usize = csc_rows.iter().map(|r| r.degradations).sum();
     let wide_states: usize = wide_rows.iter().map(|r| r.states).sum();
     let wide_serial_ns: f64 = wide_rows.iter().map(|r| r.serial_ns).sum();
     let wide_parallel_ns: f64 = wide_rows.iter().map(|r| r.parallel_ns).sum();
@@ -496,7 +514,7 @@ fn main() {
             "    {{\"name\": \"{}\", \"inserted\": {}, \"threads\": {}, \
              \"explicit_ns\": {:.0}, \"parallel_ns\": {:.0}, \"symbolic_ns\": {:.0}, \
              \"cold_summary_ns\": {:.0}, \"warm_summary_ns\": {:.0}, \
-             \"warm_speedup\": {:.1}}}{}",
+             \"warm_speedup\": {:.1}, \"degradations\": {}}}{}",
             r.name,
             r.inserted,
             r.pool_threads,
@@ -506,6 +524,7 @@ fn main() {
             r.cold_summary_ns,
             r.warm_summary_ns,
             r.warm_speedup,
+            r.degradations,
             if i + 1 < csc_rows.len() { "," } else { "" }
         );
     }
@@ -549,6 +568,7 @@ fn main() {
          \"total_explore_ns\": {total_explore_ns:.0}, \
          \"aggregate_states_per_sec\": {aggregate_states_per_sec:.0}, \
          \"threads\": {threads}, \
+         \"degradations\": {total_degradations}, \
          \"wide_states\": {wide_states}, \
          \"wide_serial_states_per_sec\": {:.0}, \
          \"wide_parallel_states_per_sec\": {:.0}, \

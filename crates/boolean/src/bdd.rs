@@ -71,6 +71,8 @@ pub struct Bdd {
     op_cache: FxHashMap<(Op, NodeId, NodeId), NodeId>,
     /// Persistent cofactor memo: `(node, var, value)` → result.
     restrict_cache: FxHashMap<(NodeId, u32, bool), NodeId>,
+    /// Soft footprint budget (see [`Bdd::over_budget`]); `None` = unlimited.
+    node_budget: Option<usize>,
 }
 
 const TERMINAL_VAR: u32 = u32::MAX;
@@ -154,6 +156,7 @@ impl Bdd {
             unique: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
             op_cache: FxHashMap::with_capacity_and_hasher(CACHE_CAPACITY, Default::default()),
             restrict_cache: FxHashMap::default(),
+            node_budget: None,
         }
     }
 
@@ -249,6 +252,40 @@ impl Bdd {
     /// (plus the cofactor cache); a capacity-planning diagnostic.
     pub fn cache_len(&self) -> usize {
         self.op_cache.len() + self.restrict_cache.len()
+    }
+
+    /// Current memory footprint proxy: live nodes plus memo-cache
+    /// entries. This — not `node_count` alone — is what
+    /// [`Bdd::over_budget`] compares against the budget, because
+    /// [`Bdd::trim_caches`] can only release cache entries (nodes are
+    /// hash-consed and never collected), so a node-only budget could
+    /// never be satisfied by trimming.
+    pub fn footprint(&self) -> usize {
+        self.node_count() + self.cache_len()
+    }
+
+    /// Sets (or clears, with `None`) the soft footprint budget.
+    ///
+    /// The manager itself never enforces the budget — operations always
+    /// complete so no structure is ever left half-built. Long-running
+    /// callers (the symbolic fixpoints in `rt-stg`) poll
+    /// [`Bdd::over_budget`] at iteration boundaries and stop cleanly.
+    pub fn set_node_budget(&mut self, budget: Option<usize>) {
+        self.node_budget = budget;
+    }
+
+    /// The configured soft footprint budget, if any.
+    pub fn node_budget(&self) -> Option<usize> {
+        self.node_budget
+    }
+
+    /// Whether the manager's [`footprint`](Bdd::footprint) currently
+    /// exceeds the configured budget. Always `false` when no budget is
+    /// set. A `true` answer can often be cleared by
+    /// [`Bdd::trim_caches`], which drops the memo entries that dominate
+    /// a long-lived manager's footprint.
+    pub fn over_budget(&self) -> bool {
+        self.node_budget.is_some_and(|b| self.footprint() > b)
     }
 
     /// Drops the apply and cofactor caches (releasing their memory) but
@@ -625,6 +662,42 @@ mod tests {
     use super::*;
     use crate::cube::Cube;
     use crate::tt::TruthTable;
+
+    #[test]
+    fn node_budget_is_advisory_and_trim_clears_it() {
+        let mut bdd = Bdd::new(8);
+        assert!(!bdd.over_budget(), "no budget set");
+        assert_eq!(bdd.node_budget(), None);
+
+        // Build something with real cache traffic.
+        let mut acc = NodeId::ONE;
+        for v in 0..8 {
+            let x = bdd.var(v);
+            acc = bdd.and(acc, x);
+            let y = bdd.nvar(v);
+            let _ = bdd.or(acc, y);
+        }
+        assert!(bdd.cache_len() > 0);
+        assert_eq!(bdd.footprint(), bdd.node_count() + bdd.cache_len());
+
+        // A budget below the node count alone can never clear.
+        bdd.set_node_budget(Some(bdd.node_count() - 1));
+        assert!(bdd.over_budget());
+        bdd.trim_caches();
+        assert!(bdd.over_budget(), "nodes survive trim");
+
+        // A budget between nodes and footprint clears after a trim.
+        let x = bdd.var(0);
+        let y = bdd.var(1);
+        let _ = bdd.xor(x, y); // repopulate the cache
+        bdd.set_node_budget(Some(bdd.node_count()));
+        assert!(bdd.over_budget());
+        bdd.trim_caches();
+        assert!(!bdd.over_budget(), "trim released enough footprint");
+
+        bdd.set_node_budget(None);
+        assert!(!bdd.over_budget());
+    }
 
     #[test]
     fn constants_and_vars() {

@@ -87,6 +87,13 @@ pub struct FlowReport {
     pub synthesis: SynthesisResult,
     /// The lazy state graph (for verification).
     pub lazy_sg: StateGraph,
+    /// `true` when the timing-aware encoding search was cut short by
+    /// the engine's [`rt_stg::Budget`]: the report carries the best
+    /// partial encoding reached, not a verified optimum, and the
+    /// engine's stats record
+    /// [`rt_stg::Degradation::PartialSynthesis`]. Always `false` under
+    /// unlimited budgets.
+    pub truncated: bool,
     /// Human-readable stage log (the Figure-2 trace).
     pub stage_log: Vec<String>,
 }
@@ -187,6 +194,7 @@ impl RtSynthesisFlow {
         // Stage 3: timing-aware state encoding on the reduced graph.
         let mut working_stg = stg.clone();
         let mut inserted = Vec::new();
+        let mut truncated = false;
         // Without active assumptions the lazy reduction is the
         // identity, so on a symbolic engine over a net past the
         // threshold the whole encoding search can delegate to the
@@ -205,6 +213,32 @@ impl RtSynthesisFlow {
                 ..CscOptions::default()
             };
             match resolve_csc_engine(&working_stg, &csc_options, engine) {
+                // A budget-truncated partial resolution: keep whatever
+                // encoding progress it made (if its graph still fits
+                // the budget) and flag the report instead of aborting.
+                Ok(resolution) if resolution.truncated => {
+                    truncated = true;
+                    log.push(format!(
+                        "timing-aware encoding (symbolic detector): budget exhausted after \
+                         inserting {:?}; carrying the partial encoding forward",
+                        resolution.inserted
+                    ));
+                    match engine.state_graph(&resolution.stg) {
+                        Ok(sg) => {
+                            inserted = resolution.inserted.clone();
+                            working_stg = resolution.stg;
+                            reduced = sg;
+                        }
+                        Err(err) if err.is_resource_exhaustion() => {
+                            log.push(
+                                "partial encoding's graph is over budget too; \
+                                 keeping the unencoded net"
+                                    .to_string(),
+                            );
+                        }
+                        Err(err) => return Err(err.into()),
+                    }
+                }
                 Ok(resolution) => {
                     log.push(format!(
                         "timing-aware encoding (symbolic detector): inserted {:?}, cost {}",
@@ -228,15 +262,18 @@ impl RtSynthesisFlow {
             }
         }
         let mut round = 0;
+        let mut loop_truncated = false;
         while !reduced.csc_conflicts().is_empty() && round < self.max_state_signals {
             let name = format!("x{round}");
-            match best_insertion_on_reduced(
+            let (best, round_truncated) = best_insertion_on_reduced(
                 &working_stg,
                 &all_assumptions,
                 &name,
                 engine,
                 self.threads,
-            ) {
+            )?;
+            loop_truncated |= round_truncated;
+            match best {
                 Some((next_stg, next_reduced)) => {
                     log.push(format!(
                         "timing-aware encoding: inserted `{name}`, {} states, {} conflicts",
@@ -250,6 +287,18 @@ impl RtSynthesisFlow {
                 None => break,
             }
             round += 1;
+        }
+        if loop_truncated {
+            // The symbolic-delegation path records its own degradation
+            // inside `resolve_csc_engine`; the explicit loop records it
+            // here, exactly once per flow.
+            truncated = true;
+            engine.note_degradation(rt_stg::Degradation::PartialSynthesis);
+            log.push(
+                "timing-aware encoding: budget exhausted mid-search; \
+                 carrying the best partial encoding forward"
+                    .to_string(),
+            );
         }
 
         // Stage 4: early enabling of lazy internal signals.
@@ -306,6 +355,7 @@ impl RtSynthesisFlow {
             inserted_signals: inserted,
             synthesis,
             lazy_sg: reduced,
+            truncated,
             stage_log: log,
         })
     }
@@ -320,17 +370,25 @@ impl RtSynthesisFlow {
 /// the deterministic `(cost, index)` reduction of
 /// [`rt_stg::par::parallel_argmin`] — the winner matches the serial
 /// scan at every width. Worker counters are folded back into `engine`.
+///
+/// The boolean of the `Ok` pair flags *truncation*: some candidate (or
+/// the baseline itself) was only disqualified because the engine's
+/// [`rt_stg::Budget`] ran out. A panicking candidate evaluation
+/// surfaces as [`rt_stg::StgError::WorkerPanicked`].
 fn best_insertion_on_reduced(
     stg: &Stg,
     assumptions: &[RtAssumption],
     name: &str,
     engine: &mut ReachEngine,
     threads: usize,
-) -> Option<(Stg, StateGraph)> {
+) -> Result<(Option<(Stg, StateGraph)>, bool), RtError> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
     let places = simple_places(stg);
-    let baseline_conflicts = {
-        let sg = engine.state_graph(stg).ok()?;
-        reduce_unchecked(&sg, assumptions).csc_conflicts().len()
+    let baseline_conflicts = match engine.state_graph(stg) {
+        Ok(sg) => reduce_unchecked(&sg, assumptions).csc_conflicts().len(),
+        Err(err) if err.is_resource_exhaustion() => return Ok((None, true)),
+        Err(err) => return Err(err.into()),
     };
     let mut pairs = Vec::new();
     for &p_plus in &places {
@@ -345,6 +403,7 @@ fn best_insertion_on_reduced(
         o.threads = 1; // candidate-level parallelism; don't nest BFS sharding
         o
     };
+    let truncated = AtomicBool::new(false);
     let (best, workers) = parallel_argmin(
         pairs.len(),
         threads,
@@ -352,8 +411,14 @@ fn best_insertion_on_reduced(
         |worker: &mut ReachEngine, index| {
             let (p_plus, p_minus) = pairs[index];
             let candidate = insert_state_signal(stg, name, p_plus, p_minus);
-            let Ok(sg) = worker.state_graph(&candidate) else {
-                return None;
+            let sg = match worker.state_graph(&candidate) {
+                Ok(sg) => sg,
+                Err(error) => {
+                    if error.is_resource_exhaustion() {
+                        truncated.store(true, Ordering::Relaxed);
+                    }
+                    return None;
+                }
             };
             let reduced = reduce_unchecked(&sg, assumptions);
             if !reduction_valid(&sg, &reduced) && sg.state_count() != reduced.state_count() {
@@ -369,11 +434,14 @@ fn best_insertion_on_reduced(
             let cost = conflicts * 1_000 + reduced.state_count();
             Some((cost, (candidate, reduced)))
         },
-    );
+    )?;
     for worker in &workers {
         engine.absorb_stats(worker.stats());
     }
-    best.map(|(_, _, (stg, sg))| (stg, sg))
+    Ok((
+        best.map(|(_, _, (stg, sg))| (stg, sg)),
+        truncated.into_inner(),
+    ))
 }
 
 /// Determines the minimal required constraint set.

@@ -88,6 +88,49 @@
 //! behind a lock. Determinism is preserved there by the pool's
 //! `(cost, index)` reduction, not by scheduling.
 //!
+//! ## Budgets and degradation
+//!
+//! Every query runs under the [`ExploreOptions::budget`] — one
+//! [`Budget`] covering all four execution paths (serial BFS, sharded
+//! BFS, symbolic reach, symbolic CSC): soft state ceiling, BDD-footprint
+//! ceiling, fixpoint-iteration ceiling, and deadline/cancellation via a
+//! shared [`crate::budget::CancelToken`]. Checks run at **round /
+//! iteration granularity** — once per BFS layer or image step, never
+//! per state — so an overrun stops within one round.
+//!
+//! On a *soft* budget overrun ([`StgError::is_resource_exhaustion`])
+//! the engine degrades along a policy chain instead of dying, recording
+//! each step as a typed [`Degradation`] in [`EngineStats::degradations`]:
+//!
+//! * **Symbolic backend, node/iteration budget blown** →
+//!   [`Degradation::SymbolicTrimRetry`]: [`ReachEngine::trim`] drops the
+//!   memo caches (usually the bulk of the footprint) and the query
+//!   retries once. Still blown → [`Degradation::SymbolicToExplicit`]:
+//!   the summary is served by the explicit counting walk (which has no
+//!   signal cap) under the same budget.
+//! * **Explicit backend, state budget blown** →
+//!   [`Degradation::ExplicitToSymbolic`]: the summary is served
+//!   symbolically when the net fits the engine's code-width contract
+//!   (≤ 64 signals); BDD size scales with structure, not state count,
+//!   so the symbolic run routinely fits where enumeration does not.
+//! * **Synthesis truncation** — `rt_synth::resolve_csc_engine` records
+//!   [`Degradation::PartialSynthesis`] (via
+//!   [`ReachEngine::note_degradation`]) when a budget cut its candidate
+//!   search short and it returns the best candidate found so far
+//!   instead of aborting.
+//!
+//! Two things never degrade: the hard
+//! [`ExploreOptions::state_limit`] (an error contract callers rely on)
+//! and [`StgError::Cancelled`] (a demand to stop, honoured
+//! immediately). And no overrun — budget, cancellation, or even a
+//! worker panic (isolated via `catch_unwind` in [`crate::reach`] and
+//! [`crate::par`]) — ever corrupts engine state: the explicit arenas
+//! are per-call, and the persistent manager only ever grows by
+//! *complete* hash-consed nodes between iteration-boundary checks, so
+//! the engine stays fully reusable and its next run is bit-identical
+//! to a fresh engine's (`crates/stg/tests/engine_reuse.rs` and
+//! `crates/stg/tests/fault_injection.rs` pin this).
+//!
 //! ## Example
 //!
 //! ```
@@ -110,12 +153,13 @@
 
 use rt_boolean::Bdd;
 
+use crate::budget::Budget;
 use crate::error::StgError;
 use crate::reach::{count_markings_with, explore_with, ExploreOptions};
 use crate::state_graph::StateGraph;
 use crate::stg::Stg;
 use crate::symbolic::csc::{csc_conflicts_symbolic_opts, CscAnalysis};
-use crate::symbolic::{reach_symbolic_in, SymbolicReach, VarOrder};
+use crate::symbolic::{reach_symbolic_in_budgeted, SymbolicReach, VarOrder};
 
 /// Which analyser answers the engine's set-level queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -142,8 +186,28 @@ pub struct ReachSummary {
     pub bdd_nodes: usize,
 }
 
+/// One step of the engine's budget-degradation policy chain (see the
+/// module docs), recorded in [`EngineStats::degradations`] so callers —
+/// and the bench regression gate — can tell a first-class answer from a
+/// fallback one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Degradation {
+    /// A symbolic query blew its node/iteration budget; the manager's
+    /// memo caches were trimmed and the query retried once.
+    SymbolicTrimRetry,
+    /// The trim-retry still blew the budget; the summary was served by
+    /// the explicit counting walk instead.
+    SymbolicToExplicit,
+    /// An explicit summary blew the soft state budget; it was served
+    /// symbolically instead.
+    ExplicitToSymbolic,
+    /// A budget cut a synthesis candidate search short; the caller
+    /// returned the best candidate found so far, flagged `truncated`.
+    PartialSynthesis,
+}
+
 /// Usage counters, mostly for benches and reuse assertions.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Full state-graph constructions served.
     pub graph_builds: usize,
@@ -160,6 +224,10 @@ pub struct EngineStats {
     /// ([`ReachEngine::csc_conflicts_symbolic`]) — the gauge the
     /// no-explicit-graph encoding path is asserted with.
     pub symbolic_csc: usize,
+    /// Every degradation the engine performed, in order. Empty on a
+    /// healthy run — the standard corpus under default budgets must
+    /// keep it empty, which `bench_check` gates on.
+    pub degradations: Vec<Degradation>,
 }
 
 impl EngineStats {
@@ -174,6 +242,7 @@ impl EngineStats {
         self.resets += other.resets;
         self.trims += other.trims;
         self.symbolic_csc += other.symbolic_csc;
+        self.degradations.extend_from_slice(&other.degradations);
     }
 }
 
@@ -224,6 +293,19 @@ impl ReachEngine {
         self
     }
 
+    /// Builder-style [`Budget`] override: every subsequent query runs
+    /// under it (see the module docs' *Budgets and degradation*).
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.options.budget = budget;
+        self
+    }
+
+    /// The budget every query runs under.
+    pub fn budget(&self) -> &Budget {
+        &self.options.budget
+    }
+
     /// The configured backend.
     pub fn backend(&self) -> ReachBackend {
         self.backend
@@ -259,32 +341,81 @@ impl ReachEngine {
     }
 
     /// Answers the set-level question "how many markings are reachable"
-    /// through the configured backend.
+    /// through the configured backend, degrading to the other backend
+    /// on a *soft* budget overrun (see the module docs' *Budgets and
+    /// degradation*; each fallback step is recorded in
+    /// [`EngineStats::degradations`]). The hard `state_limit` and
+    /// cancellation never degrade.
     ///
     /// # Errors
     ///
     /// Explicit backend: [`crate::reach::count_markings_with`]'s errors.
     /// Symbolic backend: [`crate::symbolic::reach_symbolic_in`]'s.
+    /// Either may additionally surface the budget errors of
+    /// [`crate::budget::Budget`] when the fallback chain is exhausted.
     pub fn summary(&mut self, stg: &Stg) -> Result<ReachSummary, StgError> {
         self.stats.summaries += 1;
         match self.backend {
-            ReachBackend::Explicit => {
-                let count = count_markings_with(stg, &self.options)?;
-                Ok(ReachSummary {
-                    markings: count.markings,
-                    iterations: count.iterations,
-                    bdd_nodes: 0,
-                })
-            }
-            ReachBackend::Symbolic => {
-                let result = self.symbolic_set(stg)?;
-                Ok(ReachSummary {
-                    markings: result.markings,
-                    iterations: result.iterations,
-                    bdd_nodes: result.bdd_nodes,
-                })
-            }
+            ReachBackend::Explicit => match self.explicit_summary(stg) {
+                Err(error @ StgError::StateBudgetExceeded { .. }) => {
+                    // Enumeration blew the soft budget. A symbolic run
+                    // scales with BDD structure instead of state count,
+                    // so serve it symbolically when the net fits the
+                    // engine's code-width contract.
+                    if stg.signal_count() <= 64 {
+                        self.stats
+                            .degradations
+                            .push(Degradation::ExplicitToSymbolic);
+                        self.symbolic_summary(stg)
+                    } else {
+                        Err(error)
+                    }
+                }
+                other => other,
+            },
+            ReachBackend::Symbolic => match self.symbolic_summary(stg) {
+                Err(error) if error.is_resource_exhaustion() => {
+                    // First rung: drop the memo caches — usually the
+                    // bulk of a mature manager's footprint — and retry
+                    // once. Trim never changes results (bit-identical
+                    // replay), only frees headroom.
+                    self.stats.degradations.push(Degradation::SymbolicTrimRetry);
+                    self.trim();
+                    match self.symbolic_summary(stg) {
+                        Err(retry) if retry.is_resource_exhaustion() => {
+                            // Second rung: the explicit counting walk,
+                            // under the same budget.
+                            self.stats
+                                .degradations
+                                .push(Degradation::SymbolicToExplicit);
+                            self.explicit_summary(stg)
+                        }
+                        other => other,
+                    }
+                }
+                other => other,
+            },
         }
+    }
+
+    /// The explicit counting walk as a [`ReachSummary`].
+    fn explicit_summary(&mut self, stg: &Stg) -> Result<ReachSummary, StgError> {
+        let count = count_markings_with(stg, &self.options)?;
+        Ok(ReachSummary {
+            markings: count.markings,
+            iterations: count.iterations,
+            bdd_nodes: 0,
+        })
+    }
+
+    /// The symbolic run as a [`ReachSummary`].
+    fn symbolic_summary(&mut self, stg: &Stg) -> Result<ReachSummary, StgError> {
+        let result = self.symbolic_set(stg)?;
+        Ok(ReachSummary {
+            markings: result.markings,
+            iterations: result.iterations,
+            bdd_nodes: result.bdd_nodes,
+        })
     }
 
     /// Runs symbolic reachability in the engine's persistent manager and
@@ -296,7 +427,9 @@ impl ReachEngine {
     ///
     /// # Errors
     ///
-    /// Propagates [`crate::symbolic::reach_symbolic_in`]'s errors.
+    /// Propagates [`crate::symbolic::reach_symbolic_in`]'s errors, plus
+    /// the budget errors of [`crate::budget::Budget`] (no degradation
+    /// at this level — [`ReachEngine::summary`] owns the policy chain).
     pub fn symbolic_set(&mut self, stg: &Stg) -> Result<SymbolicReach, StgError> {
         if self.manager.is_some() {
             self.stats.manager_reuses += 1;
@@ -304,7 +437,8 @@ impl ReachEngine {
         let manager = self
             .manager
             .get_or_insert_with(|| Bdd::new(stg.net().place_count()));
-        reach_symbolic_in(stg, manager)
+        manager.set_node_budget(self.options.budget.max_bdd_nodes);
+        reach_symbolic_in_budgeted(stg, manager, &self.options.budget)
     }
 
     /// Runs the full symbolic CSC conflict analysis of `stg`
@@ -321,15 +455,34 @@ impl ReachEngine {
     /// # Errors
     ///
     /// Propagates [`csc_conflicts_symbolic_in`]'s errors
-    /// (> 64 signals, inconsistency, no fixpoint).
+    /// (> 64 signals, inconsistency, no fixpoint). A *soft* budget
+    /// overrun gets one [`Degradation::SymbolicTrimRetry`] (trim the
+    /// caches, retry once) before propagating — there is no explicit
+    /// fallback here, because the explicit detector needs a
+    /// [`StateGraph`] this call exists to avoid.
+    ///
+    /// [`csc_conflicts_symbolic_in`]: crate::symbolic::csc::csc_conflicts_symbolic_in
     pub fn csc_conflicts_symbolic(&mut self, stg: &Stg) -> Result<CscAnalysis, StgError> {
         if self.manager.is_some() {
             self.stats.manager_reuses += 1;
         }
         self.stats.symbolic_csc += 1;
+        match self.csc_symbolic_once(stg) {
+            Err(error) if error.is_resource_exhaustion() => {
+                self.stats.degradations.push(Degradation::SymbolicTrimRetry);
+                self.trim();
+                self.csc_symbolic_once(stg)
+            }
+            other => other,
+        }
+    }
+
+    /// One un-degraded symbolic CSC analysis in the persistent manager.
+    fn csc_symbolic_once(&mut self, stg: &Stg) -> Result<CscAnalysis, StgError> {
         let manager = self
             .manager
             .get_or_insert_with(|| Bdd::new(stg.net().place_count()));
+        manager.set_node_budget(self.options.budget.max_bdd_nodes);
         // The engine's own options drive the initial-code inference so
         // both detectors derive identical codes under any tuning.
         csc_conflicts_symbolic_opts(stg, manager, VarOrder::default(), &self.options)
@@ -393,6 +546,15 @@ impl ReachEngine {
     /// a parallel candidate search) into this engine's counters.
     pub fn absorb_stats(&mut self, other: &EngineStats) {
         self.stats.absorb(other);
+    }
+
+    /// Records a degradation decided *outside* the engine — e.g.
+    /// `rt_synth::resolve_csc_engine` noting
+    /// [`Degradation::PartialSynthesis`] when a budget truncated its
+    /// candidate search — so [`EngineStats::degradations`] stays the
+    /// one place callers and the bench gate look.
+    pub fn note_degradation(&mut self, degradation: Degradation) {
+        self.stats.degradations.push(degradation);
     }
 }
 
@@ -546,5 +708,102 @@ mod tests {
         assert!(engine.summary(&stg).is_err());
         assert_eq!(engine.stats().graph_builds, 1);
         assert_eq!(engine.stats().summaries, 1);
+        assert!(
+            engine.stats().degradations.is_empty(),
+            "the hard state_limit never degrades"
+        );
+    }
+
+    #[test]
+    fn explicit_state_budget_degrades_to_symbolic() {
+        let stg = models::fifo_stg(); // 18 markings
+        let mut engine = ReachEngine::explicit().with_budget(Budget::default().with_max_states(4));
+        let summary = engine.summary(&stg).expect("degraded summary succeeds");
+        assert_eq!(summary.markings, 18, "symbolic fallback is exact");
+        assert!(summary.bdd_nodes > 2, "served by the symbolic backend");
+        assert_eq!(
+            engine.stats().degradations,
+            vec![Degradation::ExplicitToSymbolic]
+        );
+        // The engine stays reusable and un-degraded runs stay clean:
+        // lift the budget and the next summary is explicit again.
+        engine.options_mut().budget = Budget::default();
+        let clean = engine.summary(&stg).expect("clean run");
+        assert_eq!(clean.markings, 18);
+        assert_eq!(clean.bdd_nodes, 0, "explicit again");
+        assert_eq!(engine.stats().degradations.len(), 1, "no new degradation");
+    }
+
+    #[test]
+    fn symbolic_iteration_budget_degrades_via_trim_to_explicit() {
+        let stg = models::fifo_stg();
+        let mut engine =
+            ReachEngine::symbolic().with_budget(Budget::default().with_max_iterations(1));
+        let summary = engine.summary(&stg).expect("explicit fallback succeeds");
+        assert_eq!(summary.markings, 18);
+        assert_eq!(summary.bdd_nodes, 0, "served by the explicit walk");
+        assert_eq!(
+            engine.stats().degradations,
+            vec![
+                Degradation::SymbolicTrimRetry,
+                Degradation::SymbolicToExplicit
+            ]
+        );
+        assert_eq!(engine.stats().trims, 1);
+    }
+
+    #[test]
+    fn symbolic_node_budget_can_clear_after_a_trim() {
+        // Warm the manager on other nets so its caches dominate the
+        // footprint, then set a budget the trimmed manager fits in: the
+        // trim-retry rung alone must rescue the query.
+        let stg = models::fifo_stg();
+        let mut engine = ReachEngine::symbolic();
+        engine.summary(&stg).expect("warm-up");
+        engine.summary(&models::celement_stg()).expect("warm-up 2");
+        engine.summary(&models::ring_stg(6, 2)).expect("warm-up 3");
+        let nodes = engine.manager_nodes();
+        assert!(engine.manager_cache_len() > 0);
+        // Fits the nodes plus a replay's worth of fresh cache entries,
+        // but not the current accumulated caches.
+        let budget_nodes = nodes + engine.manager_cache_len() / 2;
+        assert!(nodes + engine.manager_cache_len() > budget_nodes);
+        engine.options_mut().budget = Budget::default().with_max_bdd_nodes(budget_nodes);
+        let summary = engine.summary(&stg).expect("trim-retry rescues");
+        assert_eq!(summary.markings, 18);
+        assert!(summary.bdd_nodes > 2, "still served symbolically");
+        assert_eq!(
+            engine.stats().degradations,
+            vec![Degradation::SymbolicTrimRetry]
+        );
+    }
+
+    #[test]
+    fn cancellation_is_a_hard_stop_on_both_backends() {
+        let stg = models::fifo_stg();
+        for mut engine in [ReachEngine::explicit(), ReachEngine::symbolic()] {
+            engine.budget().cancel.cancel();
+            assert_eq!(engine.summary(&stg), Err(StgError::Cancelled));
+            assert!(
+                engine.stats().degradations.is_empty(),
+                "cancellation never degrades"
+            );
+            // Un-cancellable only by replacing the budget — after which
+            // the engine serves normally again.
+            engine.options_mut().budget = Budget::default();
+            assert_eq!(engine.summary(&stg).expect("recovers").markings, 18);
+        }
+    }
+
+    #[test]
+    fn noted_degradations_travel_through_absorb() {
+        let mut main = ReachEngine::explicit();
+        let mut worker = ReachEngine::explicit();
+        worker.note_degradation(Degradation::PartialSynthesis);
+        main.absorb_stats(worker.stats());
+        assert_eq!(
+            main.stats().degradations,
+            vec![Degradation::PartialSynthesis]
+        );
     }
 }

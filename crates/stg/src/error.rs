@@ -40,6 +40,35 @@ pub enum StgError {
     },
     /// Reachability analysis exceeded the configured state limit.
     StateLimitExceeded(usize),
+    /// A symbolic fixpoint did not converge within the configured
+    /// iteration ceiling ([`crate::budget::Budget::max_iterations`]).
+    IterationLimitExceeded {
+        /// Iterations completed when the ceiling was hit.
+        iterations: usize,
+    },
+    /// Exploration blew the *soft* state budget
+    /// ([`crate::budget::Budget::max_states`]). Unlike
+    /// [`StgError::StateLimitExceeded`] this is degradable: the engine
+    /// may retry the request symbolically instead of failing.
+    StateBudgetExceeded {
+        /// Markings interned when the budget was blown.
+        states: usize,
+    },
+    /// The symbolic manager's footprint blew the *soft* node budget
+    /// ([`crate::budget::Budget::max_bdd_nodes`]). Degradable: the
+    /// engine may trim the manager's caches and retry, or fall back to
+    /// an explicit walk.
+    NodeBudgetExceeded {
+        /// Manager footprint (nodes + cache entries) at the check.
+        nodes: usize,
+    },
+    /// The request was cancelled (token fired or deadline passed).
+    /// Always a hard stop; never degraded around.
+    Cancelled,
+    /// A pool worker panicked. The panic was isolated — sibling workers
+    /// drained cleanly and shared engine state is intact — but the
+    /// analysis produced no result.
+    WorkerPanicked,
     /// The specification deadlocks (a reachable marking enables nothing).
     Deadlock(String),
     /// Syntax error while parsing a `.g` file.
@@ -69,6 +98,23 @@ impl fmt::Display for StgError {
             StgError::StateLimitExceeded(limit) => {
                 write!(f, "reachability exceeded state limit of {limit} states")
             }
+            StgError::IterationLimitExceeded { iterations } => {
+                write!(
+                    f,
+                    "symbolic fixpoint did not converge within {iterations} iterations"
+                )
+            }
+            StgError::StateBudgetExceeded { states } => {
+                write!(f, "exploration exceeded state budget at {states} states")
+            }
+            StgError::NodeBudgetExceeded { nodes } => {
+                write!(
+                    f,
+                    "symbolic manager exceeded node budget at footprint {nodes}"
+                )
+            }
+            StgError::Cancelled => write!(f, "analysis cancelled"),
+            StgError::WorkerPanicked => write!(f, "a pool worker panicked"),
             StgError::Deadlock(state) => write!(f, "specification deadlocks in state {state}"),
             StgError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
@@ -77,6 +123,24 @@ impl fmt::Display for StgError {
                 write!(f, "{n} signals exceed the 64-signal state-coding limit")
             }
         }
+    }
+}
+
+impl StgError {
+    /// Whether this error reports resource exhaustion under a *soft*
+    /// [`Budget`](crate::budget::Budget) — the class of errors the
+    /// engine's degradation policy (and partial-result synthesis) is
+    /// allowed to recover from. Hard limits
+    /// ([`StgError::StateLimitExceeded`]) and cancellation are not
+    /// included: the former is a caller-demanded error contract, the
+    /// latter a demand to stop.
+    pub fn is_resource_exhaustion(&self) -> bool {
+        matches!(
+            self,
+            StgError::StateBudgetExceeded { .. }
+                | StgError::NodeBudgetExceeded { .. }
+                | StgError::IterationLimitExceeded { .. }
+        )
     }
 }
 
@@ -106,10 +170,35 @@ mod tests {
                 StgError::StateLimitExceeded(10),
                 "reachability exceeded state limit of 10 states",
             ),
+            (
+                StgError::IterationLimitExceeded { iterations: 10_000 },
+                "symbolic fixpoint did not converge within 10000 iterations",
+            ),
+            (
+                StgError::StateBudgetExceeded { states: 9 },
+                "exploration exceeded state budget at 9 states",
+            ),
+            (
+                StgError::NodeBudgetExceeded { nodes: 4096 },
+                "symbolic manager exceeded node budget at footprint 4096",
+            ),
+            (StgError::Cancelled, "analysis cancelled"),
+            (StgError::WorkerPanicked, "a pool worker panicked"),
         ];
         for (err, expected) in cases {
             assert_eq!(err.to_string(), expected);
         }
+    }
+
+    #[test]
+    fn resource_exhaustion_covers_soft_budgets_only() {
+        assert!(StgError::StateBudgetExceeded { states: 1 }.is_resource_exhaustion());
+        assert!(StgError::NodeBudgetExceeded { nodes: 1 }.is_resource_exhaustion());
+        assert!(StgError::IterationLimitExceeded { iterations: 1 }.is_resource_exhaustion());
+        assert!(!StgError::StateLimitExceeded(1).is_resource_exhaustion());
+        assert!(!StgError::Cancelled.is_resource_exhaustion());
+        assert!(!StgError::WorkerPanicked.is_resource_exhaustion());
+        assert!(!StgError::Deadlock("s".into()).is_resource_exhaustion());
     }
 
     #[test]

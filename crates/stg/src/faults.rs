@@ -1,0 +1,223 @@
+//! Deterministic fault injection for the engine's degradation paths.
+//!
+//! Budget exhaustion, cancellation and worker panics are rare on the
+//! standard corpus — too rare to keep their handling honest. This
+//! module lets tests *inject* those faults at a chosen round or
+//! iteration so every fallback edge runs in CI, not just on
+//! pathological nets.
+//!
+//! The hooks are compiled to `#[inline(always)]` no-op stubs unless the
+//! `fault-injection` cargo feature is on, so production call sites in
+//! the hot loops are unconditional and cost nothing. With the feature
+//! on, [`arm`] installs one fault in a process-global slot and returns
+//! an [`Armed`] guard; the guard also holds a global test-serialization
+//! lock (faults are process-global state, so fault tests must not
+//! interleave) and disarms on drop.
+//!
+//! Injection points, polled by the execution paths:
+//!
+//! * [`explicit_round_fault`] — start of each BFS round (serial walks
+//!   and phase 3 of the sharded walk).
+//! * [`symbolic_iteration_fault`] — each symbolic fixpoint iteration.
+//! * [`worker_panic`] — per (worker, round) inside the sharded walk's
+//!   `catch_unwind` region; a `true` answer makes the worker panic.
+
+#[cfg(feature = "fault-injection")]
+pub use enabled::{arm, Armed};
+
+use crate::error::StgError;
+
+/// The faults a test can arm. `round`/`iteration` counters are 0-based
+/// and count from the start of the *analysis call* the fault fires in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Explicit walks report [`StgError::Cancelled`] at this round;
+    /// symbolic fixpoints at this iteration.
+    CancelAt {
+        /// Round/iteration at which the cancellation fires.
+        round: usize,
+    },
+    /// Explicit walks report [`StgError::StateBudgetExceeded`] at this
+    /// round, as if `Budget::max_states` had been blown.
+    ExhaustStatesAt {
+        /// Round at which the budget reads as blown.
+        round: usize,
+    },
+    /// Symbolic fixpoints report [`StgError::NodeBudgetExceeded`] at
+    /// this iteration, as if the manager footprint had blown
+    /// `Budget::max_bdd_nodes`.
+    ExhaustNodesAt {
+        /// Fixpoint iteration at which the budget reads as blown.
+        iteration: usize,
+    },
+    /// Worker `worker` of the sharded walk panics at round `round`.
+    PanicAt {
+        /// Round at which the worker panics.
+        round: usize,
+        /// 0-based worker (shard) index.
+        worker: usize,
+    },
+}
+
+#[cfg(feature = "fault-injection")]
+mod enabled {
+    use super::{Fault, StgError};
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    /// The armed fault plus its remaining shot count. Shots decrement
+    /// only when a fault actually *fires*, so one armed fault triggers
+    /// a bounded number of times (trim-retry paths legitimately hit the
+    /// same injection point more than once).
+    static ARMED: Mutex<Option<(Fault, usize)>> = Mutex::new(None);
+
+    /// Serializes fault tests: the state above is process-global, so
+    /// two concurrently armed tests would observe each other's faults.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn slot() -> MutexGuard<'static, Option<(Fault, usize)>> {
+        ARMED.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Guard returned by [`arm`]: holds the test-serialization lock and
+    /// disarms the fault on drop.
+    pub struct Armed {
+        _serial: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for Armed {
+        fn drop(&mut self) {
+            *slot() = None;
+        }
+    }
+
+    /// Arms `fault` for up to `shots` firings and returns the guard
+    /// that keeps it armed. Blocks until any previously armed fault's
+    /// guard drops.
+    pub fn arm(fault: Fault, shots: usize) -> Armed {
+        let serial = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        *slot() = Some((fault, shots));
+        Armed { _serial: serial }
+    }
+
+    /// Consumes one shot if `matches` selects the armed fault.
+    fn fire(matches: impl Fn(Fault) -> bool) -> bool {
+        let mut armed = slot();
+        match *armed {
+            Some((fault, shots)) if shots > 0 && matches(fault) => {
+                *armed = Some((fault, shots - 1));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    pub(super) fn explicit_round_fault_impl(round: usize) -> Option<StgError> {
+        if fire(|f| f == Fault::CancelAt { round }) {
+            return Some(StgError::Cancelled);
+        }
+        if fire(|f| f == Fault::ExhaustStatesAt { round }) {
+            return Some(StgError::StateBudgetExceeded { states: 0 });
+        }
+        None
+    }
+
+    pub(super) fn symbolic_iteration_fault_impl(iteration: usize) -> Option<StgError> {
+        if fire(|f| f == Fault::CancelAt { round: iteration }) {
+            return Some(StgError::Cancelled);
+        }
+        if fire(|f| f == Fault::ExhaustNodesAt { iteration }) {
+            return Some(StgError::NodeBudgetExceeded { nodes: 0 });
+        }
+        None
+    }
+
+    pub(super) fn worker_panic_impl(worker: usize, round: usize) -> bool {
+        fire(|f| f == Fault::PanicAt { round, worker })
+    }
+}
+
+/// Injected fault for an explicit BFS round, if armed. Always `None`
+/// without the `fault-injection` feature.
+#[cfg_attr(not(feature = "fault-injection"), inline(always))]
+pub fn explicit_round_fault(round: usize) -> Option<StgError> {
+    #[cfg(feature = "fault-injection")]
+    {
+        enabled::explicit_round_fault_impl(round)
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = round;
+        None
+    }
+}
+
+/// Injected fault for a symbolic fixpoint iteration, if armed. Always
+/// `None` without the `fault-injection` feature.
+#[cfg_attr(not(feature = "fault-injection"), inline(always))]
+pub fn symbolic_iteration_fault(iteration: usize) -> Option<StgError> {
+    #[cfg(feature = "fault-injection")]
+    {
+        enabled::symbolic_iteration_fault_impl(iteration)
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = iteration;
+        None
+    }
+}
+
+/// Whether sharded-walk worker `worker` should panic at `round`.
+/// Always `false` without the `fault-injection` feature.
+#[cfg_attr(not(feature = "fault-injection"), inline(always))]
+pub fn worker_panic(worker: usize, round: usize) -> bool {
+    #[cfg(feature = "fault-injection")]
+    {
+        enabled::worker_panic_impl(worker, round)
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = (worker, round);
+        false
+    }
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_faults_fire_their_shots_then_disarm() {
+        let guard = arm(Fault::ExhaustStatesAt { round: 2 }, 2);
+        assert!(explicit_round_fault(0).is_none(), "wrong round");
+        assert_eq!(
+            explicit_round_fault(2),
+            Some(StgError::StateBudgetExceeded { states: 0 })
+        );
+        assert!(explicit_round_fault(2).is_some(), "second shot");
+        assert!(explicit_round_fault(2).is_none(), "shots exhausted");
+        drop(guard);
+        let _guard = arm(
+            Fault::PanicAt {
+                round: 1,
+                worker: 0,
+            },
+            1,
+        );
+        assert!(!worker_panic(1, 1), "wrong worker");
+        assert!(worker_panic(0, 1));
+        assert!(!worker_panic(0, 1), "one shot only");
+    }
+
+    #[test]
+    fn symbolic_faults_map_to_node_budget_and_cancel() {
+        let guard = arm(Fault::ExhaustNodesAt { iteration: 3 }, 1);
+        assert!(symbolic_iteration_fault(2).is_none());
+        assert_eq!(
+            symbolic_iteration_fault(3),
+            Some(StgError::NodeBudgetExceeded { nodes: 0 })
+        );
+        drop(guard);
+        let _guard = arm(Fault::CancelAt { round: 0 }, 1);
+        assert_eq!(symbolic_iteration_fault(0), Some(StgError::Cancelled));
+    }
+}

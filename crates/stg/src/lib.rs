@@ -64,9 +64,11 @@
 //! # }
 //! ```
 
+pub mod budget;
 pub mod corpus;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod marking;
 pub mod models;
 pub mod par;
@@ -78,7 +80,8 @@ pub mod state_graph;
 pub mod stg;
 pub mod symbolic;
 
-pub use engine::{ReachBackend, ReachEngine, ReachSummary};
+pub use budget::{Budget, CancelToken};
+pub use engine::{Degradation, ReachBackend, ReachEngine, ReachSummary};
 pub use error::StgError;
 pub use marking::{MarkingArena, MarkingId, MarkingLayout, PackedMarking};
 pub use petri::{Marking, PetriNet, PlaceId, TransitionId};

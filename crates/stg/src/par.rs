@@ -21,11 +21,19 @@
 //! work distribution therefore cannot change the winner — a resolution
 //! computed at `--threads 8` is bit-identical to the serial one.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::error::StgError;
 
 /// What one pool worker hands back: its local `(index, cost, value)`
 /// argmin (if any candidate qualified) plus its private scratch state.
 type WorkerOutcome<W, T> = (Option<(usize, usize, T)>, W);
+
+/// The pool's verdict: the deterministic `(index, cost, value)` winner
+/// (if any candidate qualified) plus every worker's scratch state, or
+/// the panic-isolation error.
+type ArgminResult<W, T> = Result<(Option<(usize, usize, T)>, Vec<W>), StgError>;
 
 /// Resolves a thread-count knob: `0` means "one worker per available
 /// core", anything else is taken literally. Always at least 1.
@@ -52,12 +60,26 @@ pub fn effective_threads(threads: usize) -> usize {
 /// Returns `(index, cost, value)` of the winner, `None` when every
 /// candidate was disqualified, plus the worker states (so callers can
 /// fold per-worker statistics back into their own accounting).
+///
+/// # Panic isolation
+///
+/// Every `eval` call runs under `catch_unwind`: a panicking evaluation
+/// yields [`StgError::WorkerPanicked`] instead of unwinding through the
+/// pool. The panicking worker stops pulling work, the *other* workers
+/// drain the remaining candidates normally, and every worker state is
+/// dropped cleanly — so a shared engine the caller rebuilds workers
+/// from stays fully reusable. (The serial path gets the same contract,
+/// so the error surface does not depend on the thread count.)
+///
+/// # Errors
+///
+/// [`StgError::WorkerPanicked`] — at least one `eval` call panicked.
 pub fn parallel_argmin<W, T, FMake, FEval>(
     items: usize,
     threads: usize,
     make_worker: FMake,
     eval: FEval,
-) -> (Option<(usize, usize, T)>, Vec<W>)
+) -> ArgminResult<W, T>
 where
     W: Send,
     T: Send,
@@ -65,32 +87,56 @@ where
     FEval: Fn(&mut W, usize) -> Option<(usize, T)> + Sync,
 {
     let threads = effective_threads(threads).min(items.max(1));
+    let panicked = AtomicBool::new(false);
+    // One guarded evaluation: a panic inside `eval` marks the shared
+    // flag and disqualifies the candidate. The worker state may be
+    // mid-update afterwards, so the caller never sees its results —
+    // the whole call errors out below.
+    let guarded_eval = |worker: &mut W, index: usize| -> Option<(usize, T)> {
+        match catch_unwind(AssertUnwindSafe(|| eval(worker, index))) {
+            Ok(result) => result,
+            Err(_) => {
+                panicked.store(true, Ordering::SeqCst);
+                None
+            }
+        }
+    };
     if threads <= 1 {
         let mut worker = make_worker();
         let mut best: Option<(usize, usize, T)> = None;
         for index in 0..items {
-            if let Some((cost, value)) = eval(&mut worker, index) {
+            if panicked.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Some((cost, value)) = guarded_eval(&mut worker, index) {
                 if best.as_ref().is_none_or(|&(_, c, _)| cost < c) {
                     best = Some((index, cost, value));
                 }
             }
         }
-        return (best, vec![worker]);
+        if panicked.load(Ordering::SeqCst) {
+            return Err(StgError::WorkerPanicked);
+        }
+        return Ok((best, vec![worker]));
     }
 
     let cursor = AtomicUsize::new(0);
     let mut results: Vec<WorkerOutcome<W, T>> = std::thread::scope(|scope| {
+        let guarded_eval = &guarded_eval;
+        let make_worker = &make_worker;
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
                     let mut worker = make_worker();
                     let mut best: Option<(usize, usize, T)> = None;
+                    let mut poisoned = false;
                     loop {
                         let index = cursor.fetch_add(1, Ordering::Relaxed);
-                        if index >= items {
+                        if index >= items || poisoned {
                             break;
                         }
-                        if let Some((cost, value)) = eval(&mut worker, index) {
+                        let before = panicked.load(Ordering::SeqCst);
+                        if let Some((cost, value)) = guarded_eval(&mut worker, index) {
                             // Tie-break on index inside the worker too:
                             // the cursor hands indices in ascending
                             // order per worker, so `<` suffices here,
@@ -99,6 +145,14 @@ where
                             if best.as_ref().is_none_or(|&(_, c, _)| cost < c) {
                                 best = Some((index, cost, value));
                             }
+                        } else if !before && panicked.load(Ordering::SeqCst) {
+                            // This worker's own eval may just have
+                            // panicked, leaving its state mid-update;
+                            // stop pulling work on it. Siblings keep
+                            // draining the cursor (the result is
+                            // discarded either way, but draining keeps
+                            // shutdown orderly and bounded).
+                            poisoned = true;
                         }
                     }
                     (best, worker)
@@ -107,10 +161,13 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("argmin worker panicked"))
+            .map(|h| h.join().expect("argmin worker panicked outside eval"))
             .collect()
     });
 
+    if panicked.load(Ordering::SeqCst) {
+        return Err(StgError::WorkerPanicked);
+    }
     let mut best: Option<(usize, usize, T)> = None;
     let mut workers = Vec::with_capacity(results.len());
     for (local, worker) in results.drain(..) {
@@ -124,7 +181,7 @@ where
         }
         workers.push(worker);
     }
-    (best, workers)
+    Ok((best, workers))
 }
 
 #[cfg(test)]
@@ -149,7 +206,8 @@ mod tests {
                 threads,
                 || (),
                 |(), i| Some((costs[i], i * 10)),
-            );
+            )
+            .expect("no panics");
             let (index, cost, value) = best.expect("non-empty");
             assert_eq!((index, cost, value), (1, 3, 10), "threads={threads}");
         }
@@ -157,11 +215,14 @@ mod tests {
 
     #[test]
     fn disqualified_candidates_are_skipped() {
-        let (best, _) = parallel_argmin(6, 4, || (), |(), i| (i % 2 == 1).then_some((100 - i, i)));
+        let (best, _) = parallel_argmin(6, 4, || (), |(), i| (i % 2 == 1).then_some((100 - i, i)))
+            .expect("no panics");
         assert_eq!(best, Some((5, 95, 5)));
-        let (none, _) = parallel_argmin(4, 2, || (), |(), _| None::<(usize, ())>);
+        let (none, _) =
+            parallel_argmin(4, 2, || (), |(), _| None::<(usize, ())>).expect("no panics");
         assert!(none.is_none());
-        let (empty, workers) = parallel_argmin(0, 3, || (), |(), _| Some((0, ())));
+        let (empty, workers) =
+            parallel_argmin(0, 3, || (), |(), _| Some((0, ()))).expect("no panics");
         assert!(empty.is_none());
         assert_eq!(workers.len(), 1, "no items -> single worker, no spawns");
     }
@@ -176,8 +237,56 @@ mod tests {
                 *count += 1;
                 Some((i, ()))
             },
-        );
+        )
+        .expect("no panics");
         let evaluated: usize = workers.iter().sum();
         assert_eq!(evaluated, 100, "every candidate evaluated exactly once");
+    }
+
+    #[test]
+    fn panicking_eval_reports_worker_panicked_at_any_thread_count() {
+        for threads in [1usize, 2, 3, 8] {
+            let result = parallel_argmin(
+                16,
+                threads,
+                || (),
+                |(), i| {
+                    if i == 5 {
+                        panic!("injected eval panic");
+                    }
+                    Some((i, i))
+                },
+            );
+            assert_eq!(
+                result.map(|(best, _)| best),
+                Err(StgError::WorkerPanicked),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn sibling_workers_drain_cleanly_after_a_panic() {
+        use std::sync::atomic::AtomicUsize;
+        // Candidate 0 panics; every other candidate must still be
+        // evaluated at most once and the pool must not hang or abort.
+        let evaluated = AtomicUsize::new(0);
+        let result = parallel_argmin(
+            64,
+            4,
+            || (),
+            |(), i| {
+                if i == 0 {
+                    panic!("injected eval panic");
+                }
+                evaluated.fetch_add(1, Ordering::SeqCst);
+                Some((i, ()))
+            },
+        );
+        assert_eq!(result.map(|(best, _)| best), Err(StgError::WorkerPanicked));
+        assert!(
+            evaluated.load(Ordering::SeqCst) <= 63,
+            "no candidate evaluated twice"
+        );
     }
 }

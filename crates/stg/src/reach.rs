@@ -35,9 +35,11 @@
 //! `parallel_determinism` property test both enforce. See
 //! [`crate::engine`]'s module docs for the full protocol.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
 
+use crate::budget::Budget;
 use crate::error::StgError;
 use crate::marking::{MarkingArena, MarkingId, MarkingLayout, PackedMarking};
 use crate::par::effective_threads;
@@ -61,6 +63,10 @@ pub struct ExploreOptions {
     /// per available core, anything else is taken literally. The
     /// result is bit-identical at every thread count.
     pub threads: usize,
+    /// Soft resource budget, polled at round granularity by every
+    /// execution path. Unlimited by default; unlike `state_limit`,
+    /// blowing it yields *degradable* errors (see [`crate::engine`]).
+    pub budget: Budget,
 }
 
 impl Default for ExploreOptions {
@@ -70,8 +76,27 @@ impl Default for ExploreOptions {
             bound: Some(1),
             forbid_deadlock: false,
             threads: 1,
+            budget: Budget::default(),
         }
     }
+}
+
+/// Per-round soft-budget poll shared by the explicit walks: injected
+/// faults first (compiled out unless the `fault-injection` feature is
+/// on), then cancellation/deadline, then the soft state budget. Runs
+/// once per BFS layer, never per state, so the poll cost (one atomic
+/// load; a clock read only when a deadline is set) is invisible.
+fn round_budget_check(budget: &Budget, states: usize, round: usize) -> Option<StgError> {
+    if let Some(error) = crate::faults::explicit_round_fault(round) {
+        return Some(error);
+    }
+    if budget.cancelled() {
+        return Some(StgError::Cancelled);
+    }
+    if budget.states_exhausted(states) {
+        return Some(StgError::StateBudgetExceeded { states });
+    }
+    None
 }
 
 /// Explores `stg` with default options (2^20-state limit, safe-net check).
@@ -105,6 +130,11 @@ pub fn explore(stg: &Stg) -> Result<StateGraph, StgError> {
 /// * [`StgError::Inconsistent`] — some signal's edges do not alternate.
 /// * [`StgError::Deadlock`] — with `forbid_deadlock`, a marking enabling
 ///   nothing was reached.
+/// * [`StgError::StateBudgetExceeded`] / [`StgError::Cancelled`] — the
+///   soft [`Budget`] was blown or the request was cancelled; checked
+///   once per BFS round, so the walk stops within one layer.
+/// * [`StgError::WorkerPanicked`] — a sharded-walk worker panicked (the
+///   panic is isolated; sibling shards drain cleanly).
 pub fn explore_with(stg: &Stg, options: &ExploreOptions) -> Result<StateGraph, StgError> {
     if stg.signal_count() > 64 {
         return Err(StgError::TooManySignals(stg.signal_count()));
@@ -136,7 +166,21 @@ pub fn explore_with(stg: &Stg, options: &ExploreOptions) -> Result<StateGraph, S
     // Rows therefore complete in id order, exactly the CsrBuilder
     // contract.
     let mut state = 0usize;
+    // Round (= BFS layer) boundaries, tracked for the soft-budget poll:
+    // `layer_end` is the first id of the next layer.
+    let mut round = 0usize;
+    let mut layer_end = arena.len();
+    if let Some(error) = round_budget_check(&options.budget, arena.len(), round) {
+        return Err(error);
+    }
     while state < arena.len() {
+        if state == layer_end {
+            round += 1;
+            layer_end = arena.len();
+            if let Some(error) = round_budget_check(&options.budget, arena.len(), round) {
+                return Err(error);
+            }
+        }
         builder.start_row();
         let marking = arena.resolve(MarkingId(state as u32)).clone();
         let code = codes[state];
@@ -247,6 +291,8 @@ pub struct ExplicitCount {
 /// * [`StgError::Unbounded`] — a place exceeded the token bound.
 /// * [`StgError::Deadlock`] — with `forbid_deadlock`, a marking enabling
 ///   nothing was reached.
+/// * [`StgError::StateBudgetExceeded`] / [`StgError::Cancelled`] /
+///   [`StgError::WorkerPanicked`] — as in [`explore_with`].
 pub fn count_markings_with(stg: &Stg, options: &ExploreOptions) -> Result<ExplicitCount, StgError> {
     let threads = effective_threads(options.threads);
     if threads > 1 {
@@ -267,13 +313,20 @@ pub fn count_markings_with(stg: &Stg, options: &ExploreOptions) -> Result<Explic
     let mut state = 0usize;
     // Depth tracking: `layer_end` is the first id of the *next* BFS
     // layer; ids are dense and in discovery order, so layers are just
-    // index ranges.
+    // index ranges. The 0-based round index for the budget poll is
+    // `iterations - 1`.
     let mut iterations = 1usize;
     let mut layer_end = arena.len();
+    if let Some(error) = round_budget_check(&options.budget, arena.len(), 0) {
+        return Err(error);
+    }
     while state < arena.len() {
         if state == layer_end {
             iterations += 1;
             layer_end = arena.len();
+            if let Some(error) = round_budget_check(&options.budget, arena.len(), iterations - 1) {
+                return Err(error);
+            }
         }
         let marking = arena.resolve(MarkingId(state as u32)).clone();
         let mut any_enabled = false;
@@ -317,6 +370,19 @@ fn pack_target(shard: usize, local: u32) -> u64 {
 /// Cross-shard mailbox grid: `mailboxes[receiver][sender]` carries the
 /// `(marking, code)` messages of one round.
 type Mailboxes = Vec<Vec<Mutex<Vec<(PackedMarking, u64)>>>>;
+
+/// Poison-tolerant lock for the walk's per-round mailbox/reply/failure
+/// cells. A worker that panicked while holding one of these (allocation
+/// failure is about the only way) poisons the mutex, but the protected
+/// data is per-round scratch that every error path discards wholesale —
+/// so the poison flag carries no information and clearing it keeps the
+/// drain deterministic instead of cascading panics through healthy
+/// workers.
+fn lock_clean<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Per-shard result of [`parallel_walk`]: the shard's interned markings
 /// and (in graph-building mode) codes plus CSR rows whose targets are
@@ -385,10 +451,12 @@ fn parallel_walk(
     // Work-skip hint only — never used for control-flow decisions (see
     // above). Lets healthy workers stop expanding a doomed round early.
     //
-    // Known limitation: a *panic* (as opposed to a reported StgError)
-    // in one worker would leave its peers parked on the barrier — the
-    // protocol converts every anticipated failure into an StgError
-    // precisely so that no worker ever unwinds between barriers.
+    // Panics cannot park peers on the barrier either: the expand and
+    // intern phase bodies run under `catch_unwind`, so a panicking
+    // worker reports `StgError::WorkerPanicked` through the same
+    // per-round error protocol as any anticipated failure and keeps
+    // hitting its barriers while the round drains
+    // (`crates/stg/tests/fault_injection.rs` pins this).
     let abort_hint = AtomicBool::new(false);
     // One failure slot per worker: each worker only ever writes its
     // own, and the post-join reduction picks the lowest worker index,
@@ -396,7 +464,7 @@ fn parallel_walk(
     // even when several shards fail in the same round.
     let failures: Vec<Mutex<Option<StgError>>> = (0..threads).map(|_| Mutex::new(None)).collect();
     let fail = |me: usize, error: StgError| {
-        let mut slot = failures[me].lock().expect("failure slot");
+        let mut slot = lock_clean(&failures[me]);
         slot.get_or_insert(error);
         abort_hint.store(true, Ordering::SeqCst);
     };
@@ -424,117 +492,146 @@ fn parallel_walk(
             }
         }
 
+        let mut round = 0usize;
         loop {
             // ---- Phase 1: expand this round's frontier ----
             let frontier_end = arena.len();
             let mut round_fresh = 0usize;
             if !errored && !abort_hint.load(Ordering::Relaxed) {
-                'expand: while processed < frontier_end {
-                    let state = processed;
-                    processed += 1;
-                    if build {
-                        offsets.push(targets.len() as u32);
+                // Per-round budget poll. Worker 0 additionally polls the
+                // injected-fault hook (one designated poller keeps shot
+                // consumption deterministic); a triggered check becomes a
+                // plain per-worker error, so the normal round protocol
+                // stops every shard within this round.
+                if me == 0 {
+                    my_error = crate::faults::explicit_round_fault(round);
+                }
+                if my_error.is_none() && options.budget.cancelled() {
+                    my_error = Some(StgError::Cancelled);
+                }
+            }
+            if !errored && my_error.is_none() && !abort_hint.load(Ordering::Relaxed) {
+                // The expand body runs under `catch_unwind`: a panic is
+                // converted into `WorkerPanicked` and reported through
+                // the per-round error protocol, so sibling workers drain
+                // cleanly instead of parking on the barrier forever. The
+                // shard-local structures may be mid-update after a
+                // panic, but every error path discards them wholesale.
+                let unwound = catch_unwind(AssertUnwindSafe(|| {
+                    if crate::faults::worker_panic(me, round) {
+                        panic!("injected worker panic (fault-injection test hook)");
                     }
-                    let marking = arena.resolve(MarkingId(state as u32)).clone();
-                    let code = if build { codes[state] } else { 0 };
-                    let mut any_enabled = false;
-                    for transition in net.transitions() {
-                        if !net.is_enabled_packed(transition, &marking, layout) {
-                            continue;
+                    'expand: while processed < frontier_end {
+                        let state = processed;
+                        processed += 1;
+                        if build {
+                            offsets.push(targets.len() as u32);
                         }
-                        any_enabled = true;
-                        if let Err(place) = net.fire_packed_into(
-                            transition,
-                            &marking,
-                            layout,
-                            options.bound,
-                            &mut scratch,
-                        ) {
-                            my_error = Some(StgError::Unbounded {
-                                place: net.place_name(place).to_string(),
-                                bound: u32::from(options.bound.unwrap_or(u16::MAX)),
-                            });
-                            break 'expand;
-                        }
-                        let (event, next_code) = if build {
-                            match stg.label(transition) {
-                                TransitionLabel::Silent => (None, code),
-                                TransitionLabel::Event(ev) => {
-                                    let current = code >> ev.signal.index() & 1 == 1;
-                                    if current != ev.edge.source_value() {
-                                        my_error = Some(StgError::Inconsistent {
-                                            signal: stg.signal_name(ev.signal).to_string(),
-                                            detail: format!(
-                                                "{} fires in state {} where {} is already {}",
-                                                stg.event_name(ev),
-                                                marking.unpack(layout),
-                                                stg.signal_name(ev.signal),
-                                                u8::from(current)
-                                            ),
-                                        });
-                                        break 'expand;
-                                    }
-                                    let next = if ev.edge.target_value() {
-                                        code | 1 << ev.signal.index()
-                                    } else {
-                                        code & !(1 << ev.signal.index())
-                                    };
-                                    (Some(ev), next)
-                                }
+                        let marking = arena.resolve(MarkingId(state as u32)).clone();
+                        let code = if build { codes[state] } else { 0 };
+                        let mut any_enabled = false;
+                        for transition in net.transitions() {
+                            if !net.is_enabled_packed(transition, &marking, layout) {
+                                continue;
                             }
-                        } else {
-                            (None, 0)
-                        };
-                        let owner = scratch.shard(threads);
-                        if owner == me {
-                            let (next_id, is_fresh) = arena.intern_ref(&scratch);
-                            if is_fresh {
-                                round_fresh += 1;
-                                if build {
-                                    codes.push(next_code);
-                                }
-                                // Early per-shard guard: one shard alone
-                                // exceeding the *global* limit already
-                                // proves the walk is over budget, so bail
-                                // before allocating the rest of the layer.
-                                // (The cross-shard total is still checked
-                                // every round in phase 3.)
-                                if arena.len() > options.state_limit {
-                                    my_error =
-                                        Some(StgError::StateLimitExceeded(options.state_limit));
-                                    break 'expand;
-                                }
-                            } else if build && codes[next_id.index()] != next_code {
-                                my_error = Some(code_conflict(
-                                    stg,
-                                    layout,
-                                    arena.resolve(next_id),
-                                    codes[next_id.index()],
-                                    next_code,
-                                ));
+                            any_enabled = true;
+                            if let Err(place) = net.fire_packed_into(
+                                transition,
+                                &marking,
+                                layout,
+                                options.bound,
+                                &mut scratch,
+                            ) {
+                                my_error = Some(StgError::Unbounded {
+                                    place: net.place_name(place).to_string(),
+                                    bound: u32::from(options.bound.unwrap_or(u16::MAX)),
+                                });
                                 break 'expand;
                             }
-                            if build {
-                                events.push(event);
-                                targets.push(pack_target(me, next_id.0));
+                            let (event, next_code) = if build {
+                                match stg.label(transition) {
+                                    TransitionLabel::Silent => (None, code),
+                                    TransitionLabel::Event(ev) => {
+                                        let current = code >> ev.signal.index() & 1 == 1;
+                                        if current != ev.edge.source_value() {
+                                            my_error = Some(StgError::Inconsistent {
+                                                signal: stg.signal_name(ev.signal).to_string(),
+                                                detail: format!(
+                                                    "{} fires in state {} where {} is already {}",
+                                                    stg.event_name(ev),
+                                                    marking.unpack(layout),
+                                                    stg.signal_name(ev.signal),
+                                                    u8::from(current)
+                                                ),
+                                            });
+                                            break 'expand;
+                                        }
+                                        let next = if ev.edge.target_value() {
+                                            code | 1 << ev.signal.index()
+                                        } else {
+                                            code & !(1 << ev.signal.index())
+                                        };
+                                        (Some(ev), next)
+                                    }
+                                }
+                            } else {
+                                (None, 0)
+                            };
+                            let owner = scratch.shard(threads);
+                            if owner == me {
+                                let (next_id, is_fresh) = arena.intern_ref(&scratch);
+                                if is_fresh {
+                                    round_fresh += 1;
+                                    if build {
+                                        codes.push(next_code);
+                                    }
+                                    // Early per-shard guard: one shard alone
+                                    // exceeding the *global* limit already
+                                    // proves the walk is over budget, so bail
+                                    // before allocating the rest of the layer.
+                                    // (The cross-shard total is still checked
+                                    // every round in phase 3.)
+                                    if arena.len() > options.state_limit {
+                                        my_error =
+                                            Some(StgError::StateLimitExceeded(options.state_limit));
+                                        break 'expand;
+                                    }
+                                } else if build && codes[next_id.index()] != next_code {
+                                    my_error = Some(code_conflict(
+                                        stg,
+                                        layout,
+                                        arena.resolve(next_id),
+                                        codes[next_id.index()],
+                                        next_code,
+                                    ));
+                                    break 'expand;
+                                }
+                                if build {
+                                    events.push(event);
+                                    targets.push(pack_target(me, next_id.0));
+                                }
+                            } else {
+                                if build {
+                                    pending.push((
+                                        targets.len(),
+                                        owner as u32,
+                                        outbox[owner].len() as u32,
+                                    ));
+                                    events.push(event);
+                                    targets.push(PENDING_TARGET);
+                                }
+                                outbox[owner].push((scratch.clone(), next_code));
                             }
-                        } else {
-                            if build {
-                                pending.push((
-                                    targets.len(),
-                                    owner as u32,
-                                    outbox[owner].len() as u32,
-                                ));
-                                events.push(event);
-                                targets.push(PENDING_TARGET);
-                            }
-                            outbox[owner].push((scratch.clone(), next_code));
+                        }
+                        if !any_enabled && options.forbid_deadlock {
+                            my_error =
+                                Some(StgError::Deadlock(format!("{}", marking.unpack(layout))));
+                            break 'expand;
                         }
                     }
-                    if !any_enabled && options.forbid_deadlock {
-                        my_error = Some(StgError::Deadlock(format!("{}", marking.unpack(layout))));
-                        break 'expand;
-                    }
+                }));
+                if unwound.is_err() {
+                    my_error = Some(StgError::WorkerPanicked);
                 }
             }
             if let Some(error) = my_error.take() {
@@ -543,51 +640,57 @@ fn parallel_walk(
             }
             for (owner, buffer) in outbox.iter_mut().enumerate() {
                 if owner != me && !buffer.is_empty() {
-                    *mailboxes[owner][me].lock().expect("mailbox") = std::mem::take(buffer);
+                    *lock_clean(&mailboxes[owner][me]) = std::mem::take(buffer);
                 }
             }
             barrier.wait();
 
             // ---- Phase 2: intern incoming cross-shard successors ----
             if !errored {
-                'senders: for sender in 0..threads {
-                    if sender == me {
-                        continue;
-                    }
-                    let messages =
-                        std::mem::take(&mut *mailboxes[me][sender].lock().expect("mailbox"));
-                    if messages.is_empty() {
-                        continue;
-                    }
-                    let mut reply = Vec::with_capacity(if build { messages.len() } else { 0 });
-                    for (marking, message_code) in &messages {
-                        let (id, is_fresh) = arena.intern_ref(marking);
-                        if is_fresh {
-                            round_fresh += 1;
-                            if build {
-                                codes.push(*message_code);
-                            }
-                            if arena.len() > options.state_limit {
-                                my_error = Some(StgError::StateLimitExceeded(options.state_limit));
+                // Same panic isolation as the expand phase.
+                let unwound = catch_unwind(AssertUnwindSafe(|| {
+                    'senders: for sender in 0..threads {
+                        if sender == me {
+                            continue;
+                        }
+                        let messages = std::mem::take(&mut *lock_clean(&mailboxes[me][sender]));
+                        if messages.is_empty() {
+                            continue;
+                        }
+                        let mut reply = Vec::with_capacity(if build { messages.len() } else { 0 });
+                        for (marking, message_code) in &messages {
+                            let (id, is_fresh) = arena.intern_ref(marking);
+                            if is_fresh {
+                                round_fresh += 1;
+                                if build {
+                                    codes.push(*message_code);
+                                }
+                                if arena.len() > options.state_limit {
+                                    my_error =
+                                        Some(StgError::StateLimitExceeded(options.state_limit));
+                                    break 'senders;
+                                }
+                            } else if build && codes[id.index()] != *message_code {
+                                my_error = Some(code_conflict(
+                                    stg,
+                                    layout,
+                                    arena.resolve(id),
+                                    codes[id.index()],
+                                    *message_code,
+                                ));
                                 break 'senders;
                             }
-                        } else if build && codes[id.index()] != *message_code {
-                            my_error = Some(code_conflict(
-                                stg,
-                                layout,
-                                arena.resolve(id),
-                                codes[id.index()],
-                                *message_code,
-                            ));
-                            break 'senders;
+                            if build {
+                                reply.push(id.0);
+                            }
                         }
                         if build {
-                            reply.push(id.0);
+                            *lock_clean(&replies[sender][me]) = reply;
                         }
                     }
-                    if build {
-                        *replies[sender][me].lock().expect("reply slot") = reply;
-                    }
+                }));
+                if unwound.is_err() {
+                    my_error = Some(StgError::WorkerPanicked);
                 }
                 if let Some(error) = my_error.take() {
                     errored = true;
@@ -617,7 +720,7 @@ fn parallel_walk(
                         if owner == me {
                             Vec::new()
                         } else {
-                            std::mem::take(&mut *replies[me][owner].lock().expect("reply slot"))
+                            std::mem::take(&mut *lock_clean(&replies[me][owner]))
                         }
                     })
                     .collect();
@@ -632,10 +735,17 @@ fn parallel_walk(
                 fail(me, StgError::StateLimitExceeded(options.state_limit));
                 break;
             }
+            // Soft budget: every worker computes the same total from the
+            // same published sizes, so all agree in the same round.
+            if options.budget.states_exhausted(total) {
+                fail(me, StgError::StateBudgetExceeded { states: total });
+                break;
+            }
             if fresh_total == 0 {
                 break;
             }
             layers += 1;
+            round += 1;
         }
 
         if build {
@@ -665,7 +775,7 @@ fn parallel_walk(
     });
 
     for slot in &failures {
-        if let Some(error) = slot.lock().expect("failure slot").take() {
+        if let Some(error) = lock_clean(slot).take() {
             return Err(error);
         }
     }

@@ -65,11 +65,40 @@
 use rt_boolean::bdd::NodeId;
 use rt_boolean::Bdd;
 
+use crate::budget::Budget;
 use crate::error::StgError;
 use crate::petri::PlaceId;
 use crate::stg::Stg;
 
 pub mod csc;
+
+/// Per-iteration budget poll shared by the symbolic fixpoints (here and
+/// in [`csc`]): injected faults first (compiled out unless the
+/// `fault-injection` feature is on), then cancellation/deadline, then
+/// the manager footprint against both the budget's node ceiling and any
+/// ceiling installed on the manager itself
+/// ([`Bdd::set_node_budget`]), then the iteration ceiling. `iterations`
+/// counts *completed* image steps (0-based at the first poll).
+pub(crate) fn iteration_budget_check(
+    bdd: &Bdd,
+    budget: &Budget,
+    iterations: usize,
+) -> Option<StgError> {
+    if let Some(error) = crate::faults::symbolic_iteration_fault(iterations) {
+        return Some(error);
+    }
+    if budget.cancelled() {
+        return Some(StgError::Cancelled);
+    }
+    let footprint = bdd.footprint();
+    if bdd.over_budget() || budget.max_bdd_nodes.is_some_and(|max| footprint > max) {
+        return Some(StgError::NodeBudgetExceeded { nodes: footprint });
+    }
+    if iterations >= budget.effective_max_iterations() {
+        return Some(StgError::IterationLimitExceeded { iterations });
+    }
+    None
+}
 
 /// Place count below which [`VarOrder::Auto`] resolves to
 /// [`VarOrder::ByIndex`] instead of [`VarOrder::ReverseIndex`].
@@ -238,11 +267,30 @@ pub fn reach_symbolic(stg: &Stg) -> Result<SymbolicReach, StgError> {
 ///
 /// # Errors
 ///
-/// Returns [`StgError::StateLimitExceeded`] when the fixpoint has not
-/// converged after 10 000 image iterations (a diverging or enormous
+/// Returns [`StgError::IterationLimitExceeded`] when the fixpoint has
+/// not converged after 10 000 image iterations (a diverging or enormous
 /// net).
 pub fn reach_symbolic_in(stg: &Stg, bdd: &mut Bdd) -> Result<SymbolicReach, StgError> {
     reach_symbolic_in_ordered(stg, bdd, VarOrder::default())
+}
+
+/// [`reach_symbolic_in`] under an explicit [`Budget`]: the fixpoint
+/// polls cancellation, the manager-footprint ceiling and the iteration
+/// ceiling once per image step, so an overrun stops within one
+/// iteration and never leaves a half-built structure (the manager's
+/// unique table only ever grows by *complete* nodes).
+///
+/// # Errors
+///
+/// As [`reach_symbolic_in`], plus [`StgError::Cancelled`] and
+/// [`StgError::NodeBudgetExceeded`] when the budget triggers.
+pub fn reach_symbolic_in_budgeted(
+    stg: &Stg,
+    bdd: &mut Bdd,
+    budget: &Budget,
+) -> Result<SymbolicReach, StgError> {
+    let var_of = place_order(stg, VarOrder::default());
+    reach_symbolic_in_custom_budgeted(stg, bdd, &var_of, budget)
 }
 
 /// [`reach_symbolic_in`] under an explicit static [`VarOrder`].
@@ -284,6 +332,21 @@ pub fn reach_symbolic_in_custom(
     stg: &Stg,
     bdd: &mut Bdd,
     var_of: &[u32],
+) -> Result<SymbolicReach, StgError> {
+    reach_symbolic_in_custom_budgeted(stg, bdd, var_of, &Budget::default())
+}
+
+/// [`reach_symbolic_in_custom`] under an explicit [`Budget`]; see
+/// [`reach_symbolic_in_budgeted`] for the polling contract.
+///
+/// # Errors
+///
+/// Same as [`reach_symbolic_in_budgeted`].
+pub fn reach_symbolic_in_custom_budgeted(
+    stg: &Stg,
+    bdd: &mut Bdd,
+    var_of: &[u32],
+    budget: &Budget,
 ) -> Result<SymbolicReach, StgError> {
     let net = stg.net();
     let places = net.place_count();
@@ -344,6 +407,12 @@ pub fn reach_symbolic_in_custom(
     let mut frontier = initial;
     let mut iterations = 0;
     loop {
+        // Budget poll at the iteration boundary: `reached`/`frontier`
+        // are complete sets from the previous step, so stopping here
+        // never abandons a half-built structure.
+        if let Some(error) = iteration_budget_check(bdd, budget, iterations) {
+            return Err(error);
+        }
         iterations += 1;
         let mut next = bdd.constant(false);
         for image in &images {
@@ -373,9 +442,6 @@ pub fn reach_symbolic_in_custom(
         }
         reached = bdd.or(reached, fresh);
         frontier = fresh;
-        if iterations > 10_000 {
-            return Err(StgError::StateLimitExceeded(1 << 20));
-        }
     }
 
     // Invert the order for membership queries: variable v encodes

@@ -203,8 +203,10 @@ pub fn csc_conflicts_symbolic(stg: &Stg) -> Result<CscAnalysis, StgError> {
 ///   witnesses are `u64`s, matching the explicit graph's cap);
 /// * [`StgError::Inconsistent`] — a reachable marking enables an edge
 ///   of a signal already at that edge's target value;
-/// * [`StgError::StateLimitExceeded`] — no fixpoint after 10 000 image
-///   iterations.
+/// * [`StgError::IterationLimitExceeded`] — no fixpoint within the
+///   iteration ceiling (10 000 by default);
+/// * [`StgError::Cancelled`] / [`StgError::NodeBudgetExceeded`] — the
+///   [`ExploreOptions::budget`] triggered; polled once per image step.
 pub fn csc_conflicts_symbolic_in(
     stg: &Stg,
     bdd: &mut Bdd,
@@ -374,6 +376,9 @@ pub fn csc_conflicts_symbolic_opts(
     let mut frontier = initial;
     let mut iterations = 0usize;
     loop {
+        if let Some(error) = super::iteration_budget_check(bdd, &options.budget, iterations) {
+            return Err(error);
+        }
         iterations += 1;
         let mut next_layer = zero;
         for image in &images {
@@ -401,9 +406,6 @@ pub fn csc_conflicts_symbolic_opts(
         }
         reached = bdd.or(reached, fresh);
         frontier = fresh;
-        if iterations > 10_000 {
-            return Err(StgError::StateLimitExceeded(1 << 20));
-        }
     }
 
     // --- Consistency: no reachable state may place-enable an edge of a
@@ -455,6 +457,12 @@ pub fn csc_conflicts_symbolic_opts(
     let mut back_frontier = initial;
     let mut back_iterations = 0usize;
     loop {
+        // The backward sweep keeps its own iteration count but polls
+        // the same budget; fault injection indexes forward and backward
+        // iterations alike.
+        if let Some(error) = super::iteration_budget_check(bdd, &options.budget, back_iterations) {
+            return Err(error);
+        }
         back_iterations += 1;
         let mut pre_layer = zero;
         for image in &images {
@@ -484,9 +492,6 @@ pub fn csc_conflicts_symbolic_opts(
         }
         back = bdd.or(back, fresh);
         back_frontier = fresh;
-        if back_iterations > 10_000 {
-            return Err(StgError::StateLimitExceeded(1 << 20));
-        }
     }
     let not_back = bdd.not(back);
     let strongly_connected = bdd.and(reached, not_back) == zero;

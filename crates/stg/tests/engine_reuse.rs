@@ -13,7 +13,7 @@
 
 use proptest::prelude::*;
 use rt_stg::engine::ReachEngine;
-use rt_stg::{corpus, explore, models, Stg};
+use rt_stg::{corpus, explore, models, Budget, Stg, StgError};
 
 /// The sweep corpus: paper models, `.g` corpus, scaling generators and
 /// the wide (> 64-place) models.
@@ -167,6 +167,104 @@ fn trim_then_revisit_allocates_no_new_nodes() {
         nodes,
         "no fresh nodes, only recomputed memos"
     );
+}
+
+/// A budget-interrupted explicit engine must stay fully reusable: after
+/// an exhausted or cancelled run, lifting the budget and re-asking must
+/// reproduce a fresh engine's graph exactly — at every pool width
+/// (1 = serial walk, 2/8 = sharded walk).
+#[test]
+fn budget_interrupted_explicit_engine_stays_reusable_at_any_thread_count() {
+    let stg = models::fifo_stg();
+    let reference = explore(&stg).expect("fresh explicit explore");
+    for threads in [1usize, 2, 8] {
+        // State-budget exhaustion mid-walk.
+        let mut engine = ReachEngine::explicit()
+            .with_threads(threads)
+            .with_budget(Budget::unlimited().with_max_states(3));
+        assert!(
+            matches!(
+                engine.state_graph(&stg),
+                Err(StgError::StateBudgetExceeded { .. })
+            ),
+            "x{threads}: tiny budget must interrupt the walk"
+        );
+        engine.options_mut().budget = Budget::default();
+        let sg = engine
+            .state_graph(&stg)
+            .unwrap_or_else(|e| panic!("x{threads}: reuse after exhaustion: {e}"));
+        assert_eq!(sg.state_count(), reference.state_count(), "x{threads}");
+        assert_eq!(sg.arc_count(), reference.arc_count(), "x{threads}");
+
+        // Cancellation before the walk finishes.
+        let mut engine = ReachEngine::explicit().with_threads(threads);
+        engine.budget().cancel.cancel();
+        assert!(
+            matches!(engine.state_graph(&stg), Err(StgError::Cancelled)),
+            "x{threads}: a fired token must stop the walk"
+        );
+        engine.options_mut().budget = Budget::default();
+        let sg = engine
+            .state_graph(&stg)
+            .unwrap_or_else(|e| panic!("x{threads}: reuse after cancellation: {e}"));
+        assert_eq!(sg.state_count(), reference.state_count(), "x{threads}");
+        assert_eq!(sg.arc_count(), reference.arc_count(), "x{threads}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Budget interruptions sprinkled across the sweep must never
+    /// poison the persistent symbolic manager: every interrupted visit
+    /// is retried unbudgeted and must still be bit-identical to a fresh
+    /// engine's answer.
+    #[test]
+    fn budget_interrupted_symbolic_manager_stays_bit_identical(
+        seed in 0u64..1 << 16,
+    ) {
+        let specs = sweep();
+        let mut engine = ReachEngine::symbolic();
+        let mut s = seed | 1;
+        for (name, stg) in &specs {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match s >> 33 & 3 {
+                0 => {
+                    // Starve the fixpoint of iterations.
+                    engine.options_mut().budget =
+                        Budget::unlimited().with_max_iterations(1);
+                    let interrupted = engine.symbolic_set(stg);
+                    prop_assert!(
+                        interrupted.as_ref().is_err_and(|e| e.is_resource_exhaustion()),
+                        "{}: expected exhaustion, got {interrupted:?}", name
+                    );
+                }
+                1 => {
+                    // Starve the manager of nodes.
+                    engine.options_mut().budget =
+                        Budget::unlimited().with_max_bdd_nodes(1);
+                    let interrupted = engine.symbolic_set(stg);
+                    prop_assert!(
+                        interrupted.as_ref().is_err_and(|e| e.is_resource_exhaustion()),
+                        "{}: expected exhaustion, got {interrupted:?}", name
+                    );
+                }
+                2 => {
+                    // Cancel before the fixpoint starts.
+                    let budget = Budget::default();
+                    budget.cancel.cancel();
+                    engine.options_mut().budget = budget;
+                    prop_assert!(
+                        matches!(engine.symbolic_set(stg), Err(StgError::Cancelled)),
+                        "{}: expected cancellation", name
+                    );
+                }
+                _ => {} // healthy visit, no interruption
+            }
+            engine.options_mut().budget = Budget::default();
+            assert_bit_identical(name, stg, &mut engine);
+        }
+    }
 }
 
 #[test]

@@ -52,6 +52,7 @@
 //! it.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use rt_boolean::{minimize, Cover, Cube};
 use rt_stg::engine::{ReachBackend, ReachEngine};
@@ -84,6 +85,11 @@ pub struct CscResolution {
     pub inserted: Vec<String>,
     /// Cost of the chosen encoding (minimized literal count).
     pub cost: usize,
+    /// `true` when the search ran out of budget before finishing: the
+    /// resolution is the best candidate found so far (possibly still
+    /// conflicted) rather than a verified CSC-free encoding. The engine
+    /// records [`rt_stg::Degradation::PartialSynthesis`] alongside.
+    pub truncated: bool,
 }
 
 /// Options for [`resolve_csc`].
@@ -169,6 +175,7 @@ pub fn resolve_csc_engine(
             sg: Some(sg),
             inserted: Vec::new(),
             cost,
+            truncated: false,
         };
         audit_resolution(&resolution, engine)?;
         return Ok(resolution);
@@ -176,10 +183,19 @@ pub fn resolve_csc_engine(
     let mut attempts = 0;
     let mut current = stg.clone();
     let mut before = sg.csc_conflicts().len();
+    // Best-so-far state for a budget-truncated partial result: the
+    // conflict-rank formula of the candidate loop, so a partial
+    // resolution's cost is comparable to rejected candidates'.
+    let mut current_sg = Some(sg);
+    let mut current_cost = 1_000 + before * 100;
     let mut inserted = Vec::new();
+    let mut truncated = false;
     for round in 0..options.max_signals {
         let name = format!("csc{round}");
-        match best_insertion(&current, &name, options, before, engine, &mut attempts) {
+        let (best, round_truncated) =
+            best_insertion(&current, &name, options, before, engine, &mut attempts)?;
+        truncated |= round_truncated;
+        match best {
             Some((next_stg, next_sg, cost)) => {
                 inserted.push(name);
                 if next_sg.csc_conflicts().is_empty() {
@@ -188,15 +204,32 @@ pub fn resolve_csc_engine(
                         sg: Some(next_sg),
                         inserted,
                         cost,
+                        truncated: false,
                     };
                     audit_resolution(&resolution, engine)?;
                     return Ok(resolution);
                 }
                 before = next_sg.csc_conflicts().len();
                 current = next_stg;
+                current_sg = Some(next_sg);
+                current_cost = cost;
             }
             None => break,
         }
+    }
+    if truncated {
+        // The budget cut the search short: hand back the best encoding
+        // reached so far (still conflicted) instead of aborting, and
+        // let the engine's stats record why. No audit — the result is
+        // not an accepted CSC-free encoding.
+        engine.note_degradation(rt_stg::Degradation::PartialSynthesis);
+        return Ok(CscResolution {
+            stg: current,
+            sg: current_sg,
+            inserted,
+            cost: current_cost,
+            truncated: true,
+        });
     }
     Err(SynthError::CscUnresolvable { attempts })
 }
@@ -228,15 +261,21 @@ fn resolve_csc_symbolic(
             sg: None,
             inserted: Vec::new(),
             cost,
+            truncated: false,
         });
     }
     let mut attempts = 0;
     let mut current = stg.clone();
     let mut before = analysis.conflicts;
+    let mut current_cost = 1_000 + (before.min((usize::MAX / 200) as u64) as usize) * 100;
     let mut inserted = Vec::new();
+    let mut truncated = false;
     for round in 0..options.max_signals {
         let name = format!("csc{round}");
-        match best_insertion_symbolic(&current, &name, options, before, engine, &mut attempts) {
+        let (best, round_truncated) =
+            best_insertion_symbolic(&current, &name, options, before, engine, &mut attempts)?;
+        truncated |= round_truncated;
+        match best {
             Some((next_stg, after, markings, cost)) => {
                 inserted.push(name);
                 if after == 0 {
@@ -246,13 +285,27 @@ fn resolve_csc_symbolic(
                         sg: None,
                         inserted,
                         cost,
+                        truncated: false,
                     });
                 }
                 before = after;
                 current = next_stg;
+                current_cost = cost;
             }
             None => break,
         }
+    }
+    if truncated {
+        // Mirror of the explicit loop's partial result: best-so-far
+        // encoding under an exhausted budget, never an abort.
+        engine.note_degradation(rt_stg::Degradation::PartialSynthesis);
+        return Ok(CscResolution {
+            stg: current,
+            sg: None,
+            inserted,
+            cost: current_cost,
+            truncated: true,
+        });
     }
     Err(SynthError::CscUnresolvable { attempts })
 }
@@ -261,12 +314,13 @@ fn resolve_csc_symbolic(
 /// marking count of the accepted STG must match the explicit
 /// counting-only walk (no state graph, no 64-signal cap).
 ///
-/// On nets past the explicit walk's state limit the audit is
-/// **skipped**, not failed: those are precisely the nets the symbolic
-/// path exists for, and an enumeration-bounded cross-check cannot be a
-/// hard gate there. Every other explicit-walk failure (unboundedness,
-/// deadlock under `forbid_deadlock`) still propagates — it signals a
-/// real divergence between the analysers' net semantics.
+/// On nets past the explicit walk's state limit — or past the caller's
+/// soft [`rt_stg::Budget`] — the audit is **skipped**, not failed:
+/// those are precisely the nets the symbolic path exists for, and an
+/// enumeration-bounded cross-check cannot be a hard gate there. Every
+/// other explicit-walk failure (unboundedness, deadlock under
+/// `forbid_deadlock`) still propagates — it signals a real divergence
+/// between the analysers' net semantics.
 fn audit_symbolic_acceptance(
     stg: &Stg,
     symbolic_markings: u64,
@@ -275,6 +329,7 @@ fn audit_symbolic_acceptance(
     let count = match count_markings_with(stg, engine.options()) {
         Ok(count) => count,
         Err(rt_stg::StgError::StateLimitExceeded(_)) => return Ok(()),
+        Err(err) if err.is_resource_exhaustion() => return Ok(()),
         Err(err) => return Err(err.into()),
     };
     if count.markings != symbolic_markings {
@@ -363,6 +418,11 @@ fn insertion_specs(stg: &Stg) -> Vec<InsertionSpec> {
     specs
 }
 
+/// A candidate search's verdict: the winning candidate (if any) plus
+/// the truncated flag — `true` when at least one candidate was
+/// disqualified only because the engine's budget ran out mid-eval.
+type SearchOutcome<T> = (Option<T>, bool);
+
 /// Tries every candidate insertion point on the worker pool; returns
 /// the best valid insertion as `(stg, sg, cost)`. `before` is the
 /// conflict count of `stg` itself (already computed by the caller — no
@@ -377,6 +437,17 @@ fn insertion_specs(stg: &Stg) -> Vec<InsertionSpec> {
 /// the `(cost, index)` minimum over the canonical candidate order —
 /// bit-identical to the serial "first strictly better candidate wins"
 /// scan at every pool width.
+///
+/// The second element of the `Ok` pair is the *truncated* flag: `true`
+/// when at least one candidate was disqualified only because the
+/// engine's [`rt_stg::Budget`] ran out mid-evaluation — the caller
+/// turns that into a partial resolution instead of
+/// [`SynthError::CscUnresolvable`].
+///
+/// # Errors
+///
+/// [`rt_stg::StgError::WorkerPanicked`] (as [`SynthError::Stg`]) when a
+/// candidate evaluation panicked on the pool.
 fn best_insertion(
     stg: &Stg,
     name: &str,
@@ -384,7 +455,7 @@ fn best_insertion(
     before: usize,
     engine: &mut ReachEngine,
     attempts: &mut usize,
-) -> Option<(Stg, StateGraph, usize)> {
+) -> Result<SearchOutcome<(Stg, StateGraph, usize)>, SynthError> {
     let specs = insertion_specs(stg);
     *attempts += specs.len();
     let pool = effective_threads(options.threads);
@@ -396,6 +467,7 @@ fn best_insertion(
         worker_options.threads = 1;
     }
 
+    let truncated = AtomicBool::new(false);
     let evaluate = |worker: &mut ReachEngine, index: usize| {
         let candidate = match specs[index] {
             InsertionSpec::Place {
@@ -407,8 +479,14 @@ fn best_insertion(
                 insert_after_transitions(stg, name, plus, minus)
             }
         };
-        let Ok(sg) = worker.state_graph(&candidate) else {
-            return None;
+        let sg = match worker.state_graph(&candidate) {
+            Ok(sg) => sg,
+            Err(error) => {
+                if error.is_resource_exhaustion() {
+                    truncated.store(true, Ordering::Relaxed);
+                }
+                return None;
+            }
         };
         if !sg.is_strongly_connected() || !sg.deadlock_states().is_empty() {
             return None;
@@ -432,11 +510,14 @@ fn best_insertion(
         options.threads,
         || ReachEngine::with_options(engine.backend(), worker_options.clone()),
         evaluate,
-    );
+    )?;
     for worker in &workers {
         engine.absorb_stats(worker.stats());
     }
-    best.map(|(_, cost, (candidate, sg))| (candidate, sg, cost))
+    Ok((
+        best.map(|(_, cost, (candidate, sg))| (candidate, sg, cost)),
+        truncated.into_inner(),
+    ))
 }
 
 /// The symbolic twin of [`best_insertion`]: candidates are scored by
@@ -449,6 +530,8 @@ fn best_insertion(
 /// threads (see `rt_stg::engine`'s module docs) — and the usual
 /// deterministic `(cost, index)` reduction picks the winner. Worker
 /// counters (including `symbolic_csc`) fold back into `engine`.
+///
+/// Truncation and errors follow [`best_insertion`]'s contract exactly.
 fn best_insertion_symbolic(
     stg: &Stg,
     name: &str,
@@ -456,7 +539,7 @@ fn best_insertion_symbolic(
     before: u64,
     engine: &mut ReachEngine,
     attempts: &mut usize,
-) -> Option<(Stg, u64, u64, usize)> {
+) -> Result<SearchOutcome<(Stg, u64, u64, usize)>, SynthError> {
     let specs = insertion_specs(stg);
     *attempts += specs.len();
     let pool = effective_threads(options.threads);
@@ -465,6 +548,7 @@ fn best_insertion_symbolic(
         worker_options.threads = 1;
     }
 
+    let truncated = AtomicBool::new(false);
     let evaluate = |worker: &mut ReachEngine, index: usize| {
         let candidate = match specs[index] {
             InsertionSpec::Place {
@@ -477,9 +561,16 @@ fn best_insertion_symbolic(
             }
         };
         // An inconsistent or diverging candidate errors, exactly like a
-        // failed explicit exploration: disqualified.
-        let Ok(analysis) = worker.csc_conflicts_symbolic(&candidate) else {
-            return None;
+        // failed explicit exploration: disqualified — unless the only
+        // problem was the budget, which flags truncation instead.
+        let analysis = match worker.csc_conflicts_symbolic(&candidate) {
+            Ok(analysis) => analysis,
+            Err(error) => {
+                if error.is_resource_exhaustion() {
+                    truncated.store(true, Ordering::Relaxed);
+                }
+                return None;
+            }
         };
         if !analysis.strongly_connected || !analysis.deadlock_free {
             return None;
@@ -508,11 +599,14 @@ fn best_insertion_symbolic(
         options.threads,
         || ReachEngine::with_options(engine.backend(), worker_options.clone()),
         evaluate,
-    );
+    )?;
     for worker in &workers {
         engine.absorb_stats(worker.stats());
     }
-    best.map(|(_, cost, (candidate, after, markings))| (candidate, after, markings, cost))
+    Ok((
+        best.map(|(_, cost, (candidate, after, markings))| (candidate, after, markings, cost)),
+        truncated.into_inner(),
+    ))
 }
 
 /// Minimized literal count of a CSC-free candidate, derived from the

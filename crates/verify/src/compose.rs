@@ -203,7 +203,33 @@ pub fn verify_with_options(
     orderings: &[NetOrdering],
     options: VerifyOptions,
 ) -> VerifyReport {
-    Composer::new(netlist, sg, orderings, options).run()
+    Composer::new(netlist, sg, orderings, options)
+        .run(None)
+        .expect("the unbudgeted composed walk cannot be interrupted")
+}
+
+/// [`verify_with_options`] under an [`rt_stg::Budget`]: the composed
+/// netlist × specification walk polls the budget's cancellation token,
+/// deadline and state cap once per dequeued composed state.
+///
+/// A verdict over a *partial* state space would be unsound (an
+/// unexplored interleaving could still fail), so budget exhaustion is a
+/// hard error here, never a degraded report — unlike reachability,
+/// where the engine can fall back to another backend.
+///
+/// # Errors
+///
+/// * [`StgError::Cancelled`] — the token fired or the deadline passed;
+/// * [`StgError::StateBudgetExceeded`] — more composed states than
+///   `budget.max_states`.
+pub fn verify_with_budget(
+    netlist: &Netlist,
+    sg: &StateGraph,
+    orderings: &[NetOrdering],
+    options: VerifyOptions,
+    budget: &rt_stg::Budget,
+) -> Result<VerifyReport, StgError> {
+    Composer::new(netlist, sg, orderings, options).run(Some(budget))
 }
 
 struct Composer<'a> {
@@ -397,7 +423,7 @@ impl<'a> Composer<'a> {
         }
     }
 
-    fn run(mut self) -> VerifyReport {
+    fn run(mut self, budget: Option<&rt_stg::Budget>) -> Result<VerifyReport, StgError> {
         let initial = ComposedState {
             net_values: self.initial_values(),
             spec: self.sg.initial(),
@@ -414,6 +440,14 @@ impl<'a> Composer<'a> {
             explored += 1;
             if explored > limit {
                 break;
+            }
+            if let Some(budget) = budget {
+                if budget.cancelled() {
+                    return Err(StgError::Cancelled);
+                }
+                if budget.states_exhausted(explored) {
+                    return Err(StgError::StateBudgetExceeded { states: explored });
+                }
             }
             let pending = self.pending(&state);
             for &(net, value, gate) in &pending {
@@ -474,7 +508,7 @@ impl<'a> Composer<'a> {
             }
         }
 
-        VerifyReport {
+        Ok(VerifyReport {
             verdict: if self.failures.is_empty() {
                 Verdict::Conforms
             } else {
@@ -482,7 +516,7 @@ impl<'a> Composer<'a> {
             },
             failures: self.failures,
             states_explored: explored,
-        }
+        })
     }
 
     /// Follows `event` in the spec, skipping over silent arcs.
@@ -617,5 +651,28 @@ mod tests {
         let (netlist, p) = majority_celement();
         let o = NetOrdering::new((p.ac, true), (p.ab, false));
         assert_eq!(o.describe(&netlist), "ac+ before ab-");
+    }
+
+    #[test]
+    fn budgeted_verification_is_a_hard_gate() {
+        let (netlist, _, _, _) = atomic_celement();
+        let sg = rt_stg::explore(&models::celement_stg()).unwrap();
+        // A generous budget changes nothing.
+        let roomy = rt_stg::Budget::unlimited().with_max_states(1 << 16);
+        let report =
+            verify_with_budget(&netlist, &sg, &[], VerifyOptions::default(), &roomy).unwrap();
+        assert!(report.passed());
+        // Exhaustion and cancellation are errors, never partial verdicts.
+        let tiny = rt_stg::Budget::unlimited().with_max_states(1);
+        assert!(matches!(
+            verify_with_budget(&netlist, &sg, &[], VerifyOptions::default(), &tiny),
+            Err(StgError::StateBudgetExceeded { .. })
+        ));
+        let cancelled = rt_stg::Budget::unlimited();
+        cancelled.cancel.cancel();
+        assert!(matches!(
+            verify_with_budget(&netlist, &sg, &[], VerifyOptions::default(), &cancelled),
+            Err(StgError::Cancelled)
+        ));
     }
 }

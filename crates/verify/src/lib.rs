@@ -35,8 +35,8 @@ pub mod require;
 
 pub use bridge::{margin_report, orderings_from_constraints, MarginLine};
 pub use compose::{
-    verify, verify_against_sg, verify_with_engine, verify_with_options, Failure, NetOrdering,
-    Verdict, VerifyOptions, VerifyReport,
+    verify, verify_against_sg, verify_with_budget, verify_with_engine, verify_with_options,
+    Failure, NetOrdering, Verdict, VerifyOptions, VerifyReport,
 };
 pub use path::{path_constraints, PathConstraint};
 pub use require::{extract_requirements, Requirements};
