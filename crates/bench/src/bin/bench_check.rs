@@ -24,6 +24,11 @@
 //! silently gating nothing. Speedups are reported but never fail the
 //! gate.
 //!
+//! The same ratio/skip rule gates the symbolic `bdd_nodes` column:
+//! node counts are deterministic, so a trip there means an ordering or
+//! garbage-collection change really blew up the manager footprint.
+//! Rows lacking the key (pre-reordering baselines) are not node-gated.
+//!
 //! Beyond timing, the gate also fails (exit 1) when the **fresh**
 //! snapshot's summary reports a nonzero `degradations` count: the
 //! standard corpus must run to completion under default budgets, so any
@@ -38,6 +43,9 @@ struct ModelRow {
     name: String,
     states: u64,
     explore_ns: f64,
+    /// Live BDD node count for the symbolic run; `None` when the
+    /// snapshot predates the key (such rows are not node-gated).
+    bdd_nodes: Option<f64>,
 }
 
 /// Extracts a `"key": value` number from one emitted object line.
@@ -69,6 +77,7 @@ fn parse_models(json: &str) -> Vec<ModelRow> {
                 name: field_string(line, "name")?,
                 states: field_number(line, "states")? as u64,
                 explore_ns: field_number(line, "explore_ns")?,
+                bdd_nodes: field_number(line, "bdd_nodes"),
             })
         })
         .collect()
@@ -107,6 +116,36 @@ fn compare(
         .filter_map(|b| {
             let f = fresh.iter().find(|f| f.name == b.name)?;
             let ratio = f.explore_ns / b.explore_ns;
+            let verdict = if b.states < min_states {
+                Verdict::SkippedSmall
+            } else if ratio > max_ratio {
+                Verdict::Regressed(ratio)
+            } else {
+                Verdict::Ok(ratio)
+            };
+            Some((b.name.clone(), verdict))
+        })
+        .collect()
+}
+
+/// Compares symbolic node counts for every model carrying the
+/// `bdd_nodes` key in both snapshots. Node counts are deterministic —
+/// the ratio gate catches an ordering or garbage-collection change
+/// silently blowing up the manager footprint, while the same
+/// `min_states` skip keeps trivially small managers (where one extra
+/// node is a large ratio) out of the verdict.
+fn compare_nodes(
+    baseline: &[ModelRow],
+    fresh: &[ModelRow],
+    max_ratio: f64,
+    min_states: u64,
+) -> Vec<(String, Verdict)> {
+    baseline
+        .iter()
+        .filter_map(|b| {
+            let f = fresh.iter().find(|f| f.name == b.name)?;
+            let (base_nodes, fresh_nodes) = (b.bdd_nodes?, f.bdd_nodes?);
+            let ratio = fresh_nodes / base_nodes;
             let verdict = if b.states < min_states {
                 Verdict::SkippedSmall
             } else if ratio > max_ratio {
@@ -187,6 +226,20 @@ fn main() -> ExitCode {
             }
         }
     }
+    // Node-count gate: same ratio limit, applied to the symbolic
+    // manager footprint (deterministic, so a trip is a real change).
+    for (name, verdict) in compare_nodes(&baseline, &fresh, max_ratio, min_states) {
+        match verdict {
+            Verdict::Ok(ratio) => println!("  ok      {name:<24} {ratio:>6.2}x  (bdd nodes)"),
+            Verdict::SkippedSmall => {
+                println!("  skip    {name:<24}   (bdd nodes, sub-{min_states}-state)");
+            }
+            Verdict::Regressed(ratio) => {
+                regressions += 1;
+                println!("  REGRESS {name:<24} {ratio:>6.2}x  (bdd nodes, limit {max_ratio}x)");
+            }
+        }
+    }
     if regressions > 0 {
         eprintln!(
             "bench_check: {regressions} model(s) regressed past {max_ratio}x vs {baseline_path}"
@@ -216,19 +269,22 @@ mod tests {
     use super::*;
 
     /// A miniature snapshot in `bench_reach`'s emitted shape; `scale`
-    /// multiplies every exploration time (the injected slowdown).
-    fn snapshot(scale: f64) -> String {
+    /// multiplies every exploration time (the injected slowdown) and
+    /// `node_scale` every symbolic node count (the injected blowup).
+    fn snapshot_scaled(scale: f64, node_scale: f64) -> String {
         let rows = [
-            ("tiny", 8u64, 1500.0),
-            ("ring", 48, 2500.0),
-            ("big_ring", 1304, 750000.0),
+            ("tiny", 8u64, 1500.0, 12u64),
+            ("ring", 48, 2500.0, 96),
+            ("big_ring", 1304, 750000.0, 2600),
         ];
         let mut out = String::from("{\n  \"models\": [\n");
-        for (name, states, ns) in rows {
+        for (name, states, ns, nodes) in rows {
             out.push_str(&format!(
                 "    {{\"name\": \"{name}\", \"states\": {states}, \"arcs\": 1, \
-                 \"threads\": 1, \"explore_ns\": {:.0}, \"states_per_sec\": 1}},\n",
-                ns * scale
+                 \"threads\": 1, \"explore_ns\": {:.0}, \"states_per_sec\": 1, \
+                 \"bdd_nodes\": {:.0}, \"bdd_nodes_by_index\": {nodes}}},\n",
+                ns * scale,
+                nodes as f64 * node_scale
             ));
         }
         out.push_str(
@@ -236,6 +292,10 @@ mod tests {
              \"explicit_ns\": 99}\n  ]\n}\n",
         );
         out
+    }
+
+    fn snapshot(scale: f64) -> String {
+        snapshot_scaled(scale, 1.0)
     }
 
     #[test]
@@ -249,6 +309,45 @@ mod tests {
         assert_eq!(rows[1].name, "ring");
         assert_eq!(rows[2].states, 1304);
         assert!((rows[2].explore_ns - 750000.0).abs() < 1.0);
+        // bdd_nodes must read the plain key, not bdd_nodes_by_index.
+        assert_eq!(rows[2].bdd_nodes, Some(2600.0));
+    }
+
+    #[test]
+    fn node_blowup_is_caught_and_tiny_models_are_skipped() {
+        let base = parse_models(&snapshot(1.0));
+        let blown = parse_models(&snapshot_scaled(1.0, 3.0));
+        let results = compare_nodes(&base, &blown, 2.5, 20);
+        assert_eq!(results.len(), 3);
+        assert!(matches!(results[0].1, Verdict::SkippedSmall));
+        assert!(matches!(results[1].1, Verdict::Regressed(r) if (r - 3.0).abs() < 0.01));
+        assert!(matches!(results[2].1, Verdict::Regressed(_)));
+        // The timing gate stays quiet — only the nodes moved.
+        assert!(compare(&base, &blown, 2.5, 20)
+            .iter()
+            .all(|(_, v)| !matches!(v, Verdict::Regressed(_))));
+    }
+
+    #[test]
+    fn node_gate_tolerates_snapshots_predating_the_key() {
+        let stripped: String = snapshot(1.0)
+            .lines()
+            .map(|l| {
+                let mut l = l.to_string();
+                if let Some(at) = l.find(", \"bdd_nodes\"") {
+                    let end = l.rfind('}').unwrap_or(l.len());
+                    l.replace_range(at..end, "");
+                }
+                l.push('\n');
+                l
+            })
+            .collect();
+        let old = parse_models(&stripped);
+        assert!(old.iter().all(|r| r.bdd_nodes.is_none()));
+        let fresh = parse_models(&snapshot(1.0));
+        assert!(compare_nodes(&old, &fresh, 2.5, 20).is_empty());
+        // Timing comparison is unaffected by the missing key.
+        assert_eq!(compare(&old, &fresh, 2.5, 20).len(), 3);
     }
 
     #[test]
@@ -316,6 +415,7 @@ mod tests {
             name: "other".into(),
             states: 100,
             explore_ns: 1.0,
+            bdd_nodes: None,
         }];
         assert!(compare(&base, &unrelated, 2.5, 20).is_empty());
     }

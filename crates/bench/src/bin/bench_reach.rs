@@ -49,6 +49,17 @@ struct Row {
     /// Node count under the legacy by-index order — the before/after
     /// record for the static variable-ordering heuristic.
     bdd_nodes_by_index: usize,
+    /// Final node count after a dynamically sifted run
+    /// (`VarOrder::Sift`) — the comparison column next to the static
+    /// orders.
+    bdd_nodes_sift: usize,
+    /// Peak live node count over the default-order fixpoint.
+    peak_bdd_nodes: usize,
+    /// Peak live node count over the sifted fixpoint — the number the
+    /// reordering work is judged on.
+    peak_bdd_nodes_sift: usize,
+    /// Wall time spent inside sifting passes on the sifted run.
+    sift_ns: u64,
     /// The concrete order `VarOrder::Auto` resolved to for this net
     /// (the place-count fallback is a measured choice; record it).
     var_order: String,
@@ -67,6 +78,10 @@ struct CscRow {
     cold_summary_ns: f64,
     warm_summary_ns: f64,
     warm_speedup: f64,
+    /// Warm summary with a generational `ReachEngine::collect` between
+    /// calls — the proof that dropping per-net garbage keeps the warm
+    /// advantage instead of discarding the hot unique table.
+    warm_gc_summary_ns: f64,
     /// Engine degradations recorded across this row's verification
     /// resolutions. Under default (unlimited) budgets this must be 0 —
     /// `bench_check` fails the gate when a fresh snapshot reports any,
@@ -144,6 +159,16 @@ fn measure(name: &str, stg: &Stg, min_ms: u128, threads: usize) -> Row {
             .expect("symbolic explores")
             .bdd_nodes
     };
+    // One dynamically sifted run: same marking count by construction
+    // (asserted), recorded for the peak-vs-static comparison.
+    let sifted = {
+        let mut bdd = rt_boolean::Bdd::new(stg.net().place_count());
+        reach_symbolic_in_ordered(stg, &mut bdd, VarOrder::Sift).expect("symbolic explores")
+    };
+    assert_eq!(
+        sifted.markings, symbolic.markings,
+        "{name}: sifted reach must agree with the static order"
+    );
 
     Row {
         name: name.to_string(),
@@ -156,6 +181,10 @@ fn measure(name: &str, stg: &Stg, min_ms: u128, threads: usize) -> Row {
         symbolic_markings: symbolic.markings,
         bdd_nodes: symbolic.bdd_nodes,
         bdd_nodes_by_index,
+        bdd_nodes_sift: sifted.bdd_nodes,
+        peak_bdd_nodes: symbolic.peak_bdd_nodes,
+        peak_bdd_nodes_sift: sifted.peak_bdd_nodes,
+        sift_ns: sifted.sift_ns,
         var_order: format!(
             "{:?}",
             VarOrder::default().resolved_for(stg.net().place_count())
@@ -173,6 +202,14 @@ struct CscSymbolicRow {
     symbolic_cold_ns: f64,
     symbolic_warm_ns: f64,
     bdd_nodes: usize,
+    /// Peak live node count during the default-order analysis — the
+    /// pair-space footprint the dynamic reordering is judged against.
+    peak_bdd_nodes: usize,
+    /// Peak with `VarOrder::Sift` (fabric4x4 is the headline: the
+    /// sifted peak must stay well below the static one).
+    peak_bdd_nodes_sift: usize,
+    /// Wall time spent inside sifting passes on the sifted analysis.
+    sift_ns: u64,
 }
 
 /// Times conflict *detection* (not resolution) both ways. The counts
@@ -189,6 +226,19 @@ fn measure_csc_symbolic(name: &str, stg: &Stg, min_ms: u128) -> CscSymbolicRow {
     assert_eq!(
         analysis.conflicts, explicit_conflicts,
         "{name}: detectors must agree on the conflict count"
+    );
+    // One sifted analysis: identical verdicts required, peak recorded.
+    let sifted = {
+        let mut bdd = rt_boolean::Bdd::new(0);
+        csc_conflicts_symbolic_in(stg, &mut bdd, VarOrder::Sift).expect("analyses")
+    };
+    assert_eq!(
+        sifted.conflicts, explicit_conflicts,
+        "{name}: sifted detector must agree on the conflict count"
+    );
+    assert_eq!(
+        sifted.per_signal, analysis.per_signal,
+        "{name}: sifted detector must agree per signal"
     );
     let explicit_detect_ns = time_ns(min_ms, || {
         explore_with(stg, &explore_options(1))
@@ -210,6 +260,9 @@ fn measure_csc_symbolic(name: &str, stg: &Stg, min_ms: u128) -> CscSymbolicRow {
         symbolic_cold_ns,
         symbolic_warm_ns,
         bdd_nodes: analysis.bdd_nodes,
+        peak_bdd_nodes: analysis.peak_bdd_nodes,
+        peak_bdd_nodes_sift: sifted.peak_bdd_nodes,
+        sift_ns: sifted.sift_ns,
     }
 }
 
@@ -274,6 +327,11 @@ fn measure_csc(name: &str, stg: &Stg, min_ms: u128, pool_threads: usize) -> CscR
         warm_engine.stats().manager_reuses > 0,
         "warm path must reuse"
     );
+    let warm_gc_summary_ns = time_ns(min_ms, || {
+        warm_engine.collect(&[]);
+        warm_engine.summary(resolved).expect("summarizes")
+    });
+    assert!(warm_engine.stats().collections > 0, "gc path must collect");
 
     let degradations = explicit_engine.stats().degradations.len()
         + symbolic_engine.stats().degradations.len()
@@ -290,6 +348,7 @@ fn measure_csc(name: &str, stg: &Stg, min_ms: u128, pool_threads: usize) -> CscR
         cold_summary_ns,
         warm_summary_ns,
         warm_speedup: cold_summary_ns / warm_summary_ns,
+        warm_gc_summary_ns,
         degradations,
     }
 }
@@ -338,6 +397,11 @@ fn validate(json: &str) -> Result<(), String> {
         "\"threads\"",
         "\"parallel_ns\"",
         "\"bdd_nodes_by_index\"",
+        "\"bdd_nodes_sift\"",
+        "\"peak_bdd_nodes\"",
+        "\"peak_bdd_nodes_sift\"",
+        "\"sift_ns\"",
+        "\"warm_gc_summary_ns\"",
         "\"var_order\"",
         "\"csc_symbolic\"",
         "\"explicit_detect_ns\"",
@@ -395,9 +459,10 @@ fn main() {
     for (name, stg) in corpus_models() {
         let row = measure(&name, &stg, min_ms, threads);
         println!(
-            "{:<24} {:>7} states  explore {:>10.0} ns ({:>12.0} states/s, x{threads})  symbolic {:>10.0} ns  {:>8} bdd nodes ({:>8} by index)",
+            "{:<24} {:>7} states  explore {:>10.0} ns ({:>12.0} states/s, x{threads})  symbolic {:>10.0} ns  {:>8} bdd nodes ({:>8} by index, {:>8} sifted, peak {:>8} -> {:>8})",
             row.name, row.states, row.explore_ns, row.states_per_sec, row.symbolic_ns,
-            row.bdd_nodes, row.bdd_nodes_by_index
+            row.bdd_nodes, row.bdd_nodes_by_index, row.bdd_nodes_sift,
+            row.peak_bdd_nodes, row.peak_bdd_nodes_sift
         );
         rows.push(row);
     }
@@ -418,9 +483,10 @@ fn main() {
     .map(|(name, stg)| {
         let row = measure_csc(name, stg, min_ms, pool_threads);
         println!(
-            "csc {:<20} +{} signals  serial {:>11.0} ns  pool(x{}) {:>11.0} ns  symbolic {:>11.0} ns  summary cold {:>9.0} / warm {:>7.0} ns ({:.1}x)",
+            "csc {:<20} +{} signals  serial {:>11.0} ns  pool(x{}) {:>11.0} ns  symbolic {:>11.0} ns  summary cold {:>9.0} / warm {:>7.0} ns ({:.1}x, gc {:>7.0} ns)",
             row.name, row.inserted, row.explicit_ns, row.pool_threads, row.parallel_ns,
-            row.symbolic_ns, row.cold_summary_ns, row.warm_summary_ns, row.warm_speedup
+            row.symbolic_ns, row.cold_summary_ns, row.warm_summary_ns, row.warm_speedup,
+            row.warm_gc_summary_ns
         );
         row
     })
@@ -450,9 +516,10 @@ fn main() {
         .map(|(name, stg)| {
             let row = measure_csc_symbolic(name, stg, min_ms);
             println!(
-                "csc-sym {:<16} {:>7} conflicts  explicit {:>11.0} ns  symbolic cold {:>11.0} / warm {:>11.0} ns  {:>8} bdd nodes",
+                "csc-sym {:<16} {:>7} conflicts  explicit {:>11.0} ns  symbolic cold {:>11.0} / warm {:>11.0} ns  {:>8} bdd nodes  peak {:>8} -> {:>8} sifted ({:.0} ms sift)",
                 row.name, row.conflicts, row.explicit_detect_ns, row.symbolic_cold_ns,
-                row.symbolic_warm_ns, row.bdd_nodes
+                row.symbolic_warm_ns, row.bdd_nodes, row.peak_bdd_nodes,
+                row.peak_bdd_nodes_sift, row.sift_ns as f64 / 1e6
             );
             row
         })
@@ -491,7 +558,9 @@ fn main() {
             "    {{\"name\": \"{}\", \"states\": {}, \"arcs\": {}, \"threads\": {}, \
              \"explore_ns\": {:.0}, \"states_per_sec\": {:.0}, \"synth_ns\": {}, \
              \"symbolic_ns\": {:.0}, \"symbolic_markings\": {}, \"bdd_nodes\": {}, \
-             \"bdd_nodes_by_index\": {}, \"var_order\": \"{}\"}}{}",
+             \"bdd_nodes_by_index\": {}, \"bdd_nodes_sift\": {}, \
+             \"peak_bdd_nodes\": {}, \"peak_bdd_nodes_sift\": {}, \
+             \"sift_ns\": {}, \"var_order\": \"{}\"}}{}",
             r.name,
             r.states,
             r.arcs,
@@ -503,6 +572,10 @@ fn main() {
             r.symbolic_markings,
             r.bdd_nodes,
             r.bdd_nodes_by_index,
+            r.bdd_nodes_sift,
+            r.peak_bdd_nodes,
+            r.peak_bdd_nodes_sift,
+            r.sift_ns,
             r.var_order,
             if i + 1 < rows.len() { "," } else { "" }
         );
@@ -514,7 +587,8 @@ fn main() {
             "    {{\"name\": \"{}\", \"inserted\": {}, \"threads\": {}, \
              \"explicit_ns\": {:.0}, \"parallel_ns\": {:.0}, \"symbolic_ns\": {:.0}, \
              \"cold_summary_ns\": {:.0}, \"warm_summary_ns\": {:.0}, \
-             \"warm_speedup\": {:.1}, \"degradations\": {}}}{}",
+             \"warm_speedup\": {:.1}, \"warm_gc_summary_ns\": {:.0}, \
+             \"degradations\": {}}}{}",
             r.name,
             r.inserted,
             r.pool_threads,
@@ -524,6 +598,7 @@ fn main() {
             r.cold_summary_ns,
             r.warm_summary_ns,
             r.warm_speedup,
+            r.warm_gc_summary_ns,
             r.degradations,
             if i + 1 < csc_rows.len() { "," } else { "" }
         );
@@ -533,13 +608,17 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"conflicts\": {}, \"explicit_detect_ns\": {:.0}, \
-             \"symbolic_cold_ns\": {:.0}, \"symbolic_warm_ns\": {:.0}, \"bdd_nodes\": {}}}{}",
+             \"symbolic_cold_ns\": {:.0}, \"symbolic_warm_ns\": {:.0}, \"bdd_nodes\": {}, \
+             \"peak_bdd_nodes\": {}, \"peak_bdd_nodes_sift\": {}, \"sift_ns\": {}}}{}",
             r.name,
             r.conflicts,
             r.explicit_detect_ns,
             r.symbolic_cold_ns,
             r.symbolic_warm_ns,
             r.bdd_nodes,
+            r.peak_bdd_nodes,
+            r.peak_bdd_nodes_sift,
+            r.sift_ns,
             if i + 1 < csc_symbolic_rows.len() {
                 ","
             } else {

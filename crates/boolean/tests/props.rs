@@ -130,6 +130,65 @@ proptest! {
     }
 
     #[test]
+    fn sift_preserves_function_values(f in arb_cover(6, 5), g in arb_cover(6, 4)) {
+        // Reordering moves nodes between levels but every NodeId must
+        // keep denoting the same function of the same *variables*.
+        let mut bdd = Bdd::new(6);
+        let nf = bdd.from_cover(&f);
+        let ng = bdd.from_cover(&g);
+        let nboth = bdd.and(nf, ng);
+        let count_before = bdd.satisfy_count(nboth);
+        let stats = bdd.sift(&[nf, ng, nboth]);
+        prop_assert!(stats.after_nodes <= stats.before_nodes,
+            "sift grew the manager: {} -> {}", stats.before_nodes, stats.after_nodes);
+        bdd.debug_validate();
+        for m in 0..64u64 {
+            prop_assert_eq!(bdd.evaluate(nf, m), f.evaluate(m));
+            prop_assert_eq!(bdd.evaluate(ng, m), g.evaluate(m));
+            prop_assert_eq!(bdd.evaluate(nboth, m), f.evaluate(m) && g.evaluate(m));
+        }
+        prop_assert_eq!(bdd.satisfy_count(nboth), count_before);
+        // The permutation stays a bijection.
+        let mut seen = [false; 6];
+        for level in 0..6 {
+            seen[bdd.var_at_level(level)] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sift_is_deterministic(f in arb_cover(6, 5)) {
+        let run = || {
+            let mut bdd = Bdd::new(6);
+            let nf = bdd.from_cover(&f);
+            bdd.sift(&[nf]);
+            (bdd.node_count(), bdd.current_order())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn collect_preserves_kept_roots(f in arb_cover(6, 5), g in arb_cover(6, 4)) {
+        // Build two functions, keep one, collect: the kept root must
+        // evaluate bit-identically and the manager must not grow.
+        let mut bdd = Bdd::new(6);
+        let nf = bdd.from_cover(&f);
+        let _garbage = bdd.from_cover(&g);
+        let before = bdd.node_count();
+        let stats = bdd.collect(&[nf]);
+        prop_assert_eq!(bdd.node_count() + stats.evicted, before);
+        bdd.debug_validate();
+        for m in 0..64u64 {
+            prop_assert_eq!(bdd.evaluate(nf, m), f.evaluate(m));
+        }
+        // Rebuilding the evicted function lands on a valid manager.
+        let ng = bdd.from_cover(&g);
+        for m in 0..64u64 {
+            prop_assert_eq!(bdd.evaluate(ng, m), g.evaluate(m));
+        }
+    }
+
+    #[test]
     fn truth_table_cover_roundtrip(f in arb_cover(5, 5)) {
         let tt = TruthTable::from_cover(&f);
         let back = tt.to_cover();

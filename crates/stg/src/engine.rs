@@ -119,6 +119,22 @@
 //!   search short and it returns the best candidate found so far
 //!   instead of aborting.
 //!
+//! Node budgets interact with reordering and garbage collection in one
+//! direction only: they *shrink* the footprint the budget sees. The
+//! BDD-footprint ceiling is checked against live
+//! [`rt_boolean::Bdd::node_count`] at iteration boundaries, and both a
+//! mid-fixpoint sifting pass ([`ExploreOptions::var_order`] =
+//! [`VarOrder::Sift`], trigger knobs
+//! [`ExploreOptions::reorder_growth`] /
+//! [`ExploreOptions::reorder_min_nodes`]) and a generational
+//! [`ReachEngine::collect`] run *between* those checks — so a query
+//! that would blow `max_bdd_nodes` under a static order can pass under
+//! `Sift`, and the post-reorder (smaller) footprint is what the next
+//! check measures. Neither mechanism ever degrades results: reorders
+//! preserve every node's function and collections only evict
+//! unreachable current-epoch garbage, so degradation policy stays
+//! purely budget-driven.
+//!
 //! Two things never degrade: the hard
 //! [`ExploreOptions::state_limit`] (an error contract callers rely on)
 //! and [`StgError::Cancelled`] (a demand to stop, honoured
@@ -158,8 +174,10 @@ use crate::error::StgError;
 use crate::reach::{count_markings_with, explore_with, ExploreOptions};
 use crate::state_graph::StateGraph;
 use crate::stg::Stg;
+use rt_boolean::bdd::NodeId;
+
 use crate::symbolic::csc::{csc_conflicts_symbolic_opts, CscAnalysis};
-use crate::symbolic::{reach_symbolic_in_budgeted, SymbolicReach, VarOrder};
+use crate::symbolic::{reach_symbolic_with, SymbolicReach, VarOrder};
 
 /// Which analyser answers the engine's set-level queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -220,6 +238,8 @@ pub struct EngineStats {
     pub resets: usize,
     /// Times [`ReachEngine::trim`] dropped the manager's memo caches.
     pub trims: usize,
+    /// Generational collections run ([`ReachEngine::collect`]).
+    pub collections: usize,
     /// Symbolic CSC conflict analyses served
     /// ([`ReachEngine::csc_conflicts_symbolic`]) — the gauge the
     /// no-explicit-graph encoding path is asserted with.
@@ -241,6 +261,7 @@ impl EngineStats {
         self.manager_reuses += other.manager_reuses;
         self.resets += other.resets;
         self.trims += other.trims;
+        self.collections += other.collections;
         self.symbolic_csc += other.symbolic_csc;
         self.degradations.extend_from_slice(&other.degradations);
     }
@@ -298,6 +319,16 @@ impl ReachEngine {
     #[must_use]
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.options.budget = budget;
+        self
+    }
+
+    /// Builder-style [`VarOrder`] override for every symbolic query
+    /// ([`ExploreOptions::var_order`]): static orders pick the seed
+    /// permutation, [`VarOrder::Sift`] adds dynamic reordering on top
+    /// of the measured seed.
+    #[must_use]
+    pub fn with_var_order(mut self, order: VarOrder) -> Self {
+        self.options.var_order = order;
         self
     }
 
@@ -434,11 +465,16 @@ impl ReachEngine {
         if self.manager.is_some() {
             self.stats.manager_reuses += 1;
         }
+        let options = self.options.clone();
         let manager = self
             .manager
             .get_or_insert_with(|| Bdd::new(stg.net().place_count()));
-        manager.set_node_budget(self.options.budget.max_bdd_nodes);
-        reach_symbolic_in_budgeted(stg, manager, &self.options.budget)
+        manager.set_node_budget(options.budget.max_bdd_nodes);
+        // Each query opens a generation: whatever this call garbages can
+        // later be dropped by [`ReachEngine::collect`] without touching
+        // the warm structure of earlier calls.
+        manager.new_epoch();
+        reach_symbolic_with(stg, manager, &options)
     }
 
     /// Runs the full symbolic CSC conflict analysis of `stg`
@@ -479,13 +515,17 @@ impl ReachEngine {
 
     /// One un-degraded symbolic CSC analysis in the persistent manager.
     fn csc_symbolic_once(&mut self, stg: &Stg) -> Result<CscAnalysis, StgError> {
+        let options = self.options.clone();
         let manager = self
             .manager
             .get_or_insert_with(|| Bdd::new(stg.net().place_count()));
-        manager.set_node_budget(self.options.budget.max_bdd_nodes);
+        manager.set_node_budget(options.budget.max_bdd_nodes);
+        manager.new_epoch();
         // The engine's own options drive the initial-code inference so
-        // both detectors derive identical codes under any tuning.
-        csc_conflicts_symbolic_opts(stg, manager, VarOrder::default(), &self.options)
+        // both detectors derive identical codes under any tuning, and
+        // [`ExploreOptions::var_order`] selects static vs dynamic
+        // ordering exactly as it does for reachability.
+        csc_conflicts_symbolic_opts(stg, manager, options.var_order, &options)
     }
 
     /// The persistent manager, if a symbolic query has run since the
@@ -519,6 +559,27 @@ impl ReachEngine {
     pub fn reset(&mut self) {
         self.stats.resets += 1;
         self.manager = None;
+    }
+
+    /// Generational garbage collection of the persistent manager: evicts
+    /// every node of the **current epoch** (opened by the latest
+    /// symbolic query) that is unreachable from `keep`, leaving earlier
+    /// generations — the warm structure that buys the measured reuse
+    /// speedups — untouched, along with every cache entry that only
+    /// mentions survivors. Returns the number of nodes evicted (0 when
+    /// no manager is alive).
+    ///
+    /// Pass the roots you still hold (e.g. a [`SymbolicReach::set`]);
+    /// results from *earlier* epochs are safe wholesale and do not need
+    /// listing. Callers that kept nothing can pass `&[]` to drop the
+    /// whole last query's garbage between [`ReachEngine::summary`]
+    /// calls.
+    pub fn collect(&mut self, keep: &[NodeId]) -> usize {
+        let Some(manager) = self.manager.as_mut() else {
+            return 0;
+        };
+        self.stats.collections += 1;
+        manager.collect(keep).evicted
     }
 
     /// Trims the persistent manager's apply/cofactor caches while

@@ -61,6 +61,24 @@
 //! Membership queries on a permuted set go through
 //! [`SymbolicReach::contains`], which maps variables back to marking
 //! bits ([`rt_boolean::Bdd::evaluate_mapped`]).
+//!
+//! ## Dynamic reordering
+//!
+//! [`VarOrder::Sift`] starts from the static `Auto` seed and lets the
+//! fixpoint reorder itself: whenever the manager grows past a
+//! configurable factor since the last check (see
+//! [`crate::reach::ExploreOptions::reorder_growth`]), a deterministic
+//! Rudell sifting pass ([`rt_boolean::Bdd::sift`]) runs at the
+//! iteration boundary with the fixpoint's live roots pinned. Because
+//! node ids keep denoting the same functions across a reorder, the
+//! *results* (marking counts, membership, conflict sets) are identical
+//! to an unreordered run — only diagram sizes and wall time change.
+//! Setting the `RT_STG_FORCE_SIFT` environment variable (to anything
+//! but `0`) upgrades every `Auto` order to `Sift`, which is how CI
+//! keeps the reordering path covered by the standard agreement suites.
+
+use std::sync::OnceLock;
+use std::time::Instant;
 
 use rt_boolean::bdd::NodeId;
 use rt_boolean::Bdd;
@@ -68,6 +86,7 @@ use rt_boolean::Bdd;
 use crate::budget::Budget;
 use crate::error::StgError;
 use crate::petri::PlaceId;
+use crate::reach::ExploreOptions;
 use crate::stg::Stg;
 
 pub mod csc;
@@ -100,19 +119,10 @@ pub(crate) fn iteration_budget_check(
     None
 }
 
-/// Place count below which [`VarOrder::Auto`] resolves to
-/// [`VarOrder::ByIndex`] instead of [`VarOrder::ReverseIndex`].
-///
-/// Measured over the corpus snapshot (`BENCH_reach.json`, `bdd_nodes`
-/// vs `bdd_nodes_by_index`): `ReverseIndex` wins or ties everywhere
-/// except `arbiter2` (9 places, 344 → 398 nodes — its shared `me`
-/// place is declared mid-net, so reversing declaration order buries
-/// it). Every model it beats `ByIndex` on by more than a handful of
-/// nodes (`fifo` 651 → 572, `vme_read` 566 → 398, `chain4` 300 → 279)
-/// has ≥ 10 places; below that the reversal saves at most ~8 nodes
-/// (`celement` 235 → 227), so index order is the safer default for
-/// tiny nets.
-pub const AUTO_REVERSE_MIN_PLACES: usize = 10;
+/// Module-level alias of [`VarOrder::AUTO_REVERSE_MIN_PLACES`], kept
+/// for callers that imported the threshold before it moved onto the
+/// type.
+pub const AUTO_REVERSE_MIN_PLACES: usize = VarOrder::AUTO_REVERSE_MIN_PLACES;
 
 /// Static place → BDD-variable ordering strategy for a symbolic run.
 /// See the module docs for the corpus-wide measurements behind the
@@ -132,21 +142,45 @@ pub enum VarOrder {
     /// places near the root).
     ReverseIndex,
     /// The default: [`VarOrder::ReverseIndex`] for nets with at least
-    /// [`AUTO_REVERSE_MIN_PLACES`] places, [`VarOrder::ByIndex`] below
-    /// that (reversal regressed `arbiter2`, the corpus's smallest
-    /// shared-place net — see the constant's docs).
+    /// [`VarOrder::AUTO_REVERSE_MIN_PLACES`] places,
+    /// [`VarOrder::ByIndex`] below that (reversal regressed `arbiter2`,
+    /// the corpus's smallest shared-place net — see the constant's
+    /// docs).
     #[default]
     Auto,
+    /// Dynamic reordering: seed the variables with the `Auto` static
+    /// order, then let the fixpoint run deterministic sifting passes
+    /// whenever the manager crosses the growth trigger (see the
+    /// module's *Dynamic reordering* section). Counts and membership
+    /// are identical to the static orders; diagram sizes are not.
+    Sift,
 }
 
 impl VarOrder {
-    /// The concrete strategy this order uses for a net with `places`
-    /// places: identity for the named strategies, the measured
-    /// size-based choice for [`VarOrder::Auto`]. Never returns `Auto`.
+    /// Place count below which [`VarOrder::Auto`] resolves to
+    /// [`VarOrder::ByIndex`] instead of [`VarOrder::ReverseIndex`].
+    ///
+    /// Measured over the corpus snapshot (`BENCH_reach.json`,
+    /// `bdd_nodes` vs `bdd_nodes_by_index`): `ReverseIndex` wins or
+    /// ties everywhere except `arbiter2` (9 places, 344 → 398 nodes —
+    /// its shared `me` place is declared mid-net, so reversing
+    /// declaration order buries it). Every model it beats `ByIndex` on
+    /// by more than a handful of nodes (`fifo` 651 → 572, `vme_read`
+    /// 566 → 398, `chain4` 300 → 279) has ≥ 10 places; below that the
+    /// reversal saves at most ~8 nodes (`celement` 235 → 227), so
+    /// index order is the safer default for tiny nets.
+    pub const AUTO_REVERSE_MIN_PLACES: usize = 10;
+
+    /// The concrete *static* strategy seeding a run under this order
+    /// for a net with `places` places: identity for the named static
+    /// strategies, the measured size-based choice for
+    /// [`VarOrder::Auto`], and the `Auto` resolution for
+    /// [`VarOrder::Sift`] (whose reordering then moves variables away
+    /// from the seed). Never returns `Auto` or `Sift`.
     pub fn resolved_for(self, places: usize) -> VarOrder {
         match self {
-            VarOrder::Auto => {
-                if places >= AUTO_REVERSE_MIN_PLACES {
+            VarOrder::Auto | VarOrder::Sift => {
+                if places >= VarOrder::AUTO_REVERSE_MIN_PLACES {
                     VarOrder::ReverseIndex
                 } else {
                     VarOrder::ByIndex
@@ -154,6 +188,120 @@ impl VarOrder {
             }
             other => other,
         }
+    }
+
+    /// Whether this order reorders variables while the run executes.
+    pub fn is_dynamic(self) -> bool {
+        matches!(self, VarOrder::Sift)
+    }
+}
+
+/// Whether `RT_STG_FORCE_SIFT` upgrades every [`VarOrder::Auto`] run
+/// to [`VarOrder::Sift`] (CI coverage hook; read once per process).
+fn force_sift() -> bool {
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| std::env::var_os("RT_STG_FORCE_SIFT").is_some_and(|v| v != *"0"))
+}
+
+/// The order actually used for a run requested under `order`:
+/// explicit choices are respected, `Auto` is upgraded to `Sift` when
+/// the force-sift environment hook is set.
+pub(crate) fn effective_order(order: VarOrder) -> VarOrder {
+    if order == VarOrder::Auto && force_sift() {
+        VarOrder::Sift
+    } else {
+        order
+    }
+}
+
+/// Mid-fixpoint reorder trigger: runs a sifting pass when the manager
+/// has grown past `growth ×` the node count at the last check (and is
+/// at least `min_nodes` big). Shared by the reachability and CSC
+/// fixpoints; disabled instances compile down to a no-op check.
+pub(crate) struct ReorderCtl {
+    enabled: bool,
+    growth: f64,
+    min_nodes: usize,
+    last: usize,
+    /// Manager size when the controller was armed — what the current
+    /// run's *own* growth is measured against (a warm manager's
+    /// pre-existing nodes must never look like growth).
+    baseline: usize,
+    /// Sifting passes run.
+    pub sifts: usize,
+    /// Total wall time spent sifting, in nanoseconds.
+    pub sift_ns: u64,
+}
+
+impl ReorderCtl {
+    pub(crate) fn disabled() -> Self {
+        ReorderCtl {
+            enabled: false,
+            growth: f64::INFINITY,
+            min_nodes: usize::MAX,
+            last: 0,
+            baseline: 0,
+            sifts: 0,
+            sift_ns: 0,
+        }
+    }
+
+    /// A controller for `order` with the trigger knobs of `options`.
+    pub(crate) fn for_order(order: VarOrder, options: &ExploreOptions) -> Self {
+        if !order.is_dynamic() {
+            return ReorderCtl::disabled();
+        }
+        ReorderCtl {
+            enabled: true,
+            growth: options.reorder_growth.max(1.1),
+            min_nodes: options.reorder_min_nodes.max(2),
+            last: 0,
+            baseline: 0,
+            sifts: 0,
+            sift_ns: 0,
+        }
+    }
+
+    /// Re-arms the growth baseline at the current manager size (called
+    /// once when a fixpoint starts, so a warm manager's pre-existing
+    /// nodes don't trip the trigger immediately). For an enabled
+    /// controller this also opens a fresh [`Bdd::new_epoch`], so the
+    /// collections a sift runs can only ever evict nodes *this* run
+    /// created — whatever the caller already held in the manager is
+    /// pinned as an older generation, keep list or not.
+    pub(crate) fn arm(&mut self, bdd: &mut Bdd) {
+        if self.enabled {
+            bdd.new_epoch();
+        }
+        self.baseline = bdd.node_count();
+        self.last = self.baseline.max(self.min_nodes);
+    }
+
+    /// Polls the trigger; when it fires, sifts with `keep` pinned
+    /// (`group_of_var` selects block granularity, `None` = per
+    /// variable) and re-arms at the post-sift size.
+    pub(crate) fn maybe_sift(&mut self, bdd: &mut Bdd, keep: &[NodeId], groups: Option<&[u32]>) {
+        if !self.enabled {
+            return;
+        }
+        let nodes = bdd.node_count();
+        if nodes < self.min_nodes || (nodes as f64) < self.last as f64 * self.growth {
+            return;
+        }
+        let start = Instant::now();
+        match groups {
+            Some(g) => bdd.sift_grouped(keep, g),
+            None => bdd.sift(keep),
+        };
+        self.sift_ns += start.elapsed().as_nanos() as u64;
+        self.sifts += 1;
+        // Re-arm at the size that *fired* this sift, not at the
+        // collected floor: a pass collects every fixpoint intermediate,
+        // so the post-sift count is artificially tiny and re-arming
+        // there would re-trigger after a single image step. Demanding
+        // `growth ×` the previous trigger instead caps a fixpoint at
+        // logarithmically many passes.
+        self.last = nodes.max(self.min_nodes);
     }
 }
 
@@ -174,8 +322,17 @@ pub struct SymbolicReach {
     /// The place behind each BDD variable (`place_of_var[v]` is the
     /// place index variable `v` encodes) — the inverse of the static
     /// order the run was built under. Identity for
-    /// [`VarOrder::ByIndex`].
+    /// [`VarOrder::ByIndex`]. Dynamic reordering does not change this
+    /// map: it permutes variable *levels*, not variable identities.
     pub place_of_var: Vec<u32>,
+    /// Largest live node count observed at any iteration boundary —
+    /// the run's memory high-water mark, where `bdd_nodes` only shows
+    /// the (post-reorder, post-collection) end state.
+    pub peak_bdd_nodes: usize,
+    /// Sifting passes the run triggered (0 for static orders).
+    pub sifts: usize,
+    /// Wall time spent inside sifting passes, in nanoseconds.
+    pub sift_ns: u64,
 }
 
 impl SymbolicReach {
@@ -289,11 +446,16 @@ pub fn reach_symbolic_in_budgeted(
     bdd: &mut Bdd,
     budget: &Budget,
 ) -> Result<SymbolicReach, StgError> {
-    let var_of = place_order(stg, VarOrder::default());
-    reach_symbolic_in_custom_budgeted(stg, bdd, &var_of, budget)
+    let options = ExploreOptions {
+        budget: budget.clone(),
+        ..ExploreOptions::default()
+    };
+    reach_symbolic_with(stg, bdd, &options)
 }
 
-/// [`reach_symbolic_in`] under an explicit static [`VarOrder`].
+/// [`reach_symbolic_in`] under an explicit [`VarOrder`] — static or
+/// dynamic ([`VarOrder::Sift`] runs with the default reorder knobs of
+/// [`ExploreOptions`]; use [`reach_symbolic_with`] to tune them).
 ///
 /// # Errors
 ///
@@ -303,8 +465,31 @@ pub fn reach_symbolic_in_ordered(
     bdd: &mut Bdd,
     order: VarOrder,
 ) -> Result<SymbolicReach, StgError> {
+    let options = ExploreOptions {
+        var_order: order,
+        ..ExploreOptions::default()
+    };
+    reach_symbolic_with(stg, bdd, &options)
+}
+
+/// [`reach_symbolic_in`] driven entirely by [`ExploreOptions`]: the
+/// variable order (static or dynamic, `Auto` upgradeable by the
+/// force-sift hook), the reorder trigger knobs and the budget all come
+/// from `options`. This is the entry point
+/// [`crate::engine::ReachEngine`] uses.
+///
+/// # Errors
+///
+/// Same as [`reach_symbolic_in_budgeted`].
+pub fn reach_symbolic_with(
+    stg: &Stg,
+    bdd: &mut Bdd,
+    options: &ExploreOptions,
+) -> Result<SymbolicReach, StgError> {
+    let order = effective_order(options.var_order);
     let var_of = place_order(stg, order);
-    reach_symbolic_in_custom(stg, bdd, &var_of)
+    let mut reorder = ReorderCtl::for_order(order, options);
+    fixpoint(stg, bdd, &var_of, &options.budget, &mut reorder)
 }
 
 /// The place → variable permutation `order` denotes for `stg`
@@ -316,7 +501,9 @@ pub(crate) fn place_order(stg: &Stg, order: VarOrder) -> Vec<u32> {
         VarOrder::ByIndex => (0..places).collect(),
         VarOrder::BfsConnectivity => bfs_connectivity_order(stg),
         VarOrder::ReverseIndex => (0..places).rev().collect(),
-        VarOrder::Auto => unreachable!("resolved_for never returns Auto"),
+        VarOrder::Auto | VarOrder::Sift => {
+            unreachable!("resolved_for never returns Auto or Sift")
+        }
     }
 }
 
@@ -347,6 +534,19 @@ pub fn reach_symbolic_in_custom_budgeted(
     bdd: &mut Bdd,
     var_of: &[u32],
     budget: &Budget,
+) -> Result<SymbolicReach, StgError> {
+    fixpoint(stg, bdd, var_of, budget, &mut ReorderCtl::disabled())
+}
+
+/// The frontier-based image fixpoint all `reach_symbolic*` entry
+/// points funnel into; `reorder` injects the optional mid-fixpoint
+/// sifting trigger (see the module's *Dynamic reordering* section).
+fn fixpoint(
+    stg: &Stg,
+    bdd: &mut Bdd,
+    var_of: &[u32],
+    budget: &Budget,
+    reorder: &mut ReorderCtl,
 ) -> Result<SymbolicReach, StgError> {
     let net = stg.net();
     let places = net.place_count();
@@ -406,12 +606,25 @@ pub fn reach_symbolic_in_custom_budgeted(
     let mut reached = initial;
     let mut frontier = initial;
     let mut iterations = 0;
+    let mut peak = bdd.node_count();
+    reorder.arm(bdd);
     loop {
         // Budget poll at the iteration boundary: `reached`/`frontier`
         // are complete sets from the previous step, so stopping here
         // never abandons a half-built structure.
         if let Some(error) = iteration_budget_check(bdd, budget, iterations) {
             return Err(error);
+        }
+        peak = peak.max(bdd.node_count());
+        // Reorder (and collect garbage) only at the same safe points
+        // the budget is polled at: every live id — the accumulated
+        // set, the frontier, the per-transition constraints — is
+        // pinned, and node ids keep their functions, so the iteration
+        // resumes as if nothing happened, just on smaller diagrams.
+        if reorder.enabled {
+            let mut keep: Vec<NodeId> = vec![reached, frontier];
+            keep.extend(images.iter().map(|image| image.enabled));
+            reorder.maybe_sift(bdd, &keep, None);
         }
         iterations += 1;
         let mut next = bdd.constant(false);
@@ -456,6 +669,9 @@ pub fn reach_symbolic_in_custom_budgeted(
         bdd_nodes: bdd.node_count(),
         set: reached,
         place_of_var,
+        peak_bdd_nodes: peak.max(bdd.node_count()),
+        sifts: reorder.sifts,
+        sift_ns: reorder.sift_ns,
     })
 }
 

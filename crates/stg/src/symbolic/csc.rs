@@ -32,6 +32,18 @@
 //! places, and a code variable far from its support multiplies the
 //! diagram.
 //!
+//! Roles are bound to *levels*, not raw variable indices: slot *i* of
+//! the layout above is whatever variable currently sits at level *i*
+//! of the manager (identical on a fresh manager, where levels are the
+//! identity permutation). Under [`super::VarOrder::Sift`] the analysis
+//! reorders dynamically — mid-fixpoint when the growth trigger of
+//! [`ExploreOptions::reorder_growth`] fires, and once more right
+//! before the pair space, which is the peak of the whole analysis.
+//! Every sift moves each *(unprimed, primed)* pair as one block
+//! ([`rt_boolean::Bdd::sift_grouped`]), so the primed twin stays
+//! level-adjacent to its place and the `R(p, y) → R(p', y)` rename
+//! stays monotone no matter how far the pairs travel.
+//!
 //! ## The conflict relation
 //!
 //! The BFS tracks codes transparently: firing an `a+`-labelled
@@ -67,6 +79,8 @@
 //! streams, like the explicit graph's) but has **no place cap**: the
 //! wide `W2`/`W4` corpus models run through the same entry points.
 
+use std::time::Instant;
+
 use rt_boolean::bdd::NodeId;
 use rt_boolean::Bdd;
 
@@ -75,7 +89,7 @@ use crate::marking::MarkingLayout;
 use crate::reach::{infer_initial_code, ExploreOptions};
 use crate::signal::{Edge, SignalId};
 use crate::stg::{Stg, TransitionLabel};
-use crate::symbolic::{place_order, VarOrder};
+use crate::symbolic::{effective_order, place_order, ReorderCtl, VarOrder};
 
 /// A concrete CSC conflict extracted from the symbolic pair space: two
 /// reachable markings sharing a binary code but disagreeing on the
@@ -150,6 +164,14 @@ pub struct CscAnalysis {
     /// Live nodes in the manager after the analysis (for a shared
     /// manager this counts everything it holds).
     pub bdd_nodes: usize,
+    /// Largest node count the manager hit during the analysis (sampled
+    /// at iteration boundaries and around the pair-space products — the
+    /// usual peak). This is what dynamic reordering is judged by.
+    pub peak_bdd_nodes: usize,
+    /// Sifting passes run (0 unless the order is dynamic).
+    pub sifts: usize,
+    /// Total wall time spent sifting, in nanoseconds.
+    pub sift_ns: u64,
     // -- internals for the code-table derivation --
     uvar: Vec<u32>,
     svar: Vec<u32>,
@@ -237,6 +259,7 @@ pub fn csc_conflicts_symbolic_opts(
     if signals > 64 {
         return Err(StgError::TooManySignals(signals));
     }
+    let order = effective_order(order);
 
     // --- Variable layout: place pairs with anchored signal splices ---
     let pos_of_place = place_order(stg, order);
@@ -256,22 +279,33 @@ pub fn csc_conflicts_symbolic_opts(
         }
         signals_at[anchor as usize].push(s);
     }
-    let mut uvar = vec![0u32; places];
-    let mut svar = vec![0u32; signals];
-    let mut next = 0u32;
-    for pos in 0..=places {
-        if pos < places {
-            uvar[place_at[pos]] = next;
-            next += 2;
-        }
-        for &s in &signals_at[pos] {
-            svar[s] = next;
-            next += 1;
-        }
-    }
-    let total_vars = next as usize;
-    debug_assert_eq!(total_vars, 2 * places + signals);
+    let total_vars = 2 * places + signals;
     bdd.ensure_vars(total_vars);
+    // Roles bind to the manager's *levels*: slot i of the layout is
+    // whatever variable sits at level i right now. On a fresh manager
+    // (identity permutation) this is the classic `2·place + spliced
+    // signal` index scheme verbatim; on a persistent, possibly
+    // already-sifted manager it keeps each primed twin level-adjacent
+    // to its place, which is what the monotone rename below requires.
+    let mut uvar = vec![0u32; places];
+    let mut pvar = vec![0u32; places];
+    let mut svar = vec![0u32; signals];
+    {
+        let slot_var = |slot: u32| bdd.var_at_level(slot as usize) as u32;
+        let mut next = 0u32;
+        for pos in 0..=places {
+            if pos < places {
+                uvar[place_at[pos]] = slot_var(next);
+                pvar[place_at[pos]] = slot_var(next + 1);
+                next += 2;
+            }
+            for &s in &signals_at[pos] {
+                svar[s] = slot_var(next);
+                next += 1;
+            }
+        }
+        debug_assert_eq!(next as usize, total_vars);
+    }
 
     // --- Initial state: exact minterm over places and code bits ---
     let layout = MarkingLayout::new(places, Some(1));
@@ -370,6 +404,15 @@ pub fn csc_conflicts_symbolic_opts(
         });
     }
 
+    // --- Reorder control: each (unprimed, primed) pair is one block ---
+    let mut group_of_var: Vec<u32> = (0..bdd.vars() as u32).collect();
+    for (p, &u) in uvar.iter().enumerate() {
+        group_of_var[pvar[p] as usize] = group_of_var[u as usize];
+    }
+    let mut reorder = ReorderCtl::for_order(order, options);
+    reorder.arm(bdd);
+    let mut peak = bdd.node_count();
+
     // --- Forward fixpoint (frontier-based, like the place-only BFS) ---
     let zero = bdd.constant(false);
     let mut reached = initial;
@@ -378,6 +421,15 @@ pub fn csc_conflicts_symbolic_opts(
     loop {
         if let Some(error) = super::iteration_budget_check(bdd, &options.budget, iterations) {
             return Err(error);
+        }
+        peak = peak.max(bdd.node_count());
+        if reorder.enabled {
+            let mut keep: Vec<NodeId> = vec![initial, reached, frontier];
+            for image in &images {
+                keep.push(image.enabled);
+                keep.push(image.place_enabled);
+            }
+            reorder.maybe_sift(bdd, &keep, Some(&group_of_var));
         }
         iterations += 1;
         let mut next_layer = zero;
@@ -463,6 +515,15 @@ pub fn csc_conflicts_symbolic_opts(
         if let Some(error) = super::iteration_budget_check(bdd, &options.budget, back_iterations) {
             return Err(error);
         }
+        peak = peak.max(bdd.node_count());
+        if reorder.enabled {
+            let mut keep: Vec<NodeId> = vec![initial, reached, back, back_frontier];
+            for image in &images {
+                keep.push(image.enabled);
+                keep.push(image.place_enabled);
+            }
+            reorder.maybe_sift(bdd, &keep, Some(&group_of_var));
+        }
         back_iterations += 1;
         let mut pre_layer = zero;
         for image in &images {
@@ -508,14 +569,33 @@ pub fn csc_conflicts_symbolic_opts(
             *slot = bdd.or(*slot, image.enabled);
         }
     }
-    // Prime map: each place's unprimed slot shifts onto its adjacent
-    // primed twin; signal variables are shared and stay put.
-    let mut prime_map: Vec<u32> = (0..total_vars as u32).collect();
-    for &v in &uvar {
-        prime_map[v as usize] = v + 1;
+    // The pair space is the peak of the whole analysis: reorder once
+    // more on `R` (excitation sets pinned) right before paying for two
+    // copies of it, so both copies and their product shrink together.
+    // Same floor as the fixpoint trigger, measured on *this run's*
+    // growth: a pass costs a full walk of the manager — including
+    // everything a warm manager carries for other nets — so a net
+    // whose own relation is tiny must not pay it.
+    if reorder.enabled && bdd.node_count().saturating_sub(reorder.baseline) >= reorder.min_nodes {
+        let mut keep: Vec<NodeId> = vec![reached];
+        keep.extend(rise.iter().copied());
+        keep.extend(fall.iter().copied());
+        let start = Instant::now();
+        bdd.sift_grouped(&keep, &group_of_var);
+        reorder.sift_ns += start.elapsed().as_nanos() as u64;
+        reorder.sifts += 1;
+    }
+    // Prime map: each place's unprimed slot shifts onto its level-
+    // adjacent primed twin; signal variables are shared and stay put.
+    // Grouped sifting never separates a pair, so the map is monotone
+    // in levels no matter what order the passes above settled on.
+    let mut prime_map: Vec<u32> = (0..bdd.vars() as u32).collect();
+    for (p, &v) in uvar.iter().enumerate() {
+        prime_map[v as usize] = pvar[p];
     }
     let reached_primed = bdd.rename_monotone(reached, &prime_map);
     let pair_base = bdd.and(reached, reached_primed);
+    peak = peak.max(bdd.node_count());
 
     let implemented: Vec<SignalId> = stg
         .signals()
@@ -534,13 +614,14 @@ pub fn csc_conflicts_symbolic_opts(
         let not_implied_primed = bdd.not(implied_primed);
         let conf = bdd.and(pair_base, implied);
         let conf = bdd.and(conf, not_implied_primed);
+        peak = peak.max(bdd.node_count());
         if conf == zero {
             continue;
         }
         let count = bdd.satisfy_count_over(conf, total_vars);
         if witness.is_none() {
             let words = bdd.satisfy_one(conf).expect("non-empty relation");
-            witness = Some(decode_witness(&words, &uvar, &svar, signal));
+            witness = Some(decode_witness(&words, &uvar, &pvar, &svar, signal));
         }
         conflicts += count;
         per_signal.push((signal, count));
@@ -555,6 +636,9 @@ pub fn csc_conflicts_symbolic_opts(
         deadlock_free,
         strongly_connected,
         bdd_nodes: bdd.node_count(),
+        peak_bdd_nodes: peak.max(bdd.node_count()),
+        sifts: reorder.sifts,
+        sift_ns: reorder.sift_ns,
         uvar,
         svar,
         implemented,
@@ -566,7 +650,13 @@ pub fn csc_conflicts_symbolic_opts(
 
 /// Maps one satisfying assignment of a conflict relation back to packed
 /// markings and the shared code.
-fn decode_witness(words: &[u64], uvar: &[u32], svar: &[u32], signal: SignalId) -> CscWitness {
+fn decode_witness(
+    words: &[u64],
+    uvar: &[u32],
+    pvar: &[u32],
+    svar: &[u32],
+    signal: SignalId,
+) -> CscWitness {
     let bit = |v: u32| {
         words
             .get(v as usize / 64)
@@ -578,7 +668,7 @@ fn decode_witness(words: &[u64], uvar: &[u32], svar: &[u32], signal: SignalId) -
         if bit(v) {
             marking_a[place / 64] |= 1 << (place % 64);
         }
-        if bit(v + 1) {
+        if bit(pvar[place]) {
             marking_b[place / 64] |= 1 << (place % 64);
         }
     }
@@ -606,10 +696,11 @@ impl CscAnalysis {
     /// sets excite uniformly per code); rows of a conflicted set report
     /// "excited somewhere under this code".
     pub fn code_table(&self, bdd: &mut Bdd) -> CodeTable {
-        // Quantify place variables bottom-up (largest first keeps the
-        // intermediate diagrams rooted where they already are).
+        // Quantify place variables bottom-up (deepest level first keeps
+        // the intermediate diagrams rooted where they already are; on a
+        // sifted manager depth is the level, not the variable index).
         let mut place_vars: Vec<u32> = self.uvar.clone();
-        place_vars.sort_unstable_by(|a, b| b.cmp(a));
+        place_vars.sort_unstable_by_key(|&v| std::cmp::Reverse(bdd.level_of(v as usize)));
         let project = |bdd: &mut Bdd, mut node: NodeId, place_vars: &[u32]| {
             for &v in place_vars {
                 node = bdd.exists(node, v as usize);
@@ -650,7 +741,10 @@ impl CscAnalysis {
             }
             words
         };
-        let total_vars = 2 * self.uvar.len() + self.svar.len();
+        // Word buffers must span the manager's whole universe: with
+        // role-by-level assignment on a reused manager a code variable
+        // can sit at any index, not just below `2·places + signals`.
+        let total_vars = bdd.vars();
         let mut rise_proj = Vec::with_capacity(self.implemented.len());
         let mut fall_proj = Vec::with_capacity(self.implemented.len());
         for &signal in &self.implemented {
