@@ -34,6 +34,13 @@
 //! standard corpus must run to completion under default budgets, so any
 //! recorded fallback means a budget silently tripped. Baselines that
 //! predate the key are tolerated (absent ⇒ 0).
+//!
+//! When the fresh snapshot carries a `"service"` section (written by
+//! `bench_service`), its health counters are gated the same way: the
+//! standard corpus under default budgets must record **zero** shed,
+//! degraded and quarantined requests, and the warm pass must have hit
+//! the memo cache (`cache_hit_rate > 0`). Snapshots predating the
+//! section are tolerated with a notice.
 
 use std::process::ExitCode;
 
@@ -91,6 +98,48 @@ fn summary_degradations(json: &str) -> u64 {
         .find(|line| line.contains("\"aggregate_states_per_sec\""))
         .and_then(|line| field_number(line, "degradations"))
         .unwrap_or(0.0) as u64
+}
+
+/// Health counters of the `"service"` section (one emitted line).
+#[derive(Debug, Clone, PartialEq)]
+struct ServiceHealth {
+    shed: u64,
+    degraded: u64,
+    quarantines: u64,
+    cache_hit_rate: f64,
+}
+
+/// Reads the service section from a snapshot; `None` when the snapshot
+/// predates `bench_service` (such snapshots are not service-gated).
+fn service_health(json: &str) -> Option<ServiceHealth> {
+    let line = json
+        .lines()
+        .find(|line| line.trim_start().starts_with("\"service\":"))?;
+    Some(ServiceHealth {
+        shed: field_number(line, "shed")? as u64,
+        degraded: field_number(line, "degraded")? as u64,
+        quarantines: field_number(line, "quarantines")? as u64,
+        cache_hit_rate: field_number(line, "cache_hit_rate")?,
+    })
+}
+
+/// Why a service section fails the gate, if it does.
+fn service_problem(health: &ServiceHealth) -> Option<String> {
+    if health.shed > 0 || health.degraded > 0 || health.quarantines > 0 {
+        return Some(format!(
+            "service recorded shed={} degraded={} quarantines={} — all must be 0 \
+             on the standard corpus under default budgets",
+            health.shed, health.degraded, health.quarantines
+        ));
+    }
+    // NaN must fail too, so the test is "not strictly positive".
+    if health.cache_hit_rate.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Some(format!(
+            "service cache_hit_rate {} — the warm pool must record hits",
+            health.cache_hit_rate
+        ));
+    }
+    None
 }
 
 /// The verdict of one baseline-vs-fresh comparison.
@@ -257,6 +306,22 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(1);
     }
+    // Service-health gate: a fresh snapshot carrying the service
+    // section must show a healthy warm pool — nothing shed, nothing
+    // degraded, nothing quarantined, and a warm cache that actually hit.
+    match service_health(&fresh_text) {
+        None => println!("bench_check: no service section in fresh snapshot (tolerated)"),
+        Some(health) => {
+            if let Some(problem) = service_problem(&health) {
+                eprintln!("bench_check: {problem}");
+                return ExitCode::from(1);
+            }
+            println!(
+                "  ok      service                   hit rate {:.2}, zero shed/degraded/quarantined",
+                health.cache_hit_rate
+            );
+        }
+    }
     println!(
         "bench_check: {} model(s) within {max_ratio}x of {baseline_path}",
         results.len()
@@ -403,6 +468,42 @@ mod tests {
         assert_eq!(summary_degradations(&clean), 0);
         // Snapshots predating the key (like the bare fixture) gate as 0.
         assert_eq!(summary_degradations(&snapshot(1.0)), 0);
+    }
+
+    #[test]
+    fn service_gate_reads_the_section_and_fails_on_unhealth() {
+        let line = "  \"service\": {\"requests\": 58, \"requests_per_s\": 1200, \
+                    \"cache_hit_rate\": 0.500, \"shed\": 0, \"retries\": 0, \
+                    \"quarantines\": 0, \"worker_panics\": 0, \"degraded\": 0, \"errors\": 0}";
+        let snapshot = format!("{}{line}\n}}\n", snapshot(1.0));
+        let health = service_health(&snapshot).expect("section parses");
+        assert_eq!(health.shed, 0);
+        assert!((health.cache_hit_rate - 0.5).abs() < 1e-9);
+        assert!(service_problem(&health).is_none());
+
+        let shed = ServiceHealth {
+            shed: 1,
+            ..health.clone()
+        };
+        assert!(service_problem(&shed).unwrap().contains("shed=1"));
+        let degraded = ServiceHealth {
+            degraded: 2,
+            ..health.clone()
+        };
+        assert!(service_problem(&degraded).is_some());
+        let quarantined = ServiceHealth {
+            quarantines: 1,
+            ..health.clone()
+        };
+        assert!(service_problem(&quarantined).is_some());
+        let cold = ServiceHealth {
+            cache_hit_rate: 0.0,
+            ..health
+        };
+        assert!(service_problem(&cold).unwrap().contains("cache_hit_rate"));
+
+        // Snapshots predating the section are simply not service-gated.
+        assert!(service_health(&snapshot_scaled(1.0, 1.0)).is_none());
     }
 
     #[test]

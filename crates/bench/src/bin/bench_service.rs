@@ -1,0 +1,230 @@
+//! Service-layer throughput snapshot: drives the standard corpus
+//! through a warm [`rt_service::SynthService`] pool twice — a cold pass
+//! that populates the memo cache and a warm pass that should hit it —
+//! and patches a `"service"` section into the `bench_reach` snapshot:
+//!
+//! ```text
+//! cargo run --release -p rt-bench --bin bench_service [-- [--fast] [OUTPUT.json]]
+//! ```
+//!
+//! Every answer is asserted bit-identical to a fresh direct
+//! [`ReachEngine`] call before anything is written, so the snapshot can
+//! never record throughput for wrong answers. The emitted counters —
+//! `requests_per_s`, `cache_hit_rate`, `shed`, `retries`,
+//! `quarantines`, `degraded` — are the service-health gauges
+//! `bench_check` gates on: under default budgets the standard corpus
+//! must record zero shed, degraded and quarantined requests and a
+//! nonzero warm-pass hit rate.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rt_service::{Request, RequestPayload, ResponsePayload, ServiceConfig, SynthService};
+use rt_stg::engine::ReachEngine;
+use rt_stg::{corpus, models};
+use rt_synth::csc::{resolve_csc_engine, CscOptions};
+
+/// The measured request mix: summary + symbolic CSC check for every
+/// corpus model small enough for the symbolic detector (≤ 64 signals),
+/// plus one full CSC resolution.
+fn workload(fast: bool) -> Vec<(String, Request)> {
+    let mut out = Vec::new();
+    let mut kept = 0usize;
+    let mut skipped = 0usize;
+    for (name, stg) in corpus::sweep() {
+        if stg.signal_count() > 16 || stg.net().place_count() > 64 {
+            skipped += 1;
+            continue;
+        }
+        kept += 1;
+        if fast && kept > 8 {
+            continue;
+        }
+        out.push((format!("{name}/summary"), Request::summary(stg.clone())));
+        out.push((format!("{name}/csc"), Request::csc_check(stg)));
+    }
+    println!("workload: {kept} corpus models ({skipped} too wide for the symbolic detector)");
+    let options = CscOptions {
+        threads: 1,
+        ..CscOptions::default()
+    };
+    out.push((
+        "fifo/resolve".to_string(),
+        Request::resolve_csc(models::fifo_stg(), options),
+    ));
+    out
+}
+
+/// Asserts one service answer equals a fresh direct engine call.
+fn assert_direct(name: &str, request: &Request, payload: &ResponsePayload) {
+    let mut engine = ReachEngine::symbolic();
+    match (&request.payload, payload) {
+        (RequestPayload::Summary { stg }, ResponsePayload::Summary(outcome)) => {
+            let direct = engine.summary(stg).expect("direct summary");
+            assert_eq!(outcome.markings, direct.markings, "{name}");
+            assert_eq!(outcome.iterations, direct.iterations, "{name}");
+        }
+        (RequestPayload::CscCheck { stg }, ResponsePayload::CscCheck(outcome)) => {
+            let direct = engine.csc_conflicts_symbolic(stg).expect("direct csc");
+            assert_eq!(outcome.markings, direct.markings, "{name}");
+            assert_eq!(outcome.conflicts, direct.conflicts, "{name}");
+        }
+        (RequestPayload::ResolveCsc { stg, options }, ResponsePayload::ResolveCsc(outcome)) => {
+            let direct = resolve_csc_engine(stg, options, &mut engine).expect("direct resolve");
+            assert_eq!(outcome.inserted, direct.inserted, "{name}");
+            assert_eq!(outcome.cost, direct.cost, "{name}");
+        }
+        (_, other) => panic!("{name}: mismatched payload kind {other:?}"),
+    }
+}
+
+/// Splices `section` (one `  "service": {...}` line) into a
+/// `bench_reach`-shaped snapshot, replacing any previous service line.
+/// Creates a minimal snapshot when `existing` is `None`.
+fn patch_snapshot(existing: Option<String>, section: &str) -> String {
+    let text = existing.unwrap_or_else(|| "{\n}\n".to_string());
+    let mut lines: Vec<String> = text
+        .lines()
+        .filter(|line| !line.trim_start().starts_with("\"service\":"))
+        .map(str::to_string)
+        .collect();
+    while lines.last().is_some_and(|l| l.trim().is_empty()) {
+        lines.pop();
+    }
+    assert_eq!(
+        lines.pop().as_deref().map(str::trim),
+        Some("}"),
+        "snapshot must end with a closing brace"
+    );
+    if let Some(last) = lines.last_mut() {
+        let trimmed = last.trim_end().to_string();
+        if !trimmed.ends_with(',') && !trimmed.ends_with('{') {
+            *last = format!("{trimmed},");
+        }
+    }
+    lines.push(section.to_string());
+    lines.push("}".to_string());
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+fn main() {
+    let mut out_path = "BENCH_reach.json".to_string();
+    let mut fast = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--fast" {
+            fast = true;
+        } else if arg.starts_with("--") {
+            eprintln!("bench_service: unknown flag {arg} (usage: [--fast] [OUTPUT.json])");
+            std::process::exit(2);
+        } else {
+            out_path = arg;
+        }
+    }
+
+    let work = workload(fast);
+    let service = SynthService::start(ServiceConfig::default());
+
+    // Cold pass: every unique request computed on the pool; answers
+    // pinned against fresh direct engines.
+    let started = Instant::now();
+    let mut cold = Vec::new();
+    for (name, request) in &work {
+        let response = service
+            .call(request.clone())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        cold.push((name, request, response));
+    }
+    let cold_elapsed = started.elapsed();
+    for (name, request, response) in &cold {
+        assert!(!response.cached, "{name}: cold pass must compute");
+        assert_direct(name, request, &response.payload);
+    }
+
+    // Warm pass: identical content — the memo cache must answer.
+    let warm_started = Instant::now();
+    for (name, request) in &work {
+        let response = service
+            .call(request.clone())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(response.cached, "{name}: warm pass must hit the cache");
+    }
+    let warm_elapsed = warm_started.elapsed();
+
+    let stats = service.stats();
+    service.shutdown();
+    let requests = stats.completed;
+    let total_s = (cold_elapsed + warm_elapsed).as_secs_f64();
+    let requests_per_s = requests as f64 / total_s;
+    println!(
+        "service: {requests} requests in {:.1} ms ({requests_per_s:.0} req/s; cold {:.1} ms, warm {:.1} ms)",
+        total_s * 1e3,
+        cold_elapsed.as_secs_f64() * 1e3,
+        warm_elapsed.as_secs_f64() * 1e3
+    );
+    println!(
+        "service: hit rate {:.2}  shed {}  retries {}  quarantines {}  degraded {}  errors {}",
+        stats.cache_hit_rate(),
+        stats.shed,
+        stats.retries,
+        stats.quarantines,
+        stats.degraded,
+        stats.errors
+    );
+
+    let mut section = String::from("  \"service\": {");
+    let _ = write!(
+        section,
+        "\"requests\": {requests}, \"requests_per_s\": {requests_per_s:.0}, \
+         \"cache_hit_rate\": {:.3}, \"shed\": {}, \"retries\": {}, \
+         \"quarantines\": {}, \"worker_panics\": {}, \"degraded\": {}, \"errors\": {}}}",
+        stats.cache_hit_rate(),
+        stats.shed,
+        stats.retries,
+        stats.quarantines,
+        stats.worker_panics,
+        stats.degraded,
+        stats.errors
+    );
+    let existing = std::fs::read_to_string(&out_path).ok();
+    let patched = patch_snapshot(existing, &section);
+    for key in [
+        "\"service\":",
+        "\"requests_per_s\"",
+        "\"cache_hit_rate\"",
+        "\"quarantines\"",
+    ] {
+        assert!(patched.contains(key), "patched snapshot lost {key}");
+    }
+    std::fs::write(&out_path, patched).expect("writes snapshot");
+    println!("service section -> {out_path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::patch_snapshot;
+
+    const SECTION: &str = "  \"service\": {\"requests\": 1}";
+
+    #[test]
+    fn patches_a_bench_reach_shaped_snapshot_idempotently() {
+        let base = "{\n  \"models\": [\n  ],\n  \"summary\": {\"threads\": 1}\n}\n";
+        let once = patch_snapshot(Some(base.to_string()), SECTION);
+        assert!(once.contains("\"summary\": {\"threads\": 1},"));
+        assert!(once.ends_with("  \"service\": {\"requests\": 1}\n}\n"));
+        let twice = patch_snapshot(Some(once.clone()), "  \"service\": {\"requests\": 2}");
+        assert_eq!(
+            twice.matches("\"service\"").count(),
+            1,
+            "replaced, not appended"
+        );
+        assert!(twice.contains("\"requests\": 2"));
+    }
+
+    #[test]
+    fn creates_a_minimal_snapshot_when_none_exists() {
+        let fresh = patch_snapshot(None, SECTION);
+        assert_eq!(fresh, "{\n  \"service\": {\"requests\": 1}\n}\n");
+    }
+}

@@ -201,6 +201,45 @@ impl Netlist {
         id
     }
 
+    /// A content hash of the circuit: net names and kinds, plus every
+    /// gate's library element, input order and output, in construction
+    /// order. The design *name* is excluded; net names are included
+    /// because verification matches nets to specification signals by
+    /// name. Used as (part of) the synthesis service's memo-cache key,
+    /// so two structurally identical netlists hash equal.
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::{Hash as _, Hasher as _};
+        // The same multiply-rotate mix as rt_boolean::fxhash, inlined
+        // to keep this crate dependency-free.
+        struct Fx(u64);
+        impl std::hash::Hasher for Fx {
+            fn finish(&self) -> u64 {
+                self.0
+            }
+            fn write(&mut self, bytes: &[u8]) {
+                for &byte in bytes {
+                    self.0 = (self.0.rotate_left(5) ^ u64::from(byte))
+                        .wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+                }
+            }
+        }
+        let mut hasher = Fx(0);
+        hasher.write_u64(self.net_names.len() as u64);
+        for (name, kind) in self.net_names.iter().zip(&self.net_kinds) {
+            hasher.write(name.as_bytes());
+            kind.hash(&mut hasher);
+        }
+        hasher.write_u64(self.gates.len() as u64);
+        for gate in &self.gates {
+            gate.kind.hash(&mut hasher);
+            for input in &gate.inputs {
+                hasher.write_u32(input.0);
+            }
+            hasher.write_u32(gate.output.0);
+        }
+        hasher.finish()
+    }
+
     /// Number of nets.
     pub fn net_count(&self) -> usize {
         self.net_names.len()

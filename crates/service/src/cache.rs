@@ -1,0 +1,203 @@
+//! Bounded content-hash memo cache: request key → completed response,
+//! with least-recently-used eviction.
+//!
+//! The key is a pure function of everything the answer depends on: the
+//! request kind, the STG (and, for verification, netlist) content
+//! hashes, the analysis options, and the budget's *soft caps* (state /
+//! node / iteration ceilings). Deadlines and cancellation tokens are
+//! deliberately excluded — they decide *whether* a run completes, never
+//! *what* it computes, and responses are only cached when a run did
+//! complete. Truncated or degraded results under a given soft-cap
+//! tuple are deterministic, so caching them under that tuple is sound;
+//! their [`Degradation`](rt_stg::engine::Degradation)s travel with the
+//! entry so a hit is visibly partial.
+
+use std::collections::HashMap;
+use std::hash::Hasher as _;
+
+use rt_boolean::fxhash::FxHasher;
+use rt_stg::Budget;
+
+use crate::request::{RequestPayload, Response};
+
+/// The memo key of a request under a budget's soft caps, or `None` for
+/// uncacheable requests (none currently exist, but the seam is here so
+/// a future non-deterministic request kind can opt out).
+pub(crate) fn request_key(payload: &RequestPayload, budget: &Budget) -> Option<u64> {
+    let mut hasher = FxHasher::default();
+    match payload {
+        RequestPayload::Summary { stg } => {
+            hasher.write_u8(1);
+            hasher.write_u64(stg.content_hash());
+        }
+        RequestPayload::CscCheck { stg } => {
+            hasher.write_u8(2);
+            hasher.write_u64(stg.content_hash());
+        }
+        RequestPayload::ResolveCsc { stg, options } => {
+            hasher.write_u8(3);
+            hasher.write_u64(stg.content_hash());
+            use std::hash::Hash as _;
+            options.hash(&mut hasher);
+        }
+        RequestPayload::Verify {
+            netlist,
+            spec,
+            orderings,
+        } => {
+            hasher.write_u8(4);
+            hasher.write_u64(netlist.content_hash());
+            hasher.write_u64(spec.content_hash());
+            use std::hash::Hash as _;
+            orderings.hash(&mut hasher);
+        }
+    }
+    // Soft caps only: see the module docs.
+    for cap in [
+        budget.max_states,
+        budget.max_bdd_nodes,
+        budget.max_iterations,
+    ] {
+        match cap {
+            Some(value) => {
+                hasher.write_u8(1);
+                hasher.write_u64(value as u64);
+            }
+            None => hasher.write_u8(0),
+        }
+    }
+    Some(hasher.finish())
+}
+
+struct Entry {
+    response: Response,
+    last_used: u64,
+}
+
+/// A bounded LRU memo cache. Eviction scans for the least-recently-used
+/// entry — O(capacity), which is deliberate: capacities are small
+/// (hundreds) and the scan only runs on insertion past the bound, so a
+/// linked-list LRU would be complexity without a measurable win.
+pub(crate) struct MemoCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<u64, Entry>,
+}
+
+impl MemoCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        MemoCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Looks up `key`, refreshing its recency. The returned clone is
+    /// marked `cached` but otherwise identical — degradations included.
+    pub(crate) fn get(&mut self, key: u64) -> Option<Response> {
+        self.tick += 1;
+        let entry = self.map.get_mut(&key)?;
+        entry.last_used = self.tick;
+        let mut response = entry.response.clone();
+        response.cached = true;
+        Some(response)
+    }
+
+    /// Inserts (or replaces) the entry for `key`, evicting the
+    /// least-recently-used entry when past capacity. A zero-capacity
+    /// cache stores nothing.
+    pub(crate) fn insert(&mut self, key: u64, mut response: Response) {
+        if self.capacity == 0 {
+            return;
+        }
+        response.cached = false;
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.map.iter().min_by_key(|(_, e)| e.last_used) {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                response,
+                last_used: self.tick,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ResponsePayload, SummaryOutcome};
+    use rt_stg::engine::Degradation;
+    use rt_stg::models;
+
+    fn response(markings: u64) -> Response {
+        Response {
+            payload: ResponsePayload::Summary(SummaryOutcome {
+                markings,
+                iterations: 1,
+            }),
+            degradations: Vec::new(),
+            cached: false,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry_at_capacity() {
+        let mut cache = MemoCache::new(2);
+        cache.insert(1, response(1));
+        cache.insert(2, response(2));
+        assert!(cache.get(1).is_some(), "refresh 1");
+        cache.insert(3, response(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(2).is_none(), "2 was stalest");
+        assert!(cache.get(1).is_some() && cache.get(3).is_some());
+    }
+
+    #[test]
+    fn hits_are_marked_cached_and_keep_degradations() {
+        let mut cache = MemoCache::new(4);
+        let mut degraded = response(7);
+        degraded.degradations.push(Degradation::SymbolicTrimRetry);
+        cache.insert(9, degraded);
+        let hit = cache.get(9).expect("hit");
+        assert!(hit.cached);
+        assert_eq!(hit.degradations, vec![Degradation::SymbolicTrimRetry]);
+        assert!(!hit.is_full_fidelity());
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut cache = MemoCache::new(0);
+        cache.insert(1, response(1));
+        assert_eq!(cache.len(), 0);
+        assert!(cache.get(1).is_none());
+    }
+
+    #[test]
+    fn keys_separate_kinds_options_and_soft_caps_but_not_deadlines() {
+        let stg = models::fifo_stg();
+        let budget = Budget::default();
+        let summary = request_key(&RequestPayload::Summary { stg: stg.clone() }, &budget);
+        let check = request_key(&RequestPayload::CscCheck { stg: stg.clone() }, &budget);
+        assert_ne!(summary, check, "kind is part of the key");
+        let capped = Budget::default().with_max_states(100);
+        let capped_summary = request_key(&RequestPayload::Summary { stg: stg.clone() }, &capped);
+        assert_ne!(summary, capped_summary, "soft caps are part of the key");
+        let deadlined = Budget::default().with_deadline(std::time::Instant::now());
+        assert_eq!(
+            summary,
+            request_key(&RequestPayload::Summary { stg }, &deadlined),
+            "deadlines are not"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Typed errors of the service layer, chaining to the engine and
+//! synthesis errors underneath via [`std::error::Error::source`].
+
+use std::error::Error;
+use std::fmt;
+
+use rt_stg::StgError;
+use rt_synth::SynthError;
+
+/// Why a service request produced no [`crate::Response`].
+///
+/// Every variant is *typed* — the acceptance contract of the service is
+/// that no fault, overload or crash ever surfaces as a wedge or an
+/// unstructured panic, only as one of these (or as a degraded-but-Ok
+/// response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Admission control refused the request: the bounded queue was
+    /// full. Deterministic backpressure — the caller can retry later or
+    /// route elsewhere; nothing was enqueued.
+    Shed {
+        /// Requests already waiting when this one was refused.
+        queue_depth: usize,
+    },
+    /// The service is shutting down (or already has); the request was
+    /// not (or will not be) processed.
+    ShuttingDown,
+    /// The pooled worker processing this request panicked. The panic
+    /// was isolated: the worker's engine was quarantined and rebuilt
+    /// cold, every other engine kept its warm state, and the next
+    /// request on the pool is served normally.
+    WorkerPanicked,
+    /// The underlying reachability/verification analysis failed —
+    /// including hard budget stops ([`StgError::Cancelled`] for a
+    /// missed deadline) and soft exhaustion that survived the engine's
+    /// degradation chain *and* the service's bounded retries.
+    Engine(StgError),
+    /// The underlying synthesis pass failed.
+    Synth(SynthError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Shed { queue_depth } => {
+                write!(
+                    f,
+                    "request shed: admission queue full ({queue_depth} waiting)"
+                )
+            }
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::WorkerPanicked => {
+                write!(f, "service worker panicked; engine quarantined and rebuilt")
+            }
+            ServiceError::Engine(err) => write!(f, "engine request failed: {err}"),
+            ServiceError::Synth(err) => write!(f, "synthesis request failed: {err}"),
+        }
+    }
+}
+
+impl Error for ServiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServiceError::Engine(err) => Some(err),
+            ServiceError::Synth(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<StgError> for ServiceError {
+    fn from(err: StgError) -> Self {
+        ServiceError::Engine(err)
+    }
+}
+
+impl From<SynthError> for ServiceError {
+    fn from(err: SynthError) -> Self {
+        ServiceError::Synth(err)
+    }
+}
+
+impl ServiceError {
+    /// Whether this failure reports *soft* resource exhaustion — the
+    /// class the service's retry/backoff loop is allowed to spend more
+    /// attempts on. Hard stops (cancellation, deadlines, hard state
+    /// limits, panics, shedding) are excluded: retrying them would
+    /// either violate a caller demand or loop forever.
+    pub fn is_resource_exhaustion(&self) -> bool {
+        match self {
+            ServiceError::Engine(err) => err.is_resource_exhaustion(),
+            ServiceError::Synth(SynthError::Stg(err)) => err.is_resource_exhaustion(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_chain_to_the_underlying_errors() {
+        let err = ServiceError::Engine(StgError::Cancelled);
+        assert!(err.source().is_some());
+        let err = ServiceError::Synth(SynthError::NothingToImplement);
+        assert!(err.source().is_some());
+        assert!(ServiceError::ShuttingDown.source().is_none());
+        let boxed: Box<dyn Error> = Box::new(ServiceError::Shed { queue_depth: 3 });
+        assert!(boxed.to_string().contains("3 waiting"));
+    }
+
+    #[test]
+    fn exhaustion_classification_matches_the_engine_contract() {
+        assert!(
+            ServiceError::Engine(StgError::NodeBudgetExceeded { nodes: 1 })
+                .is_resource_exhaustion()
+        );
+        assert!(
+            ServiceError::Synth(SynthError::Stg(StgError::StateBudgetExceeded { states: 1 }))
+                .is_resource_exhaustion()
+        );
+        assert!(!ServiceError::Engine(StgError::Cancelled).is_resource_exhaustion());
+        assert!(!ServiceError::Shed { queue_depth: 0 }.is_resource_exhaustion());
+        assert!(!ServiceError::WorkerPanicked.is_resource_exhaustion());
+    }
+}

@@ -1,0 +1,64 @@
+//! # rt-service — supervised synthesis/verification service
+//!
+//! The long-running front the DAC-99 flow is meant to be driven
+//! through: instead of constructing a [`rt_stg::ReachEngine`] per call,
+//! clients submit [`Request`]s to a [`SynthService`] that keeps a pool
+//! of **warm engines** (persistent symbolic managers) behind admission
+//! control. Zero external dependencies — `std` threads, channels and
+//! condvars only.
+//!
+//! What the service adds over direct engine calls:
+//!
+//! * **Warm pool + supervision** — each worker owns one engine; panics
+//!   are caught and isolated, the panicking engine is quarantined and
+//!   rebuilt cold, engines that repeatedly exhaust their budgets are
+//!   struck out and rebuilt too. The pool never wedges.
+//! * **Admission control** — a bounded queue; overload is answered
+//!   *immediately* with a typed [`ServiceError::Shed`] carrying the
+//!   queue depth, and per-request deadlines become hard
+//!   [`Budget`](rt_stg::Budget) deadlines.
+//! * **Retry with bounded backoff** — soft resource exhaustion that
+//!   survives the engine's own degradation chain is retried a bounded
+//!   number of times, with pauses capped by the remaining deadline.
+//! * **Memo cache** — a bounded LRU keyed by request *content*
+//!   (STG/netlist hashes, options, budget soft caps). Degraded results
+//!   are cached **with** their degradations, so a hit never silently
+//!   upgrades a partial answer to a full one.
+//!
+//! Results are bit-identical to direct engine calls — pinned by the
+//! concurrency determinism suite in `tests/determinism.rs`, including
+//! under injected faults.
+//!
+//! ## Example
+//!
+//! ```
+//! use rt_service::{Request, ResponsePayload, ServiceConfig, SynthService};
+//! use rt_stg::models;
+//!
+//! let service = SynthService::start(ServiceConfig::default());
+//! let first = service.call(Request::summary(models::fifo_stg())).unwrap();
+//! match &first.payload {
+//!     ResponsePayload::Summary(outcome) => assert_eq!(outcome.markings, 18),
+//!     _ => unreachable!(),
+//! }
+//! assert!(!first.cached);
+//!
+//! // Same specification again: served from the memo cache.
+//! let again = service.call(Request::summary(models::fifo_stg())).unwrap();
+//! assert!(again.cached);
+//! assert_eq!(again.payload, first.payload);
+//! assert!(service.stats().cache_hit_rate() > 0.0);
+//! service.shutdown();
+//! ```
+
+mod cache;
+mod error;
+mod request;
+mod service;
+
+pub use error::ServiceError;
+pub use request::{
+    CscCheckOutcome, Request, RequestPayload, ResolveOutcome, Response, ResponsePayload,
+    SummaryOutcome,
+};
+pub use service::{ServiceConfig, ServiceStats, SynthService, Ticket};

@@ -1,0 +1,198 @@
+//! Request and response types of the synthesis service.
+
+use std::time::Duration;
+
+use rt_netlist::Netlist;
+use rt_stg::engine::Degradation;
+use rt_stg::Stg;
+use rt_synth::csc::CscOptions;
+use rt_verify::{NetOrdering, VerifyReport};
+
+/// What a client asks the service to compute.
+#[derive(Debug, Clone)]
+pub enum RequestPayload {
+    /// Count the reachable markings of `stg` (backend per
+    /// [`crate::ServiceConfig::backend`], degradation chain included).
+    Summary {
+        /// The specification to analyse.
+        stg: Stg,
+    },
+    /// Full symbolic CSC conflict analysis of `stg` — counts, liveness
+    /// flags — without building an explicit state graph (≤ 64 signals).
+    CscCheck {
+        /// The specification to analyse.
+        stg: Stg,
+    },
+    /// Resolve CSC conflicts by state-signal insertion.
+    ResolveCsc {
+        /// The specification to rewrite.
+        stg: Stg,
+        /// Search tuning (part of the memo-cache key).
+        options: CscOptions,
+    },
+    /// Verify a gate-level circuit against its specification.
+    Verify {
+        /// The circuit.
+        netlist: Netlist,
+        /// The specification.
+        spec: Stg,
+        /// Relative-timing orderings to assume.
+        orderings: Vec<NetOrdering>,
+    },
+}
+
+/// One service request: a payload plus an optional deadline. The
+/// deadline is converted to a wall-clock budget at admission and
+/// honoured as a hard stop at every layer (never retried around).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// What to compute.
+    pub payload: RequestPayload,
+    /// Wall-clock allowance, measured from admission.
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A reachable-marking summary request.
+    pub fn summary(stg: Stg) -> Self {
+        Request {
+            payload: RequestPayload::Summary { stg },
+            deadline: None,
+        }
+    }
+
+    /// A symbolic CSC conflict-analysis request.
+    pub fn csc_check(stg: Stg) -> Self {
+        Request {
+            payload: RequestPayload::CscCheck { stg },
+            deadline: None,
+        }
+    }
+
+    /// A CSC resolution request.
+    pub fn resolve_csc(stg: Stg, options: CscOptions) -> Self {
+        Request {
+            payload: RequestPayload::ResolveCsc { stg, options },
+            deadline: None,
+        }
+    }
+
+    /// A verification request.
+    pub fn verify(netlist: Netlist, spec: Stg, orderings: Vec<NetOrdering>) -> Self {
+        Request {
+            payload: RequestPayload::Verify {
+                netlist,
+                spec,
+                orderings,
+            },
+            deadline: None,
+        }
+    }
+
+    /// Builder: attaches a deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Backend-independent summary answer: the fields that are pinned
+/// bit-identical between a warm pooled engine and a fresh direct one
+/// (live-node gauges are engine-internal and deliberately excluded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SummaryOutcome {
+    /// Distinct reachable markings.
+    pub markings: u64,
+    /// Fixpoint iterations / BFS layers.
+    pub iterations: usize,
+}
+
+/// Result of a symbolic CSC conflict analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CscCheckOutcome {
+    /// Reachable markings (the audit count).
+    pub markings: u64,
+    /// Total CSC conflict pairs.
+    pub conflicts: u64,
+    /// Whether every reachable marking enables something.
+    pub deadlock_free: bool,
+    /// Whether every reachable marking can return to the initial one.
+    pub strongly_connected: bool,
+}
+
+/// Result of a CSC resolution. Compared by *content*: two outcomes are
+/// equal when their rewritten STGs hash equal and the inserted signals,
+/// cost and truncation flag match — the comparison the concurrent
+/// determinism pin uses.
+#[derive(Debug, Clone)]
+pub struct ResolveOutcome {
+    /// The (possibly rewritten) CSC-free specification.
+    pub stg: Stg,
+    /// Names of inserted state signals.
+    pub inserted: Vec<String>,
+    /// Minimized literal cost of the accepted encoding.
+    pub cost: usize,
+    /// Whether a budget truncated the search (partial result; the
+    /// response carries [`Degradation::PartialSynthesis`] alongside).
+    pub truncated: bool,
+}
+
+impl PartialEq for ResolveOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.stg.content_hash() == other.stg.content_hash()
+            && self.inserted == other.inserted
+            && self.cost == other.cost
+            && self.truncated == other.truncated
+    }
+}
+
+impl Eq for ResolveOutcome {}
+
+/// The computed answer of one request kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponsePayload {
+    /// Answer to [`RequestPayload::Summary`].
+    Summary(SummaryOutcome),
+    /// Answer to [`RequestPayload::CscCheck`].
+    CscCheck(CscCheckOutcome),
+    /// Answer to [`RequestPayload::ResolveCsc`] (boxed: the rewritten
+    /// STG dominates the enum size otherwise).
+    ResolveCsc(Box<ResolveOutcome>),
+    /// Answer to [`RequestPayload::Verify`].
+    Verify(VerifyReport),
+}
+
+/// A completed request: the answer plus full provenance — every
+/// degradation the engine performed producing it, whether it came from
+/// the memo cache, and how many service-level retries it took.
+///
+/// Cached responses replay the `degradations` of the run that produced
+/// them, so a hit can never silently upgrade a partial (degraded or
+/// truncated) answer into a full one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The computed answer.
+    pub payload: ResponsePayload,
+    /// Degradations recorded by the engine during the successful
+    /// attempt (empty on a first-class answer).
+    pub degradations: Vec<Degradation>,
+    /// Whether this response was served from the memo cache.
+    pub cached: bool,
+    /// Service-level retry attempts spent before the answer (0 when
+    /// the first attempt succeeded; cached responses keep the value of
+    /// the run that populated the cache).
+    pub retries: u32,
+}
+
+impl Response {
+    /// Whether the answer is first-class: no degradations recorded and
+    /// (for resolutions) not truncated.
+    pub fn is_full_fidelity(&self) -> bool {
+        self.degradations.is_empty()
+            && !matches!(
+                &self.payload,
+                ResponsePayload::ResolveCsc(outcome) if outcome.truncated
+            )
+    }
+}

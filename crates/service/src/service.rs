@@ -1,0 +1,527 @@
+//! The supervised service: warm engine pool, bounded admission queue,
+//! retry/backoff, quarantine, and the memo cache front.
+//!
+//! # Architecture
+//!
+//! [`SynthService::start`] spawns `workers` OS threads, each owning one
+//! warm [`ReachEngine`] whose symbolic manager persists across
+//! requests. Clients [`submit`](SynthService::submit) a [`Request`] and
+//! get a [`Ticket`]; [`Ticket::wait`] blocks for the answer. Admission
+//! is a bounded queue — a full queue refuses the request *immediately*
+//! with [`ServiceError::Shed`] carrying the observed depth, so overload
+//! is deterministic backpressure, never an unbounded pile-up.
+//!
+//! # Supervision
+//!
+//! Each worker runs requests inside `catch_unwind`. A panic is
+//! isolated: the request gets a typed [`ServiceError::WorkerPanicked`],
+//! the worker's engine is **quarantined** (dropped, warm manager and
+//! all) and rebuilt cold, and the worker keeps serving. An engine that
+//! ends requests in soft resource exhaustion — even after the service's
+//! own retries — collects a *strike*; at
+//! [`ServiceConfig::quarantine_threshold`] consecutive strikes it is
+//! likewise rebuilt cold. Successful requests clear the strikes, and
+//! degraded-but-recovered runs are not strikes: the engine did its job.
+//!
+//! # Retry and deadlines
+//!
+//! A request that fails with soft exhaustion
+//! ([`ServiceError::is_resource_exhaustion`]) after the engine's own
+//! degradation chain is retried up to [`ServiceConfig::max_retries`]
+//! times with exponential backoff, each pause capped both by
+//! [`ServiceConfig::max_backoff`] and by half the request's
+//! [`remaining_deadline`](Budget::remaining_deadline). Deadlines are
+//! hard: they surface as [`StgError::Cancelled`] and are never retried
+//! around.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use rt_stg::engine::{ReachBackend, ReachEngine};
+use rt_stg::{faults, Budget, StgError};
+use rt_synth::csc::resolve_csc_engine;
+use rt_verify::{verify_with_budget, VerifyOptions};
+
+use crate::cache::{request_key, MemoCache};
+use crate::error::ServiceError;
+use crate::request::{
+    CscCheckOutcome, Request, RequestPayload, ResolveOutcome, Response, ResponsePayload,
+    SummaryOutcome,
+};
+
+/// Tuning of one [`SynthService`]. `Default` is sized for tests and
+/// embedded use: two warm engines, a small bounded queue, a couple of
+/// retries with sub-millisecond backoff.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Pooled worker threads (and warm engines); clamped to ≥ 1.
+    pub workers: usize,
+    /// Bounded admission queue: requests beyond this many *waiting*
+    /// (not yet picked up) are shed. `0` sheds everything — useful for
+    /// overload tests.
+    pub queue_capacity: usize,
+    /// Memo-cache entries ([`crate::Response`]s) kept; `0` disables
+    /// caching.
+    pub cache_capacity: usize,
+    /// Service-level retry attempts after soft resource exhaustion.
+    pub max_retries: u32,
+    /// First retry pause; doubles per attempt.
+    pub backoff: Duration,
+    /// Hard per-pause cap on the exponential backoff.
+    pub max_backoff: Duration,
+    /// Consecutive exhaustion-failed requests before a worker's engine
+    /// is quarantined and rebuilt cold; clamped to ≥ 1.
+    pub quarantine_threshold: u32,
+    /// Baseline budget each request runs under; a request deadline is
+    /// layered on top of a fresh clone per request.
+    pub budget: Budget,
+    /// Backend of the pooled engines.
+    pub backend: ReachBackend,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            max_retries: 2,
+            backoff: Duration::from_micros(500),
+            max_backoff: Duration::from_millis(10),
+            quarantine_threshold: 2,
+            budget: Budget::default(),
+            backend: ReachBackend::Symbolic,
+        }
+    }
+}
+
+/// Monotonic service counters, all updated with relaxed atomics — the
+/// numbers are observability, not synchronization.
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    retries: AtomicU64,
+    quarantines: AtomicU64,
+    worker_panics: AtomicU64,
+    degraded: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// A point-in-time snapshot of the service counters
+/// ([`SynthService::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Requests submitted (including shed and cache-served ones).
+    pub submitted: u64,
+    /// Requests admitted to the worker queue.
+    pub admitted: u64,
+    /// Requests that produced a reply (success or typed error),
+    /// including cache hits.
+    pub completed: u64,
+    /// Requests refused by admission control.
+    pub shed: u64,
+    /// Requests served from the memo cache without touching the pool.
+    pub cache_hits: u64,
+    /// Cacheable requests that had to be computed.
+    pub cache_misses: u64,
+    /// Service-level retry attempts spent (not requests retried).
+    pub retries: u64,
+    /// Engines quarantined and rebuilt cold (panics + strike-outs).
+    pub quarantines: u64,
+    /// Worker panics caught and isolated.
+    pub worker_panics: u64,
+    /// Successful responses that carried at least one degradation.
+    pub degraded: u64,
+    /// Requests that ended in a typed error.
+    pub errors: u64,
+}
+
+impl ServiceStats {
+    /// Cache hits over cacheable lookups, `0.0` before any lookup.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
+type Reply = Result<Response, ServiceError>;
+
+struct Job {
+    payload: RequestPayload,
+    budget: Budget,
+    /// 0-based admission index — the counter the service fault hooks
+    /// ([`faults::service_panic`], [`faults::service_stall`]) select on.
+    seq: usize,
+    /// Memo key to populate on success (`None` = uncacheable).
+    key: Option<u64>,
+    reply: mpsc::Sender<Reply>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    cache: Mutex<MemoCache>,
+    counters: Counters,
+    config: ServiceConfig,
+    admissions: AtomicUsize,
+}
+
+fn lock<'a, T>(mutex: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A pending (or already-resolved) reply to one submitted request.
+pub struct Ticket {
+    inner: TicketInner,
+}
+
+enum TicketInner {
+    Ready(Box<Reply>),
+    Pending(mpsc::Receiver<Reply>),
+}
+
+impl Ticket {
+    fn ready(reply: Reply) -> Self {
+        Ticket {
+            inner: TicketInner::Ready(Box::new(reply)),
+        }
+    }
+
+    /// Blocks until the request completes. If the service shuts down
+    /// with the request still queued, this resolves to
+    /// [`ServiceError::ShuttingDown`] rather than hanging.
+    pub fn wait(self) -> Reply {
+        match self.inner {
+            TicketInner::Ready(reply) => *reply,
+            TicketInner::Pending(receiver) => {
+                receiver.recv().unwrap_or(Err(ServiceError::ShuttingDown))
+            }
+        }
+    }
+}
+
+/// The supervised synthesis/verification service. See the module docs
+/// for the architecture; construction is [`SynthService::start`],
+/// teardown is [`SynthService::shutdown`] (or `Drop`, which joins the
+/// pool after draining the queue).
+pub struct SynthService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SynthService {
+    /// Spawns the worker pool and returns the running service.
+    pub fn start(config: ServiceConfig) -> Self {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            available: Condvar::new(),
+            cache: Mutex::new(MemoCache::new(config.cache_capacity)),
+            counters: Counters::default(),
+            config,
+            admissions: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("rt-service-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        SynthService {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Submits a request through admission control. Returns immediately
+    /// with a [`Ticket`]: already resolved on a cache hit, a shed, or a
+    /// closed service; otherwise pending on the pool.
+    pub fn submit(&self, request: Request) -> Ticket {
+        let counters = &self.shared.counters;
+        counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let mut budget = self.shared.config.budget.clone();
+        if let Some(allowance) = request.deadline {
+            budget.deadline = Some(Instant::now() + allowance);
+        }
+        let key = request_key(&request.payload, &budget);
+        if let Some(key) = key {
+            if let Some(hit) = lock(&self.shared.cache).get(key) {
+                counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                counters.completed.fetch_add(1, Ordering::Relaxed);
+                return Ticket::ready(Ok(hit));
+            }
+            counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let (sender, receiver) = mpsc::channel();
+        {
+            let mut queue = lock(&self.shared.queue);
+            if !queue.open {
+                return Ticket::ready(Err(ServiceError::ShuttingDown));
+            }
+            if queue.jobs.len() >= self.shared.config.queue_capacity {
+                counters.shed.fetch_add(1, Ordering::Relaxed);
+                return Ticket::ready(Err(ServiceError::Shed {
+                    queue_depth: queue.jobs.len(),
+                }));
+            }
+            let seq = self.shared.admissions.fetch_add(1, Ordering::Relaxed);
+            counters.admitted.fetch_add(1, Ordering::Relaxed);
+            queue.jobs.push_back(Job {
+                payload: request.payload,
+                budget,
+                seq,
+                key,
+                reply: sender,
+            });
+        }
+        self.shared.available.notify_one();
+        Ticket {
+            inner: TicketInner::Pending(receiver),
+        }
+    }
+
+    /// [`submit`](SynthService::submit) + [`Ticket::wait`] in one call.
+    pub fn call(&self, request: Request) -> Reply {
+        self.submit(request).wait()
+    }
+
+    /// Snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.shared.counters;
+        ServiceStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            admitted: c.admitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            quarantines: c.quarantines.load(Ordering::Relaxed),
+            worker_panics: c.worker_panics.load(Ordering::Relaxed),
+            degraded: c.degraded.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Memo-cache entries currently held.
+    pub fn cache_len(&self) -> usize {
+        lock(&self.shared.cache).len()
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut queue = lock(&self.shared.queue);
+            queue.open = false;
+        }
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops admitting, drains already-queued requests, joins the pool.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+}
+
+impl Drop for SynthService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn build_engine(config: &ServiceConfig) -> ReachEngine {
+    ReachEngine::new(config.backend).with_budget(config.budget.clone())
+}
+
+fn worker_loop(shared: &Shared) {
+    let config = &shared.config;
+    let counters = &shared.counters;
+    let mut engine = build_engine(config);
+    let mut strikes = 0u32;
+    loop {
+        let job = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if !queue.open {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        if let Some(stall) = faults::service_stall(job.seq) {
+            thread::sleep(stall);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if faults::service_panic(job.seq) {
+                panic!("injected service-worker fault");
+            }
+            process(&mut engine, config, counters, &job)
+        }));
+        let reply = match outcome {
+            Ok(reply) => {
+                match &reply {
+                    Ok(response) => {
+                        if !response.degradations.is_empty() {
+                            counters.degraded.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if let Some(key) = job.key {
+                            lock(&shared.cache).insert(key, response.clone());
+                        }
+                        strikes = 0;
+                    }
+                    Err(err) => {
+                        counters.errors.fetch_add(1, Ordering::Relaxed);
+                        if err.is_resource_exhaustion() {
+                            strikes += 1;
+                            if strikes >= config.quarantine_threshold.max(1) {
+                                engine = build_engine(config);
+                                counters.quarantines.fetch_add(1, Ordering::Relaxed);
+                                strikes = 0;
+                            }
+                        }
+                    }
+                }
+                reply
+            }
+            Err(_) => {
+                // The engine may have been mid-mutation when the panic
+                // unwound through it: quarantine unconditionally.
+                counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+                counters.quarantines.fetch_add(1, Ordering::Relaxed);
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+                engine = build_engine(config);
+                strikes = 0;
+                Err(ServiceError::WorkerPanicked)
+            }
+        };
+        // Count completion *before* replying: a client that reads
+        // stats right after `wait` must see its own request counted.
+        counters.completed.fetch_add(1, Ordering::Relaxed);
+        // A client that dropped its ticket is not an error.
+        let _ = job.reply.send(reply);
+    }
+}
+
+/// Runs one admitted job on `engine`, retrying soft exhaustion with
+/// bounded backoff. The response carries only the degradations of the
+/// attempt that succeeded — failed attempts are summarized by the
+/// `retries` count instead.
+fn process(
+    engine: &mut ReachEngine,
+    config: &ServiceConfig,
+    counters: &Counters,
+    job: &Job,
+) -> Result<Response, ServiceError> {
+    engine.options_mut().budget = job.budget.clone();
+    let mut retries = 0u32;
+    loop {
+        if job.budget.cancelled() {
+            return Err(ServiceError::Engine(StgError::Cancelled));
+        }
+        let degradations_before = engine.stats().degradations.len();
+        match run_once(engine, &job.payload, &job.budget) {
+            Ok(payload) => {
+                let degradations = engine.stats().degradations[degradations_before..].to_vec();
+                return Ok(Response {
+                    payload,
+                    degradations,
+                    cached: false,
+                    retries,
+                });
+            }
+            Err(err) if err.is_resource_exhaustion() && retries < config.max_retries => {
+                retries += 1;
+                counters.retries.fetch_add(1, Ordering::Relaxed);
+                // A fresh attempt deserves a leaner manager: drop the
+                // memo caches (cheap) before backing off.
+                engine.trim();
+                let mut pause = config.backoff.saturating_mul(1u32 << (retries - 1).min(16));
+                pause = pause.min(config.max_backoff);
+                if let Some(left) = job.budget.remaining_deadline() {
+                    pause = pause.min(left / 2);
+                }
+                if !pause.is_zero() {
+                    thread::sleep(pause);
+                }
+            }
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+fn run_once(
+    engine: &mut ReachEngine,
+    payload: &RequestPayload,
+    budget: &Budget,
+) -> Result<ResponsePayload, ServiceError> {
+    match payload {
+        RequestPayload::Summary { stg } => {
+            let summary = engine.summary(stg)?;
+            Ok(ResponsePayload::Summary(SummaryOutcome {
+                markings: summary.markings,
+                iterations: summary.iterations,
+            }))
+        }
+        RequestPayload::CscCheck { stg } => {
+            let analysis = engine.csc_conflicts_symbolic(stg)?;
+            Ok(ResponsePayload::CscCheck(CscCheckOutcome {
+                markings: analysis.markings,
+                conflicts: analysis.conflicts,
+                deadlock_free: analysis.deadlock_free,
+                strongly_connected: analysis.strongly_connected,
+            }))
+        }
+        RequestPayload::ResolveCsc { stg, options } => {
+            let resolution = resolve_csc_engine(stg, options, engine)?;
+            Ok(ResponsePayload::ResolveCsc(Box::new(ResolveOutcome {
+                stg: resolution.stg,
+                inserted: resolution.inserted,
+                cost: resolution.cost,
+                truncated: resolution.truncated,
+            })))
+        }
+        RequestPayload::Verify {
+            netlist,
+            spec,
+            orderings,
+        } => {
+            let sg = engine.state_graph(spec)?;
+            let report =
+                verify_with_budget(netlist, &sg, orderings, VerifyOptions::default(), budget)?;
+            Ok(ResponsePayload::Verify(report))
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Concurrent-submission determinism: N client threads hammering the
+//! shared pool, each submitting the corpus in a different order, must
+//! observe answers bit-identical to serial direct-engine calls — and,
+//! with fault injection on, must keep doing so while a worker panic is
+//! being isolated and its engine rebuilt.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+use std::thread;
+
+use rt_service::{
+    Request, RequestPayload, ResponsePayload, ServiceConfig, ServiceError, SynthService,
+};
+use rt_stg::engine::ReachEngine;
+use rt_stg::{corpus, Stg};
+
+/// Fault state is process-global, so the plain and fault-injected
+/// variants of this suite must not overlap: with the feature on, a
+/// pool from the *other* test would consume the armed shot.
+static SUITE: Mutex<()> = Mutex::new(());
+
+const CLIENTS: usize = 4;
+
+/// The corpus slice the clients hammer: small enough for the symbolic
+/// CSC detector (≤ 64 signals) and for a quick multi-client sweep.
+fn corpus_slice() -> Vec<(String, Stg)> {
+    corpus::sweep()
+        .into_iter()
+        .filter(|(_, stg)| stg.signal_count() <= 16 && stg.net().place_count() <= 64)
+        .take(8)
+        .collect()
+}
+
+fn requests(models: &[(String, Stg)]) -> Vec<(String, Request)> {
+    let mut out = Vec::new();
+    for (name, stg) in models {
+        out.push((format!("{name}/summary"), Request::summary(stg.clone())));
+        out.push((format!("{name}/csc"), Request::csc_check(stg.clone())));
+    }
+    out
+}
+
+/// Serial ground truth: every request answered by a fresh direct
+/// engine, no pool, no cache.
+fn direct_expected(models: &[(String, Stg)]) -> BTreeMap<String, ResponsePayload> {
+    let mut expected = BTreeMap::new();
+    for (key, request) in requests(models) {
+        let mut engine = ReachEngine::symbolic();
+        let payload = match &request.payload {
+            RequestPayload::Summary { stg } => {
+                let summary = engine.summary(stg).expect("direct summary");
+                ResponsePayload::Summary(rt_service::SummaryOutcome {
+                    markings: summary.markings,
+                    iterations: summary.iterations,
+                })
+            }
+            RequestPayload::CscCheck { stg } => {
+                let analysis = engine.csc_conflicts_symbolic(stg).expect("direct csc");
+                ResponsePayload::CscCheck(rt_service::CscCheckOutcome {
+                    markings: analysis.markings,
+                    conflicts: analysis.conflicts,
+                    deadlock_free: analysis.deadlock_free,
+                    strongly_connected: analysis.strongly_connected,
+                })
+            }
+            other => unreachable!("suite only submits summaries and checks: {other:?}"),
+        };
+        expected.insert(key, payload);
+    }
+    expected
+}
+
+/// Runs `CLIENTS` threads over the shared `service`, each submitting
+/// every request with a different rotation, and returns all replies.
+fn hammer(
+    service: &SynthService,
+    models: &[(String, Stg)],
+) -> Vec<(String, Result<rt_service::Response, ServiceError>)> {
+    let replies = Mutex::new(Vec::new());
+    thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let replies = &replies;
+            let work = requests(models);
+            scope.spawn(move || {
+                let n = work.len();
+                for step in 0..n {
+                    // Per-client rotation: same set, different order.
+                    let (key, request) = &work[(step + client * 5) % n];
+                    let reply = service.call(request.clone());
+                    replies
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push((key.clone(), reply));
+                }
+            });
+        }
+    });
+    replies.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[test]
+fn concurrent_clients_match_serial_direct_engine_calls() {
+    let _suite = SUITE.lock().unwrap_or_else(PoisonError::into_inner);
+    let models = corpus_slice();
+    assert!(models.len() >= 6, "corpus slice unexpectedly small");
+    let expected = direct_expected(&models);
+
+    let service = SynthService::start(ServiceConfig::default());
+    let replies = hammer(&service, &models);
+    assert_eq!(replies.len(), CLIENTS * expected.len());
+    for (key, reply) in replies {
+        let response = reply.unwrap_or_else(|e| panic!("{key}: {e}"));
+        assert_eq!(response.payload, expected[&key], "{key}");
+    }
+    let stats = service.stats();
+    assert_eq!(stats.completed, stats.submitted);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.quarantines, 0);
+    assert_eq!(stats.errors, 0);
+    assert!(
+        stats.cache_hits > 0,
+        "four clients over one corpus must share the memo cache"
+    );
+}
+
+#[cfg(feature = "fault-injection")]
+#[test]
+fn concurrent_clients_stay_deterministic_through_an_injected_panic() {
+    use rt_stg::faults::{arm, Fault};
+
+    let _suite = SUITE.lock().unwrap_or_else(PoisonError::into_inner);
+    let models = corpus_slice();
+    let expected = direct_expected(&models);
+
+    let service = SynthService::start(ServiceConfig::default());
+    let guard = arm(Fault::ServicePanicAt { request: 3 }, 1);
+    let replies = hammer(&service, &models);
+    drop(guard);
+
+    let mut panics = 0;
+    for (key, reply) in replies {
+        match reply {
+            Ok(response) => assert_eq!(response.payload, expected[&key], "{key}"),
+            Err(ServiceError::WorkerPanicked) => panics += 1,
+            Err(other) => panic!("{key}: unexpected error {other}"),
+        }
+    }
+    assert_eq!(panics, 1, "the single armed shot fails exactly one request");
+    let stats = service.stats();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.quarantines, 1);
+
+    // Post-fault recovery: the same pool, serially, is still
+    // bit-identical to fresh direct calls — including whatever key the
+    // panicked request had.
+    for (key, request) in requests(&models) {
+        let response = service
+            .call(request)
+            .unwrap_or_else(|e| panic!("{key}: {e}"));
+        assert_eq!(response.payload, expected[&key], "{key} after recovery");
+    }
+}

@@ -1,0 +1,210 @@
+//! Behavioural tests of the service without fault injection:
+//! bit-identity to direct engine calls, memo-cache semantics,
+//! deterministic shedding, deadline storms, and drain-on-shutdown.
+
+use std::time::Duration;
+
+use rt_netlist::cells::majority_celement;
+use rt_service::{
+    Request, ResolveOutcome, ResponsePayload, ServiceConfig, ServiceError, SynthService,
+};
+use rt_stg::engine::{Degradation, ReachEngine};
+use rt_stg::{models, Budget, StgError};
+use rt_synth::csc::{resolve_csc_engine, CscOptions};
+use rt_verify::verify;
+
+#[test]
+fn responses_are_bit_identical_to_direct_engine_calls() {
+    let service = SynthService::start(ServiceConfig::default());
+
+    let summary = service
+        .call(Request::summary(models::fifo_stg()))
+        .expect("summary");
+    let direct = ReachEngine::symbolic()
+        .summary(&models::fifo_stg())
+        .expect("direct summary");
+    match &summary.payload {
+        ResponsePayload::Summary(outcome) => {
+            assert_eq!(outcome.markings, direct.markings);
+            assert_eq!(outcome.iterations, direct.iterations);
+        }
+        other => panic!("wrong payload kind: {other:?}"),
+    }
+    assert!(summary.is_full_fidelity());
+
+    let check = service
+        .call(Request::csc_check(models::fifo_stg()))
+        .expect("csc check");
+    let direct = ReachEngine::symbolic()
+        .csc_conflicts_symbolic(&models::fifo_stg())
+        .expect("direct csc check");
+    match &check.payload {
+        ResponsePayload::CscCheck(outcome) => {
+            assert_eq!(outcome.markings, direct.markings);
+            assert_eq!(outcome.conflicts, direct.conflicts);
+            assert_eq!(outcome.deadlock_free, direct.deadlock_free);
+            assert_eq!(outcome.strongly_connected, direct.strongly_connected);
+        }
+        other => panic!("wrong payload kind: {other:?}"),
+    }
+
+    let options = CscOptions {
+        threads: 1,
+        ..CscOptions::default()
+    };
+    let resolved = service
+        .call(Request::resolve_csc(models::fifo_stg(), options))
+        .expect("resolution");
+    let direct = resolve_csc_engine(&models::fifo_stg(), &options, &mut ReachEngine::symbolic())
+        .expect("direct resolution");
+    let expected = ResolveOutcome {
+        stg: direct.stg,
+        inserted: direct.inserted,
+        cost: direct.cost,
+        truncated: direct.truncated,
+    };
+    assert_eq!(
+        resolved.payload,
+        ResponsePayload::ResolveCsc(Box::new(expected))
+    );
+
+    let (netlist, _) = majority_celement();
+    let spec = models::celement_stg();
+    let report = service
+        .call(Request::verify(netlist.clone(), spec.clone(), Vec::new()))
+        .expect("verification");
+    let direct = verify(&netlist, &spec, &[]).expect("direct verification");
+    assert_eq!(report.payload, ResponsePayload::Verify(direct));
+
+    let stats = service.stats();
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.quarantines, 0);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.completed, stats.submitted);
+    service.shutdown();
+}
+
+#[test]
+fn repeated_submissions_hit_the_memo_cache() {
+    let service = SynthService::start(ServiceConfig::default());
+    let first = service
+        .call(Request::csc_check(models::fifo_stg_csc()))
+        .expect("first");
+    assert!(!first.cached);
+    let second = service
+        .call(Request::csc_check(models::fifo_stg_csc()))
+        .expect("second");
+    assert!(second.cached, "identical content is served from cache");
+    assert_eq!(second.payload, first.payload);
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+    assert!(stats.cache_hit_rate() > 0.0);
+    assert_eq!(service.cache_len(), 1);
+}
+
+#[test]
+fn degraded_results_are_cached_with_their_degradations() {
+    // A one-node BDD allowance forces the symbolic summary through its
+    // whole degradation chain down to the explicit walk.
+    let config = ServiceConfig {
+        budget: Budget::default().with_max_bdd_nodes(1),
+        ..ServiceConfig::default()
+    };
+    let service = SynthService::start(config);
+    let first = service
+        .call(Request::summary(models::fifo_stg()))
+        .expect("degraded summary still succeeds");
+    assert!(
+        first
+            .degradations
+            .contains(&Degradation::SymbolicToExplicit),
+        "chain bottomed out in the explicit walk: {:?}",
+        first.degradations
+    );
+    assert!(!first.is_full_fidelity());
+    match &first.payload {
+        ResponsePayload::Summary(outcome) => assert_eq!(outcome.markings, 18),
+        other => panic!("wrong payload kind: {other:?}"),
+    }
+
+    let hit = service
+        .call(Request::summary(models::fifo_stg()))
+        .expect("cache hit");
+    assert!(hit.cached);
+    assert_eq!(
+        hit.degradations, first.degradations,
+        "a hit replays the degradations — partial never upgrades to full"
+    );
+    assert!(!hit.is_full_fidelity());
+    assert!(service.stats().degraded >= 1);
+}
+
+#[test]
+fn zero_capacity_queue_sheds_every_request_deterministically() {
+    let config = ServiceConfig {
+        queue_capacity: 0,
+        ..ServiceConfig::default()
+    };
+    let service = SynthService::start(config);
+    for _ in 0..3 {
+        match service.call(Request::summary(models::fifo_stg())) {
+            Err(ServiceError::Shed { queue_depth }) => assert_eq!(queue_depth, 0),
+            other => panic!("expected a shed, got {other:?}"),
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(stats.shed, 3);
+    assert_eq!(stats.admitted, 0);
+    assert_eq!(stats.submitted, 3);
+}
+
+#[test]
+fn deadline_storm_yields_typed_cancellations_and_the_pool_survives() {
+    let service = SynthService::start(ServiceConfig::default());
+    let tickets: Vec<_> = (0..8)
+        .map(|_| service.submit(Request::summary(models::fifo_stg()).with_deadline(Duration::ZERO)))
+        .collect();
+    for ticket in tickets {
+        assert_eq!(
+            ticket.wait(),
+            Err(ServiceError::Engine(StgError::Cancelled)),
+            "an expired deadline is a hard, typed stop"
+        );
+    }
+    assert_eq!(service.stats().errors, 8);
+
+    // Nothing was cached from the storm, and the pool still serves.
+    let after = service
+        .call(Request::summary(models::fifo_stg()))
+        .expect("pool survives the storm");
+    assert!(!after.cached, "failed requests must not populate the cache");
+    match &after.payload {
+        ResponsePayload::Summary(outcome) => assert_eq!(outcome.markings, 18),
+        other => panic!("wrong payload kind: {other:?}"),
+    }
+}
+
+#[test]
+fn shutdown_drains_already_queued_requests() {
+    let config = ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    };
+    let service = SynthService::start(config);
+    let specs = [
+        models::handshake_stg(),
+        models::fifo_stg(),
+        models::celement_stg(),
+        models::chain_stg(4),
+    ];
+    let tickets: Vec<_> = specs
+        .iter()
+        .map(|stg| service.submit(Request::summary(stg.clone())))
+        .collect();
+    service.shutdown();
+    for ticket in tickets {
+        let response = ticket.wait().expect("queued work drains before exit");
+        assert!(matches!(response.payload, ResponsePayload::Summary(_)));
+    }
+}

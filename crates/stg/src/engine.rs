@@ -147,6 +147,35 @@
 //! to a fresh engine's (`crates/stg/tests/engine_reuse.rs` and
 //! `crates/stg/tests/fault_injection.rs` pin this).
 //!
+//! ## Service layer
+//!
+//! `rt-service` runs a pool of these engines as a long-lived,
+//! supervised synthesis/verification service, and the budget contract
+//! above is exactly what makes that safe. The division of labour:
+//!
+//! * **The engine** owns per-request execution: budgets polled at
+//!   round/iteration granularity, the degradation chain, and the
+//!   guarantee that no overrun or panic ever corrupts the persistent
+//!   manager — so a *warm* pooled engine answers bit-identically to a
+//!   fresh one.
+//! * **The service** owns cross-request policy: per-engine health
+//!   tracking (an engine that panics its worker, or whose requests end
+//!   in soft exhaustion twice in a row, is quarantined and rebuilt
+//!   cold — every other engine keeps its warm manager), bounded
+//!   admission with deterministic load shedding, retry with bounded
+//!   backoff on [`StgError::is_resource_exhaustion`] errors (the
+//!   residual deadline is split across attempts via
+//!   [`Budget::remaining_deadline`](crate::budget::Budget::remaining_deadline)),
+//!   and a bounded content-hash memo cache
+//!   ([`crate::stg::Stg::content_hash`] → result). Cached entries keep
+//!   the [`Degradation`]s of the run that produced them, so a cache
+//!   hit can never silently upgrade a partial answer to a full one.
+//!
+//! Deadlines and cancellation stay hard stops at every layer: the
+//! service never retries a [`StgError::Cancelled`], and a request
+//! admitted past its deadline is answered with it before the engine is
+//! touched.
+//!
 //! ## Example
 //!
 //! ```

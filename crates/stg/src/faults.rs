@@ -10,9 +10,16 @@
 //! `fault-injection` cargo feature is on, so production call sites in
 //! the hot loops are unconditional and cost nothing. With the feature
 //! on, [`arm`] installs one fault in a process-global slot and returns
-//! an [`Armed`] guard; the guard also holds a global test-serialization
+//! an [`Armed`] guard; the guard also owns a global test-serialization
 //! lock (faults are process-global state, so fault tests must not
 //! interleave) and disarms on drop.
+//!
+//! The serialization lock is a *logical* lock (a flag plus a condvar),
+//! not a held `MutexGuard`, so `Armed` is `Send`: a supervisor test can
+//! arm a fault, hand work to a pool of service workers that poll the
+//! hooks concurrently, and drop the guard from whichever thread joins
+//! last — the firing path itself serializes only on the slot's own
+//! mutex, never on the test lock.
 //!
 //! Injection points, polled by the execution paths:
 //!
@@ -21,14 +28,21 @@
 //! * [`symbolic_iteration_fault`] — each symbolic fixpoint iteration.
 //! * [`worker_panic`] — per (worker, round) inside the sharded walk's
 //!   `catch_unwind` region; a `true` answer makes the worker panic.
+//! * [`service_panic`] / [`service_stall`] — per pooled *service*
+//!   request in `rt-service`'s workers: the former makes the worker
+//!   panic inside its `catch_unwind` region, the latter stalls it for
+//!   the armed duration (the stuck-worker scenario).
 
 #[cfg(feature = "fault-injection")]
 pub use enabled::{arm, Armed};
 
 use crate::error::StgError;
+use std::time::Duration;
 
-/// The faults a test can arm. `round`/`iteration` counters are 0-based
-/// and count from the start of the *analysis call* the fault fires in.
+/// The faults a test can arm. `round`/`iteration`/`request` counters
+/// are 0-based; rounds and iterations count from the start of the
+/// *analysis call* the fault fires in, requests count service
+/// admissions in submission order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
     /// Explicit walks report [`StgError::Cancelled`] at this round;
@@ -57,12 +71,30 @@ pub enum Fault {
         /// 0-based worker (shard) index.
         worker: usize,
     },
+    /// The pooled service worker processing admitted request `request`
+    /// panics inside its `catch_unwind` region — the worker-crash
+    /// scenario the engine pool's quarantine/rebuild policy handles.
+    ServicePanicAt {
+        /// 0-based service admission index the panic fires on.
+        request: usize,
+    },
+    /// The pooled service worker processing admitted request `request`
+    /// stalls for `millis` before touching its engine — the
+    /// stuck-worker scenario (siblings must keep serving; a deadline on
+    /// the stalled request must surface as a typed cancellation).
+    ServiceStallAt {
+        /// 0-based service admission index the stall fires on.
+        request: usize,
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
 }
 
 #[cfg(feature = "fault-injection")]
 mod enabled {
     use super::{Fault, StgError};
-    use std::sync::{Mutex, MutexGuard, PoisonError};
+    use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+    use std::time::Duration;
 
     /// The armed fault plus its remaining shot count. Shots decrement
     /// only when a fault actually *fires*, so one armed fault triggers
@@ -70,23 +102,33 @@ mod enabled {
     /// same injection point more than once).
     static ARMED: Mutex<Option<(Fault, usize)>> = Mutex::new(None);
 
-    /// Serializes fault tests: the state above is process-global, so
-    /// two concurrently armed tests would observe each other's faults.
-    static SERIAL: Mutex<()> = Mutex::new(());
+    /// Logical test-serialization lock: `true` while some [`Armed`]
+    /// guard is alive. A flag + condvar rather than a held
+    /// `MutexGuard` so the guard is `Send` and safe to drop from a
+    /// different thread than the one that armed — pooled service
+    /// workers polling the hooks concurrently only ever contend on
+    /// [`ARMED`]'s own mutex, held for the length of one match.
+    static SERIAL: Mutex<bool> = Mutex::new(false);
+    static SERIAL_FREED: Condvar = Condvar::new();
 
     fn slot() -> MutexGuard<'static, Option<(Fault, usize)>> {
         ARMED.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Guard returned by [`arm`]: holds the test-serialization lock and
-    /// disarms the fault on drop.
+    /// Guard returned by [`arm`]: owns the logical serialization lock
+    /// and disarms the fault on drop. `Send`, so it can cross a
+    /// `thread::scope` boundary or be dropped by a joining supervisor.
     pub struct Armed {
-        _serial: MutexGuard<'static, ()>,
+        _not_constructible_outside: (),
     }
 
     impl Drop for Armed {
         fn drop(&mut self) {
             *slot() = None;
+            let mut held = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+            *held = false;
+            drop(held);
+            SERIAL_FREED.notify_one();
         }
     }
 
@@ -94,45 +136,79 @@ mod enabled {
     /// that keeps it armed. Blocks until any previously armed fault's
     /// guard drops.
     pub fn arm(fault: Fault, shots: usize) -> Armed {
-        let serial = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut held = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        while *held {
+            held = SERIAL_FREED
+                .wait(held)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        *held = true;
+        drop(held);
         *slot() = Some((fault, shots));
-        Armed { _serial: serial }
+        Armed {
+            _not_constructible_outside: (),
+        }
     }
 
-    /// Consumes one shot if `matches` selects the armed fault.
-    fn fire(matches: impl Fn(Fault) -> bool) -> bool {
+    /// Consumes one shot if `select` maps the armed fault to a payload.
+    fn fire<T>(select: impl Fn(Fault) -> Option<T>) -> Option<T> {
         let mut armed = slot();
         match *armed {
-            Some((fault, shots)) if shots > 0 && matches(fault) => {
+            Some((fault, shots)) if shots > 0 => {
+                let payload = select(fault)?;
                 *armed = Some((fault, shots - 1));
-                true
+                Some(payload)
             }
-            _ => false,
+            _ => None,
         }
     }
 
     pub(super) fn explicit_round_fault_impl(round: usize) -> Option<StgError> {
-        if fire(|f| f == Fault::CancelAt { round }) {
-            return Some(StgError::Cancelled);
-        }
-        if fire(|f| f == Fault::ExhaustStatesAt { round }) {
-            return Some(StgError::StateBudgetExceeded { states: 0 });
-        }
-        None
+        fire(|f| match f {
+            Fault::CancelAt { round: r } if r == round => Some(StgError::Cancelled),
+            Fault::ExhaustStatesAt { round: r } if r == round => {
+                Some(StgError::StateBudgetExceeded { states: 0 })
+            }
+            _ => None,
+        })
     }
 
     pub(super) fn symbolic_iteration_fault_impl(iteration: usize) -> Option<StgError> {
-        if fire(|f| f == Fault::CancelAt { round: iteration }) {
-            return Some(StgError::Cancelled);
-        }
-        if fire(|f| f == Fault::ExhaustNodesAt { iteration }) {
-            return Some(StgError::NodeBudgetExceeded { nodes: 0 });
-        }
-        None
+        fire(|f| match f {
+            Fault::CancelAt { round } if round == iteration => Some(StgError::Cancelled),
+            Fault::ExhaustNodesAt { iteration: i } if i == iteration => {
+                Some(StgError::NodeBudgetExceeded { nodes: 0 })
+            }
+            _ => None,
+        })
     }
 
     pub(super) fn worker_panic_impl(worker: usize, round: usize) -> bool {
-        fire(|f| f == Fault::PanicAt { round, worker })
+        fire(|f| match f {
+            Fault::PanicAt {
+                round: r,
+                worker: w,
+            } if r == round && w == worker => Some(()),
+            _ => None,
+        })
+        .is_some()
+    }
+
+    pub(super) fn service_panic_impl(request: usize) -> bool {
+        fire(|f| match f {
+            Fault::ServicePanicAt { request: r } if r == request => Some(()),
+            _ => None,
+        })
+        .is_some()
+    }
+
+    pub(super) fn service_stall_impl(request: usize) -> Option<Duration> {
+        fire(|f| match f {
+            Fault::ServiceStallAt { request: r, millis } if r == request => {
+                Some(Duration::from_millis(millis))
+            }
+            _ => None,
+        })
     }
 }
 
@@ -181,6 +257,37 @@ pub fn worker_panic(worker: usize, round: usize) -> bool {
     }
 }
 
+/// Whether the service worker processing admitted request `request`
+/// should panic. Always `false` without the `fault-injection` feature.
+#[cfg_attr(not(feature = "fault-injection"), inline(always))]
+pub fn service_panic(request: usize) -> bool {
+    #[cfg(feature = "fault-injection")]
+    {
+        enabled::service_panic_impl(request)
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = request;
+        false
+    }
+}
+
+/// How long the service worker processing admitted request `request`
+/// should stall before touching its engine, if armed. Always `None`
+/// without the `fault-injection` feature.
+#[cfg_attr(not(feature = "fault-injection"), inline(always))]
+pub fn service_stall(request: usize) -> Option<Duration> {
+    #[cfg(feature = "fault-injection")]
+    {
+        enabled::service_stall_impl(request)
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = request;
+        None
+    }
+}
+
 #[cfg(all(test, feature = "fault-injection"))]
 mod tests {
     use super::*;
@@ -219,5 +326,44 @@ mod tests {
         drop(guard);
         let _guard = arm(Fault::CancelAt { round: 0 }, 1);
         assert_eq!(symbolic_iteration_fault(0), Some(StgError::Cancelled));
+    }
+
+    #[test]
+    fn service_faults_select_by_admission_index() {
+        let guard = arm(Fault::ServicePanicAt { request: 3 }, 1);
+        assert!(!service_panic(2), "wrong request");
+        assert!(service_stall(3).is_none(), "panic is not a stall");
+        assert!(service_panic(3));
+        assert!(!service_panic(3), "one shot only");
+        drop(guard);
+        let _guard = arm(
+            Fault::ServiceStallAt {
+                request: 1,
+                millis: 25,
+            },
+            1,
+        );
+        assert!(service_stall(0).is_none());
+        assert_eq!(service_stall(1), Some(Duration::from_millis(25)));
+        assert!(service_stall(1).is_none(), "shot consumed");
+    }
+
+    #[test]
+    fn armed_guard_is_send_and_droppable_on_another_thread() {
+        // The scope-safety the service tests rely on: arm here, observe
+        // the fault from worker threads, drop the guard wherever the
+        // supervisor happens to run.
+        fn assert_send<T: Send>(value: T) -> T {
+            value
+        }
+        let guard = assert_send(arm(Fault::ServicePanicAt { request: 0 }, 1));
+        std::thread::scope(|scope| {
+            scope.spawn(|| assert!(service_panic(0)));
+        });
+        std::thread::spawn(move || drop(guard))
+            .join()
+            .expect("drops cleanly off-thread");
+        // The lock is free again: re-arming must not deadlock.
+        let _guard = arm(Fault::CancelAt { round: 0 }, 1);
     }
 }

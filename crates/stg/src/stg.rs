@@ -108,6 +108,88 @@ impl Stg {
         &self.net
     }
 
+    /// A content hash of the specification: signals (names, roles,
+    /// forced initial values), transition labels, arc structure with
+    /// weights, and the initial marking. Two `Stg`s built the same way
+    /// hash equal; the model *name* and place names are excluded (they
+    /// affect no analysis — signal names do, via the verifier's
+    /// name-based net matching, so they are hashed).
+    ///
+    /// This is the memo-cache key of the synthesis service
+    /// (`rt-service`): every analysis result is a pure function of
+    /// exactly the content hashed here plus the analysis options, so a
+    /// hash hit may serve a cached resolution/verdict. FxHash quality:
+    /// collisions are possible in principle; the service tolerates them
+    /// the way any memo cache over a 64-bit key does.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rt_stg::models;
+    ///
+    /// let a = models::fifo_stg();
+    /// let mut b = models::fifo_stg();
+    /// b.set_name("renamed");
+    /// assert_eq!(a.content_hash(), b.content_hash(), "names excluded");
+    /// assert_ne!(
+    ///     a.content_hash(),
+    ///     models::celement_stg().content_hash(),
+    ///     "different structure, different hash"
+    /// );
+    /// ```
+    pub fn content_hash(&self) -> u64 {
+        use rt_boolean::fxhash::FxHasher;
+        use std::hash::Hasher as _;
+        let mut hasher = FxHasher::default();
+        hasher.write_u64(self.signals.len() as u64);
+        for (index, decl) in self.signals.iter().enumerate() {
+            hasher.write_u64(index as u64);
+            hasher.write(decl.name.as_bytes());
+            hasher.write_u8(match decl.kind {
+                SignalKind::Input => 0,
+                SignalKind::Output => 1,
+                SignalKind::Internal => 2,
+            });
+            hasher.write_u8(match self.initial_values[index] {
+                None => 0,
+                Some(false) => 1,
+                Some(true) => 2,
+            });
+        }
+        hasher.write_u64(self.net.place_count() as u64);
+        for (index, &tokens) in self.initial_tokens.iter().enumerate() {
+            if tokens != 0 {
+                hasher.write_u64(index as u64);
+                hasher.write_u16(tokens);
+            }
+        }
+        hasher.write_u64(self.net.transition_count() as u64);
+        for transition in self.net.transitions() {
+            match self.label(transition) {
+                TransitionLabel::Event(event) => {
+                    hasher.write_u8(1);
+                    hasher.write_u32(event.signal.0);
+                    hasher.write_u8(matches!(event.edge, Edge::Rise) as u8);
+                }
+                TransitionLabel::Silent => {
+                    hasher.write_u8(2);
+                    hasher.write(self.net.transition_name(transition).as_bytes());
+                }
+            }
+            for arc in self.net.preset(transition) {
+                hasher.write_u32(arc.place.0);
+                hasher.write_u16(arc.weight);
+            }
+            hasher.write_u8(0xff);
+            for arc in self.net.postset(transition) {
+                hasher.write_u32(arc.place.0);
+                hasher.write_u16(arc.weight);
+            }
+            hasher.write_u8(0xfe);
+        }
+        hasher.finish()
+    }
+
     /// Declares a signal.
     ///
     /// # Errors
@@ -432,6 +514,42 @@ mod tests {
         assert_eq!(stg.signals_of_kind(SignalKind::Input), vec![a]);
         assert_eq!(stg.signals_of_kind(SignalKind::Output), vec![b]);
         assert!(stg.signals_of_kind(SignalKind::Internal).is_empty());
+    }
+
+    #[test]
+    fn content_hash_tracks_structure_not_names() {
+        let build = |marked: bool| {
+            let mut stg = Stg::new("h");
+            let a = stg.add_signal("a", SignalKind::Input).unwrap();
+            let b = stg.add_signal("b", SignalKind::Output).unwrap();
+            let ap = stg.transition_for(a, Edge::Rise);
+            let bp = stg.transition_for(b, Edge::Rise);
+            stg.arc(ap, bp);
+            if marked {
+                stg.marked_arc(bp, ap);
+            } else {
+                stg.arc(bp, ap);
+            }
+            stg
+        };
+        let base = build(true);
+        assert_eq!(base.content_hash(), build(true).content_hash());
+        assert_ne!(
+            base.content_hash(),
+            build(false).content_hash(),
+            "initial marking is content"
+        );
+        let mut renamed = build(true);
+        renamed.set_name("other");
+        assert_eq!(base.content_hash(), renamed.content_hash());
+        let mut forced = build(true);
+        let a = forced.signal_by_name("a").unwrap();
+        forced.set_initial_value(a, true);
+        assert_ne!(
+            base.content_hash(),
+            forced.content_hash(),
+            "forced initial values are content"
+        );
     }
 
     #[test]

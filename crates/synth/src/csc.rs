@@ -93,7 +93,12 @@ pub struct CscResolution {
 }
 
 /// Options for [`resolve_csc`].
-#[derive(Debug, Clone, Copy)]
+///
+/// `PartialEq`/`Eq`/`Hash` exist because the options are part of the
+/// service layer's memo-cache key: a resolution is a pure function of
+/// the STG content *and* this tuning, so two requests may share a
+/// cached result only when both match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CscOptions {
     /// Maximum number of state signals to insert.
     pub max_signals: usize,

@@ -130,7 +130,12 @@ pub struct VerifyOptions {
 }
 
 /// Verification result.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq`/`Eq` compare the full report — verdict, deduplicated
+/// failures (traces included) and the composed-state count — which is
+/// what the service layer's bit-identical-to-direct-call pin and its
+/// memo cache rely on.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyReport {
     /// The verdict.
     pub verdict: Verdict,
