@@ -41,6 +41,12 @@
 //! degraded and quarantined requests, and the warm pass must have hit
 //! the memo cache (`cache_hit_rate > 0`). Snapshots predating the
 //! section are tolerated with a notice.
+//!
+//! Likewise for the `"daemon"` section (also written by
+//! `bench_service`): the TCP front-end must record **zero** protocol
+//! errors and disconnects, and the duplicate-heavy pass must have
+//! coalesced at least one flight (`batch_dedup_hits > 0`) — a zero
+//! there means the batch scheduler's single-flight path went dead.
 
 use std::process::ExitCode;
 
@@ -138,6 +144,46 @@ fn service_problem(health: &ServiceHealth) -> Option<String> {
             "service cache_hit_rate {} — the warm pool must record hits",
             health.cache_hit_rate
         ));
+    }
+    None
+}
+
+/// Health counters of the `"daemon"` section (one emitted line).
+#[derive(Debug, Clone, PartialEq)]
+struct DaemonHealth {
+    protocol_errors: u64,
+    disconnects: u64,
+    batch_dedup_hits: u64,
+}
+
+/// Reads the daemon section from a snapshot; `None` when the snapshot
+/// predates the TCP front-end (such snapshots are not daemon-gated).
+fn daemon_health(json: &str) -> Option<DaemonHealth> {
+    let line = json
+        .lines()
+        .find(|line| line.trim_start().starts_with("\"daemon\":"))?;
+    Some(DaemonHealth {
+        protocol_errors: field_number(line, "protocol_errors")? as u64,
+        disconnects: field_number(line, "disconnects")? as u64,
+        batch_dedup_hits: field_number(line, "batch_dedup_hits")? as u64,
+    })
+}
+
+/// Why a daemon section fails the gate, if it does.
+fn daemon_problem(health: &DaemonHealth) -> Option<String> {
+    if health.protocol_errors > 0 || health.disconnects > 0 {
+        return Some(format!(
+            "daemon recorded protocol_errors={} disconnects={} — well-behaved \
+             clients over loopback must produce neither",
+            health.protocol_errors, health.disconnects
+        ));
+    }
+    if health.batch_dedup_hits == 0 {
+        return Some(
+            "daemon batch_dedup_hits 0 — the duplicate-heavy pass must \
+             coalesce at least one flight"
+                .to_string(),
+        );
     }
     None
 }
@@ -319,6 +365,22 @@ fn main() -> ExitCode {
             println!(
                 "  ok      service                   hit rate {:.2}, zero shed/degraded/quarantined",
                 health.cache_hit_rate
+            );
+        }
+    }
+    // Daemon-health gate: a fresh snapshot carrying the daemon section
+    // must show a clean wire — zero protocol errors and disconnects —
+    // and a duplicate-heavy pass that actually coalesced.
+    match daemon_health(&fresh_text) {
+        None => println!("bench_check: no daemon section in fresh snapshot (tolerated)"),
+        Some(health) => {
+            if let Some(problem) = daemon_problem(&health) {
+                eprintln!("bench_check: {problem}");
+                return ExitCode::from(1);
+            }
+            println!(
+                "  ok      daemon                    {} coalesced, zero protocol errors/disconnects",
+                health.batch_dedup_hits
             );
         }
     }
@@ -504,6 +566,39 @@ mod tests {
 
         // Snapshots predating the section are simply not service-gated.
         assert!(service_health(&snapshot_scaled(1.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn daemon_gate_reads_the_section_and_fails_on_wire_trouble() {
+        let line = "  \"daemon\": {\"requests\": 105, \"requests_per_s\": 900, \
+                    \"batch_dedup_hits\": 7, \"disconnects\": 0, \"protocol_errors\": 0}";
+        let snapshot = format!("{}{line}\n}}\n", snapshot(1.0));
+        let health = daemon_health(&snapshot).expect("section parses");
+        assert_eq!(health.batch_dedup_hits, 7);
+        assert!(daemon_problem(&health).is_none());
+
+        let garbled = DaemonHealth {
+            protocol_errors: 1,
+            ..health.clone()
+        };
+        assert!(daemon_problem(&garbled)
+            .unwrap()
+            .contains("protocol_errors=1"));
+        let severed = DaemonHealth {
+            disconnects: 2,
+            ..health.clone()
+        };
+        assert!(daemon_problem(&severed).unwrap().contains("disconnects=2"));
+        let uncoalesced = DaemonHealth {
+            batch_dedup_hits: 0,
+            ..health
+        };
+        assert!(daemon_problem(&uncoalesced)
+            .unwrap()
+            .contains("batch_dedup_hits"));
+
+        // Snapshots predating the section are simply not daemon-gated.
+        assert!(daemon_health(&snapshot_scaled(1.0, 1.0)).is_none());
     }
 
     #[test]

@@ -15,11 +15,25 @@
 //! `bench_check` gates on: under default budgets the standard corpus
 //! must record zero shed, degraded and quarantined requests and a
 //! nonzero warm-pass hit rate.
+//!
+//! A third and fourth pass drive the same workload through the TCP
+//! daemon front-end ([`rt_service::Daemon`] + [`rt_service::DaemonClient`]
+//! on an ephemeral loopback port): a serial wire pass whose every reply
+//! is again pinned against a direct engine, and a duplicate-heavy pass
+//! (four clients barrier-released onto a one-worker uncached pool) that
+//! must exercise the batch scheduler's single-flight dedup. They emit a
+//! `"daemon"` section — `requests`, `requests_per_s`,
+//! `batch_dedup_hits`, `disconnects`, `protocol_errors` — which
+//! `bench_check` gates on: any wire protocol error or disconnect, or a
+//! duplicate-heavy pass that never coalesced, fails the run.
 
 use std::fmt::Write as _;
+use std::sync::Barrier;
 use std::time::Instant;
 
-use rt_service::{Request, RequestPayload, ResponsePayload, ServiceConfig, SynthService};
+use rt_service::{
+    Daemon, DaemonClient, Request, RequestPayload, ResponsePayload, ServiceConfig, SynthService,
+};
 use rt_stg::engine::ReachEngine;
 use rt_stg::{corpus, models};
 use rt_synth::csc::{resolve_csc_engine, CscOptions};
@@ -78,14 +92,15 @@ fn assert_direct(name: &str, request: &Request, payload: &ResponsePayload) {
     }
 }
 
-/// Splices `section` (one `  "service": {...}` line) into a
-/// `bench_reach`-shaped snapshot, replacing any previous service line.
-/// Creates a minimal snapshot when `existing` is `None`.
-fn patch_snapshot(existing: Option<String>, section: &str) -> String {
+/// Splices `section` (one `  "<key>": {...}` line) into a
+/// `bench_reach`-shaped snapshot, replacing any previous line for the
+/// same key. Creates a minimal snapshot when `existing` is `None`.
+fn patch_snapshot(existing: Option<String>, key: &str, section: &str) -> String {
+    let marker = format!("\"{key}\":");
     let text = existing.unwrap_or_else(|| "{\n}\n".to_string());
     let mut lines: Vec<String> = text
         .lines()
-        .filter(|line| !line.trim_start().starts_with("\"service\":"))
+        .filter(|line| !line.trim_start().starts_with(&marker))
         .map(str::to_string)
         .collect();
     while lines.last().is_some_and(|l| l.trim().is_empty()) {
@@ -132,7 +147,7 @@ fn main() {
     let mut cold = Vec::new();
     for (name, request) in &work {
         let response = service
-            .call(request.clone())
+            .submit(request.clone())
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         cold.push((name, request, response));
     }
@@ -146,7 +161,7 @@ fn main() {
     let warm_started = Instant::now();
     for (name, request) in &work {
         let response = service
-            .call(request.clone())
+            .submit(request.clone())
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(response.cached, "{name}: warm pass must hit the cache");
     }
@@ -187,18 +202,96 @@ fn main() {
         stats.degraded,
         stats.errors
     );
+    // Wire pass: the identical workload over TCP, every reply pinned
+    // against a fresh direct engine exactly like the cold pass.
+    let daemon = Daemon::bind(ServiceConfig::default(), "127.0.0.1:0").expect("daemon bind");
+    let mut client = DaemonClient::connect(daemon.local_addr()).expect("daemon connect");
+    let wire_started = Instant::now();
+    for (name, request) in &work {
+        let response = client
+            .submit(request)
+            .unwrap_or_else(|e| panic!("{name} over the wire: {e}"));
+        assert_direct(name, request, &response.payload);
+    }
+    let wire_elapsed = wire_started.elapsed();
+    drop(client);
+    let wire_requests_per_s = work.len() as f64 / wire_elapsed.as_secs_f64();
+
+    // Duplicate-heavy pass: four clients barrier-release identical
+    // requests onto a one-worker uncached daemon, the same setup
+    // `tests/batch.rs` pins — the batch scheduler must coalesce at
+    // least one flight, and no connection may fault.
+    let dedup_config = ServiceConfig::builder()
+        .workers(1)
+        .cache_capacity(0)
+        .build()
+        .expect("valid dedup config");
+    let dedup_daemon = Daemon::bind(dedup_config, "127.0.0.1:0").expect("dedup daemon bind");
+    const CLIENTS: usize = 4;
+    let rounds: usize = if fast { 6 } else { 12 };
+    let barrier = Barrier::new(CLIENTS);
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            scope.spawn(|| {
+                let mut client =
+                    DaemonClient::connect(dedup_daemon.local_addr()).expect("dedup connect");
+                for _ in 0..rounds {
+                    barrier.wait();
+                    let response = client
+                        .submit(&Request::summary(models::chain_stg(6)))
+                        .expect("duplicate-heavy summary");
+                    assert!(!response.cached, "the dedup pool's cache is disabled");
+                }
+            });
+        }
+    });
+    let batch_dedup_hits = dedup_daemon.service_stats().batch_dedup_hits;
+    assert!(
+        batch_dedup_hits > 0,
+        "{CLIENTS} clients x {rounds} barrier-released identical requests \
+         on one worker must coalesce at least once"
+    );
+
+    let wire_stats = daemon.stats();
+    let dedup_stats = dedup_daemon.stats();
+    daemon.shutdown();
+    dedup_daemon.shutdown();
+    let daemon_requests = wire_stats.requests + dedup_stats.requests;
+    let disconnects = wire_stats.disconnects + dedup_stats.disconnects;
+    let protocol_errors = wire_stats.protocol_errors + dedup_stats.protocol_errors;
+    println!(
+        "daemon: {} wire requests in {:.1} ms ({wire_requests_per_s:.0} req/s); \
+         dedup pass {} requests, {batch_dedup_hits} coalesced; \
+         disconnects {disconnects}  protocol_errors {protocol_errors}",
+        wire_stats.requests,
+        wire_elapsed.as_secs_f64() * 1e3,
+        dedup_stats.requests,
+    );
+
+    let mut daemon_section = String::from("  \"daemon\": {");
+    let _ = write!(
+        daemon_section,
+        "\"requests\": {daemon_requests}, \"requests_per_s\": {wire_requests_per_s:.0}, \
+         \"batch_dedup_hits\": {batch_dedup_hits}, \"disconnects\": {disconnects}, \
+         \"protocol_errors\": {protocol_errors}}}"
+    );
+
     let existing = std::fs::read_to_string(&out_path).ok();
-    let patched = patch_snapshot(existing, &section);
+    let patched = patch_snapshot(existing, "service", &section);
+    let patched = patch_snapshot(Some(patched), "daemon", &daemon_section);
     for key in [
         "\"service\":",
         "\"requests_per_s\"",
         "\"cache_hit_rate\"",
         "\"quarantines\"",
+        "\"daemon\":",
+        "\"batch_dedup_hits\"",
+        "\"protocol_errors\"",
     ] {
         assert!(patched.contains(key), "patched snapshot lost {key}");
     }
     std::fs::write(&out_path, patched).expect("writes snapshot");
-    println!("service section -> {out_path}");
+    println!("service + daemon sections -> {out_path}");
 }
 
 #[cfg(test)]
@@ -210,10 +303,14 @@ mod tests {
     #[test]
     fn patches_a_bench_reach_shaped_snapshot_idempotently() {
         let base = "{\n  \"models\": [\n  ],\n  \"summary\": {\"threads\": 1}\n}\n";
-        let once = patch_snapshot(Some(base.to_string()), SECTION);
+        let once = patch_snapshot(Some(base.to_string()), "service", SECTION);
         assert!(once.contains("\"summary\": {\"threads\": 1},"));
         assert!(once.ends_with("  \"service\": {\"requests\": 1}\n}\n"));
-        let twice = patch_snapshot(Some(once.clone()), "  \"service\": {\"requests\": 2}");
+        let twice = patch_snapshot(
+            Some(once.clone()),
+            "service",
+            "  \"service\": {\"requests\": 2}",
+        );
         assert_eq!(
             twice.matches("\"service\"").count(),
             1,
@@ -223,8 +320,19 @@ mod tests {
     }
 
     #[test]
+    fn distinct_keys_accumulate_instead_of_replacing_each_other() {
+        let once = patch_snapshot(None, "service", SECTION);
+        let both = patch_snapshot(Some(once), "daemon", "  \"daemon\": {\"requests\": 7}");
+        assert!(both.contains("\"service\": {\"requests\": 1},"));
+        assert!(both.ends_with("  \"daemon\": {\"requests\": 7}\n}\n"));
+        let daemon_again = patch_snapshot(Some(both), "daemon", "  \"daemon\": {\"requests\": 9}");
+        assert_eq!(daemon_again.matches("\"daemon\"").count(), 1);
+        assert!(daemon_again.contains("\"service\": {\"requests\": 1},"));
+    }
+
+    #[test]
     fn creates_a_minimal_snapshot_when_none_exists() {
-        let fresh = patch_snapshot(None, SECTION);
+        let fresh = patch_snapshot(None, "service", SECTION);
         assert_eq!(fresh, "{\n  \"service\": {\"requests\": 1}\n}\n");
     }
 }

@@ -1,0 +1,66 @@
+//! `rt-daemon` — serve the synthesis service over TCP.
+//!
+//! ```text
+//! rt-daemon [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//! ```
+//!
+//! Binds (default `127.0.0.1:7340`), prints the bound address on
+//! stdout, and serves until killed. Clients speak the versioned
+//! length-prefixed protocol documented in `rt_service::proto` (or use
+//! `rt_service::DaemonClient`).
+
+use std::process::ExitCode;
+
+use rt_service::{Daemon, ServiceConfig};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rt-daemon [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7340".to_string();
+    let mut builder = ServiceConfig::builder();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else {
+            return usage();
+        };
+        match flag.as_str() {
+            "--addr" => addr = value,
+            "--workers" => match value.parse() {
+                Ok(n) => builder = builder.workers(n),
+                Err(_) => return usage(),
+            },
+            "--queue" => match value.parse() {
+                Ok(n) => builder = builder.queue_capacity(n),
+                Err(_) => return usage(),
+            },
+            "--cache" => match value.parse() {
+                Ok(n) => builder = builder.cache_capacity(n),
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let config = match builder.build() {
+        Ok(config) => config,
+        Err(err) => {
+            eprintln!("rt-daemon: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let daemon = match Daemon::bind(config, &addr) {
+        Ok(daemon) => daemon,
+        Err(err) => {
+            eprintln!("rt-daemon: cannot bind {addr}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", daemon.local_addr());
+    // Serve until the process is killed; the daemon's own threads do
+    // all the work.
+    loop {
+        std::thread::park();
+    }
+}

@@ -25,17 +25,14 @@ use crate::request::{RequestPayload, Response};
 /// a future non-deterministic request kind can opt out).
 pub(crate) fn request_key(payload: &RequestPayload, budget: &Budget) -> Option<u64> {
     let mut hasher = FxHasher::default();
+    // The same stable kind byte the wire protocol carries — the two
+    // views of "what kind of request is this" can never diverge.
+    hasher.write_u8(payload.discriminant());
     match payload {
-        RequestPayload::Summary { stg } => {
-            hasher.write_u8(1);
-            hasher.write_u64(stg.content_hash());
-        }
-        RequestPayload::CscCheck { stg } => {
-            hasher.write_u8(2);
+        RequestPayload::Summary { stg } | RequestPayload::CscCheck { stg } => {
             hasher.write_u64(stg.content_hash());
         }
         RequestPayload::ResolveCsc { stg, options } => {
-            hasher.write_u8(3);
             hasher.write_u64(stg.content_hash());
             use std::hash::Hash as _;
             options.hash(&mut hasher);
@@ -45,7 +42,6 @@ pub(crate) fn request_key(payload: &RequestPayload, budget: &Budget) -> Option<u
             spec,
             orderings,
         } => {
-            hasher.write_u8(4);
             hasher.write_u64(netlist.content_hash());
             hasher.write_u64(spec.content_hash());
             use std::hash::Hash as _;

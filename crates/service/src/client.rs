@@ -1,0 +1,58 @@
+//! A minimal blocking client for the daemon wire protocol — the same
+//! `Request → Result<Response, ServiceError>` surface as
+//! [`SynthService::submit`](crate::SynthService::submit), carried over
+//! one TCP connection. Used by the daemon tests and `bench_service` to
+//! drive the full wire path; `rt-daemon`'s peers can reuse it or speak
+//! the documented [`crate::proto`] frames directly.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::error::ServiceError;
+use crate::proto;
+use crate::request::{Request, Response};
+
+/// One blocking connection to a [`Daemon`](crate::Daemon). Requests are
+/// strictly sequential per connection (the protocol has no request ids
+/// to pair out-of-order replies); open one client per concurrent
+/// stream.
+pub struct DaemonClient {
+    stream: TcpStream,
+}
+
+impl DaemonClient {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// The connect error, verbatim.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<DaemonClient> {
+        let stream = TcpStream::connect(addr)?;
+        // Replies are single buffered frames; coalescing delay would
+        // only add latency.
+        let _ = stream.set_nodelay(true);
+        Ok(DaemonClient { stream })
+    }
+
+    /// Sends `request` and blocks for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Everything is the service's typed surface: server-side failures
+    /// arrive verbatim off the wire; connection loss at any point maps
+    /// to [`ServiceError::Disconnected`]; an undecodable or oversized
+    /// reply maps to [`ServiceError::Protocol`]. After either of those
+    /// two the connection is dead — drop the client and reconnect.
+    pub fn submit(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        let payload = proto::encode_request(request);
+        proto::write_frame(&mut self.stream, &payload).map_err(|_| ServiceError::Disconnected)?;
+        match proto::read_frame(&mut self.stream) {
+            Ok(Some(reply)) => proto::decode_reply(&reply)?,
+            Ok(None) => Err(ServiceError::Disconnected),
+            Err(err) if err.kind() == io::ErrorKind::InvalidData => Err(ServiceError::Protocol {
+                detail: err.to_string(),
+            }),
+            Err(_) => Err(ServiceError::Disconnected),
+        }
+    }
+}

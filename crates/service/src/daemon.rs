@@ -1,0 +1,267 @@
+//! The TCP front-end: a [`Daemon`] owns a [`SynthService`] and serves
+//! the [`crate::proto`] wire protocol over `std::net` — zero external
+//! dependencies, one OS thread per connection (connection counts here
+//! are a handful of synthesis clients, not a web fleet; a poll loop
+//! would buy nothing but complexity).
+//!
+//! Per connection, the handler loop is: read a frame, decode the
+//! [`Request`](crate::Request), admit it into the service (single-flight
+//! dedup and batching happen *inside* the service, so wire requests and
+//! in-process requests coalesce with each other), wait for the reply,
+//! write it back. Failure handling follows the protocol contract:
+//!
+//! * malformed frame or payload → answer with
+//!   [`ServiceError::Protocol`], count it, close the connection (the
+//!   stream may be desynchronized);
+//! * clean EOF between frames → normal disconnect;
+//! * EOF inside a frame, or a failed reply write → a mid-request
+//!   disconnect, counted in [`DaemonStats::disconnects`]; the admitted
+//!   request still runs to completion service-side (its ticket is
+//!   dropped, the worker's send is ignored), keeping engine state and
+//!   memo cache exactly as if the client had waited.
+//!
+//! Under `--features fault-injection`,
+//! [`rt_stg::faults::Fault::ServiceDropConnAt`] drops the connection
+//! *after* admission and *before* the reply — the scripted version of a
+//! client dying mid-request — selected by the daemon's 0-based wire
+//! index.
+
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use rt_stg::faults;
+
+use crate::error::ServiceError;
+use crate::proto;
+use crate::service::{ServiceConfig, ServiceStats, SynthService};
+
+/// Monotonic counters of one daemon's lifetime, all observed relaxed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests successfully decoded and admitted.
+    pub requests: u64,
+    /// Connections lost mid-request or mid-frame (clean EOF between
+    /// frames is not counted).
+    pub disconnects: u64,
+    /// Frames or payloads rejected as protocol violations.
+    pub protocol_errors: u64,
+}
+
+struct DaemonShared {
+    service: SynthService,
+    open: AtomicBool,
+    /// 0-based index of every decoded wire request, in admission order —
+    /// the counter [`faults::Fault::ServiceDropConnAt`] selects on.
+    wire_seq: AtomicUsize,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    disconnects: AtomicU64,
+    protocol_errors: AtomicU64,
+    /// `try_clone`d handles of live connections, for shutdown: closing
+    /// them unblocks handler threads parked in `read_frame`.
+    streams: Mutex<Vec<(u64, TcpStream)>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A TCP daemon serving the wire protocol over an owned
+/// [`SynthService`]. Bind with [`Daemon::bind`], stop with
+/// [`Daemon::shutdown`] (or `Drop`, which does the same and joins every
+/// thread).
+pub struct Daemon {
+    shared: Arc<DaemonShared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Starts a service with `config` and listens on `addr` (use port 0
+    /// for an ephemeral port; [`Daemon::local_addr`] reports the bound
+    /// one).
+    ///
+    /// # Errors
+    ///
+    /// The bind error, verbatim. An invalid `config` should be caught
+    /// earlier via [`ServiceConfig::builder`]; `bind` accepts whatever
+    /// it is handed, exactly like [`SynthService::start`].
+    pub fn bind(config: ServiceConfig, addr: impl ToSocketAddrs) -> io::Result<Daemon> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(DaemonShared {
+            service: SynthService::start(config),
+            open: AtomicBool::new(true),
+            wire_seq: AtomicUsize::new(0),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            disconnects: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            streams: Mutex::new(Vec::new()),
+            handlers: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("rt-daemon-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept thread");
+        Ok(Daemon {
+            shared,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This daemon's wire-level counters.
+    pub fn stats(&self) -> DaemonStats {
+        DaemonStats {
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            disconnects: self.shared.disconnects.load(Ordering::Relaxed),
+            protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The owned service's counters (admissions, cache traffic,
+    /// [`ServiceStats::batch_dedup_hits`], …).
+    pub fn service_stats(&self) -> ServiceStats {
+        self.shared.service.stats()
+    }
+
+    /// Stops accepting, closes every live connection, joins every
+    /// thread, and shuts the owned service down. In-flight requests
+    /// whose connections are severed still complete service-side.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.shared.open.store(false, Ordering::SeqCst);
+        // Unblock the accept loop; it re-checks `open` per connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+        // Sever live connections so parked handlers see EOF.
+        for (_, stream) in lock(&self.shared.streams).drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let handlers = std::mem::take(&mut *lock(&self.shared.handlers));
+        for handler in handlers {
+            let _ = handler.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<DaemonShared>) {
+    let mut next_id = 0u64;
+    for stream in listener.incoming() {
+        if !shared.open.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let id = next_id;
+        next_id += 1;
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            lock(&shared.streams).push((id, clone));
+        }
+        let handler_shared = Arc::clone(shared);
+        let handler = std::thread::Builder::new()
+            .name(format!("rt-daemon-conn-{id}"))
+            .spawn(move || {
+                serve_connection(stream, &handler_shared);
+                lock(&handler_shared.streams).retain(|(held, _)| *held != id);
+            })
+            .expect("spawn connection handler");
+        lock(&shared.handlers).push(handler);
+    }
+}
+
+/// Serves one connection until disconnect, protocol violation, or
+/// daemon shutdown.
+fn serve_connection(mut stream: TcpStream, shared: &DaemonShared) {
+    loop {
+        let payload = match proto::read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            // Clean EOF at a frame boundary: the client is done.
+            Ok(None) => return,
+            Err(err) if err.kind() == io::ErrorKind::InvalidData => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                answer(
+                    &mut stream,
+                    shared,
+                    &Err(ServiceError::Protocol {
+                        detail: err.to_string(),
+                    }),
+                );
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            Err(_) => {
+                shared.disconnects.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let request = match proto::decode_request(&payload) {
+            Ok(request) => request,
+            Err(err) => {
+                shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                answer(&mut stream, shared, &Err(err.into()));
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        let wire_index = shared.wire_seq.fetch_add(1, Ordering::SeqCst);
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        // Admit first: the drop-connection fault models a client dying
+        // *after* its request entered the queue, so the service must
+        // still run it (and cache the answer) with nobody listening.
+        let ticket = shared.service.enqueue(request);
+        if faults::service_drop_conn(wire_index) {
+            shared.disconnects.fetch_add(1, Ordering::Relaxed);
+            drop(ticket);
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        let reply = ticket.wait();
+        if !answer(&mut stream, shared, &reply) {
+            return;
+        }
+    }
+}
+
+/// Writes one reply frame; on failure counts a disconnect and reports
+/// `false` (the connection is unusable).
+fn answer(
+    stream: &mut TcpStream,
+    shared: &DaemonShared,
+    reply: &Result<crate::Response, ServiceError>,
+) -> bool {
+    let payload = proto::encode_reply(reply);
+    if proto::write_frame(stream, &payload).is_err() {
+        shared.disconnects.fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
+    true
+}

@@ -37,6 +37,24 @@ pub enum ServiceError {
     Engine(StgError),
     /// The underlying synthesis pass failed.
     Synth(SynthError),
+    /// The wire protocol was violated: a malformed frame, an
+    /// unsupported version byte, an unknown tag, or trailing bytes.
+    /// Daemon-side this answers the offending frame (then closes the
+    /// connection — the stream may be desynchronized); client-side it
+    /// reports an undecodable reply.
+    Protocol {
+        /// What was wrong with the bytes.
+        detail: String,
+    },
+    /// The daemon connection closed before a reply arrived. The request
+    /// may or may not have been processed server-side — connection loss
+    /// cannot distinguish the two.
+    Disconnected,
+    /// [`crate::ServiceConfig::builder`] rejected the configuration.
+    InvalidConfig {
+        /// Which constraint failed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -54,6 +72,15 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Engine(err) => write!(f, "engine request failed: {err}"),
             ServiceError::Synth(err) => write!(f, "synthesis request failed: {err}"),
+            ServiceError::Protocol { detail } => {
+                write!(f, "wire protocol violation: {detail}")
+            }
+            ServiceError::Disconnected => {
+                write!(f, "daemon connection closed before the reply")
+            }
+            ServiceError::InvalidConfig { detail } => {
+                write!(f, "invalid service configuration: {detail}")
+            }
         }
     }
 }
@@ -123,5 +150,20 @@ mod tests {
         assert!(!ServiceError::Engine(StgError::Cancelled).is_resource_exhaustion());
         assert!(!ServiceError::Shed { queue_depth: 0 }.is_resource_exhaustion());
         assert!(!ServiceError::WorkerPanicked.is_resource_exhaustion());
+    }
+
+    #[test]
+    fn wire_and_config_errors_are_terminal_not_retryable() {
+        let protocol = ServiceError::Protocol {
+            detail: "bad tag 9".to_string(),
+        };
+        assert!(!protocol.is_resource_exhaustion());
+        assert!(protocol.source().is_none());
+        assert!(protocol.to_string().contains("bad tag 9"));
+        assert!(!ServiceError::Disconnected.is_resource_exhaustion());
+        let config = ServiceError::InvalidConfig {
+            detail: "workers must be >= 1".to_string(),
+        };
+        assert!(config.to_string().contains("workers"));
     }
 }

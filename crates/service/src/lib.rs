@@ -25,9 +25,18 @@
 //!   are cached **with** their degradations, so a hit never silently
 //!   upgrades a partial answer to a full one.
 //!
+//! * **Batch scheduling with single-flight dedup** — admitted requests
+//!   drain in deterministic admission order, and identical in-flight
+//!   requests (same memo key, no deadline) coalesce onto one engine
+//!   dispatch whose answer fans out to every waiter.
+//! * **A wire front-end** — [`Daemon`] serves the same API over TCP via
+//!   the hand-rolled [`proto`] protocol (`std::net` only), with
+//!   [`DaemonClient`] as the matching blocking client and the
+//!   `rt-daemon` binary as the CLI entry point.
+//!
 //! Results are bit-identical to direct engine calls — pinned by the
-//! concurrency determinism suite in `tests/determinism.rs`, including
-//! under injected faults.
+//! concurrency determinism suite in `tests/determinism.rs` and over the
+//! wire by `tests/daemon.rs`, including under injected faults.
 //!
 //! ## Example
 //!
@@ -36,7 +45,7 @@
 //! use rt_stg::models;
 //!
 //! let service = SynthService::start(ServiceConfig::default());
-//! let first = service.call(Request::summary(models::fifo_stg())).unwrap();
+//! let first = service.submit(Request::summary(models::fifo_stg())).unwrap();
 //! match &first.payload {
 //!     ResponsePayload::Summary(outcome) => assert_eq!(outcome.markings, 18),
 //!     _ => unreachable!(),
@@ -44,7 +53,7 @@
 //! assert!(!first.cached);
 //!
 //! // Same specification again: served from the memo cache.
-//! let again = service.call(Request::summary(models::fifo_stg())).unwrap();
+//! let again = service.submit(Request::summary(models::fifo_stg())).unwrap();
 //! assert!(again.cached);
 //! assert_eq!(again.payload, first.payload);
 //! assert!(service.stats().cache_hit_rate() > 0.0);
@@ -52,13 +61,18 @@
 //! ```
 
 mod cache;
+mod client;
+mod daemon;
 mod error;
+pub mod proto;
 mod request;
 mod service;
 
+pub use client::DaemonClient;
+pub use daemon::{Daemon, DaemonStats};
 pub use error::ServiceError;
 pub use request::{
     CscCheckOutcome, Request, RequestPayload, ResolveOutcome, Response, ResponsePayload,
     SummaryOutcome,
 };
-pub use service::{ServiceConfig, ServiceStats, SynthService, Ticket};
+pub use service::{ServiceConfig, ServiceConfigBuilder, ServiceStats, SynthService, Ticket};

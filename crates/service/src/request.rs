@@ -41,6 +41,31 @@ pub enum RequestPayload {
     },
 }
 
+impl RequestPayload {
+    /// Stable discriminant of [`RequestPayload::Summary`], shared by
+    /// the memo-cache key and the wire protocol. Never renumber.
+    pub const SUMMARY: u8 = 1;
+    /// Stable discriminant of [`RequestPayload::CscCheck`].
+    pub const CSC_CHECK: u8 = 2;
+    /// Stable discriminant of [`RequestPayload::ResolveCsc`].
+    pub const RESOLVE_CSC: u8 = 3;
+    /// Stable discriminant of [`RequestPayload::Verify`].
+    pub const VERIFY: u8 = 4;
+
+    /// The stable request-kind discriminant of this payload. One byte,
+    /// written both into the memo-cache key (`cache::request_key`) and
+    /// onto the wire (`crate::proto`), so the two can never disagree
+    /// about what kind a request is.
+    pub const fn discriminant(&self) -> u8 {
+        match self {
+            RequestPayload::Summary { .. } => Self::SUMMARY,
+            RequestPayload::CscCheck { .. } => Self::CSC_CHECK,
+            RequestPayload::ResolveCsc { .. } => Self::RESOLVE_CSC,
+            RequestPayload::Verify { .. } => Self::VERIFY,
+        }
+    }
+}
+
 /// One service request: a payload plus an optional deadline. The
 /// deadline is converted to a wall-clock budget at admission and
 /// honoured as a hard stop at every layer (never retried around).
@@ -161,6 +186,19 @@ pub enum ResponsePayload {
     ResolveCsc(Box<ResolveOutcome>),
     /// Answer to [`RequestPayload::Verify`].
     Verify(VerifyReport),
+}
+
+impl ResponsePayload {
+    /// The stable kind discriminant of this answer — equal to the
+    /// [`RequestPayload::discriminant`] of the request it answers.
+    pub const fn discriminant(&self) -> u8 {
+        match self {
+            ResponsePayload::Summary(_) => RequestPayload::SUMMARY,
+            ResponsePayload::CscCheck(_) => RequestPayload::CSC_CHECK,
+            ResponsePayload::ResolveCsc(_) => RequestPayload::RESOLVE_CSC,
+            ResponsePayload::Verify(_) => RequestPayload::VERIFY,
+        }
+    }
 }
 
 /// A completed request: the answer plus full provenance — every

@@ -6,10 +6,29 @@
 //! [`SynthService::start`] spawns `workers` OS threads, each owning one
 //! warm [`ReachEngine`] whose symbolic manager persists across
 //! requests. Clients [`submit`](SynthService::submit) a [`Request`] and
-//! get a [`Ticket`]; [`Ticket::wait`] blocks for the answer. Admission
+//! block for the `Result<Response, ServiceError>`; the non-blocking
+//! split is [`enqueue`](SynthService::enqueue), which returns a
+//! [`Ticket`] whose [`Ticket::wait`] blocks for the answer. Admission
 //! is a bounded queue — a full queue refuses the request *immediately*
 //! with [`ServiceError::Shed`] carrying the observed depth, so overload
 //! is deterministic backpressure, never an unbounded pile-up.
+//!
+//! # Batch scheduling and single-flight dedup
+//!
+//! Admitted jobs drain in deterministic FIFO admission order. In front
+//! of the queue sits a *single-flight* layer: an admitted request whose
+//! memo key equals that of a job still queued or currently executing —
+//! and where neither carries a deadline — does not enqueue a second
+//! job. It joins the existing flight as an **observer** and receives a
+//! clone of the same reply, so N identical concurrent requests cost one
+//! engine dispatch ([`ServiceStats::batch_dedup_hits`] counts the
+//! joiners). Deadline-carrying requests never coalesce, in either
+//! role: a follower must not inherit a leader's
+//! [`StgError::Cancelled`], and a leader's deadline must not be
+//! answered with a slower sibling's fate. Joined requests bypass the
+//! queue-capacity check (they occupy no queue slot) and are counted
+//! admitted; the flight leader's admission index is the one the fault
+//! hooks select on.
 //!
 //! # Supervision
 //!
@@ -34,7 +53,7 @@
 //! hard: they surface as [`StgError::Cancelled`] and are never retried
 //! around.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -100,6 +119,127 @@ impl Default for ServiceConfig {
     }
 }
 
+impl ServiceConfig {
+    /// A validating builder seeded from [`ServiceConfig::default`]: set
+    /// what differs, then [`build`](ServiceConfigBuilder::build). This
+    /// is the intended construction path — free-field struct literals
+    /// remain possible (the fields are `pub`) but skip validation.
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder {
+            config: ServiceConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ServiceConfig`] ([`ServiceConfig::builder`]). Each
+/// setter overrides one default; [`build`](Self::build) validates the
+/// combination and rejects nonsense (a zero-size pool or queue, a
+/// backoff schedule that cannot fit its own caps or the baseline
+/// deadline) with [`ServiceError::InvalidConfig`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfigBuilder {
+    config: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Pooled worker threads (validated ≥ 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Bounded admission-queue capacity (validated ≥ 1; the
+    /// shed-everything `0` configuration is for overload tests and only
+    /// reachable through a struct literal).
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Memo-cache entries kept (`0` disables caching).
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.cache_capacity = capacity;
+        self
+    }
+
+    /// Service-level retry attempts after soft resource exhaustion.
+    #[must_use]
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.config.max_retries = retries;
+        self
+    }
+
+    /// First retry pause; doubles per attempt.
+    #[must_use]
+    pub fn backoff(mut self, backoff: Duration) -> Self {
+        self.config.backoff = backoff;
+        self
+    }
+
+    /// Hard per-pause cap on the exponential backoff.
+    #[must_use]
+    pub fn max_backoff(mut self, max_backoff: Duration) -> Self {
+        self.config.max_backoff = max_backoff;
+        self
+    }
+
+    /// Consecutive exhaustion strikes before an engine rebuild.
+    #[must_use]
+    pub fn quarantine_threshold(mut self, threshold: u32) -> Self {
+        self.config.quarantine_threshold = threshold;
+        self
+    }
+
+    /// Baseline budget each request runs under.
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.config.budget = budget;
+        self
+    }
+
+    /// Backend of the pooled engines.
+    #[must_use]
+    pub fn backend(mut self, backend: ReachBackend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidConfig`] when `workers == 0`,
+    /// `queue_capacity == 0`, `backoff > max_backoff`, or the baseline
+    /// budget carries a deadline shorter than the first backoff pause
+    /// (every retry would overshoot it).
+    pub fn build(self) -> Result<ServiceConfig, ServiceError> {
+        let invalid = |detail: &str| {
+            Err(ServiceError::InvalidConfig {
+                detail: detail.to_string(),
+            })
+        };
+        let config = self.config;
+        if config.workers == 0 {
+            return invalid("workers must be >= 1 (a pool needs at least one engine)");
+        }
+        if config.queue_capacity == 0 {
+            return invalid("queue_capacity must be >= 1 (0 sheds every request)");
+        }
+        if config.backoff > config.max_backoff {
+            return invalid("backoff exceeds max_backoff: the first pause already overshoots");
+        }
+        if let Some(remaining) = config.budget.remaining_deadline() {
+            if config.backoff > remaining {
+                return invalid("backoff exceeds the baseline budget deadline");
+            }
+        }
+        Ok(config)
+    }
+}
+
 /// Monotonic service counters, all updated with relaxed atomics — the
 /// numbers are observability, not synchronization.
 #[derive(Default)]
@@ -110,6 +250,7 @@ struct Counters {
     shed: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    batch_dedup_hits: AtomicU64,
     retries: AtomicU64,
     quarantines: AtomicU64,
     worker_panics: AtomicU64,
@@ -134,6 +275,9 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Cacheable requests that had to be computed.
     pub cache_misses: u64,
+    /// Requests that joined an already queued or in-flight identical
+    /// request instead of dispatching their own (single-flight dedup).
+    pub batch_dedup_hits: u64,
     /// Service-level retry attempts spent (not requests retried).
     pub retries: u64,
     /// Engines quarantined and rebuilt cold (panics + strike-outs).
@@ -165,14 +309,27 @@ struct Job {
     budget: Budget,
     /// 0-based admission index — the counter the service fault hooks
     /// ([`faults::service_panic`], [`faults::service_stall`]) select on.
+    /// Requests that *join* a flight never get their own index.
     seq: usize,
     /// Memo key to populate on success (`None` = uncacheable).
     key: Option<u64>,
-    reply: mpsc::Sender<Reply>,
+    /// Whether identical later requests may join this flight (memo key
+    /// present and no deadline on the request).
+    coalesce: bool,
+    /// Everyone waiting on this flight's reply: the original submitter
+    /// plus any observers that joined while the job was still queued.
+    /// Observers that join mid-execution land in
+    /// [`QueueState::inflight`] instead.
+    observers: Vec<mpsc::Sender<Reply>>,
 }
 
 struct QueueState {
     jobs: VecDeque<Job>,
+    /// Memo key → late observers, for each coalescable job currently
+    /// *executing* on a worker (entry inserted at pop, drained at
+    /// reply fan-out, both under this queue lock). At most one
+    /// coalescable flight per key exists at a time.
+    inflight: HashMap<u64, Vec<mpsc::Sender<Reply>>>,
     open: bool,
 }
 
@@ -183,6 +340,11 @@ struct Shared {
     counters: Counters,
     config: ServiceConfig,
     admissions: AtomicUsize,
+    /// Admission indices in the order workers popped them — the
+    /// observable the deterministic-drain-order tests pin. Test-only
+    /// state, compiled out of production builds.
+    #[cfg(feature = "fault-injection")]
+    drained: Mutex<Vec<usize>>,
 }
 
 fn lock<'a, T>(mutex: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -235,6 +397,7 @@ impl SynthService {
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
+                inflight: HashMap::new(),
                 open: true,
             }),
             available: Condvar::new(),
@@ -242,6 +405,8 @@ impl SynthService {
             counters: Counters::default(),
             config,
             admissions: AtomicUsize::new(0),
+            #[cfg(feature = "fault-injection")]
+            drained: Mutex::new(Vec::new()),
         });
         let handles = (0..workers)
             .map(|index| {
@@ -258,10 +423,22 @@ impl SynthService {
         }
     }
 
-    /// Submits a request through admission control. Returns immediately
-    /// with a [`Ticket`]: already resolved on a cache hit, a shed, or a
-    /// closed service; otherwise pending on the pool.
-    pub fn submit(&self, request: Request) -> Ticket {
+    /// **The** entry point: submits `request` through admission control
+    /// and blocks until its `Result<Response, ServiceError>` is ready.
+    /// All four request kinds go through here — the payload enum (with
+    /// its wire-stable discriminants) replaces per-kind methods. For
+    /// the non-blocking split, see [`enqueue`](SynthService::enqueue).
+    pub fn submit(&self, request: Request) -> Reply {
+        self.enqueue(request).wait()
+    }
+
+    /// Submits a request through admission control without blocking.
+    /// Returns immediately with a [`Ticket`]: already resolved on a
+    /// cache hit, a shed, or a closed service; otherwise pending on the
+    /// pool. An identical deadline-free request already queued or
+    /// executing is *joined* rather than re-dispatched (see the module
+    /// docs on single-flight dedup).
+    pub fn enqueue(&self, request: Request) -> Ticket {
         let counters = &self.shared.counters;
         counters.submitted.fetch_add(1, Ordering::Relaxed);
         let mut budget = self.shared.config.budget.clone();
@@ -277,11 +454,37 @@ impl SynthService {
             }
             counters.cache_misses.fetch_add(1, Ordering::Relaxed);
         }
+        let coalesce = key.is_some() && request.deadline.is_none();
         let (sender, receiver) = mpsc::channel();
         {
             let mut queue = lock(&self.shared.queue);
             if !queue.open {
                 return Ticket::ready(Err(ServiceError::ShuttingDown));
+            }
+            if coalesce {
+                let key = key.expect("coalesce implies a memo key");
+                // Join a queued flight…
+                if let Some(job) = queue
+                    .jobs
+                    .iter_mut()
+                    .find(|job| job.coalesce && job.key == Some(key))
+                {
+                    job.observers.push(sender);
+                    counters.admitted.fetch_add(1, Ordering::Relaxed);
+                    counters.batch_dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ticket {
+                        inner: TicketInner::Pending(receiver),
+                    };
+                }
+                // …or one already executing on a worker.
+                if let Some(observers) = queue.inflight.get_mut(&key) {
+                    observers.push(sender);
+                    counters.admitted.fetch_add(1, Ordering::Relaxed);
+                    counters.batch_dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ticket {
+                        inner: TicketInner::Pending(receiver),
+                    };
+                }
             }
             if queue.jobs.len() >= self.shared.config.queue_capacity {
                 counters.shed.fetch_add(1, Ordering::Relaxed);
@@ -296,7 +499,8 @@ impl SynthService {
                 budget,
                 seq,
                 key,
-                reply: sender,
+                coalesce,
+                observers: vec![sender],
             });
         }
         self.shared.available.notify_one();
@@ -305,9 +509,39 @@ impl SynthService {
         }
     }
 
-    /// [`submit`](SynthService::submit) + [`Ticket::wait`] in one call.
+    /// [`submit`](SynthService::submit) under its pre-daemon name.
+    #[deprecated(note = "use `submit` — it now blocks and returns the reply directly")]
     pub fn call(&self, request: Request) -> Reply {
-        self.submit(request).wait()
+        self.submit(request)
+    }
+
+    /// Per-kind wrapper over [`submit`](SynthService::submit).
+    #[deprecated(note = "use `submit(Request::summary(stg))`")]
+    pub fn summary(&self, stg: rt_stg::Stg) -> Reply {
+        self.submit(Request::summary(stg))
+    }
+
+    /// Per-kind wrapper over [`submit`](SynthService::submit).
+    #[deprecated(note = "use `submit(Request::csc_check(stg))`")]
+    pub fn csc_check(&self, stg: rt_stg::Stg) -> Reply {
+        self.submit(Request::csc_check(stg))
+    }
+
+    /// Per-kind wrapper over [`submit`](SynthService::submit).
+    #[deprecated(note = "use `submit(Request::resolve_csc(stg, options))`")]
+    pub fn resolve_csc(&self, stg: rt_stg::Stg, options: rt_synth::csc::CscOptions) -> Reply {
+        self.submit(Request::resolve_csc(stg, options))
+    }
+
+    /// Per-kind wrapper over [`submit`](SynthService::submit).
+    #[deprecated(note = "use `submit(Request::verify(netlist, spec, orderings))`")]
+    pub fn verify(
+        &self,
+        netlist: rt_netlist::Netlist,
+        spec: rt_stg::Stg,
+        orderings: Vec<rt_verify::NetOrdering>,
+    ) -> Reply {
+        self.submit(Request::verify(netlist, spec, orderings))
     }
 
     /// Snapshot of the service counters.
@@ -320,6 +554,7 @@ impl SynthService {
             shed: c.shed.load(Ordering::Relaxed),
             cache_hits: c.cache_hits.load(Ordering::Relaxed),
             cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            batch_dedup_hits: c.batch_dedup_hits.load(Ordering::Relaxed),
             retries: c.retries.load(Ordering::Relaxed),
             quarantines: c.quarantines.load(Ordering::Relaxed),
             worker_panics: c.worker_panics.load(Ordering::Relaxed),
@@ -331,6 +566,14 @@ impl SynthService {
     /// Memo-cache entries currently held.
     pub fn cache_len(&self) -> usize {
         lock(&self.shared.cache).len()
+    }
+
+    /// Admission indices in the order workers popped them off the
+    /// queue — the deterministic-drain-order observable. Test-only
+    /// (`fault-injection` builds); production builds record nothing.
+    #[cfg(feature = "fault-injection")]
+    pub fn drain_log(&self) -> Vec<usize> {
+        lock(&self.shared.drained).clone()
     }
 
     fn stop(&mut self) {
@@ -366,9 +609,9 @@ fn worker_loop(shared: &Shared) {
     let mut engine = build_engine(config);
     let mut strikes = 0u32;
     loop {
-        let job = {
+        let mut job = {
             let mut queue = lock(&shared.queue);
-            loop {
+            let job = loop {
                 if let Some(job) = queue.jobs.pop_front() {
                     break job;
                 }
@@ -379,7 +622,19 @@ fn worker_loop(shared: &Shared) {
                     .available
                     .wait(queue)
                     .unwrap_or_else(PoisonError::into_inner);
+            };
+            #[cfg(feature = "fault-injection")]
+            lock(&shared.drained).push(job.seq);
+            // Open the flight for late joiners: identical requests
+            // admitted while this one executes observe it instead of
+            // dispatching their own (same critical section as the pop,
+            // so `enqueue` sees the job queued or in flight, never
+            // neither).
+            if job.coalesce {
+                let key = job.key.expect("coalesce implies a memo key");
+                queue.inflight.insert(key, Vec::new());
             }
+            job
         };
         if let Some(stall) = faults::service_stall(job.seq) {
             thread::sleep(stall);
@@ -427,11 +682,27 @@ fn worker_loop(shared: &Shared) {
                 Err(ServiceError::WorkerPanicked)
             }
         };
-        // Count completion *before* replying: a client that reads
+        // Close the flight and collect everyone waiting on it: the
+        // original observers plus any that joined mid-execution. The
+        // cache insert above happened *before* this critical section,
+        // so a racing identical request either joined the inflight
+        // entry (and is fanned out here) or already hit the cache.
+        let mut observers = std::mem::take(&mut job.observers);
+        if job.coalesce {
+            let key = job.key.expect("coalesce implies a memo key");
+            if let Some(joined) = lock(&shared.queue).inflight.remove(&key) {
+                observers.extend(joined);
+            }
+        }
+        // Count completions *before* replying: a client that reads
         // stats right after `wait` must see its own request counted.
-        counters.completed.fetch_add(1, Ordering::Relaxed);
-        // A client that dropped its ticket is not an error.
-        let _ = job.reply.send(reply);
+        counters
+            .completed
+            .fetch_add(observers.len() as u64, Ordering::Relaxed);
+        for observer in observers {
+            // A client that dropped its ticket is not an error.
+            let _ = observer.send(reply.clone());
+        }
     }
 }
 

@@ -16,8 +16,23 @@ use rt_stg::{corpus, Stg};
 
 /// Fault state is process-global, so the plain and fault-injected
 /// variants of this suite must not overlap: with the feature on, a
-/// pool from the *other* test would consume the armed shot.
-static SUITE: Mutex<()> = Mutex::new(());
+/// pool from the *other* test would consume the armed shot. The
+/// exclusion lives in [`rt_stg::faults::suite`]; without the feature
+/// there is nothing to exclude and the guard is a no-op.
+#[cfg(feature = "fault-injection")]
+fn suite_guard() -> rt_stg::faults::SuiteGuard {
+    rt_stg::faults::suite()
+}
+
+/// Stand-in guard so `let _suite = suite_guard();` binds a value in
+/// both builds.
+#[cfg(not(feature = "fault-injection"))]
+struct SuiteGuard;
+
+#[cfg(not(feature = "fault-injection"))]
+fn suite_guard() -> SuiteGuard {
+    SuiteGuard
+}
 
 const CLIENTS: usize = 4;
 
@@ -86,7 +101,7 @@ fn hammer(
                 for step in 0..n {
                     // Per-client rotation: same set, different order.
                     let (key, request) = &work[(step + client * 5) % n];
-                    let reply = service.call(request.clone());
+                    let reply = service.submit(request.clone());
                     replies
                         .lock()
                         .unwrap_or_else(PoisonError::into_inner)
@@ -100,7 +115,7 @@ fn hammer(
 
 #[test]
 fn concurrent_clients_match_serial_direct_engine_calls() {
-    let _suite = SUITE.lock().unwrap_or_else(PoisonError::into_inner);
+    let _suite = suite_guard();
     let models = corpus_slice();
     assert!(models.len() >= 6, "corpus slice unexpectedly small");
     let expected = direct_expected(&models);
@@ -128,7 +143,7 @@ fn concurrent_clients_match_serial_direct_engine_calls() {
 fn concurrent_clients_stay_deterministic_through_an_injected_panic() {
     use rt_stg::faults::{arm, Fault};
 
-    let _suite = SUITE.lock().unwrap_or_else(PoisonError::into_inner);
+    let _suite = suite_guard();
     let models = corpus_slice();
     let expected = direct_expected(&models);
 
@@ -155,7 +170,7 @@ fn concurrent_clients_stay_deterministic_through_an_injected_panic() {
     // panicked request had.
     for (key, request) in requests(&models) {
         let response = service
-            .call(request)
+            .submit(request)
             .unwrap_or_else(|e| panic!("{key}: {e}"));
         assert_eq!(response.payload, expected[&key], "{key} after recovery");
     }

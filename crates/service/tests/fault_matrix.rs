@@ -5,11 +5,11 @@
 //! direct engine call.
 //!
 //! Fault state is process-global, and pooled workers poll the hooks on
-//! every admitted request, so the whole matrix serializes on [`SUITE`]:
+//! every admitted request, so the whole matrix serializes on
+//! [`rt_stg::faults::suite`]:
 //! a pool spun up by one scenario must not consume another scenario's
 //! armed shots.
 
-use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use rt_service::{Request, ResponsePayload, ServiceConfig, ServiceError, SynthService};
@@ -17,17 +17,15 @@ use rt_stg::engine::{Degradation, ReachBackend, ReachEngine};
 use rt_stg::faults::{arm, Fault};
 use rt_stg::{models, StgError};
 
-static SUITE: Mutex<()> = Mutex::new(());
-
-fn serial() -> MutexGuard<'static, ()> {
-    SUITE.lock().unwrap_or_else(PoisonError::into_inner)
+fn serial() -> rt_stg::faults::SuiteGuard {
+    rt_stg::faults::suite()
 }
 
 fn one_worker() -> ServiceConfig {
-    ServiceConfig {
-        workers: 1,
-        ..ServiceConfig::default()
-    }
+    ServiceConfig::builder()
+        .workers(1)
+        .build()
+        .expect("one worker is a valid pool")
 }
 
 fn fifo_markings(response: &rt_service::Response) -> u64 {
@@ -43,7 +41,7 @@ fn injected_worker_panic_is_typed_and_the_engine_is_rebuilt() {
     let service = SynthService::start(one_worker());
     let _fault = arm(Fault::ServicePanicAt { request: 0 }, 1);
     assert_eq!(
-        service.call(Request::summary(models::fifo_stg())),
+        service.submit(Request::summary(models::fifo_stg())),
         Err(ServiceError::WorkerPanicked),
         "the panic surfaces as its typed error, not a hang or abort"
     );
@@ -54,7 +52,7 @@ fn injected_worker_panic_is_typed_and_the_engine_is_rebuilt() {
     // The same (sole) worker now runs a rebuilt engine: next request is
     // served, bit-identical to a fresh direct call.
     let after = service
-        .call(Request::summary(models::fifo_stg()))
+        .submit(Request::summary(models::fifo_stg()))
         .expect("pool serves after the panic");
     let direct = ReachEngine::symbolic()
         .summary(&models::fifo_stg())
@@ -71,7 +69,7 @@ fn injected_node_exhaustion_is_absorbed_by_the_service_retry() {
     // the failure escapes the engine and exercises the service loop.
     let _fault = arm(Fault::ExhaustNodesAt { iteration: 1 }, 2);
     let response = service
-        .call(Request::csc_check(models::fifo_stg()))
+        .submit(Request::csc_check(models::fifo_stg()))
         .expect("service retry succeeds after the engine gives up");
     assert_eq!(response.retries, 1, "exactly one service-level retry");
     assert!(
@@ -106,7 +104,7 @@ fn repeated_exhaustion_strikes_out_and_quarantines_the_engine() {
     // requests ending in hard failure — the second strike.
     let _fault = arm(Fault::ExhaustNodesAt { iteration: 1 }, 4);
     for strike in 0..2 {
-        match service.call(Request::csc_check(models::fifo_stg())) {
+        match service.submit(Request::csc_check(models::fifo_stg())) {
             Err(ServiceError::Engine(StgError::NodeBudgetExceeded { .. })) => {}
             other => panic!("strike {strike}: expected node exhaustion, got {other:?}"),
         }
@@ -119,7 +117,7 @@ fn repeated_exhaustion_strikes_out_and_quarantines_the_engine() {
     assert_eq!(stats.worker_panics, 0);
 
     let after = service
-        .call(Request::csc_check(models::fifo_stg()))
+        .submit(Request::csc_check(models::fifo_stg()))
         .expect("rebuilt engine serves");
     let direct = ReachEngine::symbolic()
         .csc_conflicts_symbolic(&models::fifo_stg())
@@ -140,7 +138,7 @@ fn injected_state_exhaustion_degrades_and_the_cache_keeps_it_partial() {
     let service = SynthService::start(config);
     let _fault = arm(Fault::ExhaustStatesAt { round: 1 }, 1);
     let response = service
-        .call(Request::summary(models::fifo_stg()))
+        .submit(Request::summary(models::fifo_stg()))
         .expect("degradation, not an error");
     assert!(
         response
@@ -152,7 +150,7 @@ fn injected_state_exhaustion_degrades_and_the_cache_keeps_it_partial() {
     assert_eq!(fifo_markings(&response), 18, "the answer is still right");
 
     let hit = service
-        .call(Request::summary(models::fifo_stg()))
+        .submit(Request::summary(models::fifo_stg()))
         .expect("hit");
     assert!(hit.cached);
     assert_eq!(hit.degradations, response.degradations);
@@ -168,14 +166,14 @@ fn injected_cancellation_is_a_hard_stop_with_no_retries() {
     let service = SynthService::start(one_worker());
     let _fault = arm(Fault::CancelAt { round: 0 }, 1);
     assert_eq!(
-        service.call(Request::summary(models::fifo_stg())),
+        service.submit(Request::summary(models::fifo_stg())),
         Err(ServiceError::Engine(StgError::Cancelled))
     );
     let stats = service.stats();
     assert_eq!(stats.retries, 0, "cancellation is never retried");
     assert_eq!(stats.errors, 1);
     let after = service
-        .call(Request::summary(models::fifo_stg()))
+        .submit(Request::summary(models::fifo_stg()))
         .expect("pool serves after the cancellation");
     assert_eq!(fifo_markings(&after), 18);
 }
@@ -192,10 +190,10 @@ fn stuck_worker_leaves_siblings_serving_and_its_deadline_fires() {
         1,
     );
     let stalled = service
-        .submit(Request::summary(models::chain_stg(6)).with_deadline(Duration::from_millis(40)));
+        .enqueue(Request::summary(models::chain_stg(6)).with_deadline(Duration::from_millis(40)));
     let started = Instant::now();
     let sibling = service
-        .call(Request::summary(models::fifo_stg()))
+        .submit(Request::summary(models::fifo_stg()))
         .expect("sibling worker keeps serving");
     assert!(
         started.elapsed() < Duration::from_millis(600),
@@ -208,7 +206,7 @@ fn stuck_worker_leaves_siblings_serving_and_its_deadline_fires() {
         "the stalled request's deadline surfaces as a typed cancellation"
     );
     let after = service
-        .call(Request::summary(models::chain_stg(6)))
+        .submit(Request::summary(models::chain_stg(6)))
         .expect("both workers live on");
     assert!(!after.cached, "the cancelled request cached nothing");
 }
@@ -229,12 +227,12 @@ fn overload_during_a_stall_sheds_with_the_observed_depth() {
         },
         1,
     );
-    let stalled = service.submit(Request::summary(models::chain_stg(4)));
+    let stalled = service.enqueue(Request::summary(models::chain_stg(4)));
     // Let the sole worker pick the stalling job up, so the next
     // submission waits in the queue rather than racing for the slot.
     std::thread::sleep(Duration::from_millis(100));
-    let queued = service.submit(Request::summary(models::fifo_stg()));
-    match service.call(Request::summary(models::celement_stg())) {
+    let queued = service.enqueue(Request::summary(models::fifo_stg()));
+    match service.submit(Request::summary(models::celement_stg())) {
         Err(ServiceError::Shed { queue_depth }) => assert_eq!(queue_depth, 1),
         other => panic!("expected a shed with depth 1, got {other:?}"),
     }

@@ -1,0 +1,79 @@
+//! Wire-codec round-trip pins over the whole corpus, plus property
+//! tests: decoding must be total (never a panic) on arbitrary bytes,
+//! arbitrary truncations, and arbitrary single-byte corruptions of
+//! valid encodings.
+
+use proptest::prelude::*;
+use rt_service::proto::{decode_reply, decode_request, encode_request};
+use rt_service::Request;
+use rt_stg::corpus;
+
+/// Every corpus model — including the big generated fabrics and the
+/// 16-bit adder — survives encode → decode → re-encode exactly: same
+/// bytes, same content hash, same full `Debug` rendering (which covers
+/// per-place arc order that the hash does not pin).
+#[test]
+fn the_entire_corpus_roundtrips_byte_exactly() {
+    let mut models = corpus::sweep();
+    models.push(("adder16".to_string(), corpus::adder16_rt_stg()));
+    models.push(("fabric4x4".to_string(), corpus::fabric4x4_stg()));
+    assert!(models.len() >= 10, "corpus unexpectedly small");
+    for (name, stg) in models {
+        let request = Request::csc_check(stg.clone());
+        let bytes = encode_request(&request);
+        let decoded = decode_request(&bytes).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            encode_request(&decoded),
+            bytes,
+            "{name}: re-encode identity"
+        );
+        let rt_service::RequestPayload::CscCheck { stg: rebuilt } = &decoded.payload else {
+            panic!("{name}: wrong kind");
+        };
+        assert_eq!(rebuilt.content_hash(), stg.content_hash(), "{name}");
+        assert_eq!(format!("{rebuilt:?}"), format!("{stg:?}"), "{name}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes never panic either decoder — they decode or they
+    /// produce a typed error.
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_reply(&bytes);
+    }
+
+    /// Any truncation of a valid encoding is rejected (or, at full
+    /// length, decodes); no prefix ever panics or silently yields a
+    /// different request.
+    fn truncations_of_valid_encodings_are_typed_errors(
+        model in 0usize..6,
+        keep_permille in 0u32..1000,
+    ) {
+        let models = corpus::sweep();
+        let (_, stg) = &models[model % models.len()];
+        let bytes = encode_request(&Request::summary(stg.clone()));
+        let keep = (bytes.len() as u64 * u64::from(keep_permille) / 1000) as usize;
+        prop_assert!(decode_request(&bytes[..keep]).is_err(), "a strict prefix cannot decode");
+    }
+
+    /// Single-byte corruption never panics, and when the corrupted
+    /// payload still decodes, re-encoding it is still the identity on
+    /// the corrupted bytes (the codec has one canonical form).
+    fn single_byte_corruption_is_total(
+        model in 0usize..6,
+        position_seed in any::<u32>(),
+        delta in 1u8..=255,
+    ) {
+        let models = corpus::sweep();
+        let (_, stg) = &models[model % models.len()];
+        let mut bytes = encode_request(&Request::summary(stg.clone()));
+        let position = position_seed as usize % bytes.len();
+        bytes[position] = bytes[position].wrapping_add(delta);
+        if let Ok(decoded) = decode_request(&bytes) {
+            prop_assert_eq!(encode_request(&decoded), bytes);
+        }
+    }
+}

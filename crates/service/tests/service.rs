@@ -18,7 +18,7 @@ fn responses_are_bit_identical_to_direct_engine_calls() {
     let service = SynthService::start(ServiceConfig::default());
 
     let summary = service
-        .call(Request::summary(models::fifo_stg()))
+        .submit(Request::summary(models::fifo_stg()))
         .expect("summary");
     let direct = ReachEngine::symbolic()
         .summary(&models::fifo_stg())
@@ -33,7 +33,7 @@ fn responses_are_bit_identical_to_direct_engine_calls() {
     assert!(summary.is_full_fidelity());
 
     let check = service
-        .call(Request::csc_check(models::fifo_stg()))
+        .submit(Request::csc_check(models::fifo_stg()))
         .expect("csc check");
     let direct = ReachEngine::symbolic()
         .csc_conflicts_symbolic(&models::fifo_stg())
@@ -53,7 +53,7 @@ fn responses_are_bit_identical_to_direct_engine_calls() {
         ..CscOptions::default()
     };
     let resolved = service
-        .call(Request::resolve_csc(models::fifo_stg(), options))
+        .submit(Request::resolve_csc(models::fifo_stg(), options))
         .expect("resolution");
     let direct = resolve_csc_engine(&models::fifo_stg(), &options, &mut ReachEngine::symbolic())
         .expect("direct resolution");
@@ -71,7 +71,7 @@ fn responses_are_bit_identical_to_direct_engine_calls() {
     let (netlist, _) = majority_celement();
     let spec = models::celement_stg();
     let report = service
-        .call(Request::verify(netlist.clone(), spec.clone(), Vec::new()))
+        .submit(Request::verify(netlist.clone(), spec.clone(), Vec::new()))
         .expect("verification");
     let direct = verify(&netlist, &spec, &[]).expect("direct verification");
     assert_eq!(report.payload, ResponsePayload::Verify(direct));
@@ -88,11 +88,11 @@ fn responses_are_bit_identical_to_direct_engine_calls() {
 fn repeated_submissions_hit_the_memo_cache() {
     let service = SynthService::start(ServiceConfig::default());
     let first = service
-        .call(Request::csc_check(models::fifo_stg_csc()))
+        .submit(Request::csc_check(models::fifo_stg_csc()))
         .expect("first");
     assert!(!first.cached);
     let second = service
-        .call(Request::csc_check(models::fifo_stg_csc()))
+        .submit(Request::csc_check(models::fifo_stg_csc()))
         .expect("second");
     assert!(second.cached, "identical content is served from cache");
     assert_eq!(second.payload, first.payload);
@@ -107,13 +107,13 @@ fn repeated_submissions_hit_the_memo_cache() {
 fn degraded_results_are_cached_with_their_degradations() {
     // A one-node BDD allowance forces the symbolic summary through its
     // whole degradation chain down to the explicit walk.
-    let config = ServiceConfig {
-        budget: Budget::default().with_max_bdd_nodes(1),
-        ..ServiceConfig::default()
-    };
+    let config = ServiceConfig::builder()
+        .budget(Budget::default().with_max_bdd_nodes(1))
+        .build()
+        .expect("a soft node cap is a valid configuration");
     let service = SynthService::start(config);
     let first = service
-        .call(Request::summary(models::fifo_stg()))
+        .submit(Request::summary(models::fifo_stg()))
         .expect("degraded summary still succeeds");
     assert!(
         first
@@ -129,7 +129,7 @@ fn degraded_results_are_cached_with_their_degradations() {
     }
 
     let hit = service
-        .call(Request::summary(models::fifo_stg()))
+        .submit(Request::summary(models::fifo_stg()))
         .expect("cache hit");
     assert!(hit.cached);
     assert_eq!(
@@ -142,13 +142,16 @@ fn degraded_results_are_cached_with_their_degradations() {
 
 #[test]
 fn zero_capacity_queue_sheds_every_request_deterministically() {
+    // The shed-everything configuration is deliberately unreachable
+    // through the validating builder; the struct literal is the escape
+    // hatch for overload tests like this one.
     let config = ServiceConfig {
         queue_capacity: 0,
         ..ServiceConfig::default()
     };
     let service = SynthService::start(config);
     for _ in 0..3 {
-        match service.call(Request::summary(models::fifo_stg())) {
+        match service.submit(Request::summary(models::fifo_stg())) {
             Err(ServiceError::Shed { queue_depth }) => assert_eq!(queue_depth, 0),
             other => panic!("expected a shed, got {other:?}"),
         }
@@ -163,7 +166,9 @@ fn zero_capacity_queue_sheds_every_request_deterministically() {
 fn deadline_storm_yields_typed_cancellations_and_the_pool_survives() {
     let service = SynthService::start(ServiceConfig::default());
     let tickets: Vec<_> = (0..8)
-        .map(|_| service.submit(Request::summary(models::fifo_stg()).with_deadline(Duration::ZERO)))
+        .map(|_| {
+            service.enqueue(Request::summary(models::fifo_stg()).with_deadline(Duration::ZERO))
+        })
         .collect();
     for ticket in tickets {
         assert_eq!(
@@ -176,7 +181,7 @@ fn deadline_storm_yields_typed_cancellations_and_the_pool_survives() {
 
     // Nothing was cached from the storm, and the pool still serves.
     let after = service
-        .call(Request::summary(models::fifo_stg()))
+        .submit(Request::summary(models::fifo_stg()))
         .expect("pool survives the storm");
     assert!(!after.cached, "failed requests must not populate the cache");
     match &after.payload {
@@ -187,10 +192,10 @@ fn deadline_storm_yields_typed_cancellations_and_the_pool_survives() {
 
 #[test]
 fn shutdown_drains_already_queued_requests() {
-    let config = ServiceConfig {
-        workers: 1,
-        ..ServiceConfig::default()
-    };
+    let config = ServiceConfig::builder()
+        .workers(1)
+        .build()
+        .expect("one worker is a valid pool");
     let service = SynthService::start(config);
     let specs = [
         models::handshake_stg(),
@@ -200,11 +205,61 @@ fn shutdown_drains_already_queued_requests() {
     ];
     let tickets: Vec<_> = specs
         .iter()
-        .map(|stg| service.submit(Request::summary(stg.clone())))
+        .map(|stg| service.enqueue(Request::summary(stg.clone())))
         .collect();
     service.shutdown();
     for ticket in tickets {
         let response = ticket.wait().expect("queued work drains before exit");
         assert!(matches!(response.payload, ResponsePayload::Summary(_)));
+    }
+}
+
+#[test]
+fn config_builder_validates_the_combination() {
+    let config = ServiceConfig::builder()
+        .workers(3)
+        .queue_capacity(16)
+        .cache_capacity(8)
+        .max_retries(1)
+        .backoff(Duration::from_micros(100))
+        .max_backoff(Duration::from_millis(1))
+        .quarantine_threshold(4)
+        .build()
+        .expect("a sensible combination builds");
+    assert_eq!(config.workers, 3);
+    assert_eq!(config.queue_capacity, 16);
+
+    for (broken, needle) in [
+        (ServiceConfig::builder().workers(0).build(), "workers"),
+        (
+            ServiceConfig::builder().queue_capacity(0).build(),
+            "queue_capacity",
+        ),
+        (
+            ServiceConfig::builder()
+                .backoff(Duration::from_millis(5))
+                .max_backoff(Duration::from_millis(1))
+                .build(),
+            "max_backoff",
+        ),
+        (
+            ServiceConfig::builder()
+                .backoff(Duration::from_secs(3600))
+                .max_backoff(Duration::from_secs(7200))
+                .budget(
+                    Budget::default()
+                        .with_deadline(std::time::Instant::now() + Duration::from_millis(1)),
+                )
+                .build(),
+            "deadline",
+        ),
+    ] {
+        match broken {
+            Err(ServiceError::InvalidConfig { detail }) => assert!(
+                detail.contains(needle),
+                "detail {detail:?} should name {needle}"
+            ),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 }

@@ -176,6 +176,21 @@
 //! admitted past its deadline is answered with it before the engine is
 //! touched.
 //!
+//! ## Daemon
+//!
+//! One layer further out, `rt-service` exposes the pool over TCP:
+//! `rt-daemon` accepts connections on `std::net` (no external
+//! dependencies), speaks a versioned length-prefixed binary protocol
+//! (`rt_service::proto`), and maps every wire-level failure — framing
+//! errors, a client vanishing mid-request, a deadline carried in the
+//! request — onto the same typed service errors and budget machinery
+//! described above, never onto new ad-hoc paths. In front of the pool
+//! the service coalesces identical in-flight requests (single-flight
+//! dedup keyed by the same content hashes as the memo cache) and
+//! drains admissions in deterministic FIFO order, so N clients asking
+//! the same question cost one engine dispatch and each receives the
+//! bit-identical response a direct engine call would have produced.
+//!
 //! ## Example
 //!
 //! ```

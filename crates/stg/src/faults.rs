@@ -21,6 +21,27 @@
 //! last — the firing path itself serializes only on the slot's own
 //! mutex, never on the test lock.
 //!
+//! # Why the registry is process-global (and stays that way)
+//!
+//! Scoping the armed-fault slot per engine or per service instance
+//! looks attractive — fault tests could then run concurrently — but it
+//! cannot deliver that isolation. The engine-level hooks
+//! ([`explicit_round_fault`], [`symbolic_iteration_fault`],
+//! [`worker_panic`]) are polled *context-free* from the analysis hot
+//! loops of **every** engine in the process: a test that arms, say,
+//! `ExhaustNodesAt` would still have its shots consumed by whichever
+//! concurrently running test's engine reaches that iteration first,
+//! scoped registry or not, unless every hot-loop call site threaded an
+//! instance handle through — a cost the zero-overhead stub design
+//! exists to avoid. So fault tests must serialize against *all* other
+//! fault-polling tests in the binary regardless. Instead of each test
+//! binary carrying its own `static SUITE: Mutex<()>` (the PR 8
+//! arrangement), the exclusion now lives here, in one place:
+//! [`suite`] returns a guard on the shared suite lock, and [`arm`]
+//! continues to self-serialize between armers. Tests that poll hooks
+//! without arming (e.g. determinism sweeps that must not observe a
+//! sibling's fault) take [`suite`] too.
+//!
 //! Injection points, polled by the execution paths:
 //!
 //! * [`explicit_round_fault`] — start of each BFS round (serial walks
@@ -32,9 +53,13 @@
 //!   request in `rt-service`'s workers: the former makes the worker
 //!   panic inside its `catch_unwind` region, the latter stalls it for
 //!   the armed duration (the stuck-worker scenario).
+//! * [`service_drop_conn`] — per *wire* request in the `rt-daemon`
+//!   front-end: a `true` answer makes the daemon drop the TCP
+//!   connection server-side after admitting the request but before
+//!   replying (the client-vanishes-mid-request scenario).
 
 #[cfg(feature = "fault-injection")]
-pub use enabled::{arm, Armed};
+pub use enabled::{arm, suite, Armed, SuiteGuard};
 
 use crate::error::StgError;
 use std::time::Duration;
@@ -88,6 +113,15 @@ pub enum Fault {
         /// Stall duration in milliseconds.
         millis: u64,
     },
+    /// The daemon drops the TCP connection that carried wire request
+    /// `request` — after the request was decoded and admitted to the
+    /// pool, before its reply is written. The in-flight work must
+    /// complete into the dropped ticket without harming sibling
+    /// connections or coalesced observers of the same flight.
+    ServiceDropConnAt {
+        /// 0-based daemon-wide wire-request index the drop fires on.
+        request: usize,
+    },
 }
 
 #[cfg(feature = "fault-injection")]
@@ -110,6 +144,29 @@ mod enabled {
     /// [`ARMED`]'s own mutex, held for the length of one match.
     static SERIAL: Mutex<bool> = Mutex::new(false);
     static SERIAL_FREED: Condvar = Condvar::new();
+
+    /// The suite-wide exclusion lock fault-sensitive tests take via
+    /// [`suite`]. Separate from [`SERIAL`]: `SERIAL` serializes
+    /// *armers* against each other (held for an `Armed`'s lifetime),
+    /// while `SUITE` serializes whole tests — including ones that poll
+    /// hooks without arming anything and must not observe a sibling's
+    /// fault. See the module docs for why this cannot be scoped away.
+    static SUITE: Mutex<()> = Mutex::new(());
+
+    /// Guard on the process-wide fault-test suite lock ([`suite`]).
+    pub struct SuiteGuard {
+        _held: MutexGuard<'static, ()>,
+    }
+
+    /// Takes the suite-wide exclusion lock shared by every
+    /// fault-sensitive test in the process. Hold the returned guard for
+    /// the whole test; poisoning from a failed sibling test is
+    /// tolerated (the lock still excludes, which is all it is for).
+    pub fn suite() -> SuiteGuard {
+        SuiteGuard {
+            _held: SUITE.lock().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
 
     fn slot() -> MutexGuard<'static, Option<(Fault, usize)>> {
         ARMED.lock().unwrap_or_else(PoisonError::into_inner)
@@ -210,6 +267,14 @@ mod enabled {
             _ => None,
         })
     }
+
+    pub(super) fn service_drop_conn_impl(request: usize) -> bool {
+        fire(|f| match f {
+            Fault::ServiceDropConnAt { request: r } if r == request => Some(()),
+            _ => None,
+        })
+        .is_some()
+    }
 }
 
 /// Injected fault for an explicit BFS round, if armed. Always `None`
@@ -288,6 +353,22 @@ pub fn service_stall(request: usize) -> Option<Duration> {
     }
 }
 
+/// Whether the daemon should drop the connection carrying wire request
+/// `request` after admitting it. Always `false` without the
+/// `fault-injection` feature.
+#[cfg_attr(not(feature = "fault-injection"), inline(always))]
+pub fn service_drop_conn(request: usize) -> bool {
+    #[cfg(feature = "fault-injection")]
+    {
+        enabled::service_drop_conn_impl(request)
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = request;
+        false
+    }
+}
+
 #[cfg(all(test, feature = "fault-injection"))]
 mod tests {
     use super::*;
@@ -346,6 +427,26 @@ mod tests {
         assert!(service_stall(0).is_none());
         assert_eq!(service_stall(1), Some(Duration::from_millis(25)));
         assert!(service_stall(1).is_none(), "shot consumed");
+    }
+
+    #[test]
+    fn drop_conn_fault_selects_by_wire_index() {
+        let _suite = suite();
+        let guard = arm(Fault::ServiceDropConnAt { request: 2 }, 1);
+        assert!(!service_drop_conn(0), "wrong wire request");
+        assert!(!service_panic(2), "a drop is not a panic");
+        assert!(service_drop_conn(2));
+        assert!(!service_drop_conn(2), "one shot only");
+        drop(guard);
+    }
+
+    #[test]
+    fn suite_guard_excludes_and_tolerates_reentry_by_turns() {
+        // Two takers in sequence: the second take must not deadlock
+        // once the first guard drops — the only property tests rely on.
+        let first = suite();
+        drop(first);
+        let _second = suite();
     }
 
     #[test]

@@ -252,6 +252,101 @@ impl PetriNet {
         self.producers[place.index()].push(transition);
     }
 
+    /// Reassembles a net from its six stored vectors — the
+    /// exact-reconstruction constructor the service wire codec uses.
+    ///
+    /// Replaying arcs per transition through
+    /// [`Self::add_arc_pt`]/[`Self::add_arc_tp`]
+    /// cannot reproduce an arbitrary net byte-for-byte: the per-place
+    /// `consumers`/`producers` lists record *global* arc-insertion
+    /// order, which interleaves across transitions and feeds
+    /// [`conflict_groups`](PetriNet::conflict_groups) — and through it
+    /// candidate tie-breaking in CSC resolution. This constructor takes
+    /// all six vectors verbatim and validates that they describe one
+    /// consistent net.
+    ///
+    /// # Errors
+    ///
+    /// [`StgError::Parse`] (line 0) when lengths disagree, an arc index
+    /// is out of range, a weight is zero, or the per-place lists are not
+    /// a permutation-consistent view of the per-transition arcs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        place_names: Vec<String>,
+        transition_names: Vec<String>,
+        presets: Vec<Vec<Arc>>,
+        postsets: Vec<Vec<Arc>>,
+        consumers: Vec<Vec<TransitionId>>,
+        producers: Vec<Vec<TransitionId>>,
+    ) -> Result<PetriNet, StgError> {
+        let inconsistent = |message: String| StgError::Parse { line: 0, message };
+        let places = place_names.len();
+        let transitions = transition_names.len();
+        if presets.len() != transitions || postsets.len() != transitions {
+            return Err(inconsistent(format!(
+                "arc lists cover {}/{} transitions, net has {transitions}",
+                presets.len(),
+                postsets.len()
+            )));
+        }
+        if consumers.len() != places || producers.len() != places {
+            return Err(inconsistent(format!(
+                "place lists cover {}/{} places, net has {places}",
+                consumers.len(),
+                producers.len()
+            )));
+        }
+        // The per-place lists must be exactly the per-transition arcs
+        // seen from the other side (as multisets; their order is the
+        // free part this constructor exists to preserve).
+        for (arcs, lists, role) in [
+            (&presets, &consumers, "preset"),
+            (&postsets, &producers, "postset"),
+        ] {
+            let mut expected: Vec<BTreeMap<u32, usize>> = vec![BTreeMap::new(); places];
+            for (t, arcs) in arcs.iter().enumerate() {
+                for arc in arcs {
+                    if arc.place.index() >= places {
+                        return Err(inconsistent(format!(
+                            "{role} arc of transition {t} names place {} of {places}",
+                            arc.place
+                        )));
+                    }
+                    if arc.weight == 0 {
+                        return Err(inconsistent(format!(
+                            "{role} arc of transition {t} has zero weight"
+                        )));
+                    }
+                    *expected[arc.place.index()].entry(t as u32).or_insert(0) += 1;
+                }
+            }
+            for (p, list) in lists.iter().enumerate() {
+                let mut got: BTreeMap<u32, usize> = BTreeMap::new();
+                for t in list {
+                    if t.index() >= transitions {
+                        return Err(inconsistent(format!(
+                            "place {p} {role} list names transition {t} of {transitions}"
+                        )));
+                    }
+                    *got.entry(t.0).or_insert(0) += 1;
+                }
+                if got != expected[p] {
+                    return Err(inconsistent(format!(
+                        "place {p} {role} list disagrees with the transition arcs"
+                    )));
+                }
+            }
+        }
+        Ok(PetriNet {
+            place_names,
+            transition_names,
+            presets,
+            postsets,
+            consumers,
+            producers,
+        })
+    }
+
     /// Name of `place`.
     pub fn place_name(&self, place: PlaceId) -> &str {
         &self.place_names[place.index()]
@@ -605,6 +700,54 @@ mod tests {
         let mut m2 = m.clone();
         m2.set(PlaceId(1), 2);
         assert_eq!(m2.to_string(), "{p0, p1:2}");
+    }
+
+    #[test]
+    fn from_parts_reproduces_a_net_exactly() {
+        let (net, _, _, _) = ring2();
+        let rebuilt = PetriNet::from_parts(
+            (0..net.place_count())
+                .map(|p| net.place_name(PlaceId(p as u32)).to_string())
+                .collect(),
+            (0..net.transition_count())
+                .map(|t| net.transition_name(TransitionId(t as u32)).to_string())
+                .collect(),
+            net.transitions().map(|t| net.preset(t).to_vec()).collect(),
+            net.transitions().map(|t| net.postset(t).to_vec()).collect(),
+            net.places().map(|p| net.consumers(p).to_vec()).collect(),
+            net.places().map(|p| net.producers(p).to_vec()).collect(),
+        )
+        .expect("consistent parts");
+        assert_eq!(format!("{rebuilt:?}"), format!("{net:?}"));
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_views() {
+        // A preset arc whose place has an empty consumers list.
+        let err = PetriNet::from_parts(
+            vec!["p".into()],
+            vec!["t".into()],
+            vec![vec![Arc {
+                place: PlaceId(0),
+                weight: 1,
+            }]],
+            vec![vec![]],
+            vec![vec![]],
+            vec![vec![]],
+        )
+        .unwrap_err();
+        assert!(matches!(err, StgError::Parse { .. }), "got {err:?}");
+        // Out-of-range transition in a producers list.
+        let err = PetriNet::from_parts(
+            vec!["p".into()],
+            vec![],
+            vec![],
+            vec![],
+            vec![vec![]],
+            vec![vec![TransitionId(7)]],
+        )
+        .unwrap_err();
+        assert!(matches!(err, StgError::Parse { .. }), "got {err:?}");
     }
 
     #[test]

@@ -93,6 +93,73 @@ impl Stg {
         }
     }
 
+    /// Reassembles an STG from its stored parts — the
+    /// exact-reconstruction constructor the service wire codec uses
+    /// (paired with [`PetriNet::from_parts`], which validates the net
+    /// itself).
+    ///
+    /// # Errors
+    ///
+    /// [`StgError::DuplicateSignal`] on a repeated signal name;
+    /// [`StgError::UnknownSignal`] when a transition label names a
+    /// signal outside the table; [`StgError::Parse`] (line 0) when the
+    /// label, token or value vectors do not match the net's sizes.
+    pub fn from_parts(
+        name: String,
+        net: PetriNet,
+        signals: Vec<SignalDecl>,
+        labels: Vec<TransitionLabel>,
+        initial_tokens: Vec<u16>,
+        initial_values: Vec<Option<bool>>,
+    ) -> Result<Stg, StgError> {
+        let inconsistent = |message: String| StgError::Parse { line: 0, message };
+        if labels.len() != net.transition_count() {
+            return Err(inconsistent(format!(
+                "{} labels for {} transitions",
+                labels.len(),
+                net.transition_count()
+            )));
+        }
+        if initial_tokens.len() != net.place_count() {
+            return Err(inconsistent(format!(
+                "{} initial token counts for {} places",
+                initial_tokens.len(),
+                net.place_count()
+            )));
+        }
+        if initial_values.len() != signals.len() {
+            return Err(inconsistent(format!(
+                "{} initial values for {} signals",
+                initial_values.len(),
+                signals.len()
+            )));
+        }
+        for (index, decl) in signals.iter().enumerate() {
+            if signals[..index].iter().any(|s| s.name == decl.name) {
+                return Err(StgError::DuplicateSignal(decl.name.clone()));
+            }
+        }
+        for label in &labels {
+            if let TransitionLabel::Event(event) = label {
+                if event.signal.index() >= signals.len() {
+                    return Err(StgError::UnknownSignal(format!(
+                        "signal id {} of {}",
+                        event.signal.0,
+                        signals.len()
+                    )));
+                }
+            }
+        }
+        Ok(Stg {
+            name,
+            net,
+            signals,
+            labels,
+            initial_tokens,
+            initial_values,
+        })
+    }
+
     /// The model name (used by the `.g` writer).
     pub fn name(&self) -> &str {
         &self.name
