@@ -154,10 +154,14 @@ struct DaemonHealth {
     protocol_errors: u64,
     disconnects: u64,
     batch_dedup_hits: u64,
+    timeouts: u64,
+    quota_sheds: u64,
 }
 
 /// Reads the daemon section from a snapshot; `None` when the snapshot
 /// predates the TCP front-end (such snapshots are not daemon-gated).
+/// The survivability counters default to zero for snapshots written
+/// before they existed.
 fn daemon_health(json: &str) -> Option<DaemonHealth> {
     let line = json
         .lines()
@@ -166,6 +170,8 @@ fn daemon_health(json: &str) -> Option<DaemonHealth> {
         protocol_errors: field_number(line, "protocol_errors")? as u64,
         disconnects: field_number(line, "disconnects")? as u64,
         batch_dedup_hits: field_number(line, "batch_dedup_hits")? as u64,
+        timeouts: field_number(line, "timeouts").unwrap_or(0.0) as u64,
+        quota_sheds: field_number(line, "quota_sheds").unwrap_or(0.0) as u64,
     })
 }
 
@@ -176,6 +182,13 @@ fn daemon_problem(health: &DaemonHealth) -> Option<String> {
             "daemon recorded protocol_errors={} disconnects={} — well-behaved \
              clients over loopback must produce neither",
             health.protocol_errors, health.disconnects
+        ));
+    }
+    if health.timeouts > 0 || health.quota_sheds > 0 {
+        return Some(format!(
+            "daemon recorded timeouts={} quota_sheds={} — the standard pass \
+             never idles past the I/O deadline or exceeds a quota",
+            health.timeouts, health.quota_sheds
         ));
     }
     if health.batch_dedup_hits == 0 {
@@ -571,11 +584,24 @@ mod tests {
     #[test]
     fn daemon_gate_reads_the_section_and_fails_on_wire_trouble() {
         let line = "  \"daemon\": {\"requests\": 105, \"requests_per_s\": 900, \
-                    \"batch_dedup_hits\": 7, \"disconnects\": 0, \"protocol_errors\": 0}";
-        let snapshot = format!("{}{line}\n}}\n", snapshot(1.0));
+                    \"batch_dedup_hits\": 7, \"disconnects\": 0, \"protocol_errors\": 0, \
+                    \"timeouts\": 0, \"quota_sheds\": 0, \"idempotent_replays\": 0, \
+                    \"reconnects\": 0}";
+        let body = snapshot(1.0);
+        let snapshot = format!("{body}{line}\n}}\n");
         let health = daemon_health(&snapshot).expect("section parses");
         assert_eq!(health.batch_dedup_hits, 7);
         assert!(daemon_problem(&health).is_none());
+
+        // A snapshot written before the survivability counters existed
+        // still parses, with those counters defaulting to zero.
+        let old_line = "  \"daemon\": {\"requests\": 105, \"requests_per_s\": 900, \
+                        \"batch_dedup_hits\": 7, \"disconnects\": 0, \"protocol_errors\": 0}";
+        let old_snapshot = format!("{body}{old_line}\n}}\n");
+        let old_health = daemon_health(&old_snapshot).expect("old section parses");
+        assert_eq!(old_health.timeouts, 0);
+        assert_eq!(old_health.quota_sheds, 0);
+        assert!(daemon_problem(&old_health).is_none());
 
         let garbled = DaemonHealth {
             protocol_errors: 1,
@@ -589,6 +615,18 @@ mod tests {
             ..health.clone()
         };
         assert!(daemon_problem(&severed).unwrap().contains("disconnects=2"));
+        let timed_out = DaemonHealth {
+            timeouts: 3,
+            ..health.clone()
+        };
+        assert!(daemon_problem(&timed_out).unwrap().contains("timeouts=3"));
+        let quota_shed = DaemonHealth {
+            quota_sheds: 1,
+            ..health.clone()
+        };
+        assert!(daemon_problem(&quota_shed)
+            .unwrap()
+            .contains("quota_sheds=1"));
         let uncoalesced = DaemonHealth {
             batch_dedup_hits: 0,
             ..health

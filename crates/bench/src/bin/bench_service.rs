@@ -17,14 +17,18 @@
 //! nonzero warm-pass hit rate.
 //!
 //! A third and fourth pass drive the same workload through the TCP
-//! daemon front-end ([`rt_service::Daemon`] + [`rt_service::DaemonClient`]
-//! on an ephemeral loopback port): a serial wire pass whose every reply
-//! is again pinned against a direct engine, and a duplicate-heavy pass
-//! (four clients barrier-released onto a one-worker uncached pool) that
-//! must exercise the batch scheduler's single-flight dedup. They emit a
-//! `"daemon"` section — `requests`, `requests_per_s`,
-//! `batch_dedup_hits`, `disconnects`, `protocol_errors` — which
-//! `bench_check` gates on: any wire protocol error or disconnect, or a
+//! daemon front-end ([`rt_service::Daemon`] on an ephemeral loopback
+//! port): a serial wire pass through the self-healing
+//! [`rt_service::ReconnectingClient`] whose every reply is again pinned
+//! against a direct engine, and a duplicate-heavy pass (four
+//! [`rt_service::DaemonClient`]s barrier-released onto a one-worker
+//! uncached pool) that must exercise the batch scheduler's
+//! single-flight dedup. They emit a `"daemon"` section — `requests`,
+//! `requests_per_s`, `batch_dedup_hits`, `disconnects`,
+//! `protocol_errors`, plus the survivability gauges `timeouts`,
+//! `quota_sheds`, `idempotent_replays` and `reconnects` — which
+//! `bench_check` gates on: any wire protocol error, disconnect, I/O
+//! timeout or quota shed on this well-behaved workload, or a
 //! duplicate-heavy pass that never coalesced, fails the run.
 
 use std::fmt::Write as _;
@@ -32,7 +36,8 @@ use std::sync::Barrier;
 use std::time::Instant;
 
 use rt_service::{
-    Daemon, DaemonClient, Request, RequestPayload, ResponsePayload, ServiceConfig, SynthService,
+    Daemon, DaemonClient, ReconnectingClient, Request, RequestPayload, ResponsePayload,
+    ServiceConfig, SynthService,
 };
 use rt_stg::engine::ReachEngine;
 use rt_stg::{corpus, models};
@@ -202,10 +207,13 @@ fn main() {
         stats.degraded,
         stats.errors
     );
-    // Wire pass: the identical workload over TCP, every reply pinned
-    // against a fresh direct engine exactly like the cold pass.
+    // Wire pass: the identical workload over TCP through the
+    // self-healing client (the recommended front door), every reply
+    // pinned against a fresh direct engine exactly like the cold pass.
+    // On a healthy daemon it must never need its reconnect budget.
     let daemon = Daemon::bind(ServiceConfig::default(), "127.0.0.1:0").expect("daemon bind");
-    let mut client = DaemonClient::connect(daemon.local_addr()).expect("daemon connect");
+    let mut client =
+        ReconnectingClient::connect(daemon.local_addr(), "bench").expect("daemon connect");
     let wire_started = Instant::now();
     for (name, request) in &work {
         let response = client
@@ -214,6 +222,7 @@ fn main() {
         assert_direct(name, request, &response.payload);
     }
     let wire_elapsed = wire_started.elapsed();
+    let reconnects = client.reconnects();
     drop(client);
     let wire_requests_per_s = work.len() as f64 / wire_elapsed.as_secs_f64();
 
@@ -254,15 +263,24 @@ fn main() {
 
     let wire_stats = daemon.stats();
     let dedup_stats = dedup_daemon.stats();
+    let wire_service = daemon.service_stats();
+    let dedup_service = dedup_daemon.service_stats();
     daemon.shutdown();
     dedup_daemon.shutdown();
     let daemon_requests = wire_stats.requests + dedup_stats.requests;
     let disconnects = wire_stats.disconnects + dedup_stats.disconnects;
     let protocol_errors = wire_stats.protocol_errors + dedup_stats.protocol_errors;
+    // Survivability counters: on this well-behaved workload every one
+    // of them must stay zero (bench_check gates on exactly that).
+    let timeouts = wire_stats.timeouts + dedup_stats.timeouts;
+    let quota_sheds = wire_service.quota_sheds + dedup_service.quota_sheds;
+    let idempotent_replays = wire_service.idempotent_replays + dedup_service.idempotent_replays;
     println!(
         "daemon: {} wire requests in {:.1} ms ({wire_requests_per_s:.0} req/s); \
          dedup pass {} requests, {batch_dedup_hits} coalesced; \
-         disconnects {disconnects}  protocol_errors {protocol_errors}",
+         disconnects {disconnects}  protocol_errors {protocol_errors}  \
+         timeouts {timeouts}  quota_sheds {quota_sheds}  \
+         idempotent_replays {idempotent_replays}  reconnects {reconnects}",
         wire_stats.requests,
         wire_elapsed.as_secs_f64() * 1e3,
         dedup_stats.requests,
@@ -273,7 +291,9 @@ fn main() {
         daemon_section,
         "\"requests\": {daemon_requests}, \"requests_per_s\": {wire_requests_per_s:.0}, \
          \"batch_dedup_hits\": {batch_dedup_hits}, \"disconnects\": {disconnects}, \
-         \"protocol_errors\": {protocol_errors}}}"
+         \"protocol_errors\": {protocol_errors}, \"timeouts\": {timeouts}, \
+         \"quota_sheds\": {quota_sheds}, \"idempotent_replays\": {idempotent_replays}, \
+         \"reconnects\": {reconnects}}}"
     );
 
     let existing = std::fs::read_to_string(&out_path).ok();

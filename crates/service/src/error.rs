@@ -46,6 +46,19 @@ pub enum ServiceError {
         /// What was wrong with the bytes.
         detail: String,
     },
+    /// Admission control refused the request because its client
+    /// identity already had its full quota of requests in flight
+    /// ([`crate::ServiceConfig::max_inflight_per_client`]). Like
+    /// [`ServiceError::Shed`] this is deterministic backpressure —
+    /// nothing was enqueued, and *other* clients' requests are
+    /// unaffected (that is the point: one greedy tenant cannot starve
+    /// the rest).
+    QuotaExceeded {
+        /// The over-quota client identity.
+        client: String,
+        /// Requests that identity already had in flight.
+        inflight: usize,
+    },
     /// The daemon connection closed before a reply arrived. The request
     /// may or may not have been processed server-side — connection loss
     /// cannot distinguish the two.
@@ -74,6 +87,12 @@ impl fmt::Display for ServiceError {
             ServiceError::Synth(err) => write!(f, "synthesis request failed: {err}"),
             ServiceError::Protocol { detail } => {
                 write!(f, "wire protocol violation: {detail}")
+            }
+            ServiceError::QuotaExceeded { client, inflight } => {
+                write!(
+                    f,
+                    "request refused: client {client:?} already has {inflight} in flight"
+                )
             }
             ServiceError::Disconnected => {
                 write!(f, "daemon connection closed before the reply")
@@ -165,5 +184,19 @@ mod tests {
             detail: "workers must be >= 1".to_string(),
         };
         assert!(config.to_string().contains("workers"));
+    }
+
+    #[test]
+    fn quota_refusal_is_backpressure_not_exhaustion() {
+        let quota = ServiceError::QuotaExceeded {
+            client: "tenant-a".to_string(),
+            inflight: 4,
+        };
+        // Retrying instantly would spin against the same full quota;
+        // the caller must wait for its own in-flight work to finish.
+        assert!(!quota.is_resource_exhaustion());
+        assert!(quota.source().is_none());
+        let rendered = quota.to_string();
+        assert!(rendered.contains("tenant-a") && rendered.contains('4'));
     }
 }

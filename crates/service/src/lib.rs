@@ -33,6 +33,13 @@
 //!   the hand-rolled [`proto`] protocol (`std::net` only), with
 //!   [`DaemonClient`] as the matching blocking client and the
 //!   `rt-daemon` binary as the CLI entry point.
+//! * **Survivability** — every connection carries read/write deadlines
+//!   (slow-loris defense), `Ping`/`Pong` health checks and `Hello`
+//!   client identities ride the same protocol, per-client fairness
+//!   quotas shed greedy tenants with a typed
+//!   [`ServiceError::QuotaExceeded`], and [`ReconnectingClient`]
+//!   resubmits across severed connections under idempotency keys that
+//!   guarantee exactly-once execution.
 //!
 //! Results are bit-identical to direct engine calls — pinned by the
 //! concurrency determinism suite in `tests/determinism.rs` and over the
@@ -65,12 +72,14 @@ mod client;
 mod daemon;
 mod error;
 pub mod proto;
+mod reconnect;
 mod request;
 mod service;
 
 pub use client::DaemonClient;
 pub use daemon::{Daemon, DaemonStats};
 pub use error::ServiceError;
+pub use reconnect::ReconnectingClient;
 pub use request::{
     CscCheckOutcome, Request, RequestPayload, ResolveOutcome, Response, ResponsePayload,
     SummaryOutcome,

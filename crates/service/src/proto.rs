@@ -24,15 +24,29 @@
 //!
 //! ```text
 //! +--------------------+-----------------+------...
-//! | version byte (0x01)| message kind    | body
+//! | version byte (0x02)| message kind    | body
 //! +--------------------+-----------------+------...
 //! ```
 //!
-//! The version byte is [`PROTO_VERSION`]; any other value is rejected
-//! (there is exactly one version so far — the byte exists so a future
-//! one can be told apart from garbage). Message kinds: `0x01` a
-//! client→daemon [`Request`], `0x02` a daemon→client reply
-//! (`Result<Response, ServiceError>`).
+//! The version byte is [`PROTO_VERSION`]; any other value is rejected.
+//! Each build speaks exactly one version — version 1 was the PR 9
+//! framing (requests and replies only, no trailing idempotency
+//! option); version 2 added the `Hello`/`Ping`/`Pong` control frames
+//! and the request's idempotency key. There is no negotiation: a
+//! mismatched peer gets a typed [`ProtoError::Version`] on its first
+//! frame, which is the intended upgrade signal. Message kinds:
+//!
+//! * `0x01` — a client→daemon [`Request`];
+//! * `0x02` — a daemon→client reply (`Result<Response, ServiceError>`);
+//! * `0x03` — `Ping`, client→daemon: a `u64` nonce; the daemon answers
+//!   immediately with `Pong`, no service admission involved — the
+//!   health check clients and soak harnesses use;
+//! * `0x04` — `Pong`, daemon→client: the echoed nonce;
+//! * `0x05` — `Hello`, client→daemon, fire-and-forget (no reply): the
+//!   connection's client identity as a string, used by per-client
+//!   fairness quotas. Without a `Hello`, the daemon assigns a
+//!   per-connection identity. TCP ordering makes the identity race-free
+//!   for every request framed after it.
 //!
 //! # Body encodings
 //!
@@ -42,9 +56,13 @@
 //! `Vec<T>` is a `u32` count plus the items. `usize` travels as `u64`.
 //! A request body is the payload's stable kind discriminant
 //! ([`RequestPayload::discriminant`] — the same byte the memo-cache
-//! key hashes), the kind-specific fields, then the optional deadline
-//! as `Option<u64>` microseconds. A reply body is an `Ok`/`Err` byte
-//! followed by the [`Response`] or [`ServiceError`].
+//! key hashes), the kind-specific fields, the optional deadline as
+//! `Option<u64>` microseconds, then the optional idempotency key as
+//! `Option<u64>`. The client identity deliberately does *not* travel
+//! per-request: it is connection state, set once by `Hello`, so a
+//! client cannot impersonate another tenant mid-stream. A reply body
+//! is an `Ok`/`Err` byte followed by the [`Response`] or
+//! [`ServiceError`].
 //!
 //! STGs travel *structurally*: all six vectors of the Petri net
 //! (names, per-transition arc lists, per-place consumer/producer
@@ -86,15 +104,24 @@ use crate::request::{
     SummaryOutcome,
 };
 
-/// The one wire-protocol version this build speaks.
-pub const PROTO_VERSION: u8 = 1;
+/// The one wire-protocol version this build speaks (see the module
+/// docs for the version story).
+pub const PROTO_VERSION: u8 = 2;
 
 /// Hard cap on a frame's payload length. Far above any real corpus
 /// model; an announcement past it is treated as garbage, not obeyed.
 pub const MAX_FRAME_LEN: usize = 64 << 20;
 
-const MSG_REQUEST: u8 = 0x01;
-const MSG_REPLY: u8 = 0x02;
+/// Message kind of a client→daemon [`Request`] frame.
+pub const MSG_REQUEST: u8 = 0x01;
+/// Message kind of a daemon→client reply frame.
+pub const MSG_REPLY: u8 = 0x02;
+/// Message kind of a client→daemon `Ping` health check.
+pub const MSG_PING: u8 = 0x03;
+/// Message kind of a daemon→client `Pong` answer.
+pub const MSG_PONG: u8 = 0x04;
+/// Message kind of a client→daemon `Hello` identity declaration.
+pub const MSG_HELLO: u8 = 0x05;
 
 /// Why bytes failed to decode. Maps onto [`ServiceError::Protocol`]
 /// via `From`.
@@ -220,6 +247,77 @@ pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     let mut payload = vec![0u8; len];
     reader.read_exact(&mut payload)?;
     Ok(Some(payload))
+}
+
+/// The message-kind byte of a frame payload, if it has one — how the
+/// daemon routes a frame to the right decoder *before* validating it
+/// (each decoder still checks the version and full structure itself).
+pub fn frame_kind(payload: &[u8]) -> Option<u8> {
+    payload.get(1).copied()
+}
+
+// ---------------------------------------------------------------------
+// Control frames
+// ---------------------------------------------------------------------
+
+/// Encodes a `Ping` frame payload carrying `nonce`.
+pub fn encode_ping(nonce: u64) -> Vec<u8> {
+    let mut enc = Enc::new(MSG_PING);
+    enc.u64(nonce);
+    enc.bytes
+}
+
+/// Decodes a `Ping` frame payload into its nonce.
+///
+/// # Errors
+///
+/// [`ProtoError`] on malformed bytes.
+pub fn decode_ping(payload: &[u8]) -> Decoded<u64> {
+    let mut dec = Dec::new(payload);
+    check_envelope(&mut dec, MSG_PING)?;
+    let nonce = dec.u64()?;
+    dec.finish()?;
+    Ok(nonce)
+}
+
+/// Encodes a `Pong` frame payload echoing `nonce`.
+pub fn encode_pong(nonce: u64) -> Vec<u8> {
+    let mut enc = Enc::new(MSG_PONG);
+    enc.u64(nonce);
+    enc.bytes
+}
+
+/// Decodes a `Pong` frame payload into its echoed nonce.
+///
+/// # Errors
+///
+/// [`ProtoError`] on malformed bytes.
+pub fn decode_pong(payload: &[u8]) -> Decoded<u64> {
+    let mut dec = Dec::new(payload);
+    check_envelope(&mut dec, MSG_PONG)?;
+    let nonce = dec.u64()?;
+    dec.finish()?;
+    Ok(nonce)
+}
+
+/// Encodes a `Hello` frame payload declaring `client_id`.
+pub fn encode_hello(client_id: &str) -> Vec<u8> {
+    let mut enc = Enc::new(MSG_HELLO);
+    enc.str(client_id);
+    enc.bytes
+}
+
+/// Decodes a `Hello` frame payload into the declared client identity.
+///
+/// # Errors
+///
+/// [`ProtoError`] on malformed bytes.
+pub fn decode_hello(payload: &[u8]) -> Decoded<String> {
+    let mut dec = Dec::new(payload);
+    check_envelope(&mut dec, MSG_HELLO)?;
+    let client_id = dec.str()?;
+    dec.finish()?;
+    Ok(client_id)
 }
 
 // ---------------------------------------------------------------------
@@ -772,6 +870,13 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             enc.u64(u64::try_from(deadline.as_micros()).unwrap_or(u64::MAX));
         }
     }
+    match request.idempotency {
+        None => enc.u8(0),
+        Some(token) => {
+            enc.u8(1);
+            enc.u64(token);
+        }
+    }
     enc.bytes
 }
 
@@ -829,8 +934,25 @@ pub fn decode_request(payload: &[u8]) -> Decoded<Request> {
             })
         }
     };
+    let idempotency = match dec.u8()? {
+        0 => None,
+        1 => Some(dec.u64()?),
+        tag => {
+            return Err(ProtoError::BadTag {
+                what: "idempotency option",
+                tag,
+            })
+        }
+    };
     dec.finish()?;
-    Ok(Request { payload, deadline })
+    // The client identity is connection state (`Hello`), never part of
+    // the request encoding; the daemon stamps it after decoding.
+    Ok(Request {
+        payload,
+        deadline,
+        idempotency,
+        client: None,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -1235,6 +1357,11 @@ fn enc_service_error(enc: &mut Enc, err: &ServiceError) {
             enc.u8(8);
             enc.str(detail);
         }
+        ServiceError::QuotaExceeded { client, inflight } => {
+            enc.u8(9);
+            enc.str(client);
+            enc.usize(*inflight);
+        }
     }
 }
 
@@ -1250,6 +1377,10 @@ fn dec_service_error(dec: &mut Dec<'_>) -> Decoded<ServiceError> {
         6 => ServiceError::Protocol { detail: dec.str()? },
         7 => ServiceError::Disconnected,
         8 => ServiceError::InvalidConfig { detail: dec.str()? },
+        9 => ServiceError::QuotaExceeded {
+            client: dec.str()?,
+            inflight: dec.usize()?,
+        },
         tag => {
             return Err(ProtoError::BadTag {
                 what: "ServiceError",
@@ -1362,10 +1493,12 @@ mod tests {
                 }],
             ),
             Request::summary(models::fifo_stg()).with_deadline(Duration::from_micros(12_345)),
+            Request::summary(models::fifo_stg()).with_idempotency(0xfeed_beef_dead_cafe),
         ];
         for request in &requests {
             let decoded = roundtrip_request(request);
             assert_eq!(decoded.deadline, request.deadline);
+            assert_eq!(decoded.idempotency, request.idempotency);
             assert_eq!(
                 decoded.payload.discriminant(),
                 request.payload.discriminant()
@@ -1430,6 +1563,10 @@ mod tests {
             ServiceError::Disconnected,
             ServiceError::InvalidConfig {
                 detail: "workers".into(),
+            },
+            ServiceError::QuotaExceeded {
+                client: "tenant-a".into(),
+                inflight: 4,
             },
         ];
         for err in errors {
@@ -1549,6 +1686,42 @@ mod tests {
         let reply = encode_reply(&Err(ServiceError::Disconnected));
         assert!(decode_request(&reply).is_err());
         assert!(decode_reply(&good).is_err());
+    }
+
+    #[test]
+    fn control_frames_roundtrip_and_are_version_gated() {
+        for nonce in [0u64, 1, u64::MAX, 0x0123_4567_89ab_cdef] {
+            assert_eq!(decode_ping(&encode_ping(nonce)), Ok(nonce));
+            assert_eq!(decode_pong(&encode_pong(nonce)), Ok(nonce));
+        }
+        for id in ["", "tenant-a", "πυθμένας"] {
+            assert_eq!(decode_hello(&encode_hello(id)).as_deref(), Ok(id));
+        }
+        // The three kinds are mutually exclusive.
+        assert!(decode_ping(&encode_pong(7)).is_err());
+        assert!(decode_pong(&encode_ping(7)).is_err());
+        assert!(decode_hello(&encode_ping(7)).is_err());
+        assert!(decode_request(&encode_ping(7)).is_err());
+        // Version-gated like every other frame.
+        let mut bad = encode_ping(7);
+        bad[0] = 1;
+        assert_eq!(decode_ping(&bad), Err(ProtoError::Version { got: 1 }));
+        // Trailing and truncated bytes are typed errors.
+        let mut long = encode_hello("x");
+        long.push(0);
+        assert!(matches!(
+            decode_hello(&long),
+            Err(ProtoError::Trailing { extra: 1 })
+        ));
+        let short = encode_ping(7);
+        assert_eq!(
+            decode_ping(&short[..short.len() - 1]),
+            Err(ProtoError::Truncated)
+        );
+        // `frame_kind` routes without validating.
+        assert_eq!(frame_kind(&encode_ping(7)), Some(MSG_PING));
+        assert_eq!(frame_kind(&encode_hello("a")), Some(MSG_HELLO));
+        assert_eq!(frame_kind(&[]), None);
     }
 
     #[test]

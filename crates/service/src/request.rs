@@ -66,7 +66,8 @@ impl RequestPayload {
     }
 }
 
-/// One service request: a payload plus an optional deadline. The
+/// One service request: a payload plus an optional deadline, an
+/// optional idempotency key, and an optional client identity. The
 /// deadline is converted to a wall-clock budget at admission and
 /// honoured as a hard stop at every layer (never retried around).
 #[derive(Debug, Clone)]
@@ -75,6 +76,19 @@ pub struct Request {
     pub payload: RequestPayload,
     /// Wall-clock allowance, measured from admission.
     pub deadline: Option<Duration>,
+    /// Exactly-once token for safe resubmission: two deadline-free
+    /// requests carrying the same key (from the same client identity)
+    /// execute **once** — the second joins the first flight or replays
+    /// its recorded reply ([`crate::ServiceStats::idempotent_replays`]).
+    /// Travels on the wire; deadline-carrying requests ignore it (a
+    /// replayed reply could postdate the deadline it was asked for).
+    pub idempotency: Option<u64>,
+    /// Fairness identity for per-client admission quotas
+    /// ([`crate::ServiceConfig::max_inflight_per_client`]). The daemon
+    /// fills this from the connection's `Hello` frame (defaulting to a
+    /// per-connection identity); it never travels inside the request
+    /// encoding. `None` (in-process callers) is quota-exempt.
+    pub client: Option<String>,
 }
 
 impl Request {
@@ -83,6 +97,8 @@ impl Request {
         Request {
             payload: RequestPayload::Summary { stg },
             deadline: None,
+            idempotency: None,
+            client: None,
         }
     }
 
@@ -91,6 +107,8 @@ impl Request {
         Request {
             payload: RequestPayload::CscCheck { stg },
             deadline: None,
+            idempotency: None,
+            client: None,
         }
     }
 
@@ -99,6 +117,8 @@ impl Request {
         Request {
             payload: RequestPayload::ResolveCsc { stg, options },
             deadline: None,
+            idempotency: None,
+            client: None,
         }
     }
 
@@ -111,6 +131,8 @@ impl Request {
                 orderings,
             },
             deadline: None,
+            idempotency: None,
+            client: None,
         }
     }
 
@@ -118,6 +140,20 @@ impl Request {
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Builder: attaches an idempotency key (see [`Request::idempotency`]).
+    #[must_use]
+    pub fn with_idempotency(mut self, key: u64) -> Self {
+        self.idempotency = Some(key);
+        self
+    }
+
+    /// Builder: attaches a client identity (see [`Request::client`]).
+    #[must_use]
+    pub fn with_client(mut self, client: impl Into<String>) -> Self {
+        self.client = Some(client.into());
         self
     }
 }

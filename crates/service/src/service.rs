@@ -30,6 +30,22 @@
 //! admitted; the flight leader's admission index is the one the fault
 //! hooks select on.
 //!
+//! # Fairness quotas and idempotent replay
+//!
+//! Requests may carry a *client identity* ([`Request::client`] — the
+//! daemon stamps it from the connection's `Hello` frame). When
+//! [`ServiceConfig::max_inflight_per_client`] is nonzero, each identity
+//! is capped at that many admitted-but-incomplete fresh dispatches; the
+//! next one is refused immediately with
+//! [`ServiceError::QuotaExceeded`], so one greedy tenant can never
+//! occupy the whole queue. Deadline-free requests may also carry an
+//! *idempotency key* ([`Request::idempotency`], scoped per client
+//! identity): the first submission executes, and any resubmission of
+//! the same key joins that flight or replays its recorded reply — one
+//! key, one execution, one recorded fate. This is the safe-retry
+//! contract [`crate::ReconnectingClient`] relies on after a severed
+//! connection; [`ServiceStats::idempotent_replays`] counts both forms.
+//!
 //! # Supervision
 //!
 //! Each worker runs requests inside `catch_unwind`. A panic is
@@ -101,6 +117,24 @@ pub struct ServiceConfig {
     pub budget: Budget,
     /// Backend of the pooled engines.
     pub backend: ReachBackend,
+    /// Per-client fairness quota: how many requests one client identity
+    /// ([`Request::client`]) may have admitted-but-incomplete at once.
+    /// The next one is refused with [`ServiceError::QuotaExceeded`].
+    /// `0` disables quotas; requests without a client identity
+    /// (in-process callers) are always exempt.
+    pub max_inflight_per_client: usize,
+    /// Completed idempotent replies retained for replay (per
+    /// [`Request::idempotency`]); oldest-first eviction. `0` disables
+    /// idempotency tracking entirely — keys are then ignored.
+    pub idempotency_capacity: usize,
+    /// Per-connection I/O deadline the daemon enforces: reading one
+    /// frame (however slowly its bytes trickle in) and writing one
+    /// reply must each finish within this allowance. Unused by the
+    /// in-process service.
+    pub io_timeout: Duration,
+    /// How long [`crate::Daemon::shutdown`] lets in-flight connections
+    /// finish before severing them. Unused by the in-process service.
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -115,6 +149,10 @@ impl Default for ServiceConfig {
             quarantine_threshold: 2,
             budget: Budget::default(),
             backend: ReachBackend::Symbolic,
+            max_inflight_per_client: 0,
+            idempotency_capacity: 256,
+            io_timeout: Duration::from_secs(30),
+            drain_deadline: Duration::from_secs(5),
         }
     }
 }
@@ -207,14 +245,43 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Per-client fairness quota (`0` disables quotas).
+    #[must_use]
+    pub fn max_inflight_per_client(mut self, quota: usize) -> Self {
+        self.config.max_inflight_per_client = quota;
+        self
+    }
+
+    /// Completed idempotent replies retained for replay (`0` disables
+    /// idempotency tracking).
+    #[must_use]
+    pub fn idempotency_capacity(mut self, capacity: usize) -> Self {
+        self.config.idempotency_capacity = capacity;
+        self
+    }
+
+    /// Per-connection I/O deadline of the daemon (validated nonzero).
+    #[must_use]
+    pub fn io_timeout(mut self, timeout: Duration) -> Self {
+        self.config.io_timeout = timeout;
+        self
+    }
+
+    /// Graceful-drain allowance of [`crate::Daemon::shutdown`].
+    #[must_use]
+    pub fn drain_deadline(mut self, deadline: Duration) -> Self {
+        self.config.drain_deadline = deadline;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
     ///
     /// [`ServiceError::InvalidConfig`] when `workers == 0`,
-    /// `queue_capacity == 0`, `backoff > max_backoff`, or the baseline
+    /// `queue_capacity == 0`, `backoff > max_backoff`, the baseline
     /// budget carries a deadline shorter than the first backoff pause
-    /// (every retry would overshoot it).
+    /// (every retry would overshoot it), or `io_timeout` is zero.
     pub fn build(self) -> Result<ServiceConfig, ServiceError> {
         let invalid = |detail: &str| {
             Err(ServiceError::InvalidConfig {
@@ -236,6 +303,9 @@ impl ServiceConfigBuilder {
                 return invalid("backoff exceeds the baseline budget deadline");
             }
         }
+        if config.io_timeout.is_zero() {
+            return invalid("io_timeout must be nonzero (every read would expire instantly)");
+        }
         Ok(config)
     }
 }
@@ -251,6 +321,8 @@ struct Counters {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     batch_dedup_hits: AtomicU64,
+    quota_sheds: AtomicU64,
+    idempotent_replays: AtomicU64,
     retries: AtomicU64,
     quarantines: AtomicU64,
     worker_panics: AtomicU64,
@@ -278,6 +350,13 @@ pub struct ServiceStats {
     /// Requests that joined an already queued or in-flight identical
     /// request instead of dispatching their own (single-flight dedup).
     pub batch_dedup_hits: u64,
+    /// Requests refused because their client identity was over its
+    /// [`ServiceConfig::max_inflight_per_client`] quota.
+    pub quota_sheds: u64,
+    /// Requests answered by their idempotency key instead of a fresh
+    /// execution: a resubmit that joined the original flight still in
+    /// progress or replayed its recorded reply.
+    pub idempotent_replays: u64,
     /// Service-level retry attempts spent (not requests retried).
     pub retries: u64,
     /// Engines quarantined and rebuilt cold (panics + strike-outs).
@@ -321,6 +400,35 @@ struct Job {
     /// Observers that join mid-execution land in
     /// [`QueueState::inflight`] instead.
     observers: Vec<mpsc::Sender<Reply>>,
+    /// Client identity whose quota slot this job occupies (released at
+    /// reply fan-out).
+    client: Option<String>,
+    /// Idempotency-registry slot this flight resolves when it
+    /// completes.
+    idem_key: Option<IdemKey>,
+}
+
+/// Idempotency keys are scoped per client identity: two tenants using
+/// the same `u64` never observe each other's replies.
+type IdemKey = (Option<String>, u64);
+
+enum IdemEntry {
+    /// The keyed flight is queued or executing; resubmits join here.
+    InFlight(Vec<mpsc::Sender<Reply>>),
+    /// The keyed flight finished; resubmits replay this.
+    Done(Reply),
+}
+
+/// The exactly-once registry behind [`Request::idempotency`]. Lock
+/// order: this lock may be held while taking the queue lock (enqueue
+/// does), never the other way around — completion takes them strictly
+/// in sequence.
+struct IdemRegistry {
+    entries: HashMap<IdemKey, IdemEntry>,
+    /// `Done` keys oldest-first, for bounded eviction (in-flight
+    /// entries are never evicted — their flight is about to resolve
+    /// them).
+    done_order: VecDeque<IdemKey>,
 }
 
 struct QueueState {
@@ -330,6 +438,9 @@ struct QueueState {
     /// reply fan-out, both under this queue lock). At most one
     /// coalescable flight per key exists at a time.
     inflight: HashMap<u64, Vec<mpsc::Sender<Reply>>>,
+    /// Client identity → admitted-but-incomplete request count, the
+    /// gauge [`ServiceConfig::max_inflight_per_client`] caps.
+    per_client: HashMap<String, usize>,
     open: bool,
 }
 
@@ -337,6 +448,7 @@ struct Shared {
     queue: Mutex<QueueState>,
     available: Condvar,
     cache: Mutex<MemoCache>,
+    idem: Mutex<IdemRegistry>,
     counters: Counters,
     config: ServiceConfig,
     admissions: AtomicUsize,
@@ -398,10 +510,15 @@ impl SynthService {
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 inflight: HashMap::new(),
+                per_client: HashMap::new(),
                 open: true,
             }),
             available: Condvar::new(),
             cache: Mutex::new(MemoCache::new(config.cache_capacity)),
+            idem: Mutex::new(IdemRegistry {
+                entries: HashMap::new(),
+                done_order: VecDeque::new(),
+            }),
             counters: Counters::default(),
             config,
             admissions: AtomicUsize::new(0),
@@ -445,6 +562,40 @@ impl SynthService {
         if let Some(allowance) = request.deadline {
             budget.deadline = Some(Instant::now() + allowance);
         }
+        // The idempotency registry is consulted *before* the content
+        // cache: a resubmit must always be visible as an idempotent
+        // replay, never silently absorbed by a memo hit. The guard is
+        // held through admission so a concurrent resubmit of the same
+        // key cannot race past the check (lock order: idem before
+        // queue/cache, see `IdemRegistry`).
+        let idem_key: Option<IdemKey> = match request.idempotency {
+            Some(token)
+                if request.deadline.is_none() && self.shared.config.idempotency_capacity > 0 =>
+            {
+                Some((request.client.clone(), token))
+            }
+            _ => None,
+        };
+        let mut idem_guard = idem_key.as_ref().map(|_| lock(&self.shared.idem));
+        if let (Some(idem), Some(ik)) = (idem_guard.as_deref_mut(), idem_key.as_ref()) {
+            match idem.entries.get_mut(ik) {
+                Some(IdemEntry::Done(reply)) => {
+                    counters.idempotent_replays.fetch_add(1, Ordering::Relaxed);
+                    counters.completed.fetch_add(1, Ordering::Relaxed);
+                    return Ticket::ready(reply.clone());
+                }
+                Some(IdemEntry::InFlight(observers)) => {
+                    let (sender, receiver) = mpsc::channel();
+                    observers.push(sender);
+                    counters.idempotent_replays.fetch_add(1, Ordering::Relaxed);
+                    counters.admitted.fetch_add(1, Ordering::Relaxed);
+                    return Ticket {
+                        inner: TicketInner::Pending(receiver),
+                    };
+                }
+                None => {}
+            }
+        }
         let key = request_key(&request.payload, &budget);
         if let Some(key) = key {
             if let Some(hit) = lock(&self.shared.cache).get(key) {
@@ -454,7 +605,10 @@ impl SynthService {
             }
             counters.cache_misses.fetch_add(1, Ordering::Relaxed);
         }
-        let coalesce = key.is_some() && request.deadline.is_none();
+        // Idempotent requests never content-coalesce: the exactly-once
+        // guarantee must come from the key alone, so a resubmit finds
+        // its flight in the registry, not in a stranger's.
+        let coalesce = key.is_some() && request.deadline.is_none() && idem_key.is_none();
         let (sender, receiver) = mpsc::channel();
         {
             let mut queue = lock(&self.shared.queue);
@@ -486,6 +640,21 @@ impl SynthService {
                     };
                 }
             }
+            // Per-client fairness quota — fresh dispatches only (flight
+            // joins above occupy no worker and no queue slot).
+            if let Some(client) = &request.client {
+                let quota = self.shared.config.max_inflight_per_client;
+                if quota > 0 {
+                    let inflight = queue.per_client.get(client).copied().unwrap_or(0);
+                    if inflight >= quota {
+                        counters.quota_sheds.fetch_add(1, Ordering::Relaxed);
+                        return Ticket::ready(Err(ServiceError::QuotaExceeded {
+                            client: client.clone(),
+                            inflight,
+                        }));
+                    }
+                }
+            }
             if queue.jobs.len() >= self.shared.config.queue_capacity {
                 counters.shed.fetch_add(1, Ordering::Relaxed);
                 return Ticket::ready(Err(ServiceError::Shed {
@@ -494,6 +663,13 @@ impl SynthService {
             }
             let seq = self.shared.admissions.fetch_add(1, Ordering::Relaxed);
             counters.admitted.fetch_add(1, Ordering::Relaxed);
+            if let Some(client) = &request.client {
+                *queue.per_client.entry(client.clone()).or_insert(0) += 1;
+            }
+            if let (Some(idem), Some(ik)) = (idem_guard.as_deref_mut(), idem_key.as_ref()) {
+                idem.entries
+                    .insert(ik.clone(), IdemEntry::InFlight(Vec::new()));
+            }
             queue.jobs.push_back(Job {
                 payload: request.payload,
                 budget,
@@ -501,8 +677,11 @@ impl SynthService {
                 key,
                 coalesce,
                 observers: vec![sender],
+                client: request.client,
+                idem_key,
             });
         }
+        drop(idem_guard);
         self.shared.available.notify_one();
         Ticket {
             inner: TicketInner::Pending(receiver),
@@ -555,6 +734,8 @@ impl SynthService {
             cache_hits: c.cache_hits.load(Ordering::Relaxed),
             cache_misses: c.cache_misses.load(Ordering::Relaxed),
             batch_dedup_hits: c.batch_dedup_hits.load(Ordering::Relaxed),
+            quota_sheds: c.quota_sheds.load(Ordering::Relaxed),
+            idempotent_replays: c.idempotent_replays.load(Ordering::Relaxed),
             retries: c.retries.load(Ordering::Relaxed),
             quarantines: c.quarantines.load(Ordering::Relaxed),
             worker_panics: c.worker_panics.load(Ordering::Relaxed),
@@ -688,10 +869,42 @@ fn worker_loop(shared: &Shared) {
         // so a racing identical request either joined the inflight
         // entry (and is fanned out here) or already hit the cache.
         let mut observers = std::mem::take(&mut job.observers);
-        if job.coalesce {
-            let key = job.key.expect("coalesce implies a memo key");
-            if let Some(joined) = lock(&shared.queue).inflight.remove(&key) {
+        {
+            let mut queue = lock(&shared.queue);
+            if job.coalesce {
+                let key = job.key.expect("coalesce implies a memo key");
+                if let Some(joined) = queue.inflight.remove(&key) {
+                    observers.extend(joined);
+                }
+            }
+            // Release the client's quota slot.
+            if let Some(client) = &job.client {
+                if let Some(slot) = queue.per_client.get_mut(client) {
+                    *slot = slot.saturating_sub(1);
+                    if *slot == 0 {
+                        queue.per_client.remove(client);
+                    }
+                }
+            }
+        }
+        // Resolve the idempotency slot: collect resubmits that joined
+        // mid-flight, then record the outcome (success *or* typed
+        // error — one key is one execution with one recorded fate) for
+        // later resubmits to replay. A resubmit arriving between the
+        // queue release above and this lock still joins `InFlight` and
+        // is fanned out below; one arriving after sees `Done`.
+        if let Some(ik) = job.idem_key.take() {
+            let mut idem = lock(&shared.idem);
+            if let Some(IdemEntry::InFlight(joined)) = idem.entries.remove(&ik) {
                 observers.extend(joined);
+            }
+            idem.entries
+                .insert(ik.clone(), IdemEntry::Done(reply.clone()));
+            idem.done_order.push_back(ik);
+            while idem.done_order.len() > shared.config.idempotency_capacity {
+                if let Some(oldest) = idem.done_order.pop_front() {
+                    idem.entries.remove(&oldest);
+                }
             }
         }
         // Count completions *before* replying: a client that reads

@@ -4,7 +4,10 @@
 //! valid encodings.
 
 use proptest::prelude::*;
-use rt_service::proto::{decode_reply, decode_request, encode_request};
+use rt_service::proto::{
+    decode_hello, decode_ping, decode_pong, decode_reply, decode_request, encode_hello,
+    encode_ping, encode_pong, encode_request, frame_kind, MSG_HELLO, MSG_PING, MSG_PONG,
+};
 use rt_service::Request;
 use rt_stg::corpus;
 
@@ -57,6 +60,39 @@ proptest! {
         let bytes = encode_request(&Request::summary(stg.clone()));
         let keep = (bytes.len() as u64 * u64::from(keep_permille) / 1000) as usize;
         prop_assert!(decode_request(&bytes[..keep]).is_err(), "a strict prefix cannot decode");
+    }
+
+    /// Control frames hold the same properties as the work frames:
+    /// every nonce and every client id round-trips exactly, the kinds
+    /// are mutually exclusive, and corrupting the kind byte yields a
+    /// typed error or a different frame — never a panic.
+    fn control_frames_roundtrip_for_every_nonce_and_id(
+        nonce in any::<u64>(),
+        id_seed in prop::collection::vec(any::<u8>(), 0..40),
+        kind_delta in 1u8..=255,
+    ) {
+        // Printable-ASCII client ids; the unit tests cover wider UTF-8.
+        let id: String = id_seed.iter().map(|b| char::from(b % 94 + 33)).collect();
+        let ping = encode_ping(nonce);
+        let pong = encode_pong(nonce);
+        let hello = encode_hello(&id);
+        prop_assert_eq!(decode_ping(&ping).expect("ping decodes"), nonce);
+        prop_assert_eq!(decode_pong(&pong).expect("pong decodes"), nonce);
+        prop_assert_eq!(decode_hello(&hello).expect("hello decodes"), id);
+        prop_assert_eq!(frame_kind(&ping), Some(MSG_PING));
+        prop_assert_eq!(frame_kind(&pong), Some(MSG_PONG));
+        prop_assert_eq!(frame_kind(&hello), Some(MSG_HELLO));
+        prop_assert!(decode_pong(&ping).is_err(), "kinds are mutually exclusive");
+        prop_assert!(decode_ping(&pong).is_err());
+        prop_assert!(decode_hello(&ping).is_err());
+        for frame in [&ping, &pong, &hello] {
+            let mut corrupt = frame.clone();
+            corrupt[1] = corrupt[1].wrapping_add(kind_delta);
+            let _ = decode_ping(&corrupt);
+            let _ = decode_pong(&corrupt);
+            let _ = decode_hello(&corrupt);
+            let _ = decode_request(&corrupt);
+        }
     }
 
     /// Single-byte corruption never panics, and when the corrupted

@@ -1,0 +1,182 @@
+//! [`ReconnectingClient`] behavior: transparent equivalence with
+//! [`DaemonClient`] on a healthy daemon, poisoning semantics of the
+//! plain client, and — under fault injection — the exactly-once pin: a
+//! connection severed mid-request is resubmitted after reconnect, and
+//! the daemon executes the request precisely once.
+
+use std::time::Duration;
+
+use rt_service::{
+    Daemon, DaemonClient, ReconnectingClient, Request, ResponsePayload, ServiceConfig, ServiceError,
+};
+use rt_stg::engine::ReachEngine;
+use rt_stg::models;
+
+#[cfg(feature = "fault-injection")]
+fn suite_guard() -> rt_stg::faults::SuiteGuard {
+    rt_stg::faults::suite()
+}
+
+/// Stand-in guard so `let _suite = suite_guard();` binds a value in
+/// both builds.
+#[cfg(not(feature = "fault-injection"))]
+struct SuiteGuard;
+
+#[cfg(not(feature = "fault-injection"))]
+fn suite_guard() -> SuiteGuard {
+    SuiteGuard
+}
+
+#[test]
+fn reconnecting_client_is_a_drop_in_daemon_client_when_nothing_fails() {
+    let _suite = suite_guard();
+    let daemon = Daemon::bind(ServiceConfig::default(), "127.0.0.1:0").expect("bind");
+    let mut client = ReconnectingClient::connect(daemon.local_addr(), "steady").expect("connect");
+    assert_eq!(client.client_id(), "steady");
+
+    // Work is bit-identical to direct engine calls.
+    let direct = ReachEngine::symbolic()
+        .summary(&models::fifo_stg())
+        .expect("direct");
+    let reply = client
+        .submit(&Request::summary(models::fifo_stg()))
+        .expect("wire reply");
+    match reply.payload {
+        ResponsePayload::Summary(outcome) => {
+            assert_eq!(outcome.markings, direct.markings);
+            assert_eq!(outcome.iterations, direct.iterations);
+        }
+        other => panic!("wrong payload kind: {other:?}"),
+    }
+    // Health checks ride the same connection.
+    assert_eq!(client.ping(42).expect("pong"), 42);
+
+    // Typed service answers pass through verbatim and trigger no
+    // reconnection — they are answers, not connection failures. (An
+    // uncached model: memo keys ignore deadlines, so cached content
+    // would be served instead of cancelled.)
+    let expired =
+        client.submit(&Request::summary(models::chain_stg(6)).with_deadline(Duration::ZERO));
+    assert_eq!(
+        expired,
+        Err(ServiceError::Engine(rt_stg::StgError::Cancelled))
+    );
+    assert_eq!(
+        client.reconnects(),
+        0,
+        "nothing failed, nothing reconnected"
+    );
+
+    // A caller-supplied idempotency key is respected: the identical
+    // resubmission replays instead of re-executing.
+    let keyed = Request::summary(models::chain_stg(4)).with_idempotency(7);
+    let first = client.submit(&keyed).expect("first keyed submit");
+    let replayed = client.submit(&keyed).expect("replayed keyed submit");
+    assert_eq!(first.payload, replayed.payload);
+    assert_eq!(daemon.service_stats().idempotent_replays, 1);
+    daemon.shutdown();
+}
+
+#[test]
+fn a_poisoned_daemon_client_fails_fast_without_touching_the_socket() {
+    let _suite = suite_guard();
+    let daemon = Daemon::bind(ServiceConfig::default(), "127.0.0.1:0").expect("bind");
+    let addr = daemon.local_addr();
+    let mut client = DaemonClient::connect(addr).expect("connect");
+    assert!(!client.is_poisoned());
+    daemon.shutdown();
+
+    // The daemon is gone: the first submit observes the severed
+    // connection and poisons the client.
+    assert_eq!(
+        client.submit(&Request::summary(models::fifo_stg())),
+        Err(ServiceError::Disconnected)
+    );
+    assert!(client.is_poisoned());
+    // Every later call fails fast with the same error — no socket I/O,
+    // no hang, no partial frame confusion.
+    assert_eq!(
+        client.submit(&Request::summary(models::fifo_stg())),
+        Err(ServiceError::Disconnected)
+    );
+    assert_eq!(client.ping(1), Err(ServiceError::Disconnected));
+    assert_eq!(client.hello("late"), Err(ServiceError::Disconnected));
+}
+
+#[test]
+fn reconnect_budget_exhausts_into_disconnected_when_the_daemon_stays_down() {
+    let _suite = suite_guard();
+    // Bind-then-shutdown gives an address that refuses connections.
+    let daemon = Daemon::bind(ServiceConfig::default(), "127.0.0.1:0").expect("bind");
+    let addr = daemon.local_addr();
+    let mut client = ReconnectingClient::connect(addr, "orphan")
+        .expect("connect while alive")
+        .with_max_reconnects(2)
+        .with_backoff(Duration::from_micros(100), Duration::from_millis(1));
+    daemon.shutdown();
+    assert_eq!(
+        client.submit(&Request::summary(models::fifo_stg())),
+        Err(ServiceError::Disconnected),
+        "a dead daemon surfaces once the bounded reconnect budget is spent"
+    );
+}
+
+#[cfg(feature = "fault-injection")]
+mod faulted {
+    use super::*;
+    use rt_stg::faults::{arm, suite, Fault};
+
+    /// The exactly-once pin. The connection is severed after the request
+    /// is admitted (wire index 0): the client cannot know whether the
+    /// daemon executed it — precisely the ambiguity idempotency keys
+    /// resolve. The resubmission must join or replay the original
+    /// flight, never dispatch a second engine execution.
+    #[test]
+    fn severed_mid_request_resubmission_executes_exactly_once() {
+        let _suite = suite();
+        // No memo cache: if the resubmitted reply arrives anyway, it
+        // can only have come from the idempotency registry.
+        let config = ServiceConfig::builder()
+            .workers(1)
+            .cache_capacity(0)
+            .build()
+            .expect("valid config");
+        let daemon = Daemon::bind(config, "127.0.0.1:0").expect("bind");
+        let _fault = arm(Fault::ServiceDropConnAt { request: 0 }, 1);
+
+        let mut client =
+            ReconnectingClient::connect(daemon.local_addr(), "retrier").expect("connect");
+        let direct = ReachEngine::symbolic()
+            .summary(&models::chain_stg(5))
+            .expect("direct");
+        let reply = client
+            .submit(&Request::summary(models::chain_stg(5)))
+            .expect("the resubmission lands");
+        match reply.payload {
+            ResponsePayload::Summary(outcome) => {
+                assert_eq!(outcome.markings, direct.markings);
+                assert_eq!(outcome.iterations, direct.iterations);
+            }
+            other => panic!("wrong payload kind: {other:?}"),
+        }
+        assert_eq!(client.reconnects(), 1, "one sever, one reconnect");
+
+        let stats = daemon.stats();
+        assert_eq!(
+            stats.requests, 2,
+            "original admission plus the resubmission"
+        );
+        assert_eq!(stats.disconnects, 1, "the injected sever");
+        let service = daemon.service_stats();
+        assert_eq!(
+            service.idempotent_replays, 1,
+            "the resubmission joined or replayed the original flight"
+        );
+        assert_eq!(
+            daemon.drain_log().len(),
+            1,
+            "exactly one engine execution for the twice-submitted request"
+        );
+        daemon.shutdown();
+    }
+}

@@ -191,6 +191,21 @@
 //! the same question cost one engine dispatch and each receives the
 //! bit-identical response a direct engine call would have produced.
 //!
+//! The daemon also survives hostile or flaky peers without ever
+//! touching engine semantics: every connection carries an I/O deadline
+//! (a half-open or slow-loris peer costs a counted timeout and a
+//! closed socket, nothing more), per-client fairness quotas bound how
+//! many requests one identity may hold in flight (excess is refused
+//! with a typed quota error, so one greedy tenant can never starve
+//! another's access to the pool), and deadline-free requests may carry
+//! an idempotency key: a client that loses its connection mid-request
+//! can resubmit under the same key and is guaranteed **exactly one**
+//! engine execution — the resubmission joins the original flight or
+//! replays its recorded reply, bit-identical either way. Requests that
+//! carry deadlines are excluded from replay (the budget machinery
+//! above already makes re-running them observable), keeping the
+//! exactly-once contract aligned with the hard-stop contract.
+//!
 //! ## Example
 //!
 //! ```
